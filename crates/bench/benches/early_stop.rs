@@ -1,0 +1,58 @@
+//! Criterion benchmark for the early-stop optimization (Table 4): R2T with
+//! and without it on the rectangle query, plus the τ-race branch count
+//! sensitivity (more branches = more LPs for early stop to kill).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use r2t_core::{R2TConfig, R2T};
+use r2t_graph::{datasets, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_early_stop(c: &mut Criterion) {
+    let ds = datasets::amazon1_like(0.5);
+    let profile = Pattern::Rectangle.profile(&ds.graph);
+    let gs = Pattern::Rectangle.global_sensitivity(ds.degree_bound);
+    let mut g = c.benchmark_group("early_stop_qrect");
+    g.sample_size(10);
+    for early in [true, false] {
+        let r2t = R2T::new(R2TConfig {
+            epsilon: 0.8,
+            beta: 0.1,
+            gs,
+            early_stop: early,
+            parallel: false,
+        });
+        let label = if early { "with" } else { "without" };
+        g.bench_function(BenchmarkId::new(label, ""), |b| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| black_box(r2t.run_profile(&profile, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_branch_count(c: &mut Criterion) {
+    // Larger assumed GS_Q → more τ branches → more LPs in the race.
+    let ds = datasets::roadnet_pa_like(0.6);
+    let profile = Pattern::Path2.profile(&ds.graph);
+    let mut g = c.benchmark_group("branches_vs_gs");
+    g.sample_size(10);
+    for log_gs in [8u32, 16, 24] {
+        let r2t = R2T::new(R2TConfig {
+            epsilon: 0.8,
+            beta: 0.1,
+            gs: 2f64.powi(log_gs as i32),
+            early_stop: true,
+            parallel: false,
+        });
+        g.bench_function(BenchmarkId::from_parameter(log_gs), |b| {
+            let mut rng = StdRng::seed_from_u64(10);
+            b.iter(|| black_box(r2t.run_profile(&profile, &mut rng)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_early_stop, bench_branch_count);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion benchmarks for the graph mechanisms (the time columns of
+//! Table 2): R2T and the baselines on edge / triangle counting over small
+//! instances of the social-like and road-like datasets.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use r2t_core::baselines::FixedTauLp;
+use r2t_core::{Mechanism, R2TConfig, R2T};
+use r2t_graph::baselines::{
+    GraphMechanism, NaiveTruncationSmooth, RecursiveMechanismLite, SmoothDistanceEstimator,
+};
+use r2t_graph::{datasets, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_mechanisms(c: &mut Criterion) {
+    let sets = [datasets::amazon1_like(0.4), datasets::roadnet_pa_like(0.4)];
+    for ds in &sets {
+        for pattern in [Pattern::Edge, Pattern::Triangle] {
+            let profile = pattern.profile(&ds.graph);
+            let gs = pattern.global_sensitivity(ds.degree_bound);
+            let mut g =
+                c.benchmark_group(format!("{}_{}", ds.name.replace('-', "_"), pattern.label()));
+            g.sample_size(10);
+            let r2t = R2T::new(R2TConfig {
+                epsilon: 0.8,
+                beta: 0.1,
+                gs,
+                early_stop: true,
+                parallel: false,
+            });
+            g.bench_function(BenchmarkId::new("R2T", ""), |b| {
+                let mut rng = StdRng::seed_from_u64(1);
+                b.iter(|| black_box(r2t.run(&profile, &mut rng)))
+            });
+            let nt = NaiveTruncationSmooth { pattern, theta: 16.0, epsilon: 0.8 };
+            g.bench_function(BenchmarkId::new("NT", ""), |b| {
+                let mut rng = StdRng::seed_from_u64(2);
+                b.iter(|| black_box(nt.run(&ds.graph, &mut rng)))
+            });
+            let sde = SmoothDistanceEstimator { pattern, theta: 16.0, epsilon: 0.8 };
+            g.bench_function(BenchmarkId::new("SDE", ""), |b| {
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| black_box(sde.run(&ds.graph, &mut rng)))
+            });
+            let lp = FixedTauLp { epsilon: 0.8, tau: gs / 64.0 };
+            g.bench_function(BenchmarkId::new("LP", ""), |b| {
+                let mut rng = StdRng::seed_from_u64(4);
+                b.iter(|| black_box(lp.run(&profile, &mut rng)))
+            });
+            if ds.name.starts_with("Roadnet") {
+                let rm = RecursiveMechanismLite { pattern, epsilon: 0.8, max_depth: 12 };
+                g.bench_function(BenchmarkId::new("RM", ""), |b| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    b.iter(|| black_box(rm.run(&ds.graph, &mut rng)))
+                });
+            }
+            g.finish();
+        }
+    }
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let ds = datasets::amazon2_like(1.0);
+    let mut g = c.benchmark_group("pattern_enumeration");
+    g.sample_size(10);
+    for pattern in Pattern::ALL {
+        g.bench_function(pattern.label(), |b| b.iter(|| black_box(pattern.profile(&ds.graph))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mechanisms, bench_enumeration);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks for the TPC-H pipeline (the time columns of
+//! Table 5): query evaluation with lineage, R2T, and LS per query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use r2t_core::baselines::LocalSensitivitySvt;
+use r2t_core::{Mechanism, R2TConfig, R2T};
+use r2t_engine::exec;
+use r2t_tpch::{generate, queries, Category};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_tpch(c: &mut Criterion) {
+    let inst = generate(0.2, 0.3, 0xC0FFEE);
+    for tq in [queries::q3(), queries::q12(), queries::q20(), queries::q5(), queries::q10()] {
+        let mut g = c.benchmark_group(format!("tpch_{}", tq.name));
+        g.sample_size(10);
+        g.bench_function("evaluate_with_lineage", |b| {
+            b.iter(|| black_box(exec::profile(&tq.schema, &inst, &tq.query).expect("runs")))
+        });
+        let profile = exec::profile(&tq.schema, &inst, &tq.query).expect("runs");
+        let gs = if tq.category == Category::Aggregation { 1u64 << 18 } else { 1u64 << 12 } as f64;
+        let r2t =
+            R2T::new(R2TConfig { epsilon: 0.8, beta: 0.1, gs, early_stop: true, parallel: false });
+        g.bench_function("r2t", |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter(|| black_box(r2t.run(&profile, &mut rng)))
+        });
+        let ls = LocalSensitivitySvt { epsilon: 0.8, gs };
+        let mut rng = StdRng::seed_from_u64(2);
+        if ls.run(&profile, &mut rng).is_some() {
+            g.bench_function("ls", |b| {
+                let mut rng = StdRng::seed_from_u64(3);
+                b.iter(|| black_box(ls.run(&profile, &mut rng)))
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tpch_generation");
+    g.sample_size(10);
+    for sf in [0.1, 0.4] {
+        g.bench_function(format!("scale_{sf}"), |b| {
+            b.iter(|| black_box(generate(sf, 0.3, 7)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tpch, bench_generation);
+criterion_main!(benches);

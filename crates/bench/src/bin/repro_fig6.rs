@@ -1,0 +1,69 @@
+//! Reproduces **Figure 6**: error of each mechanism on the road-network
+//! dataset as the privacy parameter ε sweeps 0.1 … 12.8 (doubling), for all
+//! four graph pattern queries. Printed as one series per mechanism.
+
+use r2t_bench::{fmt_sig, measure, reps, scale, Table};
+use r2t_core::baselines::FixedTauLp;
+use r2t_core::{Mechanism, R2TConfig, R2T};
+use r2t_graph::baselines::{GraphMechanism, NaiveTruncationSmooth, SmoothDistanceEstimator};
+use r2t_graph::{datasets, Pattern};
+use rand::Rng;
+
+fn main() {
+    let reps = reps();
+    let ds = datasets::roadnet_pa_like(scale());
+    println!("# Figure 6 — error vs eps on {} (reps = {reps})\n", ds.stats());
+    let epsilons: Vec<f64> = (0..8).map(|i| 0.1 * 2f64.powi(i)).collect();
+    for p in Pattern::ALL {
+        let profile = p.profile(&ds.graph);
+        let truth = profile.query_result();
+        let gs = p.global_sensitivity(ds.degree_bound);
+        let log_d = ds.degree_bound.log2() as u32;
+        let log_gs = gs.log2() as u32;
+        println!("## {}  (query result {})", p.label(), fmt_sig(truth));
+        let mut header: Vec<&str> = vec!["mech"];
+        let eps_labels: Vec<String> = epsilons.iter().map(|e| format!("{e}")).collect();
+        header.extend(eps_labels.iter().map(|s| s.as_str()));
+        let mut table = Table::new(&header);
+        for mech in ["R2T", "NT", "SDE", "LP"] {
+            let mut row = vec![mech.to_string()];
+            for &eps in &epsilons {
+                let cell = match mech {
+                    "R2T" => {
+                        let r2t = R2T::new(R2TConfig {
+                            epsilon: eps,
+                            beta: 0.1,
+                            gs,
+                            early_stop: true,
+                            parallel: false,
+                        });
+                        measure(truth, reps, 0xF16 ^ eps.to_bits(), |rng| r2t.run(&profile, rng))
+                    }
+                    "NT" => measure(truth, reps, 0xF16A ^ eps.to_bits(), |rng| {
+                        let theta = (1u64 << rng.random_range(1..=log_d)) as f64;
+                        Some(
+                            NaiveTruncationSmooth { pattern: p, theta, epsilon: eps }
+                                .run(&ds.graph, rng),
+                        )
+                    }),
+                    "SDE" => measure(truth, reps, 0xF16B ^ eps.to_bits(), |rng| {
+                        let theta = (1u64 << rng.random_range(1..=log_d)) as f64;
+                        Some(
+                            SmoothDistanceEstimator { pattern: p, theta, epsilon: eps }
+                                .run(&ds.graph, rng),
+                        )
+                    }),
+                    _ => measure(truth, reps, 0xF16C ^ eps.to_bits(), |rng| {
+                        let tau = (1u64 << rng.random_range(1..=log_gs)) as f64;
+                        FixedTauLp { epsilon: eps, tau }.run(&profile, rng)
+                    }),
+                }
+                .expect("mechanism runs");
+                row.push(fmt_sig(cell.rel_err_pct));
+            }
+            table.row(&row);
+        }
+        println!("{}", table.render());
+        println!("(cells: relative error %)\n");
+    }
+}

@@ -1,0 +1,64 @@
+//! Reproduces **Figure 7**: error and running time of R2T and LS on TPC-H
+//! Q3, Q12, Q20 as the data scale sweeps 2⁻³ … 2³ (relative to the default
+//! scale). The paper's headline: R2T's *error barely moves with scale*
+//! (it tracks DS_Q(I), not the data size), while its time grows linearly.
+
+use r2t_bench::{fmt_sig, measure, reps, scale, Table};
+use r2t_core::baselines::LocalSensitivitySvt;
+use r2t_core::{Mechanism, R2TConfig, R2T};
+use r2t_engine::exec;
+use r2t_tpch::{generate, queries};
+use std::time::Instant;
+
+fn main() {
+    let reps = reps();
+    let base = scale() * 0.25;
+    let gs: f64 =
+        std::env::var("R2T_GS").ok().and_then(|v| v.parse().ok()).unwrap_or((1u64 << 12) as f64);
+    println!("# Figure 7 — error & time vs data scale (eps = 0.8, GS = {gs}, reps = {reps})\n");
+    for tq in [queries::q3(), queries::q12(), queries::q20()] {
+        println!("## {}", tq.name);
+        let mut table = Table::new(&[
+            "scale",
+            "tuples",
+            "Q(I)",
+            "R2T err %",
+            "R2T (s)",
+            "LS err %",
+            "LS (s)",
+        ]);
+        for i in -3i32..=3 {
+            let sf = base * 2f64.powi(i);
+            let inst = generate(sf, 0.3, 0xC0FFEE ^ i as u64);
+            let t0 = Instant::now();
+            let profile = exec::profile(&tq.schema, &inst, &tq.query).expect("query runs");
+            let eval_secs = t0.elapsed().as_secs_f64();
+            let truth = profile.query_result();
+            let r2t = R2T::new(R2TConfig {
+                epsilon: 0.8,
+                beta: 0.1,
+                gs,
+                early_stop: true,
+                parallel: false,
+            });
+            let r2t_cell =
+                measure(truth, reps, 0xF7 + i as u64, |rng| r2t.run(&profile, rng)).expect("runs");
+            let ls = LocalSensitivitySvt { epsilon: 0.8, gs };
+            let ls_cell = measure(truth, reps, 0xF8 + i as u64, |rng| ls.run(&profile, rng));
+            let (ls_err, ls_time) = match ls_cell {
+                Some(c) => (fmt_sig(c.rel_err_pct), format!("{:.2}", c.seconds + eval_secs)),
+                None => ("not supported".into(), "-".into()),
+            };
+            table.row(&[
+                format!("2^{i}"),
+                inst.total_tuples().to_string(),
+                fmt_sig(truth),
+                fmt_sig(r2t_cell.rel_err_pct),
+                format!("{:.2}", r2t_cell.seconds + eval_secs),
+                ls_err,
+                ls_time,
+            ]);
+        }
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,49 @@
+//! Reproduces **Figure 8**: error of R2T and LS on TPC-H Q3, Q12, Q20 as the
+//! assumed global sensitivity GS_Q sweeps over decades. The paper's
+//! headline: LS degrades (near-)linearly in GS_Q while R2T degrades only
+//! logarithmically, so the analyst can set GS_Q very conservatively.
+
+use r2t_bench::{fmt_sig, measure, reps, scale, Table};
+use r2t_core::baselines::LocalSensitivitySvt;
+use r2t_core::{Mechanism, R2TConfig, R2T};
+use r2t_engine::exec;
+use r2t_tpch::{generate, queries};
+
+fn main() {
+    let reps = reps();
+    let inst = generate(scale(), 0.3, 0xC0FFEE);
+    println!("# Figure 8 — error vs GS_Q (eps = 0.8, reps = {reps}, {} tuples)\n", inst.total_tuples());
+    let gss: Vec<f64> = (10..=26).step_by(4).map(|e| 2f64.powi(e)).collect();
+    for tq in [queries::q3(), queries::q12(), queries::q20()] {
+        let profile = exec::profile(&tq.schema, &inst, &tq.query).expect("query runs");
+        let truth = profile.query_result();
+        println!("## {}  (query result {})", tq.name, fmt_sig(truth));
+        let mut header = vec!["mech".to_string()];
+        header.extend(gss.iter().map(|g| format!("GS=2^{}", g.log2() as i32)));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        let mut table = Table::new(&header_refs);
+        let mut row_r2t = vec!["R2T".to_string()];
+        let mut row_ls = vec!["LS".to_string()];
+        for &gs in &gss {
+            let r2t = R2T::new(R2TConfig {
+                epsilon: 0.8,
+                beta: 0.1,
+                gs,
+                early_stop: true,
+                parallel: false,
+            });
+            let c = measure(truth, reps, 0xF80 ^ gs.to_bits(), |rng| r2t.run(&profile, rng))
+                .expect("runs");
+            row_r2t.push(fmt_sig(c.rel_err_pct));
+            let ls = LocalSensitivitySvt { epsilon: 0.8, gs };
+            match measure(truth, reps, 0xF81 ^ gs.to_bits(), |rng| ls.run(&profile, rng)) {
+                Some(c) => row_ls.push(fmt_sig(c.rel_err_pct)),
+                None => row_ls.push("not supported".into()),
+            }
+        }
+        table.row(&row_r2t);
+        table.row(&row_ls);
+        println!("{}", table.render());
+        println!("(cells: relative error %)\n");
+    }
+}

@@ -1,0 +1,88 @@
+//! Reproduces **Table 3**: absolute error of R2T vs the fixed-τ LP mechanism
+//! at τ = GS, GS/8, GS/64, …, GS/262144 on the Amazon2-like dataset, plus
+//! the LP's average error over a random τ (the paper's selection rule).
+//! The best LP row per query is the "tuned optimum" R2T provably tracks.
+
+use r2t_bench::{fmt_sig, reps, scale, trimmed_mean, Table};
+use r2t_core::baselines::FixedTauLp;
+use r2t_core::{Mechanism, R2TConfig, R2T};
+use r2t_graph::{datasets, Pattern};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn abs_error<F: FnMut(&mut StdRng) -> f64>(truth: f64, reps: usize, seed: u64, mut f: F) -> f64 {
+    let mut errs = Vec::new();
+    for r in 0..reps {
+        let mut rng = StdRng::seed_from_u64(seed ^ (r as u64 + 1).wrapping_mul(0x9E3779B9));
+        errs.push((f(&mut rng) - truth).abs());
+    }
+    trimmed_mean(&errs)
+}
+
+fn main() {
+    let reps = reps();
+    let ds = datasets::amazon2_like(scale());
+    println!("# Table 3 — R2T vs LP at fixed τ on {} (eps = 0.8, reps = {reps})\n", ds.stats());
+    let mut table = Table::new(&["mechanism", "Q1-", "Q2-", "Qtri", "Qrect"]);
+    let profiles: Vec<_> = Pattern::ALL.iter().map(|p| p.profile(&ds.graph)).collect();
+    let truths: Vec<f64> = profiles.iter().map(|p| p.query_result()).collect();
+    let gss: Vec<f64> =
+        Pattern::ALL.iter().map(|p| p.global_sensitivity(ds.degree_bound)).collect();
+
+    {
+        let mut row = vec!["query result".to_string()];
+        for t in &truths {
+            row.push(fmt_sig(*t));
+        }
+        table.row(&row);
+    }
+    {
+        let mut row = vec!["R2T".to_string()];
+        for (i, profile) in profiles.iter().enumerate() {
+            let r2t = R2T::new(R2TConfig {
+                epsilon: 0.8,
+                beta: 0.1,
+                gs: gss[i],
+                early_stop: true,
+                parallel: false,
+            });
+            let e = abs_error(truths[i], reps, 0x3A1 + i as u64, |rng| {
+                r2t.run(&profiles[i], rng).expect("r2t runs")
+            });
+            let _ = profile;
+            row.push(fmt_sig(e));
+        }
+        table.row(&row);
+    }
+    for k in [1.0, 8.0, 64.0, 512.0, 4096.0, 32768.0, 262144.0] {
+        let mut row = vec![if k == 1.0 {
+            "LP tau=GS".to_string()
+        } else {
+            format!("LP tau=GS/{k}")
+        }];
+        for i in 0..Pattern::ALL.len() {
+            let tau = (gss[i] / k).max(1.0);
+            let m = FixedTauLp { epsilon: 0.8, tau };
+            let e = abs_error(truths[i], reps, 0x3B7 + i as u64 + k as u64, |rng| {
+                m.run(&profiles[i], rng).expect("lp runs")
+            });
+            row.push(fmt_sig(e));
+        }
+        table.row(&row);
+    }
+    {
+        // LP with the paper's random selection from {2, 4, ..., GS}.
+        let mut row = vec!["LP average (random tau)".to_string()];
+        for i in 0..Pattern::ALL.len() {
+            let log_gs = gss[i].log2() as u32;
+            let e = abs_error(truths[i], reps.max(7), 0x3C9 + i as u64, |rng| {
+                let tau = (1u64 << rng.random_range(1..=log_gs)) as f64;
+                FixedTauLp { epsilon: 0.8, tau }.run(&profiles[i], rng).expect("lp runs")
+            });
+            row.push(fmt_sig(e));
+        }
+        table.row(&row);
+    }
+    println!("{}", table.render());
+    println!("(cells: trimmed-mean absolute error)");
+}

@@ -1,0 +1,43 @@
+//! Reproduces **Table 4**: running time of R2T on the rectangle query with
+//! and without the early-stop optimization, across all five datasets.
+
+use r2t_bench::{reps, scale, Table};
+use r2t_core::{R2TConfig, R2T};
+use r2t_graph::{datasets, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+fn main() {
+    let reps = reps();
+    println!("# Table 4 — early stop, Qrect (eps = 0.8, reps = {reps})\n");
+    let mut table =
+        Table::new(&["dataset", "w early stop (s)", "w/o early stop (s)", "speed up"]);
+    for ds in datasets::all(scale()) {
+        let profile = Pattern::Rectangle.profile(&ds.graph);
+        let gs = Pattern::Rectangle.global_sensitivity(ds.degree_bound);
+        let mut times = [0.0f64; 2];
+        for (i, early) in [true, false].into_iter().enumerate() {
+            let r2t = R2T::new(R2TConfig {
+                epsilon: 0.8,
+                beta: 0.1,
+                gs,
+                early_stop: early,
+                parallel: false,
+            });
+            let t0 = Instant::now();
+            for r in 0..reps {
+                let mut rng = StdRng::seed_from_u64(0xE57 + r as u64);
+                let _ = r2t.run_profile(&profile, &mut rng);
+            }
+            times[i] = t0.elapsed().as_secs_f64() / reps as f64;
+        }
+        table.row(&[
+            ds.name.to_string(),
+            format!("{:.2}", times[0]),
+            format!("{:.2}", times[1]),
+            format!("{:.2}x", times[1] / times[0].max(1e-9)),
+        ]);
+    }
+    println!("{}", table.render());
+}

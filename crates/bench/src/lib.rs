@@ -1,0 +1,188 @@
+//! # r2t-bench — harness shared by the repro binaries and Criterion benches
+//!
+//! Utilities for reproducing every table and figure of the paper's
+//! evaluation: repetition + trimmed-mean error reporting (the paper removes
+//! the best/worst 20 of 100 runs; we apply the same 20%/20% trim to the
+//! configured repetition count), wall-clock measurement, and plain-text
+//! table rendering recorded into `EXPERIMENTS.md`.
+//!
+//! Environment knobs honoured by all `repro_*` binaries:
+//! * `R2T_REPS` — repetitions per cell (default 5).
+//! * `R2T_SCALE` — dataset scale multiplier (default 1.0).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Repetitions per experiment cell (`R2T_REPS`, default 5).
+pub fn reps() -> usize {
+    std::env::var("R2T_REPS").ok().and_then(|v| v.parse().ok()).unwrap_or(5)
+}
+
+/// Dataset scale multiplier (`R2T_SCALE`, default 1.0).
+pub fn scale() -> f64 {
+    std::env::var("R2T_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+}
+
+/// The paper's trimmed mean: drop the best 20% and worst 20% of the absolute
+/// errors, average the rest. Falls back to the plain mean for < 3 samples.
+pub fn trimmed_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let mut v: Vec<f64> = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    let trim = v.len() / 5;
+    let kept = &v[trim..v.len() - trim];
+    kept.iter().sum::<f64>() / kept.len() as f64
+}
+
+/// The outcome of measuring one mechanism on one workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Cell {
+    /// Trimmed-mean relative error in percent.
+    pub rel_err_pct: f64,
+    /// Mean wall-clock seconds per run.
+    pub seconds: f64,
+}
+
+impl Cell {
+    /// Formats like the paper's tables: error% and time.
+    pub fn fmt(&self) -> String {
+        format!("{:>12} {:>9}", fmt_sig(self.rel_err_pct), format!("{:.2}s", self.seconds))
+    }
+}
+
+/// Formats a number to 3 significant digits, paper-style.
+pub fn fmt_sig(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    if x == 0.0 {
+        return "0".to_string();
+    }
+    let mag = x.abs().log10().floor() as i32;
+    let digits = (2 - mag).max(0) as usize;
+    format!("{x:.digits$}")
+}
+
+/// Runs `mech` `reps` times against the known true answer, returning the
+/// trimmed-mean relative error (%) and mean time. `mech` returns `None` when
+/// the mechanism does not support the workload.
+pub fn measure<F>(truth: f64, reps: usize, seed: u64, mut mech: F) -> Option<Cell>
+where
+    F: FnMut(&mut StdRng) -> Option<f64>,
+{
+    let mut errors = Vec::with_capacity(reps);
+    let mut total_time = 0.0;
+    for r in 0..reps {
+        let mut rng = StdRng::seed_from_u64(seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(r as u64 + 1)));
+        let t0 = Instant::now();
+        let out = mech(&mut rng)?;
+        total_time += t0.elapsed().as_secs_f64();
+        errors.push((out - truth).abs());
+    }
+    let err = trimmed_mean(&errors);
+    Some(Cell { rel_err_pct: 100.0 * err / truth.abs().max(1e-12), seconds: total_time / reps as f64 })
+}
+
+/// A fixed-width plain-text table writer.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: &[String]) {
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut width = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (i, c) in cells.iter().enumerate() {
+                line.push_str(&format!(" {:<w$} |", c, w = width[i]));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &width));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &width {
+            sep.push_str(&format!("{:-<w$}|", "", w = w + 2));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        // 10 values: trim 2 from each end.
+        let v: Vec<f64> = vec![1000.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, -50.0];
+        let m = trimmed_mean(&v);
+        assert!((m - 4.5).abs() < 1e-12, "{m}");
+    }
+
+    #[test]
+    fn trimmed_mean_small_samples() {
+        assert_eq!(trimmed_mean(&[3.0]), 3.0);
+        assert_eq!(trimmed_mean(&[1.0, 3.0]), 2.0);
+    }
+
+    #[test]
+    fn fmt_sig_three_digits() {
+        assert_eq!(fmt_sig(0.535), "0.535");
+        assert_eq!(fmt_sig(12.34), "12.3");
+        assert_eq!(fmt_sig(1370.0), "1370");
+        assert_eq!(fmt_sig(0.0), "0");
+    }
+
+    #[test]
+    fn measure_zero_noise_mechanism() {
+        let c = measure(100.0, 5, 1, |_| Some(101.0)).unwrap();
+        assert!((c.rel_err_pct - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measure_unsupported_returns_none() {
+        assert!(measure(1.0, 3, 1, |_| None).is_none());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        assert!(s.contains("| name   | value |"));
+        assert!(s.lines().count() == 4);
+    }
+}

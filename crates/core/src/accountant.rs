@@ -1,0 +1,116 @@
+//! Privacy budget accounting (basic sequential composition).
+//!
+//! R2T itself spends a single ε per query; an analyst asking *many* queries
+//! against the same primary private relation composes. [`Accountant`] tracks
+//! a total pure-ε budget and refuses charges that would exceed it — the
+//! standard discipline a deployment wraps around any DP mechanism (the
+//! paper defers composition to "various DP composition theorems"; basic
+//! composition is the one valid for pure ε-DP).
+
+/// A pure ε-DP budget ledger under basic sequential composition.
+#[derive(Debug, Clone)]
+pub struct Accountant {
+    total: f64,
+    spent: f64,
+    charges: Vec<(String, f64)>,
+}
+
+/// A charge was refused because it would exceed the budget.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BudgetExceeded {
+    /// Requested ε.
+    pub requested: f64,
+    /// Remaining ε.
+    pub remaining: f64,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "privacy budget exceeded: requested eps = {}, remaining = {}",
+            self.requested, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+impl Accountant {
+    /// Creates a ledger with the given total ε budget.
+    pub fn new(total_epsilon: f64) -> Self {
+        assert!(total_epsilon >= 0.0, "budget must be non-negative");
+        Accountant { total: total_epsilon, spent: 0.0, charges: Vec::new() }
+    }
+
+    /// Total budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// ε still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent).max(0.0)
+    }
+
+    /// Attempts to reserve `epsilon` for a query labelled `label`. On
+    /// success the budget is committed *before* the caller runs the
+    /// mechanism (a refused query must not observe the data).
+    pub fn charge(&mut self, label: &str, epsilon: f64) -> Result<(), BudgetExceeded> {
+        assert!(epsilon >= 0.0, "charges must be non-negative");
+        if epsilon > self.remaining() + 1e-12 {
+            return Err(BudgetExceeded { requested: epsilon, remaining: self.remaining() });
+        }
+        self.spent += epsilon;
+        self.charges.push((label.to_string(), epsilon));
+        Ok(())
+    }
+
+    /// The ledger: (label, ε) per successful charge, in order.
+    pub fn ledger(&self) -> &[(String, f64)] {
+        &self.charges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate() {
+        let mut a = Accountant::new(1.0);
+        a.charge("q1", 0.4).expect("fits");
+        a.charge("q2", 0.4).expect("fits");
+        assert!((a.spent() - 0.8).abs() < 1e-12);
+        assert!((a.remaining() - 0.2).abs() < 1e-12);
+        assert_eq!(a.ledger().len(), 2);
+    }
+
+    #[test]
+    fn over_budget_refused_without_spending() {
+        let mut a = Accountant::new(1.0);
+        a.charge("q1", 0.9).expect("fits");
+        let err = a.charge("q2", 0.2).expect_err("over budget");
+        assert!((err.remaining - 0.1).abs() < 1e-12);
+        assert!((a.spent() - 0.9).abs() < 1e-12, "refused charge must not spend");
+    }
+
+    #[test]
+    fn exact_exhaustion_allowed() {
+        let mut a = Accountant::new(0.5);
+        a.charge("q", 0.5).expect("exact fit");
+        assert_eq!(a.remaining(), 0.0);
+        assert!(a.charge("q2", 1e-6).is_err());
+    }
+
+    #[test]
+    fn zero_charges_always_fit() {
+        let mut a = Accountant::new(0.0);
+        a.charge("free", 0.0).expect("zero charge");
+    }
+}

@@ -1,0 +1,174 @@
+//! Query-generic DP baselines the paper compares against.
+//!
+//! * [`NaiveLaplace`] — `Q(I) + Lap(GS_Q/ε)`: worst-case-optimal, terrible
+//!   on typical instances.
+//! * [`FixedTauLp`] — the LP-based mechanism of Kasiviswanathan et al. \[22\]
+//!   at a *given* threshold τ: `Q(I, τ) + Lap(τ/ε)`. DP for any τ, but the
+//!   paper's Table 3 shows utility is extremely sensitive to the choice.
+//! * [`LocalSensitivitySvt`] — the mechanism of Tao et al. \[37\] for
+//!   self-join-free queries: truncation by tuple sensitivity with τ chosen
+//!   by a sparse-vector race against a noisy full answer (Appendix A shows
+//!   its error is Ω(GS_Q / log GS_Q) with constant probability).
+//!
+//! Graph-specific baselines (NT, SDE, RM) live in `r2t-graph`.
+
+use crate::noise::laplace;
+use crate::truncation::{self, NaiveTruncation, Truncation};
+use crate::Mechanism;
+use r2t_engine::QueryProfile;
+use rand::RngCore;
+
+/// The naive Laplace mechanism: `Q(I) + Lap(GS_Q/ε)`.
+#[derive(Debug, Clone)]
+pub struct NaiveLaplace {
+    /// Privacy budget ε.
+    pub epsilon: f64,
+    /// Assumed global sensitivity.
+    pub gs: f64,
+}
+
+impl Mechanism for NaiveLaplace {
+    fn name(&self) -> String {
+        "NaiveLaplace".to_string()
+    }
+
+    fn run(&self, profile: &QueryProfile, rng: &mut dyn RngCore) -> Option<f64> {
+        Some(profile.query_result() + laplace(rng, self.gs / self.epsilon))
+    }
+}
+
+/// The LP-based mechanism with a fixed truncation threshold τ \[22\]:
+/// `Q(I, τ) + Lap(τ/ε)` using the paper's LP truncation, which has global
+/// sensitivity τ.
+#[derive(Debug, Clone)]
+pub struct FixedTauLp {
+    /// Privacy budget ε.
+    pub epsilon: f64,
+    /// The (externally supplied) truncation threshold.
+    pub tau: f64,
+}
+
+impl Mechanism for FixedTauLp {
+    fn name(&self) -> String {
+        format!("LP(tau={})", self.tau)
+    }
+
+    fn run(&self, profile: &QueryProfile, rng: &mut dyn RngCore) -> Option<f64> {
+        let trunc = truncation::for_profile(profile);
+        Some(trunc.value(self.tau) + laplace(rng, self.tau / self.epsilon))
+    }
+}
+
+/// The local-sensitivity / SVT mechanism of Tao et al. \[37\] for self-join-
+/// free queries with a single primary private relation.
+///
+/// Structure (as analysed in Appendix A of the R2T paper): first release
+/// `Q̂(I) = Q(I) + Lap(GS/ε')`; then race τ = 1, 2, 4, … with an SVT test
+/// `Q(I, τ) + Lap(2τ/ε') + Lap(4τ/ε') ≥ Q̂(I)`; answer with the naive
+/// truncation at the selected τ plus `Lap(τ/ε')`. The budget is split three
+/// ways (ε' = ε/3).
+#[derive(Debug, Clone)]
+pub struct LocalSensitivitySvt {
+    /// Total privacy budget ε.
+    pub epsilon: f64,
+    /// Assumed global sensitivity (upper bound on tuple sensitivity).
+    pub gs: f64,
+}
+
+impl Mechanism for LocalSensitivitySvt {
+    fn name(&self) -> String {
+        "LS".to_string()
+    }
+
+    fn run(&self, profile: &QueryProfile, rng: &mut dyn RngCore) -> Option<f64> {
+        let trunc = NaiveTruncation::new(profile);
+        // [37] computes local sensitivities of *counting* queries without
+        // self-joins over a single primary private relation; anything else
+        // is a "Not supported" cell in Table 5.
+        let counting = profile.results.iter().all(|r| (r.weight - 1.0).abs() < 1e-12);
+        if !trunc.is_valid() || !counting {
+            return None;
+        }
+        let eps = self.epsilon / 3.0;
+        let qhat = profile.query_result() + laplace(rng, self.gs / eps);
+        let mut tau = 1.0f64;
+        while tau < self.gs {
+            let test =
+                trunc.value(tau) + laplace(rng, 2.0 * tau / eps) + laplace(rng, 4.0 * tau / eps);
+            if test >= qhat {
+                break;
+            }
+            tau *= 2.0;
+        }
+        Some(trunc.value(tau) + laplace(rng, tau / eps))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2t_engine::lineage::ProfileBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sjf_profile(counts: &[usize]) -> QueryProfile {
+        let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+        for (i, &c) in counts.iter().enumerate() {
+            for _ in 0..c {
+                b.add_result(1.0, [i as u64]);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn naive_laplace_unbiased_but_noisy() {
+        let p = sjf_profile(&[3, 5, 2]);
+        let m = NaiveLaplace { epsilon: 1.0, gs: 1000.0 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 2000;
+        let mean: f64 =
+            (0..n).map(|_| m.run(&p, &mut rng).unwrap()).sum::<f64>() / n as f64;
+        // Mean ≈ Q(I) = 10, but individual draws are wildly noisy.
+        assert!((mean - 10.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn fixed_tau_lp_biased_when_tau_small() {
+        let p = sjf_profile(&[10, 10, 10]);
+        let m = FixedTauLp { epsilon: 1e9, tau: 4.0 }; // effectively no noise
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = m.run(&p, &mut rng).unwrap();
+        // Truncation keeps 4 per tuple: 12 out of 30.
+        assert!((out - 12.0).abs() < 1e-3, "{out}");
+    }
+
+    #[test]
+    fn ls_reasonable_on_easy_instance() {
+        let p = sjf_profile(&[2; 50]); // 50 tuples of sensitivity 2, Q = 100
+        let m = LocalSensitivitySvt { epsilon: 4.0, gs: 1_f64 * 1024.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let runs = 50;
+        let mean: f64 =
+            (0..runs).map(|_| m.run(&p, &mut rng).unwrap()).sum::<f64>() / runs as f64;
+        // Should be in the right ballpark (not orders of magnitude off).
+        assert!((mean - 100.0).abs() < 400.0, "{mean}");
+    }
+
+    #[test]
+    fn ls_rejects_self_joins() {
+        let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+        b.add_result(1.0, [0, 1]); // references two private tuples
+        let p = b.build();
+        let m = LocalSensitivitySvt { epsilon: 1.0, gs: 16.0 };
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!(m.run(&p, &mut rng).is_none());
+    }
+
+    #[test]
+    fn mechanism_names() {
+        assert_eq!(NaiveLaplace { epsilon: 1.0, gs: 2.0 }.name(), "NaiveLaplace");
+        assert_eq!(FixedTauLp { epsilon: 1.0, tau: 8.0 }.name(), "LP(tau=8)");
+        assert_eq!(LocalSensitivitySvt { epsilon: 1.0, gs: 2.0 }.name(), "LS");
+    }
+}

@@ -1,0 +1,16 @@
+//! The common mechanism interface.
+
+use r2t_engine::QueryProfile;
+use rand::RngCore;
+
+/// A differentially private query-answering mechanism operating on a
+/// lineage-annotated query profile.
+pub trait Mechanism {
+    /// Short display name (used by the benchmark harness).
+    fn name(&self) -> String;
+
+    /// Runs the mechanism, returning the privatized answer, or `None` if the
+    /// mechanism does not support this query shape (e.g. the LS baseline on
+    /// self-joins / multiple primary private relations, as in Table 5).
+    fn run(&self, profile: &QueryProfile, rng: &mut dyn RngCore) -> Option<f64>;
+}

@@ -1,0 +1,81 @@
+//! Calibrated noise primitives.
+
+use rand::RngCore;
+
+/// A uniform draw in `[0, 1)` with 53 bits of precision, built directly on
+/// [`RngCore`] so it works through trait objects.
+#[inline]
+pub fn uniform01<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Draws one sample from the Laplace distribution with the given scale
+/// (mean 0), via inverse-CDF sampling.
+///
+/// A `scale` of `b` yields density `exp(-|x|/b) / 2b`; adding `Lap(Δ/ε)` to a
+/// query with global sensitivity `Δ` gives `ε`-DP (the Laplace mechanism).
+pub fn laplace<R: RngCore + ?Sized>(rng: &mut R, scale: f64) -> f64 {
+    debug_assert!(scale >= 0.0, "Laplace scale must be non-negative");
+    if scale == 0.0 {
+        return 0.0;
+    }
+    // u uniform in (-1/2, 1/2); reject the edge u = -1/2 (log of zero).
+    let mut u: f64 = uniform01(rng) - 0.5;
+    while 1.0 - 2.0 * u.abs() <= 0.0 {
+        u = uniform01(rng) - 0.5;
+    }
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// The `(1-β)`-quantile of |Lap(scale)|: `scale · ln(1/β)`. Useful for tail
+/// bounds in tests.
+pub fn laplace_abs_quantile(scale: f64, beta: f64) -> f64 {
+    scale * (1.0 / beta).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_scale_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(laplace(&mut rng, 0.0), 0.0);
+    }
+
+    #[test]
+    fn empirical_moments_match() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let scale = 3.0;
+        let n = 200_000;
+        let samples: Vec<f64> = (0..n).map(|_| laplace(&mut rng, scale)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        // Laplace(b): mean 0, variance 2b².
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 2.0 * scale * scale).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn tail_quantile_holds_empirically() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let scale = 2.0;
+        let beta = 0.05;
+        let q = laplace_abs_quantile(scale, beta);
+        let n = 100_000;
+        let exceed = (0..n).filter(|_| laplace(&mut rng, scale).abs() > q).count();
+        let rate = exceed as f64 / n as f64;
+        assert!((rate - beta).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn symmetric_sign_distribution() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let pos = (0..n).filter(|_| laplace(&mut rng, 1.0) > 0.0).count();
+        let frac = pos as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.01, "positive fraction {frac}");
+    }
+}

@@ -1,0 +1,439 @@
+//! The R2T (Race-to-the-Top) mechanism — Section 5 and Algorithm 1.
+//!
+//! Given a valid truncation `Q(I, τ)`, R2T computes, for geometrically
+//! increasing `τ⁽ʲ⁾ = 2ʲ, j = 1 … log₂(GS_Q)`,
+//!
+//! ```text
+//! Q̃(I, τ⁽ʲ⁾) = Q(I, τ⁽ʲ⁾) + Lap(log GS_Q · τ⁽ʲ⁾/ε)
+//!                           − log GS_Q · ln(log GS_Q / β) · τ⁽ʲ⁾/ε
+//! ```
+//!
+//! and returns `max(max_j Q̃(I, τ⁽ʲ⁾), Q(I, 0))` (Eqs. 7–8). Each branch is
+//! `ε / log GS_Q`-DP, so the whole race is `ε`-DP by basic composition, and
+//! Theorem 5.1 bounds the error by `4 log GS_Q · ln(log GS_Q / β) · τ*(I)/ε`
+//! with probability `1 − β`.
+//!
+//! The *early stop* optimization (Algorithm 1) pre-draws all noise terms,
+//! runs the races from the largest `τ` down, and kills a branch as soon as
+//! the LP's decreasing dual upper bound plus the branch's (fixed) shift can
+//! no longer beat the current winner. With `parallel = true` branches run on
+//! scoped threads and share the winner through an atomic.
+
+use crate::noise::laplace;
+use crate::truncation::{self, Truncation};
+use crate::Mechanism;
+use r2t_engine::QueryProfile;
+use rand::RngCore;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Configuration for R2T.
+#[derive(Debug, Clone)]
+pub struct R2TConfig {
+    /// Privacy budget ε.
+    pub epsilon: f64,
+    /// Failure probability β of the utility guarantee (does not affect
+    /// privacy). The paper's experiments use 0.1.
+    pub beta: f64,
+    /// Assumed global sensitivity `GS_Q` (an upper bound promised by the
+    /// analyst; public information).
+    pub gs: f64,
+    /// Enable the early-stop optimization (Algorithm 1).
+    pub early_stop: bool,
+    /// Solve the branches on multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for R2TConfig {
+    fn default() -> Self {
+        R2TConfig { epsilon: 0.8, beta: 0.1, gs: (1u64 << 20) as f64, early_stop: true, parallel: true }
+            .normalized()
+    }
+}
+
+impl R2TConfig {
+    fn normalized(mut self) -> Self {
+        self.gs = self.gs.max(2.0);
+        self
+    }
+
+    /// Number of race branches: `log₂(GS_Q)`, rounded up.
+    pub fn num_branches(&self) -> u32 {
+        (self.gs.max(2.0)).log2().ceil() as u32
+    }
+}
+
+/// A convenience constructor: ε, β, GS.
+impl R2TConfig {
+    /// Creates a config with the given privacy/utility parameters and the
+    /// default execution strategy (early stop, parallel).
+    pub fn new(epsilon: f64, beta: f64, gs: f64) -> Self {
+        R2TConfig { epsilon, beta, gs, ..R2TConfig::default() }.normalized()
+    }
+}
+
+/// Outcome of one race branch.
+#[derive(Debug, Clone)]
+pub struct BranchReport {
+    /// The truncation threshold τ⁽ʲ⁾.
+    pub tau: f64,
+    /// `Q(I, τ)` if the branch ran to completion (`None` if early-stopped).
+    pub lp_value: Option<f64>,
+    /// The shifted noisy estimate `Q̃(I, τ)` (only when completed).
+    pub shifted: Option<f64>,
+    /// Wall-clock time spent on this branch.
+    pub seconds: f64,
+}
+
+/// Full diagnostic output of an R2T run.
+#[derive(Debug, Clone)]
+pub struct R2TReport {
+    /// The privatized answer `Q̃(I)`.
+    pub output: f64,
+    /// Per-branch details, in increasing τ order.
+    pub branches: Vec<BranchReport>,
+    /// Index (into `branches`) of the winning branch, if any branch beat
+    /// `Q(I, 0)`.
+    pub winner: Option<usize>,
+    /// Total wall-clock seconds.
+    pub seconds: f64,
+}
+
+/// The R2T mechanism.
+#[derive(Debug, Clone, Default)]
+pub struct R2T {
+    /// Configuration.
+    pub config: R2TConfig,
+}
+
+impl R2T {
+    /// Creates an R2T mechanism with the given configuration.
+    pub fn new(config: R2TConfig) -> Self {
+        R2T { config }
+    }
+
+    /// Runs R2T on a profile, choosing the paper's truncation automatically
+    /// (SJA LP, or the projected LP when the query has a projection).
+    pub fn run_profile(&self, profile: &QueryProfile, rng: &mut dyn RngCore) -> R2TReport {
+        let trunc = truncation::for_profile(profile);
+        self.run_with(trunc.as_ref(), rng)
+    }
+
+    /// Runs R2T with an explicit truncation method.
+    pub fn run_with(&self, trunc: &dyn Truncation, rng: &mut dyn RngCore) -> R2TReport {
+        let start = Instant::now();
+        let cfg = &self.config;
+        let log_gs = cfg.num_branches().max(1) as f64;
+        let nb = cfg.num_branches().max(1) as usize;
+        let penalty_unit = log_gs * (log_gs / cfg.beta).ln() / cfg.epsilon;
+
+        // Pre-draw all noise so early stop cannot leak through the noise
+        // stream (and so with/without early stop are comparable).
+        let taus: Vec<f64> = (1..=nb).map(|j| (1u64 << j) as f64).collect();
+        let shifts: Vec<f64> = taus
+            .iter()
+            .map(|&tau| laplace(rng, log_gs * tau / cfg.epsilon) - penalty_unit * tau)
+            .collect();
+
+        let base = trunc.value(0.0);
+        let mut reports: Vec<BranchReport> = taus
+            .iter()
+            .map(|&tau| BranchReport { tau, lp_value: None, shifted: None, seconds: 0.0 })
+            .collect();
+
+        if cfg.early_stop {
+            // Shared winner; branches processed from the largest τ down
+            // (the paper observes those LPs terminate fastest).
+            let best = AtomicF64::new(base);
+            let next = AtomicUsize::new(0);
+            let order: Vec<usize> = (0..nb).rev().collect();
+            let run_branch = |j: usize| -> BranchReport {
+                let tau = taus[j];
+                let shift = shifts[j];
+                let t0 = Instant::now();
+                let mut keep_going = |ub: f64| ub + shift > best.load();
+                let value = trunc.value_racing(tau, &mut keep_going);
+                if let Some(v) = value {
+                    best.fetch_max(v + shift);
+                }
+                BranchReport {
+                    tau,
+                    lp_value: value,
+                    shifted: value.map(|v| v + shift),
+                    seconds: t0.elapsed().as_secs_f64(),
+                }
+            };
+            if cfg.parallel && nb > 1 {
+                let threads = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+                    .min(nb);
+                let results: Vec<(usize, BranchReport)> = std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for _ in 0..threads {
+                        let next = &next;
+                        let order = &order;
+                        let run_branch = &run_branch;
+                        handles.push(scope.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= order.len() {
+                                    break;
+                                }
+                                let j = order[i];
+                                out.push((j, run_branch(j)));
+                            }
+                            out
+                        }));
+                    }
+                    handles.into_iter().flat_map(|h| h.join().expect("branch panicked")).collect()
+                });
+                for (j, r) in results {
+                    reports[j] = r;
+                }
+            } else {
+                for &j in &order {
+                    reports[j] = run_branch(j);
+                }
+            }
+            let output = best.load();
+            let winner = pick_winner(&reports, output, base);
+            R2TReport { output, branches: reports, winner, seconds: start.elapsed().as_secs_f64() }
+        } else {
+            // Plain R2T: evaluate every branch fully.
+            if cfg.parallel && nb > 1 {
+                let next = AtomicUsize::new(0);
+                let threads = std::thread::available_parallelism()
+                    .map(|p| p.get())
+                    .unwrap_or(1)
+                    .min(nb);
+                let results: Vec<(usize, BranchReport)> = std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for _ in 0..threads {
+                        let next = &next;
+                        let taus = &taus;
+                        let shifts = &shifts;
+                        handles.push(scope.spawn(move || {
+                            let mut out = Vec::new();
+                            loop {
+                                let j = next.fetch_add(1, Ordering::Relaxed);
+                                if j >= taus.len() {
+                                    break;
+                                }
+                                let t0 = Instant::now();
+                                let v = trunc.value(taus[j]);
+                                out.push((
+                                    j,
+                                    BranchReport {
+                                        tau: taus[j],
+                                        lp_value: Some(v),
+                                        shifted: Some(v + shifts[j]),
+                                        seconds: t0.elapsed().as_secs_f64(),
+                                    },
+                                ));
+                            }
+                            out
+                        }));
+                    }
+                    handles.into_iter().flat_map(|h| h.join().expect("branch panicked")).collect()
+                });
+                for (j, r) in results {
+                    reports[j] = r;
+                }
+            } else {
+                for j in 0..nb {
+                    let t0 = Instant::now();
+                    let v = trunc.value(taus[j]);
+                    reports[j] = BranchReport {
+                        tau: taus[j],
+                        lp_value: Some(v),
+                        shifted: Some(v + shifts[j]),
+                        seconds: t0.elapsed().as_secs_f64(),
+                    };
+                }
+            }
+            let output = reports
+                .iter()
+                .filter_map(|r| r.shifted)
+                .fold(base, f64::max);
+            let winner = pick_winner(&reports, output, base);
+            R2TReport { output, branches: reports, winner, seconds: start.elapsed().as_secs_f64() }
+        }
+    }
+}
+
+fn pick_winner(reports: &[BranchReport], output: f64, base: f64) -> Option<usize> {
+    if output <= base {
+        return None;
+    }
+    reports
+        .iter()
+        .enumerate()
+        .filter(|(_, r)| r.shifted.is_some_and(|s| (s - output).abs() < 1e-9))
+        .map(|(i, _)| i)
+        .next()
+}
+
+impl Mechanism for R2T {
+    fn name(&self) -> String {
+        if self.config.early_stop {
+            "R2T".to_string()
+        } else {
+            "R2T (no early stop)".to_string()
+        }
+    }
+
+    fn run(&self, profile: &QueryProfile, rng: &mut dyn RngCore) -> Option<f64> {
+        Some(self.run_profile(profile, rng).output)
+    }
+}
+
+/// An `f64` max-register built on `AtomicU64` bit transmutation.
+struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    fn new(v: f64) -> Self {
+        AtomicF64(AtomicU64::new(v.to_bits()))
+    }
+
+    fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Acquire))
+    }
+
+    fn fetch_max(&self, v: f64) {
+        let mut cur = self.0.load(Ordering::Acquire);
+        loop {
+            if v <= f64::from_bits(cur) {
+                return;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(c) => cur = c,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::truncation::test_support::example_6_2_profile;
+    use crate::truncation::LpTruncation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg() -> R2TConfig {
+        // Example 6.2's setting: GS = 256, ε = 1, β = 0.1.
+        R2TConfig { epsilon: 1.0, beta: 0.1, gs: 256.0, early_stop: false, parallel: false }
+    }
+
+    #[test]
+    fn num_branches_matches_log() {
+        assert_eq!(R2TConfig::new(1.0, 0.1, 256.0).num_branches(), 8);
+        assert_eq!(R2TConfig::new(1.0, 0.1, 1e6).num_branches(), 20);
+        assert_eq!(R2TConfig::new(1.0, 0.1, 2.0).num_branches(), 1);
+    }
+
+    #[test]
+    fn output_below_true_answer_whp() {
+        let p = example_6_2_profile();
+        let q = p.query_result();
+        let r2t = R2T::new(cfg());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut above = 0;
+        let runs = 30;
+        for _ in 0..runs {
+            let t = LpTruncation::new(&p);
+            let out = r2t.run_with(&t, &mut rng).output;
+            if out > q {
+                above += 1;
+            }
+        }
+        // β/2 = 0.05 expected; allow generous slack.
+        assert!(above <= 6, "output exceeded Q(I) {above}/{runs} times");
+    }
+
+    #[test]
+    fn error_bound_of_theorem_5_1() {
+        let p = example_6_2_profile();
+        let q = p.query_result();
+        let c = cfg();
+        let r2t = R2T::new(c.clone());
+        let log_gs = c.num_branches() as f64;
+        let bound = 4.0 * log_gs * (log_gs / c.beta).ln() * 32.0 / c.epsilon; // τ* = 32
+        let mut rng = StdRng::seed_from_u64(2);
+        let runs = 25;
+        let mut violations = 0;
+        for _ in 0..runs {
+            let t = LpTruncation::new(&p);
+            let out = r2t.run_with(&t, &mut rng).output;
+            if (q - out) > bound {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 6, "error bound violated {violations}/{runs}");
+    }
+
+    #[test]
+    fn early_stop_equals_plain_given_same_noise() {
+        let p = example_6_2_profile();
+        let t = LpTruncation::new(&p);
+        let mut c = cfg();
+        let plain = R2T::new(c.clone());
+        c.early_stop = true;
+        let early = R2T::new(c);
+        // Same seed → same pre-drawn noise → identical outputs.
+        let mut rng1 = StdRng::seed_from_u64(77);
+        let mut rng2 = StdRng::seed_from_u64(77);
+        let a = plain.run_with(&t, &mut rng1).output;
+        let b = early.run_with(&t, &mut rng2).output;
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let p = example_6_2_profile();
+        let t = LpTruncation::new(&p);
+        let mut c = cfg();
+        c.early_stop = true;
+        let seq = R2T::new(c.clone());
+        c.parallel = true;
+        let par = R2T::new(c);
+        let mut rng1 = StdRng::seed_from_u64(5);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let a = seq.run_with(&t, &mut rng1).output;
+        let b = par.run_with(&t, &mut rng2).output;
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+
+    #[test]
+    fn report_contains_all_branches() {
+        let p = example_6_2_profile();
+        let t = LpTruncation::new(&p);
+        let r2t = R2T::new(cfg());
+        let mut rng = StdRng::seed_from_u64(3);
+        let rep = r2t.run_with(&t, &mut rng);
+        assert_eq!(rep.branches.len(), 8);
+        assert_eq!(rep.branches[0].tau, 2.0);
+        assert_eq!(rep.branches[7].tau, 256.0);
+        assert!(rep.branches.iter().all(|b| b.lp_value.is_some()));
+        // With τ ≥ 32 the LP value is the exact answer.
+        assert!((rep.branches[5].lp_value.unwrap() - 9992.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn empty_profile_returns_zero_ish() {
+        let b: r2t_engine::lineage::ProfileBuilder<u64> = r2t_engine::lineage::ProfileBuilder::new();
+        let p = b.build();
+        let r2t = R2T::new(cfg());
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = r2t.run_profile(&p, &mut rng).output;
+        assert_eq!(out, 0.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Truncation methods `Q(I, τ)`.
+//!
+//! R2T works with any function satisfying the three properties of Section 5:
+//!
+//! 1. **Stability**: for any τ, the global sensitivity of `Q(·, τ)` is ≤ τ.
+//! 2. **Underestimate**: `Q(I, τ) ≤ Q(I)`.
+//! 3. **Saturation**: `Q(I, τ) = Q(I)` for all `τ ≥ τ*(I)`, with
+//!    `τ*(I) = DS_Q(I)` (SJA) or `IS_Q(I)` (SPJA).
+//!
+//! Three methods are provided:
+//! * [`NaiveTruncation`] — drop private tuples with sensitivity above τ.
+//!   Stable *only* when every join result references exactly one private
+//!   tuple (self-join-free, single primary private relation).
+//! * [`LpTruncation`] — the LP of Section 6, valid for arbitrary SJA queries.
+//! * [`ProjectedLpTruncation`] — the extended LP of Section 7 for SPJA
+//!   queries with duplicate-removing projection.
+
+mod lp;
+mod naive;
+mod projected;
+
+pub use lp::LpTruncation;
+pub use naive::NaiveTruncation;
+pub use projected::ProjectedLpTruncation;
+
+use r2t_engine::QueryProfile;
+
+/// Abstraction over truncation methods. Implementations borrow the profile
+/// and may precompute shared state (e.g. the LP skeleton).
+pub trait Truncation: Sync {
+    /// Computes `Q(I, τ)`.
+    fn value(&self, tau: f64) -> f64;
+
+    /// Computes `Q(I, τ)` with a racing cutoff for the early-stop
+    /// optimization (Algorithm 1): `should_continue(upper_bound)` is invoked
+    /// periodically with a decreasing upper bound on `Q(I, τ)`; returning
+    /// `false` aborts and yields `None`. The default implementation ignores
+    /// the cutoff.
+    fn value_racing(&self, tau: f64, should_continue: &mut dyn FnMut(f64) -> bool) -> Option<f64> {
+        let _ = should_continue;
+        Some(self.value(tau))
+    }
+
+    /// The saturation threshold `τ*(I)` of this method on this profile.
+    fn tau_star(&self) -> f64;
+}
+
+/// Picks the appropriate paper truncation for a profile: the projected LP if
+/// the query has a projection, otherwise the SJA LP.
+pub fn for_profile(profile: &QueryProfile) -> Box<dyn Truncation + '_> {
+    if profile.groups.is_some() {
+        Box::new(ProjectedLpTruncation::new(profile))
+    } else {
+        Box::new(LpTruncation::new(profile))
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use r2t_engine::lineage::ProfileBuilder;
+    use r2t_engine::QueryProfile;
+
+    /// Example 6.2's instance: 1000 triangles, 1000 4-cliques, 100 8-stars,
+    /// 10 16-stars, one 32-star; join results are undirected edges with
+    /// predicate ID1 < ID2 (weight 1, referencing both endpoints).
+    pub fn example_6_2_profile() -> QueryProfile {
+        let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+        let mut next_node: u64 = 0;
+        let mut clique = |k: u64, count: usize, b: &mut ProfileBuilder<u64>| {
+            for _ in 0..count {
+                let base = next_node;
+                next_node += k;
+                for i in 0..k {
+                    for j in (i + 1)..k {
+                        b.add_result(1.0, [base + i, base + j]);
+                    }
+                }
+            }
+        };
+        clique(3, 1000, &mut b); // triangles
+        clique(4, 1000, &mut b); // 4-cliques
+        let mut star = |k: u64, count: usize, b: &mut ProfileBuilder<u64>| {
+            for _ in 0..count {
+                let center = next_node;
+                next_node += k + 1;
+                for i in 1..=k {
+                    b.add_result(1.0, [center, center + i]);
+                }
+            }
+        };
+        star(8, 100, &mut b);
+        star(16, 10, &mut b);
+        star(32, 1, &mut b);
+        b.build()
+    }
+}

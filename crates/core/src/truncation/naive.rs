@@ -1,0 +1,155 @@
+//! Naive truncation for self-join-free queries.
+//!
+//! Drops every private tuple whose sensitivity exceeds τ and sums the rest.
+//! When every join result references exactly one private tuple, the private
+//! tuples are independent, so this is a valid `Q(I, τ)` with
+//! `τ*(I) = DS_Q(I)` (Section 6). With self-joins it *violates* stability —
+//! Example 1.2 of the paper, reproduced in this module's tests.
+
+use super::Truncation;
+use r2t_engine::QueryProfile;
+
+/// Naive per-tuple-sensitivity truncation.
+#[derive(Debug)]
+pub struct NaiveTruncation {
+    /// Per-private-tuple sensitivities, precomputed.
+    sensitivities: Vec<f64>,
+    /// Total weight of join results referencing no private tuple (these
+    /// survive any truncation).
+    unreferenced: f64,
+    /// Whether the profile is functionally self-join-free (required for the
+    /// stability property).
+    valid: bool,
+}
+
+impl NaiveTruncation {
+    /// Prepares naive truncation for a profile.
+    pub fn new(profile: &QueryProfile) -> Self {
+        let unreferenced =
+            profile.results.iter().filter(|r| r.refs.is_empty()).map(|r| r.weight).sum();
+        NaiveTruncation {
+            sensitivities: profile.sensitivities(),
+            unreferenced,
+            valid: profile.is_functionally_self_join_free() && profile.groups.is_none(),
+        }
+    }
+
+    /// Whether naive truncation is a *valid* (stable) truncation method for
+    /// the profile it was built from. R2T run on an invalid naive truncation
+    /// does not satisfy DP — callers should check.
+    pub fn is_valid(&self) -> bool {
+        self.valid
+    }
+}
+
+impl Truncation for NaiveTruncation {
+    fn value(&self, tau: f64) -> f64 {
+        self.unreferenced + self.sensitivities.iter().filter(|&&s| s <= tau).sum::<f64>()
+    }
+
+    fn tau_star(&self) -> f64 {
+        self.sensitivities.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2t_engine::lineage::ProfileBuilder;
+
+    fn self_join_free_profile() -> QueryProfile {
+        // Customers with order counts 1, 3, 7.
+        let mut b: ProfileBuilder<&str> = ProfileBuilder::new();
+        b.add_result(1.0, ["a"]);
+        for _ in 0..3 {
+            b.add_result(1.0, ["b"]);
+        }
+        for _ in 0..7 {
+            b.add_result(1.0, ["c"]);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn truncates_heavy_tuples() {
+        let p = self_join_free_profile();
+        let t = NaiveTruncation::new(&p);
+        assert!(t.is_valid());
+        assert_eq!(t.value(0.0), 0.0);
+        assert_eq!(t.value(1.0), 1.0);
+        assert_eq!(t.value(3.0), 4.0);
+        assert_eq!(t.value(7.0), 11.0);
+        assert_eq!(t.value(100.0), 11.0);
+        assert_eq!(t.tau_star(), 7.0);
+    }
+
+    #[test]
+    fn monotone_and_saturating() {
+        let p = self_join_free_profile();
+        let t = NaiveTruncation::new(&p);
+        let mut prev = -1.0;
+        for tau in 0..10 {
+            let v = t.value(tau as f64);
+            assert!(v >= prev);
+            assert!(v <= p.query_result());
+            prev = v;
+        }
+        assert_eq!(t.value(t.tau_star()), p.query_result());
+    }
+
+    #[test]
+    fn stability_holds_without_self_joins() {
+        // |NT(I, τ) − NT(I', τ)| ≤ τ for down-neighbours.
+        let p = self_join_free_profile();
+        let t = NaiveTruncation::new(&p);
+        for j in 0..p.num_private as u32 {
+            let q = p.remove_private(j);
+            let tq = NaiveTruncation::new(&q);
+            for tau in [0.0, 1.0, 2.0, 3.0, 5.0, 7.0, 9.0] {
+                let diff = (t.value(tau) - tq.value(tau)).abs();
+                assert!(diff <= tau + 1e-9, "tau={tau} diff={diff}");
+            }
+        }
+    }
+
+    #[test]
+    fn example_1_2_stability_violation() {
+        // A τ-regular graph (cycle, τ=2) vs the neighbour where one added
+        // node connects to everything: naive truncation jumps by n·τ ≫ τ.
+        let n = 20u64;
+        let tau = 2.0;
+        // Cycle graph: every node has degree 2.
+        let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+        for i in 0..n {
+            b.add_result(1.0, [i, (i + 1) % n]);
+        }
+        let p = b.build();
+        // Neighbour: node `n` connects to every existing node, raising all
+        // degrees to 3 > τ.
+        let mut b2: ProfileBuilder<u64> = ProfileBuilder::new();
+        for i in 0..n {
+            b2.add_result(1.0, [i, (i + 1) % n]);
+        }
+        for i in 0..n {
+            b2.add_result(1.0, [n, i]);
+        }
+        let p2 = b2.build();
+        let t = NaiveTruncation::new(&p);
+        let t2 = NaiveTruncation::new(&p2);
+        let gap = (t.value(tau) - t2.value(tau)).abs();
+        assert!(gap > tau, "naive truncation must fail stability here: gap={gap}");
+        // (This is exactly why the validity flag matters.)
+        assert!(!t.is_valid());
+    }
+
+    #[test]
+    fn unreferenced_results_always_survive() {
+        let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+        b.add_result(5.0, []);
+        b.add_result(2.0, [1]);
+        let p = b.build();
+        let t = NaiveTruncation::new(&p);
+        assert_eq!(t.value(0.0), 5.0);
+        assert_eq!(t.value(2.0), 7.0);
+    }
+}

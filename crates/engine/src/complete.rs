@@ -1,0 +1,125 @@
+//! Query completion (Section 3.2).
+//!
+//! A query is *incomplete* if some atom has a foreign-key column whose
+//! referenced relation does not appear in the query joined on that variable.
+//! Completion iteratively adds the referenced relation with the FK variable
+//! in its primary-key position and fresh variables elsewhere, until every FK
+//! variable is "grounded". E.g. the length-3-path query over
+//! `Edge(A,B) ⋈ Edge(B,C) ⋈ Edge(C,D)` gains `Node(A), Node(B), Node(C),
+//! Node(D)` under node-DP.
+
+use crate::query::{Atom, Query, Var};
+use crate::schema::Schema;
+use crate::EngineError;
+
+/// Completes `query` against `schema`, returning a query whose every FK
+/// variable is joined with the referenced relation's primary key.
+pub fn complete_query(schema: &Schema, query: &Query) -> Result<Query, EngineError> {
+    let mut q = query.clone();
+    let mut next_var = q.num_vars() as Var;
+    loop {
+        let mut to_add: Vec<Atom> = Vec::new();
+        for atom in &q.atoms {
+            let rel = schema.relation(&atom.relation)?;
+            if atom.vars.len() != rel.arity() {
+                return Err(EngineError::ArityMismatch {
+                    relation: rel.name.clone(),
+                    expected: rel.arity(),
+                    got: atom.vars.len(),
+                });
+            }
+            for fk in &rel.foreign_keys {
+                let fk_var = atom.vars[fk.column];
+                let target = schema.relation(&fk.references)?;
+                let pk = target.primary_key.expect("validated: FK target has a PK");
+                let grounded = q.atoms.iter().chain(to_add.iter()).any(|a| {
+                    a.relation == fk.references && a.vars[pk] == fk_var
+                });
+                if !grounded {
+                    let mut vars = Vec::with_capacity(target.arity());
+                    for col in 0..target.arity() {
+                        if col == pk {
+                            vars.push(fk_var);
+                        } else {
+                            vars.push(next_var);
+                            next_var += 1;
+                        }
+                    }
+                    to_add.push(Atom { relation: fk.references.clone(), vars });
+                }
+            }
+        }
+        if to_add.is_empty() {
+            return Ok(q);
+        }
+        q.atoms.extend(to_add);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::atom;
+    use crate::schema::graph_schema_node_dp;
+    use crate::schema::Schema;
+
+    #[test]
+    fn edge_query_gains_node_atoms() {
+        let s = graph_schema_node_dp();
+        let q = Query::count(vec![atom("Edge", &[0, 1])]);
+        let c = complete_query(&s, &q).unwrap();
+        assert_eq!(c.atoms.len(), 3);
+        assert!(c.atoms.iter().any(|a| a.relation == "Node" && a.vars == vec![0]));
+        assert!(c.atoms.iter().any(|a| a.relation == "Node" && a.vars == vec![1]));
+    }
+
+    #[test]
+    fn already_complete_query_unchanged() {
+        let s = graph_schema_node_dp();
+        let q = Query::count(vec![
+            atom("Node", &[0]),
+            atom("Node", &[1]),
+            atom("Edge", &[0, 1]),
+        ]);
+        let c = complete_query(&s, &q).unwrap();
+        assert_eq!(c.atoms.len(), 3);
+    }
+
+    #[test]
+    fn shared_variables_grounded_once() {
+        let s = graph_schema_node_dp();
+        // Length-2 path: B appears in two atoms but Node(B) is added once.
+        let q = Query::count(vec![atom("Edge", &[0, 1]), atom("Edge", &[1, 2])]);
+        let c = complete_query(&s, &q).unwrap();
+        let nodes: Vec<_> = c.atoms.iter().filter(|a| a.relation == "Node").collect();
+        assert_eq!(nodes.len(), 3);
+    }
+
+    #[test]
+    fn transitive_completion() {
+        // lineitem -> orders -> customer: completing a lineitem-only query
+        // pulls in both ancestors.
+        let mut s = Schema::new();
+        s.add_relation("customer", &["ck"], Some("ck"), &[]).unwrap();
+        s.add_relation("orders", &["ok", "ck"], Some("ok"), &[("ck", "customer")]).unwrap();
+        s.add_relation("lineitem", &["ok", "qty"], None, &[("ok", "orders")]).unwrap();
+        s.set_primary_private(&["customer"]).unwrap();
+        let q = Query::count(vec![atom("lineitem", &[0, 1])]);
+        let c = complete_query(&s, &q).unwrap();
+        assert_eq!(c.atoms.len(), 3);
+        let orders = c.atoms.iter().find(|a| a.relation == "orders").unwrap();
+        assert_eq!(orders.vars[0], 0); // joined on OK
+        let customer = c.atoms.iter().find(|a| a.relation == "customer").unwrap();
+        assert_eq!(customer.vars[0], orders.vars[1]); // joined on the fresh CK
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let s = graph_schema_node_dp();
+        let q = Query::count(vec![atom("Edge", &[0])]);
+        assert!(matches!(
+            complete_query(&s, &q),
+            Err(EngineError::ArityMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,524 @@
+//! The join executor with lineage tracking.
+//!
+//! Evaluates an SPJA query by multi-way hash join: atoms are joined in a
+//! greedy order (start from the smallest relation, then always pick the atom
+//! sharing the most bound variables, breaking ties by relation size, so
+//! Cartesian products are taken only when forced). The predicate is applied
+//! to full bindings and failing results are dropped (equivalent to setting
+//! `ψ(q) = 0` as the paper does).
+//!
+//! For every surviving result the executor records which primary-private
+//! tuples it references: after completion, each atom over a primary private
+//! relation binds that relation's PK to a variable, and the value of that
+//! variable in the result identifies the referenced tuple (Section 3.2:
+//! `q` references `t_P` iff `|t_P ⋈ q| = 1`).
+
+use crate::complete::complete_query;
+use crate::instance::Instance;
+use crate::lineage::{ProfileBuilder, QueryProfile};
+use crate::query::Query;
+use crate::schema::Schema;
+use crate::value::{Tuple, Value};
+use crate::EngineError;
+use std::collections::HashMap;
+
+/// A reference key for a private tuple: (primary-private relation index,
+/// primary-key value).
+pub type PrivateKey = (u32, Value);
+
+/// Evaluates the query and returns the lineage-annotated profile.
+pub fn profile(
+    schema: &Schema,
+    instance: &Instance,
+    query: &Query,
+) -> Result<QueryProfile, EngineError> {
+    let q = complete_query(schema, query)?;
+    let nvars = q.num_vars();
+
+    // Private atoms: (atom idx, private relation idx, PK variable).
+    let mut private_vars: Vec<(u32, crate::query::Var)> = Vec::new();
+    for atom in &q.atoms {
+        if let Some(pidx) = schema.primary_private().iter().position(|p| *p == atom.relation) {
+            let rel = schema.relation(&atom.relation)?;
+            let pk = rel.primary_key.ok_or_else(|| {
+                EngineError::MalformedQuery(format!(
+                    "primary private relation {} has no primary key",
+                    atom.relation
+                ))
+            })?;
+            private_vars.push((pidx as u32, atom.vars[pk]));
+        }
+    }
+    private_vars.sort_unstable();
+    private_vars.dedup();
+
+    let bindings = join(schema, instance, &q, nvars)?;
+
+    let mut builder: ProfileBuilder<PrivateKey> = ProfileBuilder::new();
+    for binding in &bindings {
+        if !q.predicate.eval(binding) {
+            continue;
+        }
+        let w = q.aggregate.weight(binding);
+        if w == 0.0 {
+            continue;
+        }
+        let refs = private_vars
+            .iter()
+            .map(|&(pidx, var)| (pidx, binding[var as usize].clone()));
+        match &q.projection {
+            None => {
+                builder.add_result(w, refs);
+            }
+            Some(proj) => {
+                let key: Tuple = proj.iter().map(|&v| binding[v as usize].clone()).collect();
+                // The projected result's weight must depend only on the
+                // projected variables; `w` computed from this member is that
+                // weight (asserted consistent across members in debug).
+                builder.add_projected_result((u32::MAX, Value::Str(fmt_key(&key))), w, w, refs);
+            }
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Evaluates a *group-by* query: join results are partitioned by the values
+/// of `group_vars` and one lineage profile is produced per group, keyed by
+/// the group's tuple. This is the engine half of the paper's Section 11
+/// extension; the DP half (splitting ε across groups) lives in
+/// `r2t-core::groupby`.
+///
+/// Groups are returned sorted by their key's display form, so the output is
+/// deterministic.
+pub fn profile_grouped(
+    schema: &Schema,
+    instance: &Instance,
+    query: &Query,
+    group_vars: &[crate::query::Var],
+) -> Result<Vec<(Tuple, QueryProfile)>, EngineError> {
+    let q = complete_query(schema, query)?;
+    let nvars = q.num_vars();
+    for &v in group_vars {
+        if (v as usize) >= nvars {
+            return Err(EngineError::MalformedQuery(format!(
+                "group-by variable {v} not bound by the join"
+            )));
+        }
+    }
+    let mut private_vars: Vec<(u32, crate::query::Var)> = Vec::new();
+    for atom in &q.atoms {
+        if let Some(pidx) = schema.primary_private().iter().position(|p| *p == atom.relation) {
+            let rel = schema.relation(&atom.relation)?;
+            let pk = rel.primary_key.ok_or_else(|| {
+                EngineError::MalformedQuery(format!(
+                    "primary private relation {} has no primary key",
+                    atom.relation
+                ))
+            })?;
+            private_vars.push((pidx as u32, atom.vars[pk]));
+        }
+    }
+    private_vars.sort_unstable();
+    private_vars.dedup();
+
+    let bindings = join(schema, instance, &q, nvars)?;
+    let mut groups: HashMap<std::sync::Arc<str>, (Tuple, ProfileBuilder<PrivateKey>)> =
+        HashMap::new();
+    for binding in &bindings {
+        if !q.predicate.eval(binding) {
+            continue;
+        }
+        let w = q.aggregate.weight(binding);
+        if w == 0.0 {
+            continue;
+        }
+        let key: Tuple = group_vars.iter().map(|&v| binding[v as usize].clone()).collect();
+        let fkey = fmt_key(&key);
+        let (_, builder) =
+            groups.entry(fkey).or_insert_with(|| (key, ProfileBuilder::new()));
+        let refs = private_vars
+            .iter()
+            .map(|&(pidx, var)| (pidx, binding[var as usize].clone()));
+        match &q.projection {
+            None => {
+                builder.add_result(w, refs);
+            }
+            Some(proj) => {
+                let pkey: Tuple = proj.iter().map(|&v| binding[v as usize].clone()).collect();
+                builder.add_projected_result((u32::MAX, Value::Str(fmt_key(&pkey))), w, w, refs);
+            }
+        }
+    }
+    let mut out: Vec<(Tuple, QueryProfile)> =
+        groups.into_values().map(|(key, b)| (key, b.build())).collect();
+    out.sort_by_key(|(key, _)| fmt_key(key));
+    Ok(out)
+}
+
+fn fmt_key(t: &Tuple) -> std::sync::Arc<str> {
+    use std::fmt::Write;
+    let mut s = String::new();
+    for v in t {
+        // A length-prefixed encoding keeps distinct tuples distinct.
+        match v {
+            Value::Int(i) => write!(s, "i{i};"),
+            Value::Float(f) => write!(s, "f{};", f.to_bits()),
+            Value::Str(x) => write!(s, "s{}:{x};", x.len()),
+        }
+        .expect("writing to a String cannot fail");
+    }
+    std::sync::Arc::from(s.as_str())
+}
+
+/// Evaluates the query answer `Q(I)` directly.
+pub fn evaluate(schema: &Schema, instance: &Instance, query: &Query) -> Result<f64, EngineError> {
+    Ok(profile(schema, instance, query)?.query_result())
+}
+
+/// Computes all join bindings (dense variable assignments).
+fn join(
+    schema: &Schema,
+    instance: &Instance,
+    q: &Query,
+    nvars: usize,
+) -> Result<Vec<Vec<Value>>, EngineError> {
+    if q.atoms.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Validate relations and collect sizes.
+    let mut sizes = Vec::with_capacity(q.atoms.len());
+    for atom in &q.atoms {
+        schema.relation(&atom.relation)?;
+        sizes.push(instance.rows(&atom.relation).len());
+    }
+
+    // Greedy ordering.
+    let natoms = q.atoms.len();
+    let mut used = vec![false; natoms];
+    let mut order = Vec::with_capacity(natoms);
+    let first = (0..natoms).min_by_key(|&i| sizes[i]).expect("nonempty");
+    used[first] = true;
+    order.push(first);
+    let mut bound = vec![false; nvars];
+    for &v in &q.atoms[first].vars {
+        bound[v as usize] = true;
+    }
+    while order.len() < natoms {
+        let next = (0..natoms)
+            .filter(|&i| !used[i])
+            .max_by_key(|&i| {
+                let shared =
+                    q.atoms[i].vars.iter().filter(|&&v| bound[v as usize]).count();
+                (shared, std::cmp::Reverse(sizes[i]))
+            })
+            .expect("unused atom exists");
+        used[next] = true;
+        for &v in &q.atoms[next].vars {
+            bound[v as usize] = true;
+        }
+        order.push(next);
+    }
+
+    // Seed with the first atom.
+    let sentinel = Value::Int(i64::MIN);
+    let mut partials: Vec<Vec<Value>> = Vec::new();
+    let mut bound_now = vec![false; nvars];
+    {
+        let atom = &q.atoms[order[0]];
+        for row in instance.rows(&atom.relation) {
+            if let Some(b) = bind_tuple(&vec![sentinel.clone(); nvars], &bound_now, atom, row) {
+                partials.push(b);
+            }
+        }
+        for &v in &atom.vars {
+            bound_now[v as usize] = true;
+        }
+    }
+
+    for &ai in &order[1..] {
+        let atom = &q.atoms[ai];
+        let rows = instance.rows(&atom.relation);
+        // Key positions: columns whose variable is already bound (first
+        // occurrence per variable).
+        let mut key_vars: Vec<(usize, u32)> = Vec::new(); // (col, var)
+        let mut seen = Vec::new();
+        for (col, &v) in atom.vars.iter().enumerate() {
+            if bound_now[v as usize] && !seen.contains(&v) {
+                key_vars.push((col, v));
+                seen.push(v);
+            }
+        }
+        // Build a hash index on those columns.
+        let mut index: HashMap<Vec<Value>, Vec<usize>> = HashMap::new();
+        for (ri, row) in rows.iter().enumerate() {
+            let key: Vec<Value> = key_vars.iter().map(|&(c, _)| row[c].clone()).collect();
+            index.entry(key).or_default().push(ri);
+        }
+        let mut next_partials = Vec::new();
+        for p in &partials {
+            let key: Vec<Value> =
+                key_vars.iter().map(|&(_, v)| p[v as usize].clone()).collect();
+            if let Some(matches) = index.get(&key) {
+                for &ri in matches {
+                    if let Some(b) = bind_tuple(p, &bound_now, atom, &rows[ri]) {
+                        next_partials.push(b);
+                    }
+                }
+            }
+        }
+        partials = next_partials;
+        for &v in &atom.vars {
+            bound_now[v as usize] = true;
+        }
+    }
+    Ok(partials)
+}
+
+/// Extends a partial binding with a tuple; `None` on conflict (repeated
+/// variables must agree).
+fn bind_tuple(
+    partial: &[Value],
+    bound: &[bool],
+    atom: &crate::query::Atom,
+    row: &Tuple,
+) -> Option<Vec<Value>> {
+    let mut out = partial.to_vec();
+    let mut newly: Vec<u32> = Vec::with_capacity(atom.vars.len());
+    for (col, &v) in atom.vars.iter().enumerate() {
+        let vi = v as usize;
+        if bound[vi] || newly.contains(&v) {
+            if out[vi] != row[col] {
+                return None;
+            }
+        } else {
+            out[vi] = row[col].clone();
+            newly.push(v);
+        }
+    }
+    Some(out)
+}
+
+/// A deliberately naive nested-loop evaluator used as a test oracle.
+pub fn evaluate_bruteforce(
+    schema: &Schema,
+    instance: &Instance,
+    query: &Query,
+) -> Result<f64, EngineError> {
+    let q = complete_query(schema, query)?;
+    let nvars = q.num_vars();
+    let sentinel = Value::Int(i64::MIN);
+    let mut bindings: Vec<Vec<Value>> = vec![vec![sentinel; nvars]];
+    let mut bound = vec![false; nvars];
+    for atom in &q.atoms {
+        schema.relation(&atom.relation)?;
+        let rows = instance.rows(&atom.relation);
+        let mut next = Vec::new();
+        for b in &bindings {
+            for row in rows {
+                if let Some(nb) = bind_tuple(b, &bound, atom, row) {
+                    next.push(nb);
+                }
+            }
+        }
+        bindings = next;
+        for &v in &atom.vars {
+            bound[v as usize] = true;
+        }
+    }
+    let mut total = 0.0;
+    let mut seen = std::collections::HashSet::new();
+    for b in &bindings {
+        if !q.predicate.eval(b) {
+            continue;
+        }
+        let w = q.aggregate.weight(b);
+        match &q.projection {
+            None => total += w,
+            Some(proj) => {
+                let key: Tuple = proj.iter().map(|&v| b[v as usize].clone()).collect();
+                if seen.insert(fmt_key(&key)) {
+                    total += w;
+                }
+            }
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{atom, CmpOp, Expr, Predicate, Query};
+    use crate::schema::{graph_schema_node_dp, Schema};
+
+    fn triangle_plus_star() -> (Schema, Instance) {
+        // Triangle 0-1-2 and a star center 3 with leaves 4,5,6.
+        let s = graph_schema_node_dp();
+        let mut inst = Instance::new();
+        inst.insert_all("Node", (0..7).map(|i| vec![Value::Int(i)]));
+        let mut edges = Vec::new();
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (3, 4), (3, 5), (3, 6)] {
+            edges.push(vec![Value::Int(a), Value::Int(b)]);
+            edges.push(vec![Value::Int(b), Value::Int(a)]);
+        }
+        inst.insert_all("Edge", edges);
+        (s, inst)
+    }
+
+    #[test]
+    fn edge_count_with_predicate() {
+        let (s, inst) = triangle_plus_star();
+        // Undirected edges counted once: src < dst.
+        let q = Query::count(vec![atom("Edge", &[0, 1])])
+            .with_predicate(Predicate::cmp_vars(0, CmpOp::Lt, 1));
+        assert_eq!(evaluate(&s, &inst, &q).unwrap(), 6.0);
+    }
+
+    #[test]
+    fn lineage_tracks_both_endpoints() {
+        let (s, inst) = triangle_plus_star();
+        let q = Query::count(vec![atom("Edge", &[0, 1])])
+            .with_predicate(Predicate::cmp_vars(0, CmpOp::Lt, 1));
+        let p = profile(&s, &inst, &q).unwrap();
+        assert_eq!(p.results.len(), 6);
+        assert!(p.results.iter().all(|r| r.refs.len() == 2));
+        // Star center has sensitivity 3; triangle nodes 2; leaves 1.
+        let mut sens = p.sensitivities();
+        sens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(sens, vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn triangle_count_via_self_join() {
+        let (s, inst) = triangle_plus_star();
+        let q = Query::count(vec![
+            atom("Edge", &[0, 1]),
+            atom("Edge", &[1, 2]),
+            atom("Edge", &[0, 2]),
+        ])
+        .with_predicate(Predicate::And(vec![
+            Predicate::cmp_vars(0, CmpOp::Lt, 1),
+            Predicate::cmp_vars(1, CmpOp::Lt, 2),
+        ]));
+        assert_eq!(evaluate(&s, &inst, &q).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn matches_bruteforce_on_patterns() {
+        let (s, inst) = triangle_plus_star();
+        // Length-2 paths (ordered, center distinct ends).
+        let q = Query::count(vec![atom("Edge", &[0, 1]), atom("Edge", &[1, 2])])
+            .with_predicate(Predicate::cmp_vars(0, CmpOp::Lt, 2));
+        let fast = evaluate(&s, &inst, &q).unwrap();
+        let slow = evaluate_bruteforce(&s, &inst, &q).unwrap();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn sum_aggregate() {
+        // Sum of dst over all edges from node 3.
+        let (s, inst) = triangle_plus_star();
+        let q = Query::count(vec![atom("Edge", &[0, 1])])
+            .with_predicate(Predicate::cmp_const(0, CmpOp::Eq, Value::Int(3)))
+            .with_sum(Expr::Var(1));
+        assert_eq!(evaluate(&s, &inst, &q).unwrap(), 15.0);
+    }
+
+    #[test]
+    fn projection_removes_duplicates() {
+        // Distinct sources with any outgoing edge.
+        let (s, inst) = triangle_plus_star();
+        let q = Query::count(vec![atom("Edge", &[0, 1])]).with_projection(vec![0]);
+        // All 7 nodes have at least one incident (directed) edge.
+        assert_eq!(evaluate(&s, &inst, &q).unwrap(), 7.0);
+        let brute = evaluate_bruteforce(&s, &inst, &q).unwrap();
+        assert_eq!(brute, 7.0);
+        let p = profile(&s, &inst, &q).unwrap();
+        assert_eq!(p.groups.as_ref().unwrap().len(), 7);
+        assert_eq!(p.results.len(), 12);
+    }
+
+    #[test]
+    fn empty_instance_yields_zero() {
+        let s = graph_schema_node_dp();
+        let inst = Instance::new();
+        let q = Query::count(vec![atom("Edge", &[0, 1])]);
+        assert_eq!(evaluate(&s, &inst, &q).unwrap(), 0.0);
+        let p = profile(&s, &inst, &q).unwrap();
+        assert_eq!(p.num_private, 0);
+        assert!(p.results.is_empty());
+    }
+
+    #[test]
+    fn cartesian_product_when_forced() {
+        // Node(A) x Node(B): no shared variables.
+        let (s, inst) = triangle_plus_star();
+        let q = Query::count(vec![atom("Node", &[0]), atom("Node", &[1])]);
+        assert_eq!(evaluate(&s, &inst, &q).unwrap(), 49.0);
+    }
+
+    #[test]
+    fn repeated_variable_within_atom() {
+        // Self-loops only: Edge(A, A). None exist.
+        let (s, inst) = triangle_plus_star();
+        let q = Query::count(vec![atom("Edge", &[0, 0])]);
+        assert_eq!(evaluate(&s, &inst, &q).unwrap(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod grouped_tests {
+    use super::*;
+    use crate::query::{atom, Query};
+    use crate::schema::graph_schema_node_dp;
+
+    #[test]
+    fn grouped_profile_partitions_results() {
+        let s = graph_schema_node_dp();
+        let mut inst = Instance::new();
+        inst.insert_all("Node", (0..4).map(|i| vec![Value::Int(i)]));
+        // Out-edges: node 0 has 2, node 1 has 1.
+        inst.insert_all(
+            "Edge",
+            [(0, 1), (0, 2), (1, 2)].map(|(a, b)| vec![Value::Int(a), Value::Int(b)]),
+        );
+        let q = Query::count(vec![atom("Edge", &[0, 1])]);
+        let groups = profile_grouped(&s, &inst, &q, &[0]).unwrap();
+        assert_eq!(groups.len(), 2);
+        let total: f64 = groups.iter().map(|(_, p)| p.query_result()).sum();
+        assert_eq!(total, 3.0);
+        // Each group's lineage is self-contained.
+        for (key, p) in &groups {
+            assert_eq!(key.len(), 1);
+            assert!(p.results.iter().all(|r| r.refs.len() == 2));
+        }
+    }
+
+    #[test]
+    fn grouped_totals_match_ungrouped() {
+        let s = graph_schema_node_dp();
+        let mut inst = Instance::new();
+        inst.insert_all("Node", (0..6).map(|i| vec![Value::Int(i)]));
+        let mut edges = Vec::new();
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 2)] {
+            edges.push(vec![Value::Int(a), Value::Int(b)]);
+        }
+        inst.insert_all("Edge", edges);
+        let q = Query::count(vec![atom("Edge", &[0, 1])]);
+        let total = profile(&s, &inst, &q).unwrap().query_result();
+        let grouped: f64 = profile_grouped(&s, &inst, &q, &[0])
+            .unwrap()
+            .iter()
+            .map(|(_, p)| p.query_result())
+            .sum();
+        assert_eq!(total, grouped);
+    }
+
+    #[test]
+    fn bad_group_var_rejected() {
+        let s = graph_schema_node_dp();
+        let inst = Instance::new();
+        let q = Query::count(vec![atom("Edge", &[0, 1])]);
+        assert!(profile_grouped(&s, &inst, &q, &[99]).is_err());
+    }
+}

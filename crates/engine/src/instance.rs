@@ -1,0 +1,266 @@
+//! Database instances: physical relation contents, PK indexes, referential
+//! integrity, and down-neighbour construction.
+
+use crate::schema::Schema;
+use crate::value::{Tuple, Value};
+use crate::EngineError;
+use std::collections::{HashMap, HashSet};
+
+/// A database instance over some [`Schema`].
+#[derive(Debug, Clone, Default)]
+pub struct Instance {
+    tables: HashMap<String, Vec<Tuple>>,
+}
+
+impl Instance {
+    /// Creates an empty instance.
+    pub fn new() -> Self {
+        Instance::default()
+    }
+
+    /// Inserts a tuple into `relation` (no validation; call
+    /// [`Instance::validate`] when done).
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) {
+        self.tables.entry(relation.to_string()).or_default().push(tuple);
+    }
+
+    /// Bulk-inserts tuples.
+    pub fn insert_all<I: IntoIterator<Item = Tuple>>(&mut self, relation: &str, tuples: I) {
+        self.tables.entry(relation.to_string()).or_default().extend(tuples);
+    }
+
+    /// The rows of `relation` (empty slice if absent).
+    pub fn rows(&self, relation: &str) -> &[Tuple] {
+        self.tables.get(relation).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.tables.values().map(|v| v.len()).sum()
+    }
+
+    /// Validates against a schema: arities, PK uniqueness, FK integrity.
+    pub fn validate(&self, schema: &Schema) -> Result<(), EngineError> {
+        schema.validate()?;
+        // PK indexes for FK checking.
+        let mut pk_index: HashMap<&str, HashSet<&Value>> = HashMap::new();
+        for rel in schema.relations() {
+            let rows = self.rows(&rel.name);
+            for t in rows {
+                if t.len() != rel.arity() {
+                    return Err(EngineError::ArityMismatch {
+                        relation: rel.name.clone(),
+                        expected: rel.arity(),
+                        got: t.len(),
+                    });
+                }
+            }
+            if let Some(pk) = rel.primary_key {
+                let set = pk_index.entry(rel.name.as_str()).or_default();
+                for t in rows {
+                    if !set.insert(&t[pk]) {
+                        return Err(EngineError::DuplicateKey {
+                            relation: rel.name.clone(),
+                            value: t[pk].to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        for rel in schema.relations() {
+            for fk in &rel.foreign_keys {
+                let target_keys = pk_index.get(fk.references.as_str());
+                for t in self.rows(&rel.name) {
+                    let v = &t[fk.column];
+                    if !target_keys.is_some_and(|s| s.contains(v)) {
+                        return Err(EngineError::BrokenForeignKey {
+                            relation: rel.name.clone(),
+                            column: rel.columns[fk.column].clone(),
+                            value: v.to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds the *down-neighbour* obtained by deleting the tuple of
+    /// `private_rel` whose primary key equals `key`, together with every
+    /// tuple that directly or transitively references it (Section 3.2).
+    ///
+    /// Deletion cascades along reversed FK edges: a tuple references `t_P`
+    /// if one of its FKs points at a referencing tuple (or at `t_P` itself).
+    pub fn down_neighbor(
+        &self,
+        schema: &Schema,
+        private_rel: &str,
+        key: &Value,
+    ) -> Result<Instance, EngineError> {
+        let rel = schema.relation(private_rel)?;
+        let pk =
+            rel.primary_key.ok_or_else(|| EngineError::MalformedQuery(format!(
+                "{private_rel} has no primary key"
+            )))?;
+        // deleted[rel_name] = set of PK values deleted from that relation.
+        let mut deleted: HashMap<String, HashSet<Value>> = HashMap::new();
+        deleted.entry(private_rel.to_string()).or_default().insert(key.clone());
+        let _ = pk;
+
+        // Propagate deletions until a fixpoint: a tuple is deleted if any of
+        // its FKs points to a deleted key of the referenced relation.
+        // Keyless relations can still have their tuples deleted; they simply
+        // cannot be referenced further (no PK), so we track their deleted
+        // *row indices* separately when filtering below. To keep propagation
+        // simple we iterate relation passes until nothing changes.
+        let mut removed_rows: HashMap<String, HashSet<usize>> = HashMap::new();
+        loop {
+            let mut changed = false;
+            for rel in schema.relations() {
+                let rows = self.rows(&rel.name);
+                for (idx, t) in rows.iter().enumerate() {
+                    if removed_rows.get(rel.name.as_str()).is_some_and(|s| s.contains(&idx)) {
+                        continue;
+                    }
+                    let mut hit = false;
+                    for fk in &rel.foreign_keys {
+                        if deleted
+                            .get(fk.references.as_str())
+                            .is_some_and(|s| s.contains(&t[fk.column]))
+                        {
+                            hit = true;
+                            break;
+                        }
+                    }
+                    if hit {
+                        removed_rows.entry(rel.name.clone()).or_default().insert(idx);
+                        if let Some(pk) = rel.primary_key {
+                            deleted.entry(rel.name.clone()).or_default().insert(t[pk].clone());
+                        }
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut out = Instance::new();
+        for rel in schema.relations() {
+            let removed = removed_rows.get(rel.name.as_str());
+            let del_keys = deleted.get(rel.name.as_str());
+            let rows: Vec<Tuple> = self
+                .rows(&rel.name)
+                .iter()
+                .enumerate()
+                .filter(|(idx, t)| {
+                    if removed.is_some_and(|s| s.contains(idx)) {
+                        return false;
+                    }
+                    if let (Some(pk), Some(dk)) = (rel.primary_key, del_keys) {
+                        if dk.contains(&t[pk]) {
+                            return false;
+                        }
+                    }
+                    true
+                })
+                .map(|(_, t)| t.clone())
+                .collect();
+            if !rows.is_empty() {
+                out.insert_all(&rel.name, rows);
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::graph_schema_node_dp;
+
+    fn node(i: i64) -> Tuple {
+        vec![Value::Int(i)]
+    }
+    fn edge(a: i64, b: i64) -> Tuple {
+        vec![Value::Int(a), Value::Int(b)]
+    }
+
+    fn triangle_instance() -> Instance {
+        let mut inst = Instance::new();
+        inst.insert_all("Node", (0..3).map(node));
+        inst.insert_all(
+            "Edge",
+            [(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)].map(|(a, b)| edge(a, b)),
+        );
+        inst
+    }
+
+    #[test]
+    fn valid_instance_passes() {
+        let s = graph_schema_node_dp();
+        triangle_instance().validate(&s).unwrap();
+    }
+
+    #[test]
+    fn broken_fk_detected() {
+        let s = graph_schema_node_dp();
+        let mut inst = triangle_instance();
+        inst.insert("Edge", edge(0, 99));
+        assert!(matches!(inst.validate(&s), Err(EngineError::BrokenForeignKey { .. })));
+    }
+
+    #[test]
+    fn duplicate_pk_detected() {
+        let s = graph_schema_node_dp();
+        let mut inst = triangle_instance();
+        inst.insert("Node", node(0));
+        assert!(matches!(inst.validate(&s), Err(EngineError::DuplicateKey { .. })));
+    }
+
+    #[test]
+    fn arity_mismatch_detected() {
+        let s = graph_schema_node_dp();
+        let mut inst = triangle_instance();
+        inst.insert("Node", edge(7, 8));
+        assert!(matches!(inst.validate(&s), Err(EngineError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn down_neighbor_removes_node_and_edges() {
+        let s = graph_schema_node_dp();
+        let inst = triangle_instance();
+        let nb = inst.down_neighbor(&s, "Node", &Value::Int(0)).unwrap();
+        assert_eq!(nb.rows("Node").len(), 2);
+        // Edges incident to node 0 are gone: (0,1),(1,0),(0,2),(2,0).
+        assert_eq!(nb.rows("Edge").len(), 2);
+        nb.validate(&s).unwrap();
+    }
+
+    #[test]
+    fn down_neighbor_cascades_transitively() {
+        // customer -> orders -> lineitem chain.
+        let mut s = Schema::new();
+        s.add_relation("customer", &["ck"], Some("ck"), &[]).unwrap();
+        s.add_relation("orders", &["ok", "ck"], Some("ok"), &[("ck", "customer")]).unwrap();
+        s.add_relation("lineitem", &["ok"], None, &[("ok", "orders")]).unwrap();
+        s.set_primary_private(&["customer"]).unwrap();
+        let mut inst = Instance::new();
+        inst.insert("customer", vec![Value::Int(1)]);
+        inst.insert("customer", vec![Value::Int(2)]);
+        inst.insert("orders", vec![Value::Int(10), Value::Int(1)]);
+        inst.insert("orders", vec![Value::Int(20), Value::Int(2)]);
+        inst.insert("lineitem", vec![Value::Int(10)]);
+        inst.insert("lineitem", vec![Value::Int(10)]);
+        inst.insert("lineitem", vec![Value::Int(20)]);
+        inst.validate(&s).unwrap();
+        let nb = inst.down_neighbor(&s, "customer", &Value::Int(1)).unwrap();
+        assert_eq!(nb.rows("customer").len(), 1);
+        assert_eq!(nb.rows("orders").len(), 1);
+        assert_eq!(nb.rows("lineitem").len(), 1);
+        nb.validate(&s).unwrap();
+    }
+
+    use crate::schema::Schema;
+}

@@ -1,0 +1,81 @@
+//! # r2t-engine — relational substrate for DP query evaluation
+//!
+//! An in-memory relational engine providing exactly what the R2T system needs
+//! from its RDBMS (the paper uses PostgreSQL):
+//!
+//! * [`schema`] — relations, primary keys, foreign keys (modelled as a DAG,
+//!   Section 3.2 of the paper), and the DP policy designating one or more
+//!   *primary private relations*.
+//! * [`instance`] — physical relation instances with PK indexes, referential
+//!   integrity checking, and *down-neighbour* construction (delete a private
+//!   tuple plus everything that transitively references it) — the
+//!   neighbourhood relation that defines DP with FK constraints.
+//! * [`query`] — an SPJA query IR: multi-way joins with variable renaming
+//!   (self-joins), arbitrary predicates, SUM/COUNT aggregation, and optional
+//!   duplicate-removing projection.
+//! * [`complete`] — query completion: any FK variable whose referenced PK
+//!   relation is missing gets that relation joined in (Section 3.2).
+//! * [`exec`] — a multi-way hash-join executor that tracks *lineage*: for
+//!   every join result, the set of primary-private tuples it references.
+//! * [`csv`] — CSV import for relation instances.
+//! * [`lineage`] — the [`lineage::QueryProfile`] artifact consumed by the DP
+//!   mechanisms: per-result weights `ψ(q_k)`, the reference sets `C_j(I)`,
+//!   and (for projection queries) the duplicate groups `D_l(I)`.
+
+pub mod complete;
+pub mod csv;
+pub mod exec;
+pub mod instance;
+pub mod lineage;
+pub mod query;
+pub mod schema;
+pub mod value;
+
+pub use instance::Instance;
+pub use lineage::{QueryProfile, ResultLine};
+pub use query::{Aggregate, Atom, CmpOp, Expr, Predicate, Query};
+pub use schema::{Relation, Schema};
+pub use value::{Tuple, Value};
+
+/// Errors raised by the engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A relation name was not found in the schema.
+    UnknownRelation(String),
+    /// A column name was not found in a relation.
+    UnknownColumn { relation: String, column: String },
+    /// A tuple had the wrong arity for its relation.
+    ArityMismatch { relation: String, expected: usize, got: usize },
+    /// A foreign key referenced a missing tuple.
+    BrokenForeignKey { relation: String, column: String, value: String },
+    /// A primary key value occurred twice.
+    DuplicateKey { relation: String, value: String },
+    /// The query referenced a relation or variable inconsistently.
+    MalformedQuery(String),
+    /// The FK graph contained a cycle (it must be a DAG).
+    CyclicForeignKeys,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::UnknownRelation(r) => write!(f, "unknown relation {r}"),
+            EngineError::UnknownColumn { relation, column } => {
+                write!(f, "unknown column {relation}.{column}")
+            }
+            EngineError::ArityMismatch { relation, expected, got } => {
+                write!(f, "relation {relation} expects arity {expected}, got {got}")
+            }
+            EngineError::BrokenForeignKey { relation, column, value } => {
+                write!(f, "foreign key {relation}.{column} = {value} references a missing tuple")
+            }
+            EngineError::DuplicateKey { relation, value } => {
+                write!(f, "duplicate primary key {value} in {relation}")
+            }
+            EngineError::MalformedQuery(msg) => write!(f, "malformed query: {msg}"),
+            EngineError::CyclicForeignKeys => write!(f, "foreign-key graph contains a cycle"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}

@@ -1,0 +1,304 @@
+//! Query profiles: the artifact the DP mechanisms consume.
+//!
+//! Evaluating an SPJA query with lineage produces, per surviving join result
+//! `q_k`, its weight `ψ(q_k)` and the set of primary-private tuples it
+//! references (`C_j(I)` transposed). Projection queries additionally carry
+//! the duplicate groups `D_l(I)`: which join results collapse onto each
+//! projected result `p_l`, and that result's weight `ψ(p_l)`.
+//!
+//! Private tuples are remapped to dense ids `0..num_private`; only tuples
+//! referenced by at least one join result receive an id (unreferenced tuples
+//! have zero sensitivity and never constrain the truncation LPs).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One join result: weight and referenced private tuples (dense ids).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultLine {
+    /// `ψ(q_k)` — non-negative.
+    pub weight: f64,
+    /// Sorted, deduplicated dense private-tuple ids referenced by the result.
+    pub refs: Vec<u32>,
+}
+
+/// One projected result `p_l` (only for projection queries).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// `ψ(p_l)` — the weight of the projected result.
+    pub weight: f64,
+    /// Indices into [`QueryProfile::results`] of the members `D_l(I)`.
+    pub members: Vec<u32>,
+}
+
+/// The lineage-annotated evaluation of an SPJA query on an instance.
+#[derive(Debug, Clone, Default)]
+pub struct QueryProfile {
+    /// Number of distinct referenced private tuples.
+    pub num_private: usize,
+    /// Join results with weights and references.
+    pub results: Vec<ResultLine>,
+    /// Duplicate groups for projection queries (`None` for SJA queries).
+    pub groups: Option<Vec<Group>>,
+}
+
+impl QueryProfile {
+    /// The true query answer `Q(I)`.
+    pub fn query_result(&self) -> f64 {
+        match &self.groups {
+            Some(groups) => groups.iter().map(|g| g.weight).sum(),
+            None => self.results.iter().map(|r| r.weight).sum(),
+        }
+    }
+
+    /// Per-private-tuple sensitivities `S_Q(I, t_j) = Σ_{k ∈ C_j} ψ(q_k)`
+    /// (Eq. 4 of the paper).
+    pub fn sensitivities(&self) -> Vec<f64> {
+        let mut s = vec![0.0f64; self.num_private];
+        for r in &self.results {
+            for &j in &r.refs {
+                s[j as usize] += r.weight;
+            }
+        }
+        s
+    }
+
+    /// `DS_Q(I) = max_j S_Q(I, t_j)` for SJA queries; for SPJA queries this
+    /// quantity is the *indirect sensitivity* `IS_Q(I)` (Section 7), which
+    /// upper-bounds the (possibly much smaller) true downward sensitivity.
+    pub fn max_sensitivity(&self) -> f64 {
+        self.sensitivities().into_iter().fold(0.0, f64::max)
+    }
+
+    /// Whether every join result references exactly one private tuple.
+    /// Naive truncation is a valid (stable) truncation method exactly in
+    /// this case; self-joins or multiple primary private relations break it.
+    pub fn is_functionally_self_join_free(&self) -> bool {
+        self.results.iter().all(|r| r.refs.len() <= 1)
+    }
+
+    /// The profile of the *down-neighbour* obtained by deleting private
+    /// tuple `j`: every join result referencing `j` disappears (the paper's
+    /// neighbourhood: deleting `t_P` deletes all tuples referencing it, and
+    /// with them all join results they participate in). Remaining private
+    /// ids keep their numbering; `num_private` is unchanged so indices stay
+    /// comparable across neighbours.
+    pub fn remove_private(&self, j: u32) -> QueryProfile {
+        let mut keep = vec![true; self.results.len()];
+        let mut results = Vec::with_capacity(self.results.len());
+        let mut new_index = vec![u32::MAX; self.results.len()];
+        for (k, r) in self.results.iter().enumerate() {
+            if r.refs.contains(&j) {
+                keep[k] = false;
+            } else {
+                new_index[k] = results.len() as u32;
+                results.push(r.clone());
+            }
+        }
+        let groups = self.groups.as_ref().map(|gs| {
+            gs.iter()
+                .filter_map(|g| {
+                    let members: Vec<u32> = g
+                        .members
+                        .iter()
+                        .filter(|&&m| keep[m as usize])
+                        .map(|&m| new_index[m as usize])
+                        .collect();
+                    (!members.is_empty()).then_some(Group { weight: g.weight, members })
+                })
+                .collect()
+        });
+        QueryProfile { num_private: self.num_private, results, groups }
+    }
+
+    /// The true downward local sensitivity `DS_Q(I)` computed by definition
+    /// (Eq. 6): the largest drop in the query answer over all single-private-
+    /// tuple deletions. For SJA queries this equals [`Self::max_sensitivity`];
+    /// for projection queries it can be much smaller (Example 7.1).
+    pub fn downward_sensitivity(&self) -> f64 {
+        let q = self.query_result();
+        (0..self.num_private as u32)
+            .map(|j| q - self.remove_private(j).query_result())
+            .fold(0.0, f64::max)
+    }
+
+    /// Transposes references into `C_j(I)`: for each private tuple, the
+    /// indices of the join results referencing it.
+    pub fn reference_lists(&self) -> Vec<Vec<u32>> {
+        let mut c: Vec<Vec<u32>> = vec![Vec::new(); self.num_private];
+        for (k, r) in self.results.iter().enumerate() {
+            for &j in &r.refs {
+                c[j as usize].push(k as u32);
+            }
+        }
+        c
+    }
+}
+
+/// Builds a [`QueryProfile`] while remapping arbitrary private-tuple keys to
+/// dense ids.
+#[derive(Debug)]
+pub struct ProfileBuilder<K: Hash + Eq> {
+    ids: HashMap<K, u32>,
+    results: Vec<ResultLine>,
+    groups: Option<(HashMap<K, u32>, Vec<Group>)>,
+}
+
+impl<K: Hash + Eq + Clone> Default for ProfileBuilder<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Hash + Eq + Clone> ProfileBuilder<K> {
+    /// Creates an empty builder for an SJA query.
+    pub fn new() -> Self {
+        ProfileBuilder { ids: HashMap::new(), results: Vec::new(), groups: None }
+    }
+
+    /// Dense id of a private tuple key (allocating on first sight).
+    pub fn private_id(&mut self, key: K) -> u32 {
+        let next = self.ids.len() as u32;
+        *self.ids.entry(key).or_insert(next)
+    }
+
+    /// Adds a join result with weight `psi` referencing the given private
+    /// tuples; returns the result index. Duplicate references are merged.
+    pub fn add_result<I: IntoIterator<Item = K>>(&mut self, psi: f64, refs: I) -> u32 {
+        let mut ids: Vec<u32> = refs.into_iter().map(|k| self.private_id(k)).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        self.results.push(ResultLine { weight: psi, refs: ids });
+        (self.results.len() - 1) as u32
+    }
+
+    /// Adds a join result that belongs to projected-result group `group_key`
+    /// with group weight `group_psi` (must be consistent across members).
+    pub fn add_projected_result<I: IntoIterator<Item = K>>(
+        &mut self,
+        group_key: K,
+        group_psi: f64,
+        result_psi: f64,
+        refs: I,
+    ) -> u32 {
+        let idx = self.add_result(result_psi, refs);
+        let (group_ids, groups) = self.groups.get_or_insert_with(|| (HashMap::new(), Vec::new()));
+        let gid = *group_ids.entry(group_key).or_insert_with(|| {
+            groups.push(Group { weight: group_psi, members: Vec::new() });
+            (groups.len() - 1) as u32
+        });
+        debug_assert!(
+            (groups[gid as usize].weight - group_psi).abs() < 1e-9,
+            "projected weight must only depend on projected attributes"
+        );
+        groups[gid as usize].members.push(idx);
+        gid
+    }
+
+    /// Finalizes the profile.
+    pub fn build(self) -> QueryProfile {
+        QueryProfile {
+            num_private: self.ids.len(),
+            results: self.results,
+            groups: self.groups.map(|(_, g)| g),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_remaps_keys_densely() {
+        let mut b: ProfileBuilder<&str> = ProfileBuilder::new();
+        b.add_result(1.0, ["alice", "bob"]);
+        b.add_result(2.0, ["bob"]);
+        let p = b.build();
+        assert_eq!(p.num_private, 2);
+        assert_eq!(p.query_result(), 3.0);
+        let s = p.sensitivities();
+        assert_eq!(s, vec![1.0, 3.0]); // alice: 1, bob: 1 + 2
+        assert_eq!(p.max_sensitivity(), 3.0);
+        assert!(!p.is_functionally_self_join_free());
+    }
+
+    #[test]
+    fn duplicate_refs_merged() {
+        let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+        b.add_result(1.0, [7, 7, 7]);
+        let p = b.build();
+        assert_eq!(p.results[0].refs, vec![0]);
+        assert!(p.is_functionally_self_join_free());
+    }
+
+    #[test]
+    fn reference_lists_transpose() {
+        let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+        b.add_result(1.0, [0, 1]);
+        b.add_result(1.0, [1]);
+        let p = b.build();
+        let c = p.reference_lists();
+        assert_eq!(c[0], vec![0]);
+        assert_eq!(c[1], vec![0, 1]);
+    }
+
+    #[test]
+    fn projection_groups_counted_once() {
+        let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+        // Two join results collapsing onto one projected result of weight 1.
+        b.add_projected_result(100, 1.0, 1.0, [1]);
+        b.add_projected_result(100, 1.0, 1.0, [2]);
+        b.add_projected_result(200, 1.0, 1.0, [1]);
+        let p = b.build();
+        assert_eq!(p.query_result(), 2.0);
+        assert_eq!(p.results.len(), 3);
+        let g = p.groups.as_ref().unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g[0].members, vec![0, 1]);
+    }
+}
+
+#[cfg(test)]
+mod neighbor_tests {
+    use super::*;
+
+    #[test]
+    fn remove_private_drops_referencing_results() {
+        let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+        b.add_result(1.0, [0, 1]);
+        b.add_result(2.0, [1]);
+        b.add_result(4.0, [2]);
+        let p = b.build();
+        let q = p.remove_private(1);
+        assert_eq!(q.results.len(), 1);
+        assert_eq!(q.query_result(), 4.0);
+        assert_eq!(q.num_private, p.num_private);
+    }
+
+    #[test]
+    fn downward_sensitivity_equals_max_sensitivity_for_sja() {
+        let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+        b.add_result(1.0, [0, 1]);
+        b.add_result(2.0, [1]);
+        b.add_result(4.0, [2]);
+        let p = b.build();
+        assert_eq!(p.downward_sensitivity(), p.max_sensitivity());
+    }
+
+    #[test]
+    fn projection_overlap_shrinks_downward_sensitivity() {
+        // Example 7.1: two private tuples each covering the same m projected
+        // results; removing either changes nothing.
+        let m = 5;
+        let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+        for l in 0..m {
+            b.add_projected_result(l, 1.0, 1.0, [1]);
+            b.add_projected_result(l, 1.0, 1.0, [2]);
+        }
+        let p = b.build();
+        assert_eq!(p.query_result(), m as f64);
+        assert_eq!(p.max_sensitivity(), m as f64); // IS_Q(I) = m
+        assert_eq!(p.downward_sensitivity(), 0.0); // DS_Q(I) = 0
+    }
+}

@@ -1,0 +1,263 @@
+//! Schemas: relations, primary/foreign keys, and the DP privacy policy.
+//!
+//! Following Section 3.2 of the paper, foreign keys form a DAG over the
+//! relations. One or more relations are designated *primary private*; any
+//! relation with a direct or transitive FK path to a primary private relation
+//! is *secondary private*; the rest are public.
+
+use crate::EngineError;
+use std::collections::HashMap;
+
+/// A foreign-key constraint: `column` of this relation references the primary
+/// key of `references`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ForeignKey {
+    /// Column index in the owning relation.
+    pub column: usize,
+    /// Name of the referenced relation (whose PK the column stores).
+    pub references: String,
+}
+
+/// A relation definition.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    /// Relation name (case-sensitive).
+    pub name: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Index of the primary-key column, if the relation has one.
+    pub primary_key: Option<usize>,
+    /// Foreign keys.
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl Relation {
+    /// Looks up a column index by name.
+    pub fn column(&self, name: &str) -> Result<usize, EngineError> {
+        self.columns.iter().position(|c| c == name).ok_or_else(|| EngineError::UnknownColumn {
+            relation: self.name.clone(),
+            column: name.to_string(),
+        })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A database schema plus the DP privacy policy.
+#[derive(Debug, Clone, Default)]
+pub struct Schema {
+    relations: Vec<Relation>,
+    by_name: HashMap<String, usize>,
+    /// Names of the primary private relations (Section 3.2 / Section 8).
+    primary_private: Vec<String>,
+}
+
+/// Builder-style construction.
+impl Schema {
+    /// Creates an empty schema.
+    pub fn new() -> Self {
+        Schema::default()
+    }
+
+    /// Adds a relation. `primary_key` and `foreign_keys` use column names.
+    pub fn add_relation(
+        &mut self,
+        name: &str,
+        columns: &[&str],
+        primary_key: Option<&str>,
+        foreign_keys: &[(&str, &str)],
+    ) -> Result<(), EngineError> {
+        let mut rel = Relation {
+            name: name.to_string(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            primary_key: None,
+            foreign_keys: Vec::new(),
+        };
+        if let Some(pk) = primary_key {
+            rel.primary_key = Some(rel.column(pk)?);
+        }
+        for &(col, target) in foreign_keys {
+            let column = rel.column(col)?;
+            rel.foreign_keys.push(ForeignKey { column, references: target.to_string() });
+        }
+        self.by_name.insert(rel.name.clone(), self.relations.len());
+        self.relations.push(rel);
+        Ok(())
+    }
+
+    /// Designates the primary private relations.
+    pub fn set_primary_private(&mut self, names: &[&str]) -> Result<(), EngineError> {
+        for n in names {
+            if !self.by_name.contains_key(*n) {
+                return Err(EngineError::UnknownRelation(n.to_string()));
+            }
+        }
+        self.primary_private = names.iter().map(|s| s.to_string()).collect();
+        Ok(())
+    }
+
+    /// The primary private relation names, in designation order.
+    pub fn primary_private(&self) -> &[String] {
+        &self.primary_private
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<&Relation, EngineError> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.relations[i])
+            .ok_or_else(|| EngineError::UnknownRelation(name.to_string()))
+    }
+
+    /// All relations.
+    pub fn relations(&self) -> &[Relation] {
+        &self.relations
+    }
+
+    /// Validates the FK graph: every referenced relation must exist and have
+    /// a PK, and the graph must be acyclic.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        for rel in &self.relations {
+            for fk in &rel.foreign_keys {
+                let target = self.relation(&fk.references)?;
+                if target.primary_key.is_none() {
+                    return Err(EngineError::MalformedQuery(format!(
+                        "FK {}.{} references {} which has no primary key",
+                        rel.name, rel.columns[fk.column], target.name
+                    )));
+                }
+            }
+        }
+        // Cycle detection via DFS colours.
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.relations.len();
+        let mut colour = vec![Colour::White; n];
+        fn dfs(
+            schema: &Schema,
+            i: usize,
+            colour: &mut [Colour],
+        ) -> Result<(), EngineError> {
+            colour[i] = Colour::Grey;
+            for fk in &schema.relations[i].foreign_keys {
+                let j = schema.by_name[&fk.references];
+                match colour[j] {
+                    Colour::Grey => return Err(EngineError::CyclicForeignKeys),
+                    Colour::White => dfs(schema, j, colour)?,
+                    Colour::Black => {}
+                }
+            }
+            colour[i] = Colour::Black;
+            Ok(())
+        }
+        for i in 0..n {
+            if colour[i] == Colour::White {
+                dfs(self, i, &mut colour)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether `name` is a secondary private relation: it has a direct or
+    /// transitive FK path to some primary private relation (primary private
+    /// relations themselves are not "secondary").
+    pub fn is_secondary_private(&self, name: &str) -> Result<bool, EngineError> {
+        let rel = self.relation(name)?;
+        if self.primary_private.iter().any(|p| p == name) {
+            return Ok(false);
+        }
+        let mut stack: Vec<&Relation> = vec![rel];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(r) = stack.pop() {
+            if !seen.insert(r.name.clone()) {
+                continue;
+            }
+            for fk in &r.foreign_keys {
+                if self.primary_private.contains(&fk.references) {
+                    return Ok(true);
+                }
+                stack.push(self.relation(&fk.references)?);
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// The graph schema from Example 3.1 under *node-DP*: `Node(id)` primary
+/// private, `Edge(src, dst)` secondary private with FKs `src → Node`,
+/// `dst → Node`.
+pub fn graph_schema_node_dp() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("Node", &["id"], Some("id"), &[]).expect("static schema");
+    s.add_relation("Edge", &["src", "dst"], None, &[("src", "Node"), ("dst", "Node")])
+        .expect("static schema");
+    s.set_primary_private(&["Node"]).expect("static schema");
+    s
+}
+
+/// The same graph schema under *edge-DP*: `Edge` is the primary private
+/// relation and there are no FK constraints.
+pub fn graph_schema_edge_dp() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("Node", &["id"], Some("id"), &[]).expect("static schema");
+    s.add_relation("Edge", &["src", "dst"], None, &[]).expect("static schema");
+    s.set_primary_private(&["Edge"]).expect("static schema");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_schema_is_valid() {
+        let s = graph_schema_node_dp();
+        s.validate().unwrap();
+        assert_eq!(s.primary_private(), &["Node".to_string()]);
+        assert!(s.is_secondary_private("Edge").unwrap());
+        assert!(!s.is_secondary_private("Node").unwrap());
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut s = Schema::new();
+        s.add_relation("A", &["id", "b"], Some("id"), &[("b", "B")]).unwrap();
+        s.add_relation("B", &["id", "a"], Some("id"), &[("a", "A")]).unwrap();
+        assert_eq!(s.validate(), Err(EngineError::CyclicForeignKeys));
+    }
+
+    #[test]
+    fn fk_to_keyless_relation_rejected() {
+        let mut s = Schema::new();
+        s.add_relation("A", &["x"], None, &[]).unwrap();
+        s.add_relation("B", &["a"], None, &[("a", "A")]).unwrap();
+        assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn transitive_secondary_private() {
+        // customer <- orders <- lineitem: lineitem is secondary private.
+        let mut s = Schema::new();
+        s.add_relation("customer", &["ck"], Some("ck"), &[]).unwrap();
+        s.add_relation("orders", &["ok", "ck"], Some("ok"), &[("ck", "customer")]).unwrap();
+        s.add_relation("lineitem", &["ok", "qty"], None, &[("ok", "orders")]).unwrap();
+        s.set_primary_private(&["customer"]).unwrap();
+        s.validate().unwrap();
+        assert!(s.is_secondary_private("lineitem").unwrap());
+        assert!(s.is_secondary_private("orders").unwrap());
+    }
+
+    #[test]
+    fn unknown_private_relation_rejected() {
+        let mut s = Schema::new();
+        s.add_relation("A", &["x"], None, &[]).unwrap();
+        assert!(s.set_primary_private(&["Nope"]).is_err());
+    }
+}

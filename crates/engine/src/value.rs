@@ -1,0 +1,160 @@
+//! Values and tuples.
+//!
+//! Join keys must be hashable, so [`Value`] implements `Eq`/`Hash` with
+//! bitwise float semantics (NaN is rejected at construction sites that
+//! matter — predicates and weights treat comparisons with the usual partial
+//! order).
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit integer (also used for dates, encoded as days).
+    Int(i64),
+    /// 64-bit float. Hash/Eq use the bit pattern.
+    Float(f64),
+    /// Interned string.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: &str) -> Value {
+        Value::Str(Arc::from(s))
+    }
+
+    /// Numeric view (integers promote to floats); `None` for strings.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Integer view; `None` for non-integers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Total comparison used by predicates: numerics compare numerically
+    /// (Int/Float mixed fine), strings lexicographically. Cross-kind
+    /// comparisons order numerics before strings (stable but arbitrary).
+    pub fn cmp_total(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self.as_f64(), other.as_f64()) {
+            (Some(a), Some(b)) => a.partial_cmp(&b).unwrap_or(Ordering::Equal),
+            (Some(_), None) => Ordering::Less,
+            (None, Some(_)) => Ordering::Greater,
+            (None, None) => match (self, other) {
+                (Value::Str(a), Value::Str(b)) => a.cmp(b),
+                _ => Ordering::Equal,
+            },
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            // Int/Float join keys are distinct kinds on purpose: schemas are
+            // typed, so mixing them in a join is a bug we'd rather surface.
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Int(i) => {
+                state.write_u8(0);
+                i.hash(state);
+            }
+            Value::Float(f) => {
+                state.write_u8(1);
+                f.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+/// A tuple of values.
+pub type Tuple = Vec<Value>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Ordering;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equality_and_hash() {
+        let mut set = HashSet::new();
+        set.insert(Value::Int(1));
+        set.insert(Value::Int(1));
+        set.insert(Value::Float(1.0));
+        set.insert(Value::str("1"));
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn mixed_numeric_comparison() {
+        assert_eq!(Value::Int(2).cmp_total(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(Value::Float(3.0).cmp_total(&Value::Int(3)), Ordering::Equal);
+    }
+
+    #[test]
+    fn string_comparison() {
+        assert_eq!(Value::str("abc").cmp_total(&Value::str("abd")), Ordering::Less);
+        assert_eq!(Value::Int(5).cmp_total(&Value::str("a")), Ordering::Less);
+    }
+
+    #[test]
+    fn display_round_trip() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::str("x").to_string(), "x");
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the engine: the hash-join executor must agree with
+//! the brute-force nested-loop oracle on random instances and queries, and
+//! query completion must be idempotent.
+
+use proptest::prelude::*;
+use r2t_engine::complete::complete_query;
+use r2t_engine::exec::{evaluate, evaluate_bruteforce, profile};
+use r2t_engine::query::{atom, CmpOp, Predicate, Query};
+use r2t_engine::schema::graph_schema_node_dp;
+use r2t_engine::{Instance, Value};
+
+/// A random small graph instance (edges stored in both directions).
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (2..10usize).prop_flat_map(|n| {
+        prop::collection::vec((0..n as i64, 0..n as i64), 0..20).prop_map(move |pairs| {
+            let mut inst = Instance::new();
+            inst.insert_all("Node", (0..n as i64).map(|i| vec![Value::Int(i)]));
+            let mut seen = std::collections::HashSet::new();
+            for (a, b) in pairs {
+                if a != b && seen.insert((a.min(b), a.max(b))) {
+                    inst.insert("Edge", vec![Value::Int(a), Value::Int(b)]);
+                    inst.insert("Edge", vec![Value::Int(b), Value::Int(a)]);
+                }
+            }
+            inst
+        })
+    })
+}
+
+/// Random 1–3-atom Edge queries with simple predicates.
+fn arb_query() -> impl Strategy<Value = Query> {
+    (1..=3usize, 0..3u32, 0..3u32, any::<bool>()).prop_map(|(natoms, a, b, lt)| {
+        let atoms = match natoms {
+            1 => vec![atom("Edge", &[0, 1])],
+            2 => vec![atom("Edge", &[0, 1]), atom("Edge", &[1, 2])],
+            _ => vec![atom("Edge", &[0, 1]), atom("Edge", &[1, 2]), atom("Edge", &[2, 3])],
+        };
+        let max_var = natoms as u32;
+        let (a, b) = (a.min(max_var), b.min(max_var));
+        let pred = if lt {
+            Predicate::cmp_vars(a, CmpOp::Lt, b)
+        } else {
+            Predicate::cmp_vars(a, CmpOp::Ne, b)
+        };
+        Query::count(atoms).with_predicate(pred)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hash_join_matches_bruteforce(inst in arb_instance(), q in arb_query()) {
+        let schema = graph_schema_node_dp();
+        let fast = evaluate(&schema, &inst, &q).expect("fast");
+        let slow = evaluate_bruteforce(&schema, &inst, &q).expect("slow");
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn completion_is_idempotent(q in arb_query()) {
+        let schema = graph_schema_node_dp();
+        let once = complete_query(&schema, &q).expect("complete");
+        let twice = complete_query(&schema, &once).expect("complete again");
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn profile_total_matches_evaluate(inst in arb_instance(), q in arb_query()) {
+        let schema = graph_schema_node_dp();
+        let p = profile(&schema, &inst, &q).expect("profile");
+        let direct = evaluate(&schema, &inst, &q).expect("evaluate");
+        prop_assert_eq!(p.query_result(), direct);
+        // Lineage sanity: every reference id is within range.
+        for r in &p.results {
+            for &j in &r.refs {
+                prop_assert!((j as usize) < p.num_private);
+            }
+        }
+    }
+
+    #[test]
+    fn down_neighbor_only_shrinks(inst in arb_instance(), q in arb_query(), v in 0..10i64) {
+        let schema = graph_schema_node_dp();
+        prop_assume!(!inst.rows("Node").is_empty());
+        let v = v % inst.rows("Node").len() as i64;
+        let before = evaluate(&schema, &inst, &q).expect("before");
+        let nb = inst.down_neighbor(&schema, "Node", &Value::Int(v)).expect("neighbor");
+        nb.validate(&schema).expect("neighbor is consistent");
+        let after = evaluate(&schema, &nb, &q).expect("after");
+        prop_assert!(after <= before, "removing a node cannot add join results");
+    }
+}

@@ -1,0 +1,32 @@
+//! Graph-specific node-DP baselines from the paper's evaluation (Table 2):
+//! NT (naive truncation + smooth sensitivity), SDE (smooth distance
+//! estimator), and RM (recursive-mechanism stand-in). See DESIGN.md §2 for
+//! the documented simplifications relative to the original papers.
+
+mod nt;
+mod rm;
+mod sde;
+
+pub use nt::NaiveTruncationSmooth;
+pub use rm::RecursiveMechanismLite;
+pub use sde::SmoothDistanceEstimator;
+
+use crate::graph::Graph;
+use rand::RngCore;
+
+/// A node-DP mechanism answering a graph pattern counting query directly on
+/// the graph (unlike `r2t_core::Mechanism`, which consumes query profiles).
+pub trait GraphMechanism {
+    /// Display name.
+    fn name(&self) -> String;
+
+    /// Runs the mechanism on a graph.
+    fn run(&self, g: &Graph, rng: &mut dyn RngCore) -> f64;
+}
+
+/// Samples from a standard Cauchy distribution (used by smooth-sensitivity
+/// mechanisms for pure ε-DP).
+pub(crate) fn cauchy(rng: &mut dyn RngCore) -> f64 {
+    let u = r2t_core::noise::uniform01(rng);
+    (std::f64::consts::PI * (u - 0.5)).tan()
+}

@@ -1,0 +1,126 @@
+//! RM: a recursive-mechanism stand-in (Chen & Zhou).
+//!
+//! The original recursive mechanism is a deep recursion over noisy maxima
+//! whose cost kept it from finishing on 17 of the paper's 20 test cells
+//! (6-hour limit). We implement an *inverse-sensitivity-style* stand-in that
+//! matches its qualitative profile — very accurate when the instance is
+//! stable under deletions, very costly on large skewed graphs:
+//!
+//! 1. Greedily delete the currently highest-sensitivity node, producing a
+//!    monotone chain of counts `Q = o_0 ≥ o_1 ≥ … ≥ o_R` where `o_r` is the
+//!    count after `r` deletions (the deletion distance to achieve `o_r`).
+//! 2. Release `o_r` sampled by the exponential mechanism with utility `−r`
+//!    (distance sensitivity 1 under node neighbours), i.e.
+//!    `Pr[r] ∝ exp(−ε·r/2)`.
+//!
+//! On deletion-stable instances (road networks) `o_0` wins with overwhelming
+//! probability and the error is near zero — matching RM's reported cells.
+
+use super::GraphMechanism;
+use crate::graph::Graph;
+use crate::patterns::Pattern;
+use r2t_core::noise::uniform01;
+use rand::RngCore;
+
+/// The RM stand-in.
+#[derive(Debug, Clone)]
+pub struct RecursiveMechanismLite {
+    /// The pattern being counted.
+    pub pattern: Pattern,
+    /// Privacy budget ε.
+    pub epsilon: f64,
+    /// Maximum deletion-chain length (depth cap; the stand-in's concession
+    /// to the original's unbounded recursion).
+    pub max_depth: usize,
+}
+
+impl RecursiveMechanismLite {
+    /// Builds the monotone deletion chain `o_0 ≥ o_1 ≥ …`.
+    pub fn deletion_chain(&self, g: &Graph) -> Vec<f64> {
+        let mut chain = Vec::with_capacity(self.max_depth + 1);
+        let mut current = g.clone();
+        chain.push(self.pattern.count(&current) as f64);
+        for _ in 0..self.max_depth {
+            if chain.last() == Some(&0.0) {
+                break;
+            }
+            // Delete the maximum-degree node — a cheap, deterministic proxy
+            // for the node participating in the most patterns.
+            let Some(victim) =
+                (0..current.num_vertices() as u32).max_by_key(|&v| current.degree(v))
+            else {
+                break;
+            };
+            let edges: Vec<(u32, u32)> = current
+                .edges()
+                .filter(|&(u, v)| u != victim && v != victim)
+                .collect();
+            current = Graph::from_edges(current.num_vertices(), &edges);
+            chain.push(self.pattern.count(&current) as f64);
+        }
+        chain
+    }
+}
+
+impl GraphMechanism for RecursiveMechanismLite {
+    fn name(&self) -> String {
+        "RM".to_string()
+    }
+
+    fn run(&self, g: &Graph, rng: &mut dyn RngCore) -> f64 {
+        let chain = self.deletion_chain(g);
+        // Exponential mechanism over chain indices with utility -r: sample
+        // via inverse CDF of the geometric-like distribution.
+        let lambda = self.epsilon / 2.0;
+        let weights: Vec<f64> = (0..chain.len()).map(|r| (-lambda * r as f64).exp()).collect();
+        let total: f64 = weights.iter().sum();
+        let mut target = uniform01(rng) * total;
+        for (r, w) in weights.iter().enumerate() {
+            if target < *w || r == chain.len() - 1 {
+                return chain[r];
+            }
+            target -= w;
+        }
+        *chain.last().expect("chain nonempty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn chain_is_monotone_decreasing() {
+        let g = Graph::from_edges(0, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let m = RecursiveMechanismLite { pattern: Pattern::Triangle, epsilon: 1.0, max_depth: 8 };
+        let chain = m.deletion_chain(&g);
+        assert_eq!(chain[0], 4.0);
+        for w in chain.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+        assert_eq!(*chain.last().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn accurate_on_stable_instances() {
+        // A long path: deleting any node barely changes the edge count, and
+        // the exponential mechanism picks r=0 with high probability.
+        let edges: Vec<(u32, u32)> = (0..200).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(0, &edges);
+        let m = RecursiveMechanismLite { pattern: Pattern::Edge, epsilon: 2.0, max_depth: 16 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let runs = 40;
+        let mean: f64 = (0..runs).map(|_| m.run(&g, &mut rng)).sum::<f64>() / runs as f64;
+        assert!((mean - 200.0).abs() < 8.0, "{mean}");
+    }
+
+    #[test]
+    fn depth_cap_respected() {
+        let edges: Vec<(u32, u32)> = (0..50).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(0, &edges);
+        let m = RecursiveMechanismLite { pattern: Pattern::Edge, epsilon: 1.0, max_depth: 3 };
+        assert!(m.deletion_chain(&g).len() <= 4);
+    }
+}

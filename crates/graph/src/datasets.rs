@@ -1,0 +1,121 @@
+//! Synthetic stand-ins for the paper's five SNAP datasets (Table 1).
+//!
+//! The real datasets are not bundled (SNAP is an online source); these
+//! generators reproduce the *structural contrast* the evaluation depends on:
+//! three heavy-tailed social/co-purchase networks with degree bound
+//! `D = 1024`, and two near-planar road networks with `D = 16`. Node counts
+//! are scaled down (~300×) so the truncation LPs stay laptop-sized on a single core; pass a
+//! larger `scale` to grow them. Real data can be loaded with
+//! [`crate::io::read_edge_list`] and wrapped in a [`Dataset`] manually.
+
+use crate::generators::{perturbed_grid, preferential_attachment};
+use crate::graph::Graph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named benchmark dataset: a graph plus its public degree bound `D`.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Display name (matching the paper's dataset it stands in for).
+    pub name: &'static str,
+    /// Public degree upper bound `D` (Table 1); determines `GS_Q`.
+    pub degree_bound: f64,
+    /// The graph.
+    pub graph: Graph,
+}
+
+impl Dataset {
+    /// Convenience: basic statistics string (nodes / edges / max degree).
+    pub fn stats(&self) -> String {
+        format!(
+            "{}: {} nodes, {} edges, max degree {}",
+            self.name,
+            self.graph.num_vertices(),
+            self.graph.num_edges(),
+            self.graph.max_degree()
+        )
+    }
+}
+
+/// Deezer stand-in: social friendship network (heavy-tailed, D = 1024).
+pub fn deezer_like(scale: f64) -> Dataset {
+    let n = (440.0 * scale) as usize;
+    let mut rng = StdRng::seed_from_u64(0xDEE2E1);
+    let graph = preferential_attachment(n.max(8), 4, &mut rng).cap_degree(420);
+    Dataset { name: "Deezer-like", degree_bound: 1024.0, graph }
+}
+
+/// Amazon1 stand-in: co-purchase network (heavy-tailed, sparser, D = 1024).
+pub fn amazon1_like(scale: f64) -> Dataset {
+    let n = (800.0 * scale) as usize;
+    let mut rng = StdRng::seed_from_u64(0xA3A201);
+    let graph = preferential_attachment(n.max(8), 3, &mut rng).cap_degree(420);
+    Dataset { name: "Amazon1-like", degree_bound: 1024.0, graph }
+}
+
+/// Amazon2 stand-in: second co-purchase network (D = 1024).
+pub fn amazon2_like(scale: f64) -> Dataset {
+    let n = (1000.0 * scale) as usize;
+    let mut rng = StdRng::seed_from_u64(0xA3A202);
+    let graph = preferential_attachment(n.max(8), 3, &mut rng).cap_degree(549);
+    Dataset { name: "Amazon2-like", degree_bound: 1024.0, graph }
+}
+
+/// RoadnetPA stand-in: near-planar road network (max degree ≤ 9, D = 16).
+pub fn roadnet_pa_like(scale: f64) -> Dataset {
+    let side = (33.0 * scale.sqrt()) as usize;
+    let mut rng = StdRng::seed_from_u64(0x80AD9A);
+    let graph = perturbed_grid(side.max(4), side.max(4), 0.10, 0.06, &mut rng);
+    Dataset { name: "RoadnetPA-like", degree_bound: 16.0, graph }
+}
+
+/// RoadnetCA stand-in: larger road network (max degree ≤ 12, D = 16).
+pub fn roadnet_ca_like(scale: f64) -> Dataset {
+    let side = (44.0 * scale.sqrt()) as usize;
+    let mut rng = StdRng::seed_from_u64(0x80ADCA);
+    let graph = perturbed_grid(side.max(4), side.max(4), 0.08, 0.04, &mut rng);
+    Dataset { name: "RoadnetCA-like", degree_bound: 16.0, graph }
+}
+
+/// All five datasets at the given scale (1.0 = the default laptop scale).
+pub fn all(scale: f64) -> Vec<Dataset> {
+    vec![
+        deezer_like(scale),
+        amazon1_like(scale),
+        amazon2_like(scale),
+        roadnet_pa_like(scale),
+        roadnet_ca_like(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_bounds_hold() {
+        for d in all(0.5) {
+            assert!(
+                (d.graph.max_degree() as f64) <= d.degree_bound,
+                "{}: max degree {} exceeds D {}",
+                d.name,
+                d.graph.max_degree(),
+                d.degree_bound
+            );
+        }
+    }
+
+    #[test]
+    fn social_vs_road_contrast() {
+        let social = deezer_like(1.0);
+        let road = roadnet_pa_like(1.0);
+        assert!(social.graph.max_degree() > 8 * road.graph.max_degree());
+    }
+
+    #[test]
+    fn scaling_grows_graphs() {
+        let small = amazon1_like(0.5);
+        let big = amazon1_like(1.5);
+        assert!(big.graph.num_vertices() > 2 * small.graph.num_vertices());
+    }
+}

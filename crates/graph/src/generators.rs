@@ -1,0 +1,160 @@
+//! Synthetic graph generators.
+//!
+//! These produce the qualitative graph families of the paper's evaluation:
+//! preferential attachment (heavy-tailed degree distributions like the
+//! Deezer/Amazon social and co-purchase networks) and perturbed grids
+//! (near-constant low degree like the road networks). All generators are
+//! deterministic given the RNG.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// Barabási–Albert preferential attachment: each new vertex attaches to `m`
+/// existing vertices sampled proportionally to their degree (via the
+/// repeated-endpoints trick). Produces a heavy-tailed degree distribution.
+pub fn preferential_attachment<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * m);
+    // endpoint pool: every edge contributes both endpoints, so sampling a
+    // uniform pool element is degree-proportional sampling.
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * n * m);
+    // Seed clique on m+1 vertices.
+    for a in 0..=(m as u32) {
+        for b in (a + 1)..=(m as u32) {
+            edges.push((a, b));
+            pool.push(a);
+            pool.push(b);
+        }
+    }
+    for v in (m + 1)..n {
+        let v = v as u32;
+        let mut chosen: Vec<u32> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while chosen.len() < m && guard < 50 * m {
+            let t = pool[rng.random_range(0..pool.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+        }
+        for &t in &chosen {
+            edges.push((v, t));
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Erdős–Rényi `G(n, p)`.
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut edges = Vec::new();
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if rng.random::<f64>() < p {
+                edges.push((a, b));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A road-network-like graph: a `rows × cols` grid where each node connects
+/// to its right and down neighbours, plus random diagonal shortcuts with
+/// probability `diag_p`, and a fraction `drop_p` of grid edges removed.
+/// Degrees stay small (≤ 8), mimicking RoadnetPA/CA.
+pub fn perturbed_grid<R: Rng>(rows: usize, cols: usize, diag_p: f64, drop_p: f64, rng: &mut R) -> Graph {
+    let id = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols && rng.random::<f64>() >= drop_p {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows && rng.random::<f64>() >= drop_p {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+            if r + 1 < rows && c + 1 < cols && rng.random::<f64>() < diag_p {
+                edges.push((id(r, c), id(r + 1, c + 1)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges)
+}
+
+/// An approximately `d`-regular graph via `d/2` superimposed random
+/// Hamiltonian-style cycles (requires even `d`).
+pub fn near_regular<R: Rng>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(d.is_multiple_of(2), "near_regular requires even degree");
+    let mut edges = Vec::new();
+    for _ in 0..d / 2 {
+        // A random cyclic permutation contributes degree 2 to every vertex.
+        let mut perm: Vec<u32> = (0..n as u32).collect();
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(i, j);
+        }
+        for i in 0..n {
+            edges.push((perm[i], perm[(i + 1) % n]));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn preferential_attachment_is_heavy_tailed() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = preferential_attachment(2000, 3, &mut rng);
+        assert_eq!(g.num_vertices(), 2000);
+        // Roughly m edges per non-seed vertex.
+        assert!(g.num_edges() > 2000 * 2 && g.num_edges() < 2000 * 4);
+        // Hub degree far above the mean (heavy tail).
+        let mean = 2.0 * g.num_edges() as f64 / 2000.0;
+        assert!(g.max_degree() as f64 > 5.0 * mean, "max {} mean {mean}", g.max_degree());
+    }
+
+    #[test]
+    fn perturbed_grid_has_low_degree() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = perturbed_grid(40, 40, 0.1, 0.05, &mut rng);
+        assert_eq!(g.num_vertices(), 1600);
+        assert!(g.max_degree() <= 8, "max degree {}", g.max_degree());
+        // About 2 edges per node.
+        assert!(g.num_edges() > 2500);
+    }
+
+    #[test]
+    fn near_regular_degrees() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = near_regular(500, 4, &mut rng);
+        // Cycles can collide, so allow a little slack below 4.
+        let avg = 2.0 * g.num_edges() as f64 / 500.0;
+        assert!(avg > 3.5 && avg <= 4.0, "avg {avg}");
+        assert!(g.max_degree() <= 4);
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_in_range() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = erdos_renyi(300, 0.05, &mut rng);
+        let expected = 0.05 * 300.0 * 299.0 / 2.0;
+        assert!((g.num_edges() as f64 - expected).abs() < expected * 0.25);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let g1 = preferential_attachment(200, 2, &mut StdRng::seed_from_u64(9));
+        let g2 = preferential_attachment(200, 2, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_eq!(
+            g1.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,156 @@
+//! Simple undirected graphs.
+
+use std::collections::HashSet;
+
+/// A simple undirected graph on vertices `0..n` stored as sorted adjacency
+/// lists (no self-loops, no parallel edges).
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    adj: Vec<Vec<u32>>,
+}
+
+impl Graph {
+    /// Creates an empty graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        Graph { adj: vec![Vec::new(); n] }
+    }
+
+    /// Builds a graph from an (unordered, possibly duplicated) edge list.
+    /// Self-loops are dropped; vertex ids beyond the max endpoint extend `n`.
+    pub fn from_edges(n: usize, edges: &[(u32, u32)]) -> Self {
+        let max_v = edges.iter().map(|&(a, b)| a.max(b)).max().map_or(0, |m| m as usize + 1);
+        let mut g = Graph::new(n.max(max_v));
+        let mut seen: HashSet<(u32, u32)> = HashSet::with_capacity(edges.len());
+        for &(a, b) in edges {
+            if a == b {
+                continue;
+            }
+            let key = (a.min(b), a.max(b));
+            if seen.insert(key) {
+                g.adj[a as usize].push(b);
+                g.adj[b as usize].push(a);
+            }
+        }
+        for l in &mut g.adj {
+            l.sort_unstable();
+        }
+        g
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).sum::<usize>() / 2
+    }
+
+    /// Adds an undirected edge if not present (O(deg)).
+    pub fn add_edge(&mut self, a: u32, b: u32) -> bool {
+        if a == b || self.has_edge(a, b) {
+            return false;
+        }
+        let m = self.adj.len().max(a.max(b) as usize + 1);
+        self.adj.resize(m, Vec::new());
+        let pa = self.adj[a as usize].partition_point(|&x| x < b);
+        self.adj[a as usize].insert(pa, b);
+        let pb = self.adj[b as usize].partition_point(|&x| x < a);
+        self.adj[b as usize].insert(pb, a);
+        true
+    }
+
+    /// Whether the edge `{a, b}` exists.
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.adj
+            .get(a as usize)
+            .is_some_and(|l| l.binary_search(&b).is_ok())
+    }
+
+    /// Sorted neighbours of `v`.
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        &self.adj[v as usize]
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: u32) -> usize {
+        self.adj[v as usize].len()
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(|l| l.len()).max().unwrap_or(0)
+    }
+
+    /// Iterates over undirected edges as `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(u, l)| {
+            let u = u as u32;
+            l.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Returns a copy where every vertex keeps at most `cap` incident edges
+    /// (excess edges removed deterministically, highest-degree partners
+    /// first). Used to enforce the public degree bound `D` on generated
+    /// datasets.
+    pub fn cap_degree(&self, cap: usize) -> Graph {
+        let mut keep: Vec<(u32, u32)> = Vec::new();
+        let mut deg = vec![0usize; self.num_vertices()];
+        // Greedy: process edges sorted by the max endpoint degree ascending,
+        // keeping an edge if both endpoints have residual capacity.
+        let mut edges: Vec<(u32, u32)> = self.edges().collect();
+        edges.sort_by_key(|&(a, b)| self.degree(a).max(self.degree(b)));
+        for (a, b) in edges {
+            if deg[a as usize] < cap && deg[b as usize] < cap {
+                deg[a as usize] += 1;
+                deg[b as usize] += 1;
+                keep.push((a, b));
+            }
+        }
+        Graph::from_edges(self.num_vertices(), &keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_edges_dedups_and_drops_loops() {
+        let g = Graph::from_edges(0, &[(0, 1), (1, 0), (2, 2), (1, 2)]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn add_edge_keeps_sorted_adjacency() {
+        let mut g = Graph::new(4);
+        assert!(g.add_edge(3, 1));
+        assert!(g.add_edge(3, 0));
+        assert!(g.add_edge(3, 2));
+        assert!(!g.add_edge(3, 1));
+        assert_eq!(g.neighbors(3), &[0, 1, 2]);
+        assert_eq!(g.degree(3), 3);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    fn edges_iterator_each_once() {
+        let g = Graph::from_edges(0, &[(0, 1), (1, 2), (0, 2)]);
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn cap_degree_enforces_bound() {
+        // Star with 5 leaves capped at 2.
+        let g = Graph::from_edges(0, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)]);
+        let c = g.cap_degree(2);
+        assert!(c.max_degree() <= 2);
+        assert_eq!(c.degree(0), 2);
+    }
+}

@@ -1,0 +1,45 @@
+//! # r2t-graph — graph substrate for node-DP pattern counting
+//!
+//! Graph pattern counting under node-DP is the paper's headline special case
+//! of SPJA queries with FK constraints (Example 3.1: schema
+//! `{Node(id), Edge(src,dst)}` with both edge endpoints referencing `Node`,
+//! `Node` primary private). This crate provides:
+//!
+//! * [`graph::Graph`] — a simple undirected graph.
+//! * [`generators`] — synthetic graph families standing in for the paper's
+//!   SNAP datasets (preferential attachment for the social networks, a
+//!   perturbed grid for the road networks); see DESIGN.md §2.
+//! * [`datasets`] — the five named stand-in datasets with their degree
+//!   bounds `D` from Table 1.
+//! * [`patterns`] — lineage-tracking enumerators for the four evaluation
+//!   queries (edges `Q1−`, length-2 paths `Q2−`, triangles `QΔ`,
+//!   rectangles `Q□`), producing [`r2t_engine::QueryProfile`]s directly, plus
+//!   the equivalent engine IR queries for cross-checking.
+//! * [`baselines`] — graph-specific DP baselines: naive truncation with
+//!   smooth sensitivity (NT), the smooth distance estimator (SDE), and a
+//!   bounded recursive mechanism (RM).
+//! * [`io`] — SNAP-format edge-list reading/writing, so the real datasets
+//!   can be dropped in when available.
+//! * [`stats`] — degree distributions and clustering, for comparing the
+//!   stand-ins against Table 1 of the paper.
+
+//! ```
+//! use r2t_graph::{Graph, Pattern};
+//!
+//! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (0, 2), (2, 3)]);
+//! assert_eq!(Pattern::Triangle.count(&g), 1);
+//! let profile = Pattern::Triangle.profile(&g); // node-DP lineage
+//! assert_eq!(profile.query_result(), 1.0);
+//! assert_eq!(profile.results[0].refs.len(), 3); // references its 3 nodes
+//! ```
+
+pub mod baselines;
+pub mod datasets;
+pub mod generators;
+pub mod graph;
+pub mod io;
+pub mod patterns;
+pub mod stats;
+
+pub use graph::Graph;
+pub use patterns::Pattern;

@@ -1,0 +1,417 @@
+//! Lineage-tracking pattern enumerators for the four evaluation queries.
+//!
+//! Each enumerator produces a [`QueryProfile`] under node-DP: every pattern
+//! occurrence is one join result of weight 1 referencing the distinct nodes
+//! it spans. Conventions (consistent with the SQL formulations in the paper,
+//! Example 6.2):
+//!
+//! * **Edge** `Q1−`: each undirected edge once (`src < dst` predicate).
+//! * **Path2** `Q2−`: each length-2 path `a–b–c` once (`a < c`, `a ≠ c`).
+//! * **Triangle** `QΔ`: each triangle once (`a < b < c`).
+//! * **Rectangle** `Q□`: each 4-cycle once (counted by its lexicographically
+//!   smaller diagonal).
+//!
+//! [`Pattern::to_query`] returns the equivalent engine IR query so the
+//! enumerators can be cross-checked against the generic join executor.
+
+use crate::graph::Graph;
+use r2t_engine::lineage::ProfileBuilder;
+use r2t_engine::query::{atom, CmpOp, Predicate, Query};
+use r2t_engine::QueryProfile;
+use std::collections::HashMap;
+
+/// The four graph pattern counting queries of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// Edge counting `Q1−`.
+    Edge,
+    /// Length-2 path counting `Q2−`.
+    Path2,
+    /// Triangle counting `QΔ`.
+    Triangle,
+    /// Rectangle (4-cycle) counting `Q□`.
+    Rectangle,
+}
+
+impl Pattern {
+    /// All four patterns in the paper's order.
+    pub const ALL: [Pattern; 4] = [Pattern::Edge, Pattern::Path2, Pattern::Triangle, Pattern::Rectangle];
+
+    /// The paper's label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Pattern::Edge => "Q1-",
+            Pattern::Path2 => "Q2-",
+            Pattern::Triangle => "Qtri",
+            Pattern::Rectangle => "Qrect",
+        }
+    }
+
+    /// The global sensitivity implied by a public degree bound `D`
+    /// (Section 10.1: `GS = D` for edges, `D²` for paths/triangles, `D³`
+    /// for rectangles).
+    pub fn global_sensitivity(&self, degree_bound: f64) -> f64 {
+        match self {
+            Pattern::Edge => degree_bound,
+            Pattern::Path2 | Pattern::Triangle => degree_bound * degree_bound,
+            Pattern::Rectangle => degree_bound * degree_bound * degree_bound,
+        }
+    }
+
+    /// Counts occurrences (without lineage).
+    pub fn count(&self, g: &Graph) -> u64 {
+        match self {
+            Pattern::Edge => g.num_edges() as u64,
+            Pattern::Path2 => (0..g.num_vertices() as u32)
+                .map(|b| {
+                    let d = g.degree(b) as u64;
+                    d * d.saturating_sub(1) / 2
+                })
+                .sum::<u64>(),
+            Pattern::Triangle => {
+                let mut count = 0u64;
+                for (u, v) in g.edges() {
+                    count += intersect_above(g.neighbors(u), g.neighbors(v), v);
+                }
+                count
+            }
+            Pattern::Rectangle => {
+                // Σ over diagonals {u,w}: C(common, 2), each cycle counted
+                // via two diagonals → halve by the min-diagonal rule. Here we
+                // count all wedge pairs and divide by 2.
+                let mut wedge: HashMap<(u32, u32), u64> = HashMap::new();
+                for b in 0..g.num_vertices() as u32 {
+                    let nb = g.neighbors(b);
+                    for (i, &a) in nb.iter().enumerate() {
+                        for &c in &nb[i + 1..] {
+                            *wedge.entry((a, c)).or_insert(0) += 1;
+                        }
+                    }
+                }
+                wedge.values().map(|&w| w * (w - 1) / 2).sum::<u64>() / 2
+            }
+        }
+    }
+
+    /// Enumerates occurrences with node-DP lineage.
+    pub fn profile(&self, g: &Graph) -> QueryProfile {
+        let mut b: ProfileBuilder<u32> = ProfileBuilder::new();
+        match self {
+            Pattern::Edge => {
+                for (u, v) in g.edges() {
+                    b.add_result(1.0, [u, v]);
+                }
+            }
+            Pattern::Path2 => {
+                for c in 0..g.num_vertices() as u32 {
+                    let nb = g.neighbors(c);
+                    for (i, &a) in nb.iter().enumerate() {
+                        for &d in &nb[i + 1..] {
+                            b.add_result(1.0, [a, c, d]);
+                        }
+                    }
+                }
+            }
+            Pattern::Triangle => {
+                for (u, v) in g.edges() {
+                    // Common neighbours above v give u < v < w.
+                    let (nu, nv) = (g.neighbors(u), g.neighbors(v));
+                    let mut i = nu.partition_point(|&x| x <= v);
+                    let mut j = nv.partition_point(|&x| x <= v);
+                    while i < nu.len() && j < nv.len() {
+                        match nu[i].cmp(&nv[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                b.add_result(1.0, [u, v, nu[i]]);
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            Pattern::Rectangle => {
+                // Wedges grouped by endpoints (a < c): centers list. Cycles
+                // counted once via the lexicographically smaller diagonal.
+                let mut wedge: HashMap<(u32, u32), Vec<u32>> = HashMap::new();
+                for center in 0..g.num_vertices() as u32 {
+                    let nb = g.neighbors(center);
+                    for (i, &a) in nb.iter().enumerate() {
+                        for &c in &nb[i + 1..] {
+                            wedge.entry((a, c)).or_default().push(center);
+                        }
+                    }
+                }
+                for (&(a, c), centers) in &wedge {
+                    for (i, &u) in centers.iter().enumerate() {
+                        for &w in &centers[i + 1..] {
+                            // Diagonals {a,c} and {u,w}: count when
+                            // min(a,c)=a < min(u,w).
+                            if a < u.min(w) {
+                                b.add_result(1.0, [a, c, u, w]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        b.build()
+    }
+
+    /// The equivalent engine IR query over the node-DP graph schema
+    /// ([`r2t_engine::schema::graph_schema_node_dp`]); edges must be stored
+    /// in both directions in the `Edge` relation.
+    pub fn to_query(&self) -> Query {
+        match self {
+            Pattern::Edge => Query::count(vec![atom("Edge", &[0, 1])])
+                .with_predicate(Predicate::cmp_vars(0, CmpOp::Lt, 1)),
+            Pattern::Path2 => {
+                // a-b, b-c with a < c.
+                Query::count(vec![atom("Edge", &[0, 1]), atom("Edge", &[1, 2])])
+                    .with_predicate(Predicate::cmp_vars(0, CmpOp::Lt, 2))
+            }
+            Pattern::Triangle => Query::count(vec![
+                atom("Edge", &[0, 1]),
+                atom("Edge", &[1, 2]),
+                atom("Edge", &[0, 2]),
+            ])
+            .with_predicate(Predicate::And(vec![
+                Predicate::cmp_vars(0, CmpOp::Lt, 1),
+                Predicate::cmp_vars(1, CmpOp::Lt, 2),
+            ])),
+            Pattern::Rectangle => {
+                // Cycle a-u-c-w-a with distinctness; canonical: a smallest,
+                // u < w breaks the remaining symmetry.
+                Query::count(vec![
+                    atom("Edge", &[0, 1]),
+                    atom("Edge", &[1, 2]),
+                    atom("Edge", &[2, 3]),
+                    atom("Edge", &[3, 0]),
+                ])
+                .with_predicate(Predicate::And(vec![
+                    Predicate::cmp_vars(0, CmpOp::Lt, 1),
+                    Predicate::cmp_vars(0, CmpOp::Lt, 2),
+                    Predicate::cmp_vars(0, CmpOp::Lt, 3),
+                    Predicate::cmp_vars(1, CmpOp::Lt, 3),
+                    Predicate::cmp_vars(1, CmpOp::Ne, 2),
+                ]))
+            }
+        }
+    }
+}
+
+/// Enumerates `k`-stars (a centre with `k` distinct chosen neighbours) with
+/// node-DP lineage: each occurrence references the centre and its `k`
+/// leaves. Used by the Example 6.2 style workloads; counts are `Σ_v C(d_v, k)`.
+///
+/// The profile size grows as `C(max degree, k)`; intended for small `k`
+/// (2–4) and bounded-degree graphs.
+pub fn star_profile(g: &Graph, k: usize) -> QueryProfile {
+    assert!(k >= 1, "a star needs at least one leaf");
+    let mut b: ProfileBuilder<u32> = ProfileBuilder::new();
+    let mut combo: Vec<usize> = Vec::new();
+    for center in 0..g.num_vertices() as u32 {
+        let nb = g.neighbors(center);
+        if nb.len() < k {
+            continue;
+        }
+        // Iterate k-combinations of the neighbour list.
+        combo.clear();
+        combo.extend(0..k);
+        loop {
+            let mut refs: Vec<u32> = combo.iter().map(|&i| nb[i]).collect();
+            refs.push(center);
+            b.add_result(1.0, refs);
+            // Next combination.
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    break;
+                }
+                i -= 1;
+                if combo[i] != i + nb.len() - k {
+                    combo[i] += 1;
+                    for j in i + 1..k {
+                        combo[j] = combo[j - 1] + 1;
+                    }
+                    break;
+                }
+                if i == 0 {
+                    combo.clear();
+                    break;
+                }
+            }
+            if combo.is_empty() {
+                break;
+            }
+        }
+    }
+    b.build()
+}
+
+/// Counts `k`-stars without lineage: `Σ_v C(d_v, k)`.
+pub fn star_count(g: &Graph, k: usize) -> u64 {
+    (0..g.num_vertices() as u32)
+        .map(|v| binomial(g.degree(v) as u64, k as u64))
+        .sum()
+}
+
+fn binomial(n: u64, k: u64) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut out = 1u64;
+    for i in 0..k {
+        out = out * (n - i) / (i + 1);
+    }
+    out
+}
+
+/// Counts common elements of two sorted lists strictly greater than `above`.
+fn intersect_above(a: &[u32], b: &[u32], above: u32) -> u64 {
+    let mut i = a.partition_point(|&x| x <= above);
+    let mut j = b.partition_point(|&x| x <= above);
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Converts a graph into an engine instance over the node-DP schema (edges
+/// stored in both directions, as in the paper's SQL formulation).
+pub fn to_instance(g: &Graph) -> r2t_engine::Instance {
+    use r2t_engine::Value;
+    let mut inst = r2t_engine::Instance::new();
+    inst.insert_all(
+        "Node",
+        (0..g.num_vertices() as i64).map(|i| vec![Value::Int(i)]),
+    );
+    let mut edges = Vec::with_capacity(2 * g.num_edges());
+    for (u, v) in g.edges() {
+        edges.push(vec![Value::Int(u as i64), Value::Int(v as i64)]);
+        edges.push(vec![Value::Int(v as i64), Value::Int(u as i64)]);
+    }
+    inst.insert_all("Edge", edges);
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{erdos_renyi, preferential_attachment};
+    use r2t_engine::schema::graph_schema_node_dp;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn k4_plus_tail() -> Graph {
+        // K4 on {0,1,2,3} plus tail 3-4-5.
+        Graph::from_edges(
+            6,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
+        )
+    }
+
+    #[test]
+    fn counts_on_known_graph() {
+        let g = k4_plus_tail();
+        assert_eq!(Pattern::Edge.count(&g), 8);
+        // Wedges: degrees 3,3,3,4,2,1 → 3·C(3,2) + C(4,2) + C(2,2) = 9+6+1.
+        assert_eq!(Pattern::Path2.count(&g), 16);
+        assert_eq!(Pattern::Triangle.count(&g), 4);
+        // 4-cycles in K4: 3.
+        assert_eq!(Pattern::Rectangle.count(&g), 3);
+    }
+
+    #[test]
+    fn profile_totals_match_counts() {
+        let g = k4_plus_tail();
+        for p in Pattern::ALL {
+            assert_eq!(p.profile(&g).query_result(), p.count(&g) as f64, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn profiles_reference_pattern_nodes() {
+        let g = k4_plus_tail();
+        let p = Pattern::Triangle.profile(&g);
+        assert!(p.results.iter().all(|r| r.refs.len() == 3));
+        let p = Pattern::Rectangle.profile(&g);
+        assert!(p.results.iter().all(|r| r.refs.len() == 4));
+        // Every K4 node lies in 3 of the 4 triangles.
+        let tri = Pattern::Triangle.profile(&g);
+        assert_eq!(tri.max_sensitivity(), 3.0);
+    }
+
+    #[test]
+    fn engine_agrees_on_random_graphs() {
+        let schema = graph_schema_node_dp();
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = erdos_renyi(14, 0.3, &mut rng);
+            let inst = to_instance(&g);
+            for p in Pattern::ALL {
+                let direct = p.count(&g) as f64;
+                let via_engine =
+                    r2t_engine::exec::evaluate(&schema, &inst, &p.to_query()).unwrap();
+                assert_eq!(direct, via_engine, "{p:?} seed {seed}");
+                // Lineage sensitivities agree too.
+                let prof_direct = p.profile(&g);
+                let prof_engine =
+                    r2t_engine::exec::profile(&schema, &inst, &p.to_query()).unwrap();
+                let mut s1 = prof_direct.sensitivities();
+                let mut s2 = prof_engine.sensitivities();
+                s1.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                s2.sort_by(|x, y| x.partial_cmp(y).unwrap());
+                // Unreferenced nodes don't get ids; compare non-zero tails.
+                assert_eq!(s1, s2, "{p:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn gs_formulas() {
+        assert_eq!(Pattern::Edge.global_sensitivity(16.0), 16.0);
+        assert_eq!(Pattern::Path2.global_sensitivity(16.0), 256.0);
+        assert_eq!(Pattern::Triangle.global_sensitivity(16.0), 256.0);
+        assert_eq!(Pattern::Rectangle.global_sensitivity(16.0), 4096.0);
+    }
+
+    #[test]
+    fn star_profile_matches_count() {
+        let g = k4_plus_tail();
+        for k in 1..=3 {
+            let p = star_profile(&g, k);
+            assert_eq!(p.query_result(), star_count(&g, k) as f64, "k = {k}");
+            assert!(p.results.iter().all(|r| r.refs.len() == k + 1));
+        }
+        // 2-stars are exactly the wedges.
+        assert_eq!(star_count(&g, 2), Pattern::Path2.count(&g));
+    }
+
+    #[test]
+    fn binomial_helper() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(4, 4), 1);
+        assert_eq!(binomial(3, 5), 0);
+    }
+
+    #[test]
+    fn rectangle_counting_scales() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = preferential_attachment(300, 3, &mut rng);
+        let c = Pattern::Rectangle.count(&g);
+        let p = Pattern::Rectangle.profile(&g);
+        assert_eq!(p.query_result(), c as f64);
+    }
+}

@@ -1,0 +1,95 @@
+//! Graph statistics: degree distributions, clustering, and the Table-1-style
+//! dataset summary used to compare the synthetic stand-ins against the
+//! paper's SNAP datasets.
+
+use crate::graph::Graph;
+use crate::patterns::Pattern;
+
+/// Summary statistics for a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Number of undirected edges.
+    pub edges: usize,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// 99th-percentile degree.
+    pub p99_degree: usize,
+    /// Global clustering coefficient `3·triangles / wedges` (0 if no wedges).
+    pub clustering: f64,
+}
+
+impl GraphStats {
+    /// Computes statistics for a graph.
+    pub fn of(g: &Graph) -> GraphStats {
+        let nodes = g.num_vertices();
+        let edges = g.num_edges();
+        let mut degrees: Vec<usize> = (0..nodes as u32).map(|v| g.degree(v)).collect();
+        degrees.sort_unstable();
+        let max_degree = degrees.last().copied().unwrap_or(0);
+        let mean_degree = if nodes == 0 { 0.0 } else { 2.0 * edges as f64 / nodes as f64 };
+        let p99_degree =
+            if nodes == 0 { 0 } else { degrees[(nodes - 1) * 99 / 100] };
+        let wedges = Pattern::Path2.count(g);
+        let triangles = Pattern::Triangle.count(g);
+        let clustering =
+            if wedges == 0 { 0.0 } else { 3.0 * triangles as f64 / wedges as f64 };
+        GraphStats { nodes, edges, max_degree, mean_degree, p99_degree, clustering }
+    }
+}
+
+/// Degree histogram: `hist[d]` = number of vertices of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in 0..g.num_vertices() as u32 {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{perturbed_grid, preferential_attachment};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn triangle_graph_stats() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let s = GraphStats::of(&g);
+        assert_eq!(s.nodes, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_degree, 2);
+        assert!((s.clustering - 1.0).abs() < 1e-12, "a triangle is fully clustered");
+    }
+
+    #[test]
+    fn histogram_sums_to_node_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = preferential_attachment(300, 2, &mut rng);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 300);
+        assert_eq!(h.len(), g.max_degree() + 1);
+    }
+
+    #[test]
+    fn social_more_clustered_and_skewed_than_road() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let social = GraphStats::of(&preferential_attachment(800, 3, &mut rng));
+        let road = GraphStats::of(&perturbed_grid(28, 28, 0.05, 0.05, &mut rng));
+        assert!(social.max_degree > 4 * road.max_degree);
+        assert!(social.p99_degree > road.p99_degree);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let s = GraphStats::of(&Graph::new(0));
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.clustering, 0.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Solution certification: KKT-style optimality checks.
+//!
+//! Given a problem and a candidate [`Solution`], [`certify`] measures primal
+//! feasibility, dual (sign) feasibility, complementary slackness, and the
+//! duality gap, returning a [`Certificate`] of worst-case residuals. The
+//! test suites use it to validate solver output beyond objective-value
+//! comparisons, and downstream users can assert on it in production.
+
+use crate::dual_bound::lagrangian_bound;
+use crate::problem::Problem;
+use crate::Solution;
+
+/// Residuals of an optimality check (all non-negative; 0 = exact).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Certificate {
+    /// Largest violation of row/variable bounds by the primal point.
+    pub primal_infeasibility: f64,
+    /// Largest dual sign violation: positive `y_i` on a row with no finite
+    /// upper bound, or negative `y_i` on a row with no finite lower bound.
+    pub dual_sign_violation: f64,
+    /// Largest complementary-slackness residual: `|y_i| · slack_i` where
+    /// `slack_i` is the distance from the row activity to the bound the
+    /// dual's sign points at.
+    pub complementarity: f64,
+    /// `lagrangian_bound(y) − objective` (≥ 0 up to round-off at optimality;
+    /// large values mean the duals do not certify the primal).
+    pub duality_gap: f64,
+}
+
+impl Certificate {
+    /// Whether all residuals are below `tol` (with the gap measured
+    /// relatively against the objective).
+    pub fn is_optimal(&self, objective: f64, tol: f64) -> bool {
+        let scale = 1.0 + objective.abs();
+        self.primal_infeasibility <= tol * scale
+            && self.dual_sign_violation <= tol * scale
+            && self.complementarity <= tol * scale
+            && self.duality_gap.abs() <= tol * scale
+    }
+}
+
+/// Certifies a solution against its problem. The solution is interpreted in
+/// the problem's *maximize* sense internally (consistent with
+/// [`crate::RevisedSimplex`] output).
+pub fn certify(problem: &Problem, solution: &Solution) -> Certificate {
+    let primal_infeasibility = problem.max_violation(&solution.x).max(0.0);
+
+    let mat = problem.freeze().expect("certify requires a valid problem");
+    let mut activity = vec![0.0f64; problem.num_rows()];
+    for j in 0..problem.num_vars() {
+        let xj = solution.x[j];
+        if xj != 0.0 {
+            for (i, v) in mat.col(j) {
+                activity[i] += v * xj;
+            }
+        }
+    }
+
+    let mut dual_sign_violation = 0.0f64;
+    let mut complementarity = 0.0f64;
+    for i in 0..problem.num_rows() {
+        let b = problem.row_bounds(i);
+        let y = solution.y.get(i).copied().unwrap_or(0.0);
+        if y > 0.0 && b.upper.is_infinite() {
+            dual_sign_violation = dual_sign_violation.max(y);
+        }
+        if y < 0.0 && b.lower.is_infinite() {
+            dual_sign_violation = dual_sign_violation.max(-y);
+        }
+        if y > 0.0 && b.upper.is_finite() {
+            complementarity = complementarity.max(y * (b.upper - activity[i]).abs());
+        }
+        if y < 0.0 && b.lower.is_finite() {
+            complementarity = complementarity.max(-y * (activity[i] - b.lower).abs());
+        }
+    }
+
+    let ub = lagrangian_bound(problem, &solution.y);
+    // Internally everything is maximize-sense; externalize consistently.
+    let max_obj: f64 = (0..problem.num_vars())
+        .map(|j| {
+            let c = match problem.sense() {
+                crate::problem::Sense::Maximize => problem.objective_coefficient(j),
+                crate::problem::Sense::Minimize => -problem.objective_coefficient(j),
+            };
+            c * solution.x[j]
+        })
+        .sum();
+    Certificate {
+        primal_infeasibility,
+        dual_sign_violation,
+        complementarity,
+        duality_gap: ub - max_obj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{RowBounds, VarBounds};
+    use crate::RevisedSimplex;
+
+    fn packing() -> Problem {
+        let mut p = Problem::new();
+        let vars: Vec<usize> = (0..6).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
+        for w in vars.chunks(2) {
+            p.add_row(RowBounds::at_most(1.5), &[(w[0], 1.0), (w[1], 1.0)]);
+        }
+        p
+    }
+
+    #[test]
+    fn optimal_solution_certifies() {
+        let p = packing();
+        let s = RevisedSimplex::new().solve(&p).expect("solves");
+        let c = certify(&p, &s);
+        assert!(c.is_optimal(s.objective, 1e-6), "{c:?}");
+    }
+
+    #[test]
+    fn suboptimal_point_fails_gap() {
+        let p = packing();
+        let mut s = RevisedSimplex::new().solve(&p).expect("solves");
+        // Zero out the primal: feasible but far from optimal.
+        s.x.iter_mut().for_each(|v| *v = 0.0);
+        let c = certify(&p, &s);
+        assert!(c.primal_infeasibility <= 1e-12);
+        assert!(c.duality_gap > 1.0, "{c:?}");
+        assert!(!c.is_optimal(0.0, 1e-6));
+    }
+
+    #[test]
+    fn infeasible_point_detected() {
+        let p = packing();
+        let s = Solution {
+            status: crate::Status::Optimal,
+            objective: 12.0,
+            x: vec![2.0; 6], // violates upper bounds and rows
+            y: vec![0.0; 3],
+            iterations: 0,
+        };
+        let c = certify(&p, &s);
+        assert!(c.primal_infeasibility >= 1.0, "{c:?}");
+    }
+
+    #[test]
+    fn wrong_sign_duals_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        p.add_row(RowBounds::at_least(0.0), &[(x, 1.0)]); // G row: y must be <= 0
+        let s = Solution {
+            status: crate::Status::Optimal,
+            objective: 1.0,
+            x: vec![1.0],
+            y: vec![2.0], // wrong sign
+            iterations: 0,
+        };
+        let c = certify(&p, &s);
+        assert!(c.dual_sign_violation >= 2.0, "{c:?}");
+    }
+}

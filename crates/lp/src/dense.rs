@@ -1,0 +1,542 @@
+//! A textbook two-phase dense tableau simplex.
+//!
+//! This solver exists as a *correctness oracle*: it is deliberately simple
+//! (full tableau, Bland's rule, standard-form conversion) so that its
+//! behaviour is easy to audit, and the production [`crate::revised`] solver is
+//! property-tested against it on thousands of random LPs. It is only suitable
+//! for small problems — the tableau is dense and Bland's rule is slow.
+//!
+//! General bounded problems are converted to standard form
+//! `max cᵀz, Ãz {≤,≥,=} b̃, z ≥ 0` by shifting finite lower bounds, emitting
+//! upper bounds as extra rows, and splitting free variables.
+
+use crate::problem::{Problem, VarBounds};
+use crate::{LpError, Solution, Status};
+
+const TOL: f64 = 1e-9;
+
+/// How each original variable maps into the standard-form variable space.
+enum VarMap {
+    /// `x = shift + z[k]`.
+    Shifted { k: usize, shift: f64 },
+    /// `x = shift - z[k]` (variable had only a finite upper bound).
+    Mirrored { k: usize, shift: f64 },
+    /// `x = z[kp] - z[kn]` (free variable).
+    Split { kp: usize, kn: usize },
+    /// `x = v` (fixed variable, removed from the problem).
+    Fixed(f64),
+}
+
+enum RowKind {
+    Le,
+    Ge,
+    Eq,
+}
+
+/// The dense oracle solver. See the module docs.
+#[derive(Debug, Default)]
+pub struct DenseSimplex {
+    /// Maximum number of pivots across both phases (0 = a generous default).
+    pub max_iterations: usize,
+}
+
+impl DenseSimplex {
+    /// Creates a solver with the default iteration limit.
+    pub fn new() -> Self {
+        DenseSimplex { max_iterations: 0 }
+    }
+
+    /// Solves the problem, returning the optimal solution or a terminal
+    /// status. Row duals are not recovered by the oracle (`y` is zeroed).
+    pub fn solve(&self, problem: &Problem) -> Result<Solution, LpError> {
+        let mat = problem.freeze()?;
+        let n = problem.num_vars();
+        let m = problem.num_rows();
+
+        // --- Standard-form conversion -----------------------------------
+        let mut maps: Vec<VarMap> = Vec::with_capacity(n);
+        let mut nz = 0usize; // number of standard-form variables
+        // Extra rows from variable upper bounds: (z index, bound).
+        let mut ub_rows: Vec<(usize, f64)> = Vec::new();
+        for j in 0..n {
+            let VarBounds { lower, upper } = problem.var_bounds(j);
+            if lower == upper {
+                maps.push(VarMap::Fixed(lower));
+            } else if lower.is_finite() {
+                let k = nz;
+                nz += 1;
+                if upper.is_finite() {
+                    ub_rows.push((k, upper - lower));
+                }
+                maps.push(VarMap::Shifted { k, shift: lower });
+            } else if upper.is_finite() {
+                let k = nz;
+                nz += 1;
+                maps.push(VarMap::Mirrored { k, shift: upper });
+            } else {
+                let kp = nz;
+                let kn = nz + 1;
+                nz += 2;
+                maps.push(VarMap::Split { kp, kn });
+            }
+        }
+
+        // Dense standard-form rows: coefficient vector over z, kind, rhs.
+        let mut rows: Vec<(Vec<f64>, RowKind, f64)> = Vec::new();
+        // Original constraint rows: compute coefficients over z and the rhs
+        // shift contributed by fixed/shifted variables.
+        let mut row_coefs = vec![vec![0.0f64; nz]; m];
+        let mut row_shift = vec![0.0f64; m];
+        for j in 0..n {
+            for (i, v) in mat.col(j) {
+                match maps[j] {
+                    VarMap::Shifted { k, shift } => {
+                        row_coefs[i][k] += v;
+                        row_shift[i] += v * shift;
+                    }
+                    VarMap::Mirrored { k, shift } => {
+                        row_coefs[i][k] -= v;
+                        row_shift[i] += v * shift;
+                    }
+                    VarMap::Split { kp, kn } => {
+                        row_coefs[i][kp] += v;
+                        row_coefs[i][kn] -= v;
+                    }
+                    VarMap::Fixed(val) => row_shift[i] += v * val,
+                }
+            }
+        }
+        for i in 0..m {
+            let b = problem.row_bounds(i);
+            if b.lower == b.upper {
+                rows.push((row_coefs[i].clone(), RowKind::Eq, b.lower - row_shift[i]));
+            } else {
+                if b.upper.is_finite() {
+                    rows.push((row_coefs[i].clone(), RowKind::Le, b.upper - row_shift[i]));
+                }
+                if b.lower.is_finite() {
+                    rows.push((row_coefs[i].clone(), RowKind::Ge, b.lower - row_shift[i]));
+                }
+            }
+        }
+        for &(k, ub) in &ub_rows {
+            let mut coefs = vec![0.0; nz];
+            coefs[k] = 1.0;
+            rows.push((coefs, RowKind::Le, ub));
+        }
+
+        // Objective over z (maximize sense). The constant contribution of
+        // shifted/fixed variables is recovered at extraction time by
+        // evaluating the original objective at the mapped-back point.
+        let mut cz = vec![0.0f64; nz];
+        for j in 0..n {
+            let c = problem.max_objective(j);
+            match maps[j] {
+                VarMap::Shifted { k, .. } => cz[k] += c,
+                VarMap::Mirrored { k, .. } => cz[k] -= c,
+                VarMap::Split { kp, kn } => {
+                    cz[kp] += c;
+                    cz[kn] -= c;
+                }
+                VarMap::Fixed(_) => {}
+            }
+        }
+
+        // --- Tableau construction ---------------------------------------
+        let mr = rows.len();
+        // Columns: z vars, then one slack/surplus per Le/Ge row, then
+        // artificials. Count them first.
+        let mut n_slack = 0;
+        for (_, kind, _) in &rows {
+            if !matches!(kind, RowKind::Eq) {
+                n_slack += 1;
+            }
+        }
+        // Negate rows with negative rhs so b ≥ 0 (flips Le <-> Ge).
+        // Artificials: Ge and Eq rows need one; Le rows get a basic slack.
+        let total_guess = nz + n_slack + mr;
+        let mut tab = vec![vec![0.0f64; total_guess + 1]; mr];
+        let mut basis = vec![usize::MAX; mr];
+        let mut next_slack = nz;
+        let mut next_art = nz + n_slack;
+        let artificial_start = nz + n_slack;
+        for (i, (coefs, kind, rhs)) in rows.iter().enumerate() {
+            let neg = *rhs < 0.0;
+            let s = if neg { -1.0 } else { 1.0 };
+            for (k, &v) in coefs.iter().enumerate() {
+                tab[i][k] = s * v;
+            }
+            tab[i][total_guess] = s * rhs;
+            let kind_eff = match (kind, neg) {
+                (RowKind::Le, false) | (RowKind::Ge, true) => RowKind::Le,
+                (RowKind::Ge, false) | (RowKind::Le, true) => RowKind::Ge,
+                (RowKind::Eq, _) => RowKind::Eq,
+            };
+            match kind_eff {
+                RowKind::Le => {
+                    tab[i][next_slack] = 1.0;
+                    basis[i] = next_slack;
+                    next_slack += 1;
+                }
+                RowKind::Ge => {
+                    tab[i][next_slack] = -1.0;
+                    next_slack += 1;
+                    tab[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+                RowKind::Eq => {
+                    tab[i][next_art] = 1.0;
+                    basis[i] = next_art;
+                    next_art += 1;
+                }
+            }
+        }
+        let ncols = next_art; // actual used columns
+        let rhs_col = total_guess;
+
+        let max_iters = if self.max_iterations == 0 {
+            50_000 + 200 * (mr + ncols)
+        } else {
+            self.max_iterations
+        };
+        let mut iterations = 0usize;
+
+        // --- Phase 1: drive out artificials ------------------------------
+        if next_art > artificial_start {
+            // Phase-1: maximize -(sum of artificials). The objective row
+            // stores reduced costs d_k = c_k - c_B B⁻¹ A_k with c_k = -1 on
+            // artificial columns; obj[rhs] then equals the current total
+            // infeasibility (the negated phase-1 objective).
+            let mut obj = vec![0.0f64; rhs_col + 1];
+            for entry in obj.iter_mut().take(next_art).skip(artificial_start) {
+                *entry = -1.0;
+            }
+            for i in 0..mr {
+                if basis[i] >= artificial_start {
+                    // c_B = -1 for basic artificials: obj += row.
+                    for k in 0..=rhs_col {
+                        obj[k] += tab[i][k];
+                    }
+                }
+            }
+            run_simplex(
+                &mut tab,
+                &mut basis,
+                &mut obj,
+                ncols,
+                rhs_col,
+                artificial_start, // allow artificials to leave but not enter
+                max_iters,
+                &mut iterations,
+            );
+            let infeasibility = obj[rhs_col];
+            if infeasibility > 1e-7 {
+                return Ok(Solution::infeasible(n, m, iterations));
+            }
+            // Pivot remaining basic artificials out where possible.
+            for i in 0..mr {
+                if basis[i] >= artificial_start && tab[i][rhs_col].abs() <= TOL {
+                    if let Some(k) =
+                        (0..artificial_start).find(|&k| tab[i][k].abs() > 1e-8)
+                    {
+                        pivot(&mut tab, &mut basis, &mut vec![0.0; rhs_col + 1], i, k, rhs_col);
+                    }
+                    // If no pivot exists the row is redundant; leaving the
+                    // artificial basic at value zero is harmless because
+                    // artificials can never re-enter.
+                }
+            }
+        }
+
+        // --- Phase 2 ------------------------------------------------------
+        let mut obj = vec![0.0f64; rhs_col + 1];
+        for (k, &c) in cz.iter().enumerate() {
+            obj[k] = c;
+        }
+        // Reduce by basic columns: obj_row = c - c_B B^{-1} A.
+        for i in 0..mr {
+            let b = basis[i];
+            if b < nz && cz[b] != 0.0 {
+                let cb = cz[b];
+                for k in 0..=rhs_col {
+                    obj[k] -= cb * tab[i][k];
+                }
+            }
+        }
+        let status = run_simplex(
+            &mut tab,
+            &mut basis,
+            &mut obj,
+            ncols,
+            rhs_col,
+            artificial_start,
+            max_iters,
+            &mut iterations,
+        );
+
+        // --- Extract solution --------------------------------------------
+        let mut z = vec![0.0f64; nz];
+        for i in 0..mr {
+            if basis[i] < nz {
+                z[basis[i]] = tab[i][rhs_col];
+            }
+        }
+        let mut x = vec![0.0f64; n];
+        for j in 0..n {
+            x[j] = match maps[j] {
+                VarMap::Shifted { k, shift } => shift + z[k],
+                VarMap::Mirrored { k, shift } => shift - z[k],
+                VarMap::Split { kp, kn } => z[kp] - z[kn],
+                VarMap::Fixed(v) => v,
+            };
+        }
+        let objective = problem.objective_value(&x);
+        let status = match status {
+            InnerStatus::Optimal => Status::Optimal,
+            InnerStatus::Unbounded => Status::Unbounded,
+            InnerStatus::IterLimit => Status::IterationLimit,
+        };
+        let objective = if status == Status::Unbounded {
+            match problem.sense() {
+                crate::problem::Sense::Maximize => f64::INFINITY,
+                crate::problem::Sense::Minimize => f64::NEG_INFINITY,
+            }
+        } else {
+            objective
+        };
+        Ok(Solution { status, objective, x, y: vec![0.0; m], iterations })
+    }
+}
+
+#[derive(PartialEq)]
+enum InnerStatus {
+    Optimal,
+    Unbounded,
+    IterLimit,
+}
+
+/// Runs Bland's-rule simplex on the tableau until no improving column
+/// remains. Artificial columns (indices `≥ art_start`) may never enter.
+#[allow(clippy::too_many_arguments)]
+fn run_simplex(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut [f64],
+    ncols: usize,
+    rhs_col: usize,
+    art_start: usize,
+    max_iters: usize,
+    iterations: &mut usize,
+) -> InnerStatus {
+    let mr = tab.len();
+    loop {
+        if *iterations >= max_iters {
+            return InnerStatus::IterLimit;
+        }
+        // Bland: smallest index with positive reduced cost (maximization).
+        let enter = (0..ncols.min(art_start)).find(|&k| obj[k] > TOL);
+        let Some(enter) = enter else {
+            return InnerStatus::Optimal;
+        };
+        // Ratio test: smallest ratio, ties by smallest basis index (Bland).
+        let mut leave: Option<usize> = None;
+        let mut best = f64::INFINITY;
+        for i in 0..mr {
+            let a = tab[i][enter];
+            if a > TOL {
+                let ratio = tab[i][rhs_col] / a;
+                if ratio < best - TOL
+                    || (ratio < best + TOL
+                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                {
+                    best = ratio;
+                    leave = Some(i);
+                }
+            }
+        }
+        let Some(leave) = leave else {
+            return InnerStatus::Unbounded;
+        };
+        pivot(tab, basis, obj, leave, enter, rhs_col);
+        *iterations += 1;
+    }
+}
+
+fn pivot(
+    tab: &mut [Vec<f64>],
+    basis: &mut [usize],
+    obj: &mut [f64],
+    row: usize,
+    col: usize,
+    rhs_col: usize,
+) {
+    let piv = tab[row][col];
+    let inv = 1.0 / piv;
+    for v in tab[row].iter_mut() {
+        *v *= inv;
+    }
+    for i in 0..tab.len() {
+        if i != row {
+            let f = tab[i][col];
+            if f != 0.0 {
+                for k in 0..=rhs_col {
+                    tab[i][k] -= f * tab[row][k];
+                }
+                tab[i][col] = 0.0;
+            }
+        }
+    }
+    let f = obj[col];
+    if f != 0.0 {
+        for k in 0..=rhs_col {
+            obj[k] -= f * tab[row][k];
+        }
+        obj[col] = 0.0;
+    }
+    basis[row] = col;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{RowBounds, Sense};
+
+    fn solve(p: &Problem) -> Solution {
+        DenseSimplex::new().solve(p).unwrap()
+    }
+
+    #[test]
+    fn simple_max() {
+        // max x + y, x + y <= 1, 0 <= x,y <= 1 → 1.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        let y = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        p.add_row(RowBounds::at_most(1.0), &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn upper_bounds_respected() {
+        // max 2x + y, x <= 3 (bound), x + y <= 4 → x=3, y=1 → 7.
+        let mut p = Problem::new();
+        let x = p.add_var(2.0, VarBounds::new(0.0, 3.0));
+        let y = p.add_var(1.0, VarBounds::non_negative());
+        p.add_row(RowBounds::at_most(4.0), &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert!((s.objective - 7.0).abs() < 1e-7, "{}", s.objective);
+        assert!((s.x[0] - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_rows() {
+        // max x, x + y = 2, y >= 1 → x = 1.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::non_negative());
+        let y = p.add_var(0.0, VarBounds::new(1.0, f64::INFINITY));
+        p.add_row(RowBounds::equal(2.0), &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x >= 2 and x <= 1.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        p.add_row(RowBounds::at_least(2.0), &[(x, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::non_negative());
+        p.add_row(RowBounds::at_least(0.0), &[(x, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn minimize_sense() {
+        // min x + y, x + y >= 3, x,y >= 0 → 3.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::non_negative());
+        let y = p.add_var(1.0, VarBounds::non_negative());
+        p.set_sense(Sense::Minimize);
+        p.add_row(RowBounds::at_least(3.0), &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // max -|x|-ish: max -x with x free, x >= -5 row → x = -5, obj 5.
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0, VarBounds::free());
+        p.add_row(RowBounds::at_least(-5.0), &[(x, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 5.0).abs() < 1e-7, "{}", s.objective);
+    }
+
+    #[test]
+    fn fixed_variable_folded() {
+        // max x + y with y fixed at 2, x + y <= 5 → x=3, obj 5.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::non_negative());
+        let y = p.add_var(1.0, VarBounds::fixed(2.0));
+        p.add_row(RowBounds::at_most(5.0), &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert!((s.objective - 5.0).abs() < 1e-7);
+        assert!((s.x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_lower_bounds() {
+        // max x, -2 <= x <= 2, x <= 1 row → 1.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::new(-2.0, 2.0));
+        p.add_row(RowBounds::at_most(1.0), &[(x, 1.0)]);
+        let s = solve(&p);
+        assert!((s.objective - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn ranged_row() {
+        // max -x, 1 <= x <= 3 (ranged row), x >= 0 → x = 1, obj -1.
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0, VarBounds::non_negative());
+        p.add_row(RowBounds::range(1.0, 3.0), &[(x, 1.0)]);
+        let s = solve(&p);
+        assert!((s.objective + 1.0).abs() < 1e-7, "{}", s.objective);
+    }
+
+    #[test]
+    fn truncation_lp_shape() {
+        // The Example 6.2 4-clique at tau = 2: six edge variables in [0,1],
+        // four vertex constraints (each vertex sees 3 edges) with rhs 2.
+        // Optimum assigns 2/3 to each edge → 4.
+        let mut p = Problem::new();
+        let edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let vars: Vec<usize> =
+            edges.iter().map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
+        for v in 0..4 {
+            let terms: Vec<(usize, f64)> = edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.0 == v || e.1 == v)
+                .map(|(k, _)| (vars[k], 1.0))
+                .collect();
+            p.add_row(RowBounds::at_most(2.0), &terms);
+        }
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 4.0).abs() < 1e-6, "{}", s.objective);
+    }
+}

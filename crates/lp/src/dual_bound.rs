@@ -1,0 +1,130 @@
+//! Weak-duality (Lagrangian) upper bounds.
+//!
+//! For a maximization problem `max cᵀx, L_r ≤ Ax ≤ U_r, l ≤ x ≤ u` and *any*
+//! multiplier vector `y`, Lagrangian relaxation of the rows gives
+//!
+//! ```text
+//! OPT ≤ Σ_i max(y_i·L_i, y_i·U_i) + Σ_j max((c−Aᵀy)_j·l_j, (c−Aᵀy)_j·u_j)
+//! ```
+//!
+//! with the convention `0·±∞ = 0`. The bound is finite whenever the signs of
+//! `y` respect the finite row bounds and the reduced costs respect the finite
+//! variable bounds; otherwise it degrades gracefully to `+∞` (still valid).
+//!
+//! This is how the R2T "early stop" optimization (Algorithm 1 in the paper)
+//! observes a decreasing upper bound while the primal simplex races upward:
+//! the solver's running duals `y` are plugged in as-is, no dual solve needed.
+//! To keep the bound finite even for sign-infeasible `y`, [`lagrangian_bound`]
+//! first projects `y` onto the sign-feasible orthant for one-sided rows.
+
+use crate::problem::Problem;
+
+/// Multiplies a dual value by a (possibly infinite) bound with the
+/// `0 · ±∞ = 0` convention.
+#[inline]
+fn mul_bound(y: f64, b: f64) -> f64 {
+    if y == 0.0 {
+        0.0
+    } else {
+        y * b
+    }
+}
+
+/// Raw Lagrangian bound at the given multipliers (maximize sense of the
+/// underlying problem; for [`crate::Sense::Minimize`] problems the returned
+/// value bounds the *negated* objective).
+pub fn lagrangian_bound_parts(problem: &Problem, y: &[f64]) -> f64 {
+    let Ok(mat) = problem.freeze() else {
+        return f64::INFINITY;
+    };
+    let m = problem.num_rows();
+    let n = problem.num_vars();
+    debug_assert_eq!(y.len(), m);
+    let mut total = 0.0f64;
+    for i in 0..m {
+        let b = problem.row_bounds(i);
+        let v = mul_bound(y[i], b.lower).max(mul_bound(y[i], b.upper));
+        total += v;
+        if total.is_nan() {
+            return f64::INFINITY;
+        }
+    }
+    for j in 0..n {
+        let d = problem.max_objective(j) - mat.col_dot(j, y);
+        let b = problem.var_bounds(j);
+        let d = if d.abs() < 1e-11 { 0.0 } else { d };
+        let v = mul_bound(d, b.lower).max(mul_bound(d, b.upper));
+        total += v;
+        if total.is_nan() {
+            return f64::INFINITY;
+        }
+    }
+    total
+}
+
+/// Lagrangian upper bound with `y` first projected onto the sign-feasible
+/// orthant: rows with only a finite upper bound require `y_i ≥ 0`, rows with
+/// only a finite lower bound require `y_i ≤ 0` (equality / ranged rows are
+/// unrestricted). Projection keeps the bound valid and usually finite.
+pub fn lagrangian_bound(problem: &Problem, y: &[f64]) -> f64 {
+    let mut yp = y.to_vec();
+    for (i, v) in yp.iter_mut().enumerate() {
+        let b = problem.row_bounds(i);
+        if b.upper.is_infinite() && *v > 0.0 {
+            *v = 0.0;
+        }
+        if b.lower.is_infinite() && *v < 0.0 {
+            *v = 0.0;
+        }
+    }
+    lagrangian_bound_parts(problem, &yp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{RowBounds, VarBounds};
+
+    fn packing_problem() -> Problem {
+        // max x + y, x + y <= 1, x,y in [0,1]. OPT = 1.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        let y = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        p.add_row(RowBounds::at_most(1.0), &[(x, 1.0), (y, 1.0)]);
+        p
+    }
+
+    #[test]
+    fn zero_duals_give_box_bound() {
+        let p = packing_problem();
+        // y = 0: bound = sum of c_j * u_j = 2 ≥ OPT.
+        assert!((lagrangian_bound(&p, &[0.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimal_duals_are_tight() {
+        let p = packing_problem();
+        // y = 1 is the optimal dual: bound = 1·1 + 0 + 0 = 1 = OPT.
+        assert!((lagrangian_bound(&p, &[1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn any_duals_upper_bound_opt() {
+        let p = packing_problem();
+        for y in [-3.0, -0.5, 0.0, 0.3, 0.9, 1.0, 2.0, 10.0] {
+            assert!(lagrangian_bound(&p, &[y]) >= 1.0 - 1e-9, "y={y}");
+        }
+    }
+
+    #[test]
+    fn sign_infeasible_duals_projected() {
+        // Row is `>=`-only; positive dual would blow up to +inf without the
+        // projection because the row's upper bound is +inf.
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0, VarBounds::new(0.0, 5.0));
+        p.add_row(RowBounds::at_least(1.0), &[(x, 1.0)]);
+        // OPT = -1 (x=1). Projection of y=+2 to 0 gives box bound 0 ≥ -1.
+        let b = lagrangian_bound(&p, &[2.0]);
+        assert!(b.is_finite() && b >= -1.0);
+    }
+}

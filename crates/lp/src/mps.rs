@@ -1,0 +1,363 @@
+//! MPS (Mathematical Programming System) reading and writing.
+//!
+//! The fixed-form-ish MPS dialect supported here covers what the truncation
+//! LPs need and what most tools emit: `NAME`, `ROWS` (`N`/`L`/`G`/`E`),
+//! `COLUMNS`, `RHS`, `BOUNDS` (`UP`/`LO`/`FX`/`FR`/`BV`-less), `ENDATA`.
+//! Fields are whitespace-separated (free form). This makes the solver
+//! interoperable: truncation LPs can be exported and cross-checked against
+//! an external solver, and external models can be fed to ours.
+
+use crate::problem::{Problem, RowBounds, Sense, VarBounds};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors raised while parsing MPS input.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MpsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for MpsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "MPS parse error on line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MpsError {}
+
+/// Writes `problem` in free-form MPS. Variables are named `X0, X1, …` and
+/// rows `R0, R1, …`; the objective row is `COST` (maximization is recorded
+/// with an `OBJSENSE` section, which most modern readers accept).
+pub fn write_mps<W: Write>(problem: &Problem, name: &str, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "NAME          {name}")?;
+    writeln!(w, "OBJSENSE")?;
+    writeln!(
+        w,
+        "    {}",
+        match problem.sense() {
+            Sense::Maximize => "MAX",
+            Sense::Minimize => "MIN",
+        }
+    )?;
+    writeln!(w, "ROWS")?;
+    writeln!(w, " N  COST")?;
+    let mut row_kind = Vec::with_capacity(problem.num_rows());
+    for i in 0..problem.num_rows() {
+        let b = problem.row_bounds(i);
+        // Ranged rows are emitted as L with a RANGES entry-free fallback:
+        // we pick the tighter single-sided representation when one side is
+        // infinite, and E when the bounds coincide.
+        let kind = if b.lower == b.upper {
+            'E'
+        } else if b.upper.is_finite() {
+            'L'
+        } else {
+            'G'
+        };
+        row_kind.push(kind);
+        writeln!(w, " {kind}  R{i}")?;
+    }
+    writeln!(w, "COLUMNS")?;
+    let mat = problem.freeze().map_err(|e| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
+    })?;
+    for j in 0..problem.num_vars() {
+        let c = problem.objective_coefficient(j);
+        if c != 0.0 {
+            writeln!(w, "    X{j}  COST  {c}")?;
+        }
+        for (i, v) in mat.col(j) {
+            writeln!(w, "    X{j}  R{i}  {v}")?;
+        }
+    }
+    writeln!(w, "RHS")?;
+    for (i, &kind) in row_kind.iter().enumerate() {
+        let b = problem.row_bounds(i);
+        let rhs = match kind {
+            'L' => b.upper,
+            'G' => b.lower,
+            _ => b.lower,
+        };
+        if rhs != 0.0 {
+            writeln!(w, "    RHS  R{i}  {rhs}")?;
+        }
+    }
+    writeln!(w, "BOUNDS")?;
+    for j in 0..problem.num_vars() {
+        let b = problem.var_bounds(j);
+        if b.lower == b.upper {
+            writeln!(w, " FX BND  X{j}  {}", b.lower)?;
+            continue;
+        }
+        if b.lower.is_infinite() && b.upper.is_infinite() {
+            writeln!(w, " FR BND  X{j}")?;
+            continue;
+        }
+        if b.lower != 0.0 {
+            if b.lower.is_infinite() {
+                writeln!(w, " MI BND  X{j}")?;
+            } else {
+                writeln!(w, " LO BND  X{j}  {}", b.lower)?;
+            }
+        }
+        if b.upper.is_finite() {
+            writeln!(w, " UP BND  X{j}  {}", b.upper)?;
+        }
+    }
+    writeln!(w, "ENDATA")?;
+    Ok(())
+}
+
+#[derive(PartialEq)]
+enum Section {
+    None,
+    ObjSense,
+    Rows,
+    Columns,
+    Rhs,
+    Bounds,
+    Done,
+}
+
+/// Reads a free-form MPS model. Returns the problem plus the variable and
+/// row names in index order.
+pub fn read_mps<R: Read>(reader: R) -> Result<(Problem, Vec<String>, Vec<String>), MpsError> {
+    let mut problem = Problem::new();
+    let mut section = Section::None;
+    let mut obj_row: Option<String> = None;
+    // name -> (kind, index into problem rows); objective handled separately.
+    let mut rows: HashMap<String, (char, usize)> = HashMap::new();
+    let mut row_names: Vec<String> = Vec::new();
+    let mut cols: HashMap<String, usize> = HashMap::new();
+    let mut col_names: Vec<String> = Vec::new();
+    let mut objective: HashMap<usize, f64> = HashMap::new();
+    let mut explicit_bounds: HashMap<usize, VarBounds> = HashMap::new();
+
+    let err = |line: usize, message: String| MpsError { line, message };
+    let parse_num = |s: &str, line: usize| -> Result<f64, MpsError> {
+        s.parse::<f64>().map_err(|_| err(line, format!("bad number {s:?}")))
+    };
+
+    for (lineno, line) in BufReader::new(reader).lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.map_err(|e| err(lineno, e.to_string()))?;
+        let trimmed = line.trim_end();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        let is_header = !trimmed.starts_with(' ') && !trimmed.starts_with('\t');
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if is_header {
+            section = match fields[0].to_ascii_uppercase().as_str() {
+                "NAME" => Section::None,
+                "OBJSENSE" => Section::ObjSense,
+                "ROWS" => Section::Rows,
+                "COLUMNS" => Section::Columns,
+                "RHS" => Section::Rhs,
+                "RANGES" => {
+                    return Err(err(lineno, "RANGES sections are not supported".into()))
+                }
+                "BOUNDS" => Section::Bounds,
+                "ENDATA" => Section::Done,
+                other => return Err(err(lineno, format!("unknown section {other:?}"))),
+            };
+            continue;
+        }
+        match section {
+            Section::None | Section::Done => {}
+            Section::ObjSense => match fields[0].to_ascii_uppercase().as_str() {
+                "MAX" | "MAXIMIZE" => problem.set_sense(Sense::Maximize),
+                "MIN" | "MINIMIZE" => problem.set_sense(Sense::Minimize),
+                other => return Err(err(lineno, format!("bad OBJSENSE {other:?}"))),
+            },
+            Section::Rows => {
+                if fields.len() != 2 {
+                    return Err(err(lineno, "ROWS lines need `kind name`".into()));
+                }
+                let kind = fields[0].to_ascii_uppercase().chars().next().expect("nonempty");
+                let name = fields[1].to_string();
+                if kind == 'N' {
+                    if obj_row.is_none() {
+                        obj_row = Some(name);
+                    }
+                    // Extra free rows are ignored, as is conventional.
+                } else if matches!(kind, 'L' | 'G' | 'E') {
+                    let bounds = match kind {
+                        'L' => RowBounds::at_most(0.0),
+                        'G' => RowBounds::at_least(0.0),
+                        _ => RowBounds::equal(0.0),
+                    };
+                    let idx = problem.add_row(bounds, &[]);
+                    rows.insert(name.clone(), (kind, idx));
+                    row_names.push(name);
+                } else {
+                    return Err(err(lineno, format!("bad row kind {kind:?}")));
+                }
+            }
+            Section::Columns => {
+                // `col row val [row val]`
+                if fields.len() != 3 && fields.len() != 5 {
+                    return Err(err(lineno, "COLUMNS lines need col row val [row val]".into()));
+                }
+                let col = fields[0].to_string();
+                let j = *cols.entry(col.clone()).or_insert_with(|| {
+                    col_names.push(col);
+                    problem.add_var(0.0, VarBounds::non_negative())
+                });
+                for pair in fields[1..].chunks(2) {
+                    let v = parse_num(pair[1], lineno)?;
+                    if Some(pair[0]) == obj_row.as_deref() {
+                        *objective.entry(j).or_insert(0.0) += v;
+                    } else {
+                        let &(_, idx) = rows
+                            .get(pair[0])
+                            .ok_or_else(|| err(lineno, format!("unknown row {:?}", pair[0])))?;
+                        problem.add_coefficient(idx, j, v);
+                    }
+                }
+            }
+            Section::Rhs => {
+                // `rhsname row val [row val]`
+                if fields.len() != 3 && fields.len() != 5 {
+                    return Err(err(lineno, "RHS lines need set row val [row val]".into()));
+                }
+                for pair in fields[1..].chunks(2) {
+                    let &(kind, idx) = rows
+                        .get(pair[0])
+                        .ok_or_else(|| err(lineno, format!("unknown row {:?}", pair[0])))?;
+                    let v = parse_num(pair[1], lineno)?;
+                    let b = match kind {
+                        'L' => RowBounds::at_most(v),
+                        'G' => RowBounds::at_least(v),
+                        _ => RowBounds::equal(v),
+                    };
+                    problem.set_row_bounds(idx, b);
+                }
+            }
+            Section::Bounds => {
+                // `kind set col [val]`
+                if fields.len() < 3 {
+                    return Err(err(lineno, "BOUNDS lines need kind set col [val]".into()));
+                }
+                let kind = fields[0].to_ascii_uppercase();
+                let &j = cols
+                    .get(fields[2])
+                    .ok_or_else(|| err(lineno, format!("unknown column {:?}", fields[2])))?;
+                let cur = explicit_bounds.entry(j).or_insert(VarBounds::non_negative());
+                match kind.as_str() {
+                    "UP" => cur.upper = parse_num(fields[3], lineno)?,
+                    "LO" => cur.lower = parse_num(fields[3], lineno)?,
+                    "FX" => {
+                        let v = parse_num(fields[3], lineno)?;
+                        *cur = VarBounds::fixed(v);
+                    }
+                    "FR" => *cur = VarBounds::free(),
+                    "MI" => cur.lower = f64::NEG_INFINITY,
+                    "PL" => cur.upper = f64::INFINITY,
+                    other => return Err(err(lineno, format!("bad bound kind {other:?}"))),
+                }
+            }
+        }
+    }
+    if section != Section::Done {
+        return Err(err(0, "missing ENDATA".into()));
+    }
+    for (j, c) in objective {
+        problem.set_objective_coefficient(j, c);
+    }
+    for (j, b) in explicit_bounds {
+        problem.set_var_bounds(j, b);
+    }
+    problem.freeze().map_err(|e| err(0, e.to_string()))?;
+    Ok((problem, col_names, row_names))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RevisedSimplex, Status};
+
+    fn sample_problem() -> Problem {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::new(0.0, 2.0));
+        let y = p.add_var(3.0, VarBounds::new(0.5, f64::INFINITY));
+        let z = p.add_var(-1.0, VarBounds::free());
+        p.add_row(RowBounds::at_most(4.0), &[(x, 1.0), (y, 2.0)]);
+        p.add_row(RowBounds::at_least(-1.0), &[(y, 1.0), (z, -1.0)]);
+        p.add_row(RowBounds::equal(1.5), &[(x, 1.0), (z, 1.0)]);
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_optimum() {
+        let p = sample_problem();
+        let mut buf = Vec::new();
+        write_mps(&p, "SAMPLE", &mut buf).expect("write");
+        let (q, cols, rows) = read_mps(&buf[..]).expect("parse");
+        assert_eq!(cols.len(), p.num_vars());
+        assert_eq!(rows.len(), p.num_rows());
+        let a = RevisedSimplex::new().solve(&p).expect("solve original");
+        let b = RevisedSimplex::new().solve(&q).expect("solve round-trip");
+        assert_eq!(a.status, b.status);
+        if a.status == Status::Optimal {
+            assert!((a.objective - b.objective).abs() < 1e-9, "{} vs {}", a.objective, b.objective);
+        }
+    }
+
+    #[test]
+    fn parses_handwritten_mps() {
+        let text = "\
+NAME          TINY
+ROWS
+ N  COST
+ L  LIM1
+ G  LIM2
+COLUMNS
+    X1  COST  1.0  LIM1  1.0
+    X1  LIM2  1.0
+    X2  COST  2.0  LIM1  1.0
+RHS
+    RHS  LIM1  4.0  LIM2  1.0
+BOUNDS
+ UP BND  X1  3.0
+ENDATA
+";
+        let (p, cols, _) = read_mps(text.as_bytes()).expect("parse");
+        assert_eq!(cols, vec!["X1", "X2"]);
+        // Default objective sense is maximize in our reader unless OBJSENSE
+        // says otherwise; the LP is max x1 + 2 x2 s.t. x1+x2 <= 4, x1 >= 1.
+        let s = RevisedSimplex::new().solve(&p).expect("solve");
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 7.0).abs() < 1e-9, "{}", s.objective);
+    }
+
+    #[test]
+    fn rejects_ranges_and_bad_rows() {
+        assert!(read_mps("ROWS\n X  R1\nENDATA\n".as_bytes()).is_err());
+        assert!(read_mps("RANGES\nENDATA\n".as_bytes()).is_err());
+        assert!(read_mps("ROWS\n N COST\n".as_bytes()).is_err()); // no ENDATA
+    }
+
+    #[test]
+    fn objsense_min() {
+        let text = "\
+NAME T
+OBJSENSE
+    MIN
+ROWS
+ N  C
+ G  R1
+COLUMNS
+    X  C  1.0  R1  1.0
+RHS
+    RHS  R1  2.0
+ENDATA
+";
+        let (p, _, _) = read_mps(text.as_bytes()).expect("parse");
+        let s = RevisedSimplex::new().solve(&p).expect("solve");
+        assert!((s.objective - 2.0).abs() < 1e-9);
+    }
+}

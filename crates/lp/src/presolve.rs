@@ -1,0 +1,266 @@
+//! Presolve: redundant-row and implied-fixed-column elimination.
+//!
+//! For R2T's truncation LPs this is the single most effective optimization:
+//! every private tuple whose *total* sensitivity `Σ_{k∈C_j} ψ(q_k)` is
+//! already ≤ τ yields a constraint row that can never bind, and once those
+//! rows are gone, every join result all of whose constraints were dropped
+//! can be fixed at its full weight `ψ(q_k)`. On sparse instances (e.g. road
+//! networks) this routinely eliminates more than 99% of the LP.
+//!
+//! The reductions are *exact* (no relaxation): a row is dropped only when the
+//! extreme activities implied by the variable bounds prove it redundant, and
+//! a column is removed only when it appears in no remaining row, pinning it
+//! at its objective-optimal bound.
+
+use crate::problem::{Problem, RowBounds, VarBounds};
+
+/// Result of presolving: a smaller, equivalent problem plus the mappings
+/// needed to reconstruct a full solution.
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    /// The reduced problem.
+    pub reduced: Problem,
+    /// reduced variable index -> original variable index.
+    kept_vars: Vec<usize>,
+    /// reduced row index -> original row index.
+    kept_rows: Vec<usize>,
+    /// Values for variables removed from the problem, indexed by original
+    /// variable (NaN for kept variables).
+    fixed_values: Vec<f64>,
+    /// Objective contribution of the removed variables (stated sense).
+    fixed_objective: f64,
+    n_original: usize,
+    m_original: usize,
+}
+
+impl Presolved {
+    /// Objective contribution (in the problem's stated sense) of the
+    /// variables eliminated by presolve. Add this to the reduced problem's
+    /// objective to obtain the original objective.
+    pub fn fixed_objective(&self) -> f64 {
+        self.fixed_objective
+    }
+
+    /// Number of variables eliminated.
+    pub fn vars_removed(&self) -> usize {
+        self.n_original - self.kept_vars.len()
+    }
+
+    /// Number of rows eliminated.
+    pub fn rows_removed(&self) -> usize {
+        self.m_original - self.kept_rows.len()
+    }
+
+    /// Expands a solution of the reduced problem to the original space.
+    pub fn postsolve(&self, x_reduced: &[f64]) -> Vec<f64> {
+        let mut x = self.fixed_values.clone();
+        for (r, &j) in self.kept_vars.iter().enumerate() {
+            x[j] = x_reduced[r];
+        }
+        x
+    }
+
+    /// Expands reduced-problem row duals to the original rows (dropped rows
+    /// get zero duals — they are strictly slack at optimality).
+    pub fn postsolve_duals(&self, y_reduced: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.m_original];
+        for (r, &i) in self.kept_rows.iter().enumerate() {
+            y[i] = y_reduced[r];
+        }
+        y
+    }
+}
+
+/// Runs presolve on `problem`. The reductions preserve the optimal objective
+/// exactly (up to `fixed_objective`).
+pub fn presolve(problem: &Problem) -> Presolved {
+    let mat = problem.freeze().expect("presolve requires a valid problem");
+    let n = problem.num_vars();
+    let m = problem.num_rows();
+
+    // Row-wise extreme activities under the variable bounds.
+    let mut min_act = vec![0.0f64; m];
+    let mut max_act = vec![0.0f64; m];
+    for j in 0..n {
+        let b = problem.var_bounds(j);
+        for (i, a) in mat.col(j) {
+            let lo = if a >= 0.0 { a * b.lower } else { a * b.upper };
+            let hi = if a >= 0.0 { a * b.upper } else { a * b.lower };
+            min_act[i] += lo;
+            max_act[i] += hi;
+        }
+    }
+
+    let tol = 1e-9;
+    let mut row_kept = vec![true; m];
+    for i in 0..m {
+        let b = problem.row_bounds(i);
+        let lo_ok = b.lower.is_infinite() || min_act[i] >= b.lower - tol * (1.0 + b.lower.abs());
+        let hi_ok = b.upper.is_infinite() || max_act[i] <= b.upper + tol * (1.0 + b.upper.abs());
+        if lo_ok && hi_ok {
+            row_kept[i] = false;
+        }
+    }
+
+    // Variables that appear in no kept row can be pinned at their best bound
+    // (if finite). Others stay.
+    let mut var_kept = vec![true; n];
+    let mut fixed_values = vec![f64::NAN; n];
+    let mut fixed_objective = 0.0f64;
+    for j in 0..n {
+        let touches_kept = mat.col(j).any(|(i, _)| row_kept[i]);
+        if touches_kept {
+            continue;
+        }
+        let b = problem.var_bounds(j);
+        let c = problem.max_objective(j);
+        // c < 0 wants the lower bound; c == 0 takes any finite bound.
+        let v = if c > 0.0 {
+            b.upper
+        } else if c < 0.0 || b.lower.is_finite() {
+            b.lower
+        } else if b.upper.is_finite() {
+            b.upper
+        } else {
+            0.0
+        };
+        if v.is_finite() {
+            var_kept[j] = false;
+            fixed_values[j] = v;
+            // Objective bookkeeping in the stated sense.
+            fixed_objective += match problem.sense() {
+                crate::problem::Sense::Maximize => c * v,
+                crate::problem::Sense::Minimize => -c * v,
+            };
+        }
+        // If the best bound is infinite the variable is left in the reduced
+        // problem; the solver will report unboundedness if it matters.
+    }
+
+    // Build the reduced problem.
+    let mut reduced = Problem::new();
+    reduced.set_sense(problem.sense());
+    let mut var_map = vec![usize::MAX; n];
+    let mut kept_vars = Vec::new();
+    for j in 0..n {
+        if var_kept[j] {
+            let c = match problem.sense() {
+                crate::problem::Sense::Maximize => problem.max_objective(j),
+                crate::problem::Sense::Minimize => -problem.max_objective(j),
+            };
+            let b = problem.var_bounds(j);
+            var_map[j] = reduced.add_var(c, VarBounds::new(b.lower, b.upper));
+            kept_vars.push(j);
+        }
+    }
+    let mut kept_rows = Vec::new();
+    let mut row_map = vec![usize::MAX; m];
+    for i in 0..m {
+        if row_kept[i] {
+            let b = problem.row_bounds(i);
+            row_map[i] = reduced.add_row(RowBounds::range(b.lower, b.upper), &[]);
+            kept_rows.push(i);
+        }
+    }
+    for j in 0..n {
+        if var_kept[j] {
+            for (i, a) in mat.col(j) {
+                if row_kept[i] {
+                    reduced.add_coefficient(row_map[i], var_map[j], a);
+                }
+            }
+        }
+        // Removed variables cannot touch kept rows by construction, so their
+        // coefficients need no rhs adjustment.
+    }
+
+    Presolved {
+        reduced,
+        kept_vars,
+        kept_rows,
+        fixed_values,
+        fixed_objective,
+        n_original: n,
+        m_original: m,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseSimplex;
+    use crate::problem::RowBounds;
+
+    #[test]
+    fn redundant_row_dropped_and_var_fixed() {
+        // max u1 + u2, u1 + u2 <= 5 with u in [0,1]^2: row can never bind.
+        let mut p = Problem::new();
+        let a = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        let b = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        p.add_row(RowBounds::at_most(5.0), &[(a, 1.0), (b, 1.0)]);
+        let pre = presolve(&p);
+        assert_eq!(pre.rows_removed(), 1);
+        assert_eq!(pre.vars_removed(), 2);
+        assert!((pre.fixed_objective() - 2.0).abs() < 1e-12);
+        let x = pre.postsolve(&[]);
+        assert_eq!(x, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn binding_row_kept() {
+        let mut p = Problem::new();
+        let a = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        let b = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        p.add_row(RowBounds::at_most(1.0), &[(a, 1.0), (b, 1.0)]);
+        let pre = presolve(&p);
+        assert_eq!(pre.rows_removed(), 0);
+        assert_eq!(pre.vars_removed(), 0);
+    }
+
+    #[test]
+    fn mixed_problem_objective_preserved() {
+        // One redundant row over (a,b), one binding row over (c,d).
+        let mut p = Problem::new();
+        let a = p.add_var(2.0, VarBounds::new(0.0, 3.0));
+        let b = p.add_var(1.0, VarBounds::new(0.0, 2.0));
+        let c = p.add_var(1.0, VarBounds::new(0.0, 4.0));
+        let d = p.add_var(1.0, VarBounds::new(0.0, 4.0));
+        p.add_row(RowBounds::at_most(100.0), &[(a, 1.0), (b, 1.0)]);
+        p.add_row(RowBounds::at_most(5.0), &[(c, 1.0), (d, 1.0)]);
+        let pre = presolve(&p);
+        assert_eq!(pre.rows_removed(), 1);
+        assert_eq!(pre.vars_removed(), 2);
+        let sol = DenseSimplex::new().solve(&pre.reduced).unwrap();
+        let full = pre.postsolve(&sol.x);
+        let total = pre.fixed_objective() + sol.objective;
+        // Direct solve for comparison.
+        let direct = DenseSimplex::new().solve(&p).unwrap();
+        assert!((total - direct.objective).abs() < 1e-7);
+        assert!(p.max_violation(&full) <= 1e-7);
+    }
+
+    #[test]
+    fn negative_coefficients_handled() {
+        // Row -x <= -0: min activity of -x over [0,1] is -1, max is 0, so
+        // the row (upper bound 0) is redundant.
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        p.add_row(RowBounds::at_most(0.0), &[(x, -1.0)]);
+        let pre = presolve(&p);
+        assert_eq!(pre.rows_removed(), 1);
+        assert_eq!(pre.vars_removed(), 1);
+        assert_eq!(pre.postsolve(&[]), vec![1.0]);
+    }
+
+    #[test]
+    fn duals_postsolved_with_zeros() {
+        let mut p = Problem::new();
+        let a = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        p.add_row(RowBounds::at_most(9.0), &[(a, 1.0)]); // redundant
+        p.add_row(RowBounds::at_most(0.5), &[(a, 1.0)]); // binding
+        let pre = presolve(&p);
+        assert_eq!(pre.rows_removed(), 1);
+        let y = pre.postsolve_duals(&[1.0]);
+        assert_eq!(y, vec![0.0, 1.0]);
+    }
+}

@@ -1,0 +1,978 @@
+//! Bounded-variable primal revised simplex.
+//!
+//! This is the production solver for R2T's truncation LPs. Design points:
+//!
+//! * **Logical formulation.** Every row `L_i ≤ a_i·x ≤ U_i` gets a logical
+//!   variable `s_i` with those bounds and the system `A x − s = 0`, so the
+//!   all-logical basis is triangular and the solver starts without any
+//!   factorization work. For R2T's packing LPs (`x = 0` feasible) this basis
+//!   is primal feasible and Phase 1 is skipped entirely.
+//! * **Phase 1 by artificials.** When the all-logical start is infeasible,
+//!   one artificial column per violated row absorbs the residual and a
+//!   max `−Σ artificials` phase restores feasibility.
+//! * **Sparse LU basis** ([`lu::LuFactors`]) with product-form (eta) updates
+//!   and periodic refactorization.
+//! * **Dantzig pricing** with an automatic switch to Bland's rule after a
+//!   run of degenerate pivots (anti-cycling).
+//! * **Progress events.** A callback receives the running primal objective
+//!   (a valid lower bound — primal feasibility is maintained throughout) and
+//!   a Lagrangian dual upper bound; returning `false` aborts the solve with
+//!   [`Status::Stopped`]. This implements the paper's early-stop race
+//!   (Algorithm 1) without a separate dual solver.
+
+pub mod lu;
+
+use crate::problem::Problem;
+use crate::sparse::ColMatrix;
+use crate::{LpError, Solution, Status};
+use lu::{BasisColumn, LuFactors};
+
+/// A progress snapshot passed to solve callbacks.
+#[derive(Debug, Clone, Copy)]
+pub struct SolverEvent {
+    /// Simplex iterations completed so far.
+    pub iteration: usize,
+    /// Objective of the current (primal-feasible) point — a lower bound on
+    /// the optimum for maximization problems once Phase 2 has begun.
+    pub primal_objective: f64,
+    /// A weak-duality upper bound on the optimum (maximize sense). May be
+    /// `+inf` early in the solve.
+    pub dual_bound: f64,
+    /// Whether the solver is still in Phase 1 (primal objective is then the
+    /// negated infeasibility, not a bound on the true objective).
+    pub phase_one: bool,
+}
+
+/// Options controlling a revised-simplex solve.
+#[derive(Debug, Clone)]
+pub struct SolveOptions {
+    /// Hard cap on simplex iterations (0 = automatic: `20(m+n) + 10000`).
+    pub max_iterations: usize,
+    /// Refactorize the basis after this many eta updates.
+    pub refactor_interval: usize,
+    /// Invoke the callback every this many iterations (0 = never).
+    pub event_every: usize,
+    /// Candidate-list (multiple) pricing: a full Dantzig scan periodically
+    /// collects the best `partial_pricing` improving columns, and subsequent
+    /// iterations price only that list until it is exhausted (0 = full
+    /// Dantzig pricing every iteration). Near-Dantzig pivot quality at a
+    /// fraction of the pricing cost on LPs with many columns.
+    pub partial_pricing: usize,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            max_iterations: 0,
+            refactor_interval: 96,
+            event_every: 0,
+            partial_pricing: 64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarState {
+    Basic,
+    AtLower,
+    AtUpper,
+    /// Free variable parked at zero.
+    AtZero,
+}
+
+/// The production LP solver. See the module documentation.
+#[derive(Debug, Default)]
+pub struct RevisedSimplex {
+    /// Solve options.
+    pub options: SolveOptions,
+}
+
+struct Eta {
+    slot: usize,
+    pivot: f64,
+    /// (slot, w) entries excluding the pivot slot.
+    entries: Vec<(u32, f64)>,
+}
+
+const PIV_TOL: f64 = 1e-9;
+const D_TOL: f64 = 1e-7;
+const DEGENERATE_SWITCH: usize = 20_000;
+
+struct Work<'a> {
+    n: usize,
+    m: usize,
+    mat: &'a ColMatrix,
+    /// bounds/objective for all variables: structural, logical, artificial
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    obj: Vec<f64>,
+    /// artificial -> (row, sign of its column entry)
+    art: Vec<(usize, f64)>,
+    state: Vec<VarState>,
+    basis: Vec<usize>,
+    xb: Vec<f64>,
+    lu: LuFactors,
+    etas: Vec<Eta>,
+    scratch: Vec<f64>,
+    col_buf: Vec<f64>,
+    iterations: usize,
+}
+
+impl<'a> Work<'a> {
+    fn nvars(&self) -> usize {
+        self.n + self.m + self.art.len()
+    }
+
+    /// Writes the constraint-matrix column of variable `j` into `out`
+    /// (original row space, dense).
+    fn scatter_col(&self, j: usize, out: &mut [f64]) {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        if j < self.n {
+            for (i, v) in self.mat.col(j) {
+                out[i] = v;
+            }
+        } else if j < self.n + self.m {
+            out[j - self.n] = -1.0;
+        } else {
+            let (row, sign) = self.art[j - self.n - self.m];
+            out[row] = sign;
+        }
+    }
+
+    /// Dot of the constraint column of `j` with a dense row-space vector.
+    fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        if j < self.n {
+            self.mat.col_dot(j, y)
+        } else if j < self.n + self.m {
+            -y[j - self.n]
+        } else {
+            let (row, sign) = self.art[j - self.n - self.m];
+            sign * y[row]
+        }
+    }
+
+    /// Nonbasic value of variable `j` implied by its state.
+    fn nb_value(&self, j: usize) -> f64 {
+        match self.state[j] {
+            VarState::AtLower => self.lower[j],
+            VarState::AtUpper => self.upper[j],
+            VarState::AtZero => 0.0,
+            VarState::Basic => unreachable!("nb_value on basic variable"),
+        }
+    }
+
+    /// Full FTRAN through LU and the eta file. `v` enters in original row
+    /// space and exits indexed by basis slot.
+    fn ftran(&mut self, v: &mut [f64]) {
+        self.lu.ftran(v, &mut self.scratch);
+        for eta in &self.etas {
+            let xp = v[eta.slot] / eta.pivot;
+            v[eta.slot] = xp;
+            if xp != 0.0 {
+                for &(i, w) in &eta.entries {
+                    v[i as usize] -= w * xp;
+                }
+            }
+        }
+    }
+
+    /// Full BTRAN. `c` enters indexed by basis slot and exits in original
+    /// row space.
+    fn btran(&mut self, c: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            let mut s = c[eta.slot];
+            for &(i, w) in &eta.entries {
+                s -= c[i as usize] * w;
+            }
+            c[eta.slot] = s / eta.pivot;
+        }
+        self.lu.btran(c, &mut self.scratch);
+    }
+
+    /// Recomputes basic values from nonbasic bound values.
+    fn recompute_xb(&mut self) {
+        let mut rhs = vec![0.0f64; self.m];
+        for j in 0..self.nvars() {
+            if self.state[j] != VarState::Basic {
+                let v = self.nb_value(j);
+                if v != 0.0 {
+                    if j < self.n {
+                        for (i, a) in self.mat.col(j) {
+                            rhs[i] -= a * v;
+                        }
+                    } else if j < self.n + self.m {
+                        rhs[j - self.n] += v;
+                    } else {
+                        let (row, sign) = self.art[j - self.n - self.m];
+                        rhs[row] -= sign * v;
+                    }
+                }
+            }
+        }
+        self.ftran(&mut rhs);
+        self.xb = rhs;
+    }
+
+    /// Rebuilds the LU factorization from the current basis and clears etas.
+    fn refactorize(&mut self) -> Result<(), LpError> {
+        self.lu = factorize_basis(self.n, self.m, self.mat, &self.art, &self.basis)?;
+        self.etas.clear();
+        self.recompute_xb();
+        Ok(())
+    }
+
+    /// Current objective under cost vector `obj` (maximize sense).
+    fn objective(&self) -> f64 {
+        let mut total = 0.0;
+        for (s, &j) in self.basis.iter().enumerate() {
+            total += self.obj[j] * self.xb[s];
+        }
+        for j in 0..self.nvars() {
+            if self.state[j] != VarState::Basic && self.obj[j] != 0.0 {
+                total += self.obj[j] * self.nb_value(j);
+            }
+        }
+        total
+    }
+
+    /// Row duals for the current basis under the current cost vector.
+    fn duals(&mut self) -> Vec<f64> {
+        let mut c: Vec<f64> = self.basis.iter().map(|&j| self.obj[j]).collect();
+        self.btran(&mut c);
+        c
+    }
+
+    /// A weak-duality upper bound on the optimum from the current duals,
+    /// with `y` projected onto the sign-feasible orthant of the row bounds
+    /// (see `crate::dual_bound`). Computed without touching the `Problem`.
+    fn dual_upper_bound(&mut self) -> f64 {
+        #[inline]
+        fn mul(y: f64, b: f64) -> f64 {
+            if y == 0.0 {
+                0.0
+            } else {
+                y * b
+            }
+        }
+        let mut y = self.duals();
+        let mut total = 0.0f64;
+        for i in 0..self.m {
+            let (lo, hi) = (self.lower[self.n + i], self.upper[self.n + i]);
+            if hi.is_infinite() && y[i] > 0.0 {
+                y[i] = 0.0;
+            }
+            if lo.is_infinite() && y[i] < 0.0 {
+                y[i] = 0.0;
+            }
+            total += mul(y[i], lo).max(mul(y[i], hi));
+        }
+        for j in 0..self.n {
+            let mut d = self.obj[j] - self.mat.col_dot(j, &y);
+            if d.abs() < 1e-11 {
+                d = 0.0;
+            }
+            total += mul(d, self.lower[j]).max(mul(d, self.upper[j]));
+        }
+        if total.is_nan() {
+            f64::INFINITY
+        } else {
+            total
+        }
+    }
+}
+
+/// Factorizes the basis described by variable indices (structural /
+/// logical / artificial) into LU form.
+fn factorize_basis(
+    n: usize,
+    m: usize,
+    mat: &ColMatrix,
+    art: &[(usize, f64)],
+    basis: &[usize],
+) -> Result<LuFactors, LpError> {
+    let mut cols: Vec<(Vec<u32>, Vec<f64>)> = Vec::with_capacity(m);
+    for &j in basis {
+        let mut rows = Vec::new();
+        let mut vals = Vec::new();
+        if j < n {
+            for (i, v) in mat.col(j) {
+                rows.push(i as u32);
+                vals.push(v);
+            }
+        } else if j < n + m {
+            rows.push((j - n) as u32);
+            vals.push(-1.0);
+        } else {
+            let (row, sign) = art[j - n - m];
+            rows.push(row as u32);
+            vals.push(sign);
+        }
+        cols.push((rows, vals));
+    }
+    LuFactors::factorize(m, |s| BasisColumn { rows: &cols[s].0, values: &cols[s].1 })
+}
+
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+    IterLimit,
+    Stopped,
+}
+
+impl RevisedSimplex {
+    /// Creates a solver with default options.
+    pub fn new() -> Self {
+        RevisedSimplex::default()
+    }
+
+    /// Solves the problem to optimality (or another terminal status).
+    pub fn solve(&self, problem: &Problem) -> Result<Solution, LpError> {
+        self.solve_with_callback(problem, |_| true)
+    }
+
+    /// Solves the problem, invoking `cb` every `options.event_every`
+    /// iterations (if nonzero). Returning `false` from the callback aborts
+    /// with [`Status::Stopped`]; the returned solution is the best
+    /// primal-feasible point found (a valid lower bound for maximization).
+    pub fn solve_with_callback<F>(
+        &self,
+        problem: &Problem,
+        mut cb: F,
+    ) -> Result<Solution, LpError>
+    where
+        F: FnMut(SolverEvent) -> bool,
+    {
+        let mat = problem.freeze()?;
+        let n = problem.num_vars();
+        let m = problem.num_rows();
+
+        if m == 0 {
+            // Pure box problem: each variable sits at its best bound.
+            let mut x = vec![0.0; n];
+            for j in 0..n {
+                let b = problem.var_bounds(j);
+                let c = problem.max_objective(j);
+                x[j] = if c > 0.0 {
+                    if b.upper.is_finite() { b.upper } else { f64::INFINITY }
+                } else if c < 0.0 {
+                    if b.lower.is_finite() { b.lower } else { f64::NEG_INFINITY }
+                } else if b.lower.is_finite() {
+                    b.lower
+                } else if b.upper.is_finite() {
+                    b.upper
+                } else {
+                    0.0
+                };
+                if !x[j].is_finite() {
+                    return Ok(Solution {
+                        status: Status::Unbounded,
+                        objective: match problem.sense() {
+                            crate::problem::Sense::Maximize => f64::INFINITY,
+                            crate::problem::Sense::Minimize => f64::NEG_INFINITY,
+                        },
+                        x: vec![0.0; n],
+                        y: Vec::new(),
+                        iterations: 0,
+                    });
+                }
+            }
+            let objective = problem.objective_value(&x);
+            return Ok(Solution { status: Status::Optimal, objective, x, y: Vec::new(), iterations: 0 });
+        }
+
+        let mut lower: Vec<f64> = (0..n).map(|j| problem.var_bounds(j).lower).collect();
+        let mut upper: Vec<f64> = (0..n).map(|j| problem.var_bounds(j).upper).collect();
+        let mut obj: Vec<f64> = (0..n).map(|j| problem.max_objective(j)).collect();
+        for i in 0..m {
+            let b = problem.row_bounds(i);
+            lower.push(b.lower);
+            upper.push(b.upper);
+            obj.push(0.0);
+        }
+
+        // Initial nonbasic states for structural variables.
+        let mut state: Vec<VarState> = (0..n)
+            .map(|j| {
+                if lower[j].is_finite() {
+                    VarState::AtLower
+                } else if upper[j].is_finite() {
+                    VarState::AtUpper
+                } else {
+                    VarState::AtZero
+                }
+            })
+            .collect();
+        state.extend(std::iter::repeat_n(VarState::Basic, m));
+
+        // Row activities at the initial point.
+        let mut act = vec![0.0f64; m];
+        for j in 0..n {
+            let v = match state[j] {
+                VarState::AtLower => lower[j],
+                VarState::AtUpper => upper[j],
+                _ => 0.0,
+            };
+            if v != 0.0 {
+                for (i, a) in mat.col(j) {
+                    act[i] += a * v;
+                }
+            }
+        }
+
+        // Build artificials for violated rows; logicals of those rows become
+        // nonbasic at their nearest bound.
+        let mut art: Vec<(usize, f64)> = Vec::new();
+        let mut basis: Vec<usize> = (0..m).map(|i| n + i).collect();
+        let mut xb = act.clone();
+        let mut phase_one = false;
+        for i in 0..m {
+            let (lo, hi) = (lower[n + i], upper[n + i]);
+            if act[i] < lo - crate::FEAS_TOL {
+                // s clamps to lo; artificial z = lo - act with +1 column.
+                state[n + i] = VarState::AtLower;
+                let t = art.len();
+                art.push((i, 1.0));
+                basis[i] = n + m + t; // placeholder; art indices appended below
+                xb[i] = lo - act[i];
+                phase_one = true;
+            } else if act[i] > hi + crate::FEAS_TOL {
+                state[n + i] = VarState::AtUpper;
+                let t = art.len();
+                art.push((i, -1.0));
+                basis[i] = n + m + t;
+                xb[i] = act[i] - hi;
+                phase_one = true;
+            }
+        }
+        for _ in 0..art.len() {
+            lower.push(0.0);
+            upper.push(f64::INFINITY);
+            obj.push(0.0);
+            state.push(VarState::Basic);
+        }
+
+        // The initial basis is mixed logicals/artificials — all singleton
+        // columns — so this factorization is trivially sparse.
+        let lu = factorize_basis(n, m, &mat, &art, &basis)?;
+        let mut w = Work {
+            n,
+            m,
+            mat: &mat,
+            lower,
+            upper,
+            obj,
+            art,
+            state,
+            basis,
+            xb,
+            lu,
+            etas: Vec::new(),
+            scratch: Vec::new(),
+            col_buf: vec![0.0; m],
+            iterations: 0,
+        };
+
+        let max_iters = if self.options.max_iterations == 0 {
+            60 * (m + n) + 20_000
+        } else {
+            self.options.max_iterations
+        };
+
+        if phase_one {
+            // Phase 1: maximize -sum(artificials).
+            let real_obj = w.obj.clone();
+            for t in 0..w.art.len() {
+                w.obj[w.n + w.m + t] = -1.0;
+            }
+            for j in 0..w.n + w.m {
+                w.obj[j] = 0.0;
+            }
+            let outcome = self.iterate(&mut w, max_iters, true, &mut cb)?;
+            match outcome {
+                PhaseOutcome::Optimal => {}
+                PhaseOutcome::Unbounded => {
+                    // Phase-1 objective is bounded above by 0; "unbounded"
+                    // can only arise from numerical trouble.
+                    return Err(LpError::SingularBasis);
+                }
+                PhaseOutcome::IterLimit => {
+                    return Ok(Solution {
+                        status: Status::IterationLimit,
+                        objective: f64::NAN,
+                        x: vec![0.0; n],
+                        y: vec![0.0; m],
+                        iterations: w.iterations,
+                    });
+                }
+                PhaseOutcome::Stopped => {
+                    return Ok(Solution {
+                        status: Status::Stopped,
+                        objective: f64::NAN,
+                        x: vec![0.0; n],
+                        y: vec![0.0; m],
+                        iterations: w.iterations,
+                    });
+                }
+            }
+            if w.objective() < -1e-6 {
+                return Ok(Solution::infeasible(n, m, w.iterations));
+            }
+            // Fix artificials at zero and restore the real objective.
+            for t in 0..w.art.len() {
+                let j = w.n + w.m + t;
+                w.upper[j] = 0.0;
+                if w.state[j] != VarState::Basic {
+                    w.state[j] = VarState::AtLower;
+                }
+            }
+            w.obj = real_obj;
+        }
+
+        let outcome = self.iterate(&mut w, max_iters, false, &mut cb)?;
+        let status = match outcome {
+            PhaseOutcome::Optimal => Status::Optimal,
+            PhaseOutcome::Unbounded => Status::Unbounded,
+            PhaseOutcome::IterLimit => Status::IterationLimit,
+            PhaseOutcome::Stopped => Status::Stopped,
+        };
+
+        // Extract structural solution.
+        let mut x = vec![0.0f64; n];
+        for j in 0..n {
+            if w.state[j] != VarState::Basic {
+                x[j] = w.nb_value(j);
+            }
+        }
+        for (s, &j) in w.basis.iter().enumerate() {
+            if j < n {
+                x[j] = w.xb[s];
+            }
+        }
+        let y = w.duals();
+        let objective = if status == Status::Unbounded {
+            match problem.sense() {
+                crate::problem::Sense::Maximize => f64::INFINITY,
+                crate::problem::Sense::Minimize => f64::NEG_INFINITY,
+            }
+        } else {
+            problem.objective_value(&x)
+        };
+        Ok(Solution { status, objective, x, y, iterations: w.iterations })
+    }
+
+    /// Runs simplex iterations under the current cost vector until optimal,
+    /// unbounded, the iteration cap, or a callback stop.
+    fn iterate<F>(
+        &self,
+        w: &mut Work<'_>,
+        max_iters: usize,
+        phase_one: bool,
+        cb: &mut F,
+    ) -> Result<PhaseOutcome, LpError>
+    where
+        F: FnMut(SolverEvent) -> bool,
+    {
+        let mut degenerate_run = 0usize;
+        let mut bland = false;
+        let mut candidates: Vec<usize> = Vec::new();
+        loop {
+            if w.iterations >= max_iters {
+                return Ok(PhaseOutcome::IterLimit);
+            }
+            // Pricing. Bland mode: full scan, smallest improving index
+            // (anti-cycling). Candidate-list mode: price only the candidate
+            // list; when it is exhausted, a full Dantzig scan refills it
+            // with the top-K improving columns (a fruitless full scan proves
+            // optimality). partial_pricing == 0: full Dantzig every time.
+            let y = w.duals();
+            let nvars = w.nvars();
+            let klist = self.options.partial_pricing;
+            let price = |w: &Work<'_>, j: usize, y: &[f64]| -> Option<(f64, f64)> {
+                let st = w.state[j];
+                if st == VarState::Basic || (w.lower[j] == w.upper[j] && st != VarState::AtZero) {
+                    return None;
+                }
+                let d = w.obj[j] - w.col_dot(j, y);
+                let dtol = D_TOL * (1.0 + w.obj[j].abs());
+                let improving = match st {
+                    VarState::AtLower => d > dtol,
+                    VarState::AtUpper => d < -dtol,
+                    VarState::AtZero => d.abs() > dtol,
+                    VarState::Basic => false,
+                };
+                improving.then_some((d, d.abs()))
+            };
+            let mut enter: Option<(usize, f64, f64)> = None; // (var, d, score)
+            if bland {
+                for j in 0..nvars {
+                    if let Some((d, score)) = price(w, j, &y) {
+                        enter = Some((j, d, score));
+                        break;
+                    }
+                }
+            } else if klist != 0 {
+                // Price the current candidate list.
+                candidates.retain(|&j| {
+                    if let Some((d, score)) = price(w, j, &y) {
+                        if enter.is_none_or(|(_, _, s)| score > s) {
+                            enter = Some((j, d, score));
+                        }
+                        true
+                    } else {
+                        false
+                    }
+                });
+                if enter.is_none() {
+                    // Refill with the top-K improving columns.
+                    let mut all: Vec<(usize, f64, f64)> = Vec::new();
+                    for j in 0..nvars {
+                        if let Some((d, score)) = price(w, j, &y) {
+                            all.push((j, d, score));
+                        }
+                    }
+                    all.sort_unstable_by(|a, b| b.2.partial_cmp(&a.2).expect("finite scores"));
+                    all.truncate(klist);
+                    candidates.clear();
+                    candidates.extend(all.iter().map(|&(j, _, _)| j));
+                    enter = all.first().copied();
+                }
+            } else {
+                for j in 0..nvars {
+                    if let Some((d, score)) = price(w, j, &y) {
+                        if enter.is_none_or(|(_, _, s)| score > s) {
+                            enter = Some((j, d, score));
+                        }
+                    }
+                }
+            }
+            let Some((enter, d_enter, _)) = enter else {
+                return Ok(PhaseOutcome::Optimal);
+            };
+            candidates.retain(|&j| j != enter);
+            let sigma = match w.state[enter] {
+                VarState::AtLower => 1.0,
+                VarState::AtUpper => -1.0,
+                VarState::AtZero => {
+                    if d_enter > 0.0 {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                }
+                VarState::Basic => unreachable!(),
+            };
+
+            // FTRAN the entering column.
+            let mut col = std::mem::take(&mut w.col_buf);
+            w.scatter_col(enter, &mut col);
+            w.ftran(&mut col);
+
+            // Ratio test.
+            let mut t_star = f64::INFINITY;
+            let mut leave: Option<(usize, VarState)> = None; // (slot, new state)
+            let mut leave_w = 0.0f64;
+            for (s, &wv) in col.iter().enumerate() {
+                let dir = sigma * wv;
+                if dir > PIV_TOL {
+                    let lb = w.lower[w.basis[s]];
+                    if lb.is_finite() {
+                        let t = (w.xb[s] - lb) / dir;
+                        if t < t_star - 1e-12
+                            || (t < t_star + 1e-12
+                                && (wv.abs() > leave_w.abs()
+                                    || (bland
+                                        && leave.is_some_and(|(ls, _)| w.basis[s] < w.basis[ls]))))
+                        {
+                            t_star = t.max(0.0);
+                            leave = Some((s, VarState::AtLower));
+                            leave_w = wv;
+                        }
+                    }
+                } else if dir < -PIV_TOL {
+                    let ub = w.upper[w.basis[s]];
+                    if ub.is_finite() {
+                        let t = (ub - w.xb[s]) / (-dir);
+                        if t < t_star - 1e-12
+                            || (t < t_star + 1e-12
+                                && (wv.abs() > leave_w.abs()
+                                    || (bland
+                                        && leave.is_some_and(|(ls, _)| w.basis[s] < w.basis[ls]))))
+                        {
+                            t_star = t.max(0.0);
+                            leave = Some((s, VarState::AtUpper));
+                            leave_w = wv;
+                        }
+                    }
+                }
+            }
+            // Bound-flip candidate.
+            let flip_len = w.upper[enter] - w.lower[enter];
+            let flip = flip_len.is_finite() && flip_len < t_star;
+            if flip {
+                t_star = flip_len;
+                leave = None;
+            }
+            if t_star.is_infinite() {
+                w.col_buf = col;
+                return Ok(PhaseOutcome::Unbounded);
+            }
+
+            // Apply the step to basic values.
+            if t_star != 0.0 {
+                for (s, &wv) in col.iter().enumerate() {
+                    if wv != 0.0 {
+                        w.xb[s] -= sigma * t_star * wv;
+                    }
+                }
+            }
+            if let Some((r, new_state)) = leave {
+                let leaving = w.basis[r];
+                // Clamp the leaving variable exactly onto its bound.
+                w.state[leaving] = new_state;
+                let enter_val = match w.state[enter] {
+                    VarState::AtLower => w.lower[enter] + t_star,
+                    VarState::AtUpper => w.upper[enter] - t_star,
+                    VarState::AtZero => sigma * t_star,
+                    VarState::Basic => unreachable!(),
+                };
+                w.basis[r] = enter;
+                w.state[enter] = VarState::Basic;
+                w.xb[r] = enter_val;
+                // Record the eta (w vector without the pivot slot).
+                let pivot = col[r];
+                let mut entries: Vec<(u32, f64)> = Vec::new();
+                for (s, &wv) in col.iter().enumerate() {
+                    if s != r && wv != 0.0 {
+                        entries.push((s as u32, wv));
+                    }
+                }
+                w.etas.push(Eta { slot: r, pivot, entries });
+                if w.etas.len() >= self.options.refactor_interval {
+                    w.col_buf = col;
+                    w.refactorize()?;
+                    col = std::mem::take(&mut w.col_buf);
+                }
+            } else {
+                // Bound flip: entering variable jumps to its other bound.
+                w.state[enter] = match w.state[enter] {
+                    VarState::AtLower => VarState::AtUpper,
+                    VarState::AtUpper => VarState::AtLower,
+                    s => s,
+                };
+            }
+            w.col_buf = col;
+            w.iterations += 1;
+
+            if t_star <= 1e-10 {
+                degenerate_run += 1;
+                if degenerate_run > DEGENERATE_SWITCH {
+                    bland = true;
+                }
+            } else {
+                degenerate_run = 0;
+                bland = false;
+            }
+
+            if self.options.event_every != 0 && w.iterations.is_multiple_of(self.options.event_every) {
+                let dual = if phase_one { f64::INFINITY } else { w.dual_upper_bound() };
+                let ev = SolverEvent {
+                    iteration: w.iterations,
+                    primal_objective: w.objective(),
+                    dual_bound: dual,
+                    phase_one,
+                };
+                if !cb(ev) {
+                    return Ok(PhaseOutcome::Stopped);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{RowBounds, Sense, VarBounds};
+
+    fn solve(p: &Problem) -> Solution {
+        RevisedSimplex::new().solve(p).unwrap()
+    }
+
+    #[test]
+    fn simple_max() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        let y = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        p.add_row(RowBounds::at_most(1.0), &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn bound_flip_path() {
+        // max 2x + y with x in [0,3] unconstrained by the row: x flips to its
+        // upper bound without a basis change.
+        let mut p = Problem::new();
+        let _x = p.add_var(2.0, VarBounds::new(0.0, 3.0));
+        let y = p.add_var(1.0, VarBounds::non_negative());
+        p.add_row(RowBounds::at_most(4.0), &[(y, 1.0)]);
+        let s = solve(&p);
+        assert!((s.objective - 10.0).abs() < 1e-7, "{}", s.objective);
+    }
+
+    #[test]
+    fn equality_rows_via_phase_one() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::non_negative());
+        let y = p.add_var(0.0, VarBounds::new(1.0, f64::INFINITY));
+        p.add_row(RowBounds::equal(2.0), &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 1.0).abs() < 1e-7, "{}", s.objective);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        p.add_row(RowBounds::at_least(2.0), &[(x, 1.0)]);
+        assert_eq!(solve(&p).status, Status::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::non_negative());
+        p.add_row(RowBounds::at_least(0.0), &[(x, 1.0)]);
+        assert_eq!(solve(&p).status, Status::Unbounded);
+    }
+
+    #[test]
+    fn minimize_sense() {
+        let mut p = Problem::new();
+        let x = p.add_var(1.0, VarBounds::non_negative());
+        let y = p.add_var(1.0, VarBounds::non_negative());
+        p.set_sense(Sense::Minimize);
+        p.add_row(RowBounds::at_least(3.0), &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn no_rows_box_problem() {
+        let mut p = Problem::new();
+        p.add_var(3.0, VarBounds::new(0.0, 2.0));
+        p.add_var(-1.0, VarBounds::new(-1.0, 5.0));
+        let s = solve(&p);
+        assert!((s.objective - 7.0).abs() < 1e-12);
+        assert_eq!(s.x, vec![2.0, -1.0]);
+    }
+
+    #[test]
+    fn duals_close_weak_duality_gap() {
+        // 4-clique truncation LP at tau = 2 (from Example 6.2): OPT = 4.
+        let mut p = Problem::new();
+        let edges = [(0usize, 1usize), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let vars: Vec<usize> =
+            edges.iter().map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
+        for v in 0..4 {
+            let terms: Vec<(usize, f64)> = edges
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.0 == v || e.1 == v)
+                .map(|(k, _)| (vars[k], 1.0))
+                .collect();
+            p.add_row(RowBounds::at_most(2.0), &terms);
+        }
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 4.0).abs() < 1e-7, "{}", s.objective);
+        let ub = crate::dual_bound::lagrangian_bound(&p, &s.y);
+        assert!(ub >= s.objective - 1e-7);
+        assert!(ub <= s.objective + 1e-6, "gap: {} vs {}", ub, s.objective);
+    }
+
+    #[test]
+    fn callback_stop_returns_feasible_point() {
+        // A big enough star LP that at least one event fires.
+        let mut p = Problem::new();
+        let vars: Vec<usize> =
+            (0..200).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
+        for w in vars.chunks(2) {
+            p.add_row(RowBounds::at_most(1.0), &[(w[0], 1.0), (w[1], 1.0)]);
+        }
+        let solver = RevisedSimplex {
+            options: SolveOptions { event_every: 1, ..SolveOptions::default() },
+        };
+        let s = solver.solve_with_callback(&p, |ev| ev.iteration < 5).unwrap();
+        assert_eq!(s.status, Status::Stopped);
+        assert!(p.max_violation(&s.x) <= 1e-7);
+    }
+
+    #[test]
+    fn events_report_consistent_bounds() {
+        let mut p = Problem::new();
+        let vars: Vec<usize> =
+            (0..64).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
+        for w in vars.windows(2) {
+            p.add_row(RowBounds::at_most(1.0), &[(w[0], 1.0), (w[1], 1.0)]);
+        }
+        let solver = RevisedSimplex {
+            options: SolveOptions { event_every: 4, ..SolveOptions::default() },
+        };
+        let mut events = Vec::new();
+        let s = solver
+            .solve_with_callback(&p, |ev| {
+                events.push(ev);
+                true
+            })
+            .unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        for ev in &events {
+            assert!(
+                ev.dual_bound >= ev.primal_objective - 1e-6,
+                "dual bound below primal: {ev:?}"
+            );
+            assert!(ev.dual_bound >= s.objective - 1e-6);
+        }
+    }
+
+    #[test]
+    fn large_chain_refactorizes() {
+        // Force more iterations than the refactor interval.
+        let mut p = Problem::new();
+        let n = 300;
+        let vars: Vec<usize> =
+            (0..n).map(|i| p.add_var(1.0 + (i % 7) as f64 * 0.1, VarBounds::new(0.0, 1.0))).collect();
+        for w in vars.windows(2) {
+            p.add_row(RowBounds::at_most(1.2), &[(w[0], 1.0), (w[1], 1.0)]);
+        }
+        let solver = RevisedSimplex {
+            options: SolveOptions { refactor_interval: 16, ..SolveOptions::default() },
+        };
+        let s = solver.solve(&p).unwrap();
+        assert_eq!(s.status, Status::Optimal);
+        assert!(p.max_violation(&s.x) <= 1e-6);
+        // Compare against the dense oracle.
+        let d = crate::dense::DenseSimplex::new().solve(&p).unwrap();
+        assert!((s.objective - d.objective).abs() < 1e-5, "{} vs {}", s.objective, d.objective);
+    }
+
+    #[test]
+    fn negative_rhs_rows_need_phase_one() {
+        // x + y >= -1 with free-ish bounds pushing the start infeasible:
+        // max -x - y with x,y in [-5,5], x + y <= -3 (start at lower bounds
+        // -10 < -3 is fine) plus x + y >= -4.
+        let mut p = Problem::new();
+        let x = p.add_var(-1.0, VarBounds::new(-5.0, 5.0));
+        let y = p.add_var(-1.0, VarBounds::new(-5.0, 5.0));
+        p.add_row(RowBounds::at_most(-3.0), &[(x, 1.0), (y, 1.0)]);
+        p.add_row(RowBounds::at_least(-4.0), &[(x, 1.0), (y, 1.0)]);
+        let s = solve(&p);
+        assert_eq!(s.status, Status::Optimal);
+        assert!((s.objective - 4.0).abs() < 1e-7, "{}", s.objective);
+        assert!(p.max_violation(&s.x) <= 1e-7);
+    }
+}

@@ -1,0 +1,164 @@
+//! Compressed sparse column (CSC) matrices.
+//!
+//! The constraint matrices of R2T's truncation LPs are extremely sparse (each
+//! join result touches only the private tuples it references), so all solver
+//! machinery works on CSC storage.
+
+/// An immutable sparse matrix in compressed-sparse-column form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColMatrix {
+    rows: usize,
+    cols: usize,
+    /// `col_ptr[j]..col_ptr[j+1]` indexes the entries of column `j`.
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl ColMatrix {
+    /// Builds a CSC matrix from `(row, col, value)` triplets. Duplicate
+    /// entries are summed; explicit zeros (after summing) are dropped.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        assert!(rows <= u32::MAX as usize, "row count exceeds u32 range");
+        // Count entries per column.
+        let mut counts = vec![0usize; cols + 1];
+        for &(_, c, _) in triplets {
+            counts[c + 1] += 1;
+        }
+        for j in 0..cols {
+            counts[j + 1] += counts[j];
+        }
+        let mut row_idx = vec![0u32; triplets.len()];
+        let mut values = vec![0.0f64; triplets.len()];
+        let mut next = counts.clone();
+        for &(r, c, v) in triplets {
+            let slot = next[c];
+            row_idx[slot] = r as u32;
+            values[slot] = v;
+            next[c] += 1;
+        }
+        // Sort within each column by row, then merge duplicates and drop zeros.
+        let mut out_ptr = vec![0usize; cols + 1];
+        let mut out_rows: Vec<u32> = Vec::with_capacity(triplets.len());
+        let mut out_vals: Vec<f64> = Vec::with_capacity(triplets.len());
+        let mut scratch: Vec<(u32, f64)> = Vec::new();
+        for j in 0..cols {
+            scratch.clear();
+            scratch.extend(
+                row_idx[counts[j]..counts[j + 1]]
+                    .iter()
+                    .copied()
+                    .zip(values[counts[j]..counts[j + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            let mut k = 0;
+            while k < scratch.len() {
+                let r = scratch[k].0;
+                let mut v = scratch[k].1;
+                k += 1;
+                while k < scratch.len() && scratch[k].0 == r {
+                    v += scratch[k].1;
+                    k += 1;
+                }
+                if v != 0.0 {
+                    out_rows.push(r);
+                    out_vals.push(v);
+                }
+            }
+            out_ptr[j + 1] = out_rows.len();
+        }
+        ColMatrix { rows, cols, col_ptr: out_ptr, row_idx: out_rows, values: out_vals }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates over the `(row, value)` entries of column `j`, sorted by row.
+    pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        self.row_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&r, &v)| (r as usize, v))
+    }
+
+    /// Number of nonzeros in column `j`.
+    pub fn col_nnz(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+
+    /// Computes `y = A x` densely.
+    pub fn mat_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols);
+        let mut y = vec![0.0; self.rows];
+        for j in 0..self.cols {
+            let xj = x[j];
+            if xj != 0.0 {
+                for (i, v) in self.col(j) {
+                    y[i] += v * xj;
+                }
+            }
+        }
+        y
+    }
+
+    /// Computes the dot product of column `j` with a dense vector `y`
+    /// (i.e. one entry of `Aᵀ y`).
+    pub fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        self.col(j).map(|(i, v)| v * y[i]).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_round_trip() {
+        let m = ColMatrix::from_triplets(3, 2, &[(0, 0, 1.0), (2, 0, 3.0), (1, 1, -2.0)]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 3.0)]);
+        assert_eq!(m.col(1).collect::<Vec<_>>(), vec![(1, -2.0)]);
+    }
+
+    #[test]
+    fn duplicates_summed_and_zeros_dropped() {
+        let m = ColMatrix::from_triplets(2, 1, &[(0, 0, 1.0), (0, 0, -1.0), (1, 0, 2.0)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(1, 2.0)]);
+    }
+
+    #[test]
+    fn mat_vec_matches_dense() {
+        let m = ColMatrix::from_triplets(2, 3, &[(0, 0, 1.0), (0, 2, 2.0), (1, 1, 4.0)]);
+        let y = m.mat_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 8.0]);
+    }
+
+    #[test]
+    fn col_dot_matches_transpose_product() {
+        let m = ColMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (1, 0, 2.0), (1, 1, 5.0)]);
+        let y = [3.0, -1.0];
+        assert_eq!(m.col_dot(0, &y), 1.0);
+        assert_eq!(m.col_dot(1, &y), -5.0);
+    }
+
+    #[test]
+    fn unsorted_triplets_are_sorted_per_column() {
+        let m = ColMatrix::from_triplets(4, 1, &[(3, 0, 3.0), (0, 0, 1.0), (2, 0, 2.0)]);
+        assert_eq!(m.col(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0), (3, 3.0)]);
+    }
+}

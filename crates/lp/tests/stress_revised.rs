@@ -1,0 +1,109 @@
+//! Stress tests for the revised simplex: numerical range, degeneracy, and
+//! larger truncation-shaped instances, cross-checked with the certificate
+//! module rather than the (too slow here) dense oracle.
+
+use r2t_lp::certify::certify;
+use r2t_lp::{Problem, RevisedSimplex, RowBounds, Status, VarBounds};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn wide_coefficient_ranges() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for trial in 0..20 {
+        let n = 30;
+        let m = 12;
+        let mut p = Problem::new();
+        let vars: Vec<usize> = (0..n)
+            .map(|_| {
+                let scale = 10f64.powi(rng.random_range(-3..=3));
+                p.add_var(rng.random_range(0.1..2.0) * scale, VarBounds::new(0.0, scale))
+            })
+            .collect();
+        for _ in 0..m {
+            let mut terms: Vec<(usize, f64)> = Vec::new();
+            for &v in &vars {
+                if rng.random::<f64>() < 0.4 {
+                    terms.push((v, 10f64.powi(rng.random_range(-2..=2))));
+                }
+            }
+            if terms.is_empty() {
+                continue;
+            }
+            p.add_row(RowBounds::at_most(rng.random_range(0.5..50.0)), &terms);
+        }
+        let s = RevisedSimplex::new().solve(&p).expect("solves");
+        assert_eq!(s.status, Status::Optimal, "trial {trial}");
+        let cert = certify(&p, &s);
+        // Wide ranges cost some accuracy; residuals must stay small relative
+        // to the objective scale.
+        assert!(cert.is_optimal(s.objective, 1e-4), "trial {trial}: {cert:?}");
+    }
+}
+
+#[test]
+fn extreme_degeneracy_terminates() {
+    // Many duplicated rows over the same variables: every pivot is
+    // degenerate. Bland's fallback must still terminate at the optimum.
+    let mut p = Problem::new();
+    let n = 40;
+    let vars: Vec<usize> = (0..n).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
+    let all: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+    for _ in 0..30 {
+        p.add_row(RowBounds::at_most(5.0), &all);
+    }
+    let s = RevisedSimplex::new().solve(&p).expect("solves");
+    assert_eq!(s.status, Status::Optimal);
+    assert!((s.objective - 5.0).abs() < 1e-7, "{}", s.objective);
+}
+
+#[test]
+fn zero_rhs_rows_are_fast_and_exact() {
+    // τ = 0-style rows: optimum 0, heavily degenerate.
+    let mut p = Problem::new();
+    let n = 500;
+    for k in 0..n {
+        let v = p.add_var(1.0, VarBounds::new(0.0, 1.0));
+        p.add_row(RowBounds::at_most(0.0), &[(v, 1.0), ((k + 1) % n, 1.0)]);
+    }
+    let s = RevisedSimplex::new().solve(&p).expect("solves");
+    assert_eq!(s.status, Status::Optimal);
+    assert!(s.objective.abs() < 1e-9);
+}
+
+#[test]
+fn medium_truncation_lp_solves_exactly() {
+    // A block of stars: the optimum is computable by hand:
+    // `blocks` stars of degree d with τ = t → each contributes min(d, t).
+    let mut rng = StdRng::seed_from_u64(9);
+    let blocks = 200;
+    let mut p = Problem::new();
+    let mut expected = 0.0;
+    for _ in 0..blocks {
+        let d = rng.random_range(1..=12);
+        let tau = rng.random_range(1..=8) as f64;
+        let vars: Vec<usize> =
+            (0..d).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
+        let terms: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+        p.add_row(RowBounds::at_most(tau), &terms);
+        expected += (d as f64).min(tau);
+    }
+    let s = RevisedSimplex::new().solve(&p).expect("solves");
+    assert_eq!(s.status, Status::Optimal);
+    assert!((s.objective - expected).abs() < 1e-6, "{} vs {expected}", s.objective);
+}
+
+#[test]
+fn iteration_limit_reported_not_panicked() {
+    let mut p = Problem::new();
+    let vars: Vec<usize> =
+        (0..60).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
+    for w in vars.windows(3) {
+        p.add_row(RowBounds::at_most(1.0), &[(w[0], 1.0), (w[1], 1.0), (w[2], 1.0)]);
+    }
+    let solver = RevisedSimplex {
+        options: r2t_lp::SolveOptions { max_iterations: 3, ..Default::default() },
+    };
+    let s = solver.solve(&p).expect("returns");
+    assert_eq!(s.status, Status::IterationLimit);
+}

@@ -1,0 +1,190 @@
+//! SQL tokenizer.
+
+use crate::SqlError;
+
+/// A SQL token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are matched case-insensitively by the
+    /// parser; the original spelling is preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator: `( ) , . * + - = <> < <= > >=`.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// Whether this token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes a SQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let b = input.as_bytes();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < b.len() {
+        let c = b[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' | ')' | ',' | '.' | '*' | '+' | '-' | '=' => {
+                out.push(Token::Sym(match c {
+                    '(' => "(",
+                    ')' => ")",
+                    ',' => ",",
+                    '.' => ".",
+                    '*' => "*",
+                    '+' => "+",
+                    '-' => "-",
+                    _ => "=",
+                }));
+                i += 1;
+            }
+            '<' => {
+                if b.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Sym("<>"));
+                    i += 2;
+                } else if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym("<="));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if b.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym(">="));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym(">"));
+                    i += 1;
+                }
+            }
+            '!' if b.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Sym("<>"));
+                i += 2;
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match b.get(i) {
+                        None => {
+                            return Err(SqlError::Lex {
+                                position: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                        Some(b'\'') if b.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&ch) => {
+                            s.push(ch as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let is_float = i < b.len()
+                    && b[i] == b'.'
+                    && b.get(i + 1).is_some_and(|d| d.is_ascii_digit());
+                if is_float {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    out.push(Token::Float(text.parse().map_err(|_| SqlError::Lex {
+                        position: start,
+                        message: format!("bad float literal {text:?}"),
+                    })?));
+                } else {
+                    let text = &input[start..i];
+                    out.push(Token::Int(text.parse().map_err(|_| SqlError::Lex {
+                        position: start,
+                        message: format!("bad integer literal {text:?}"),
+                    })?));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    position: i,
+                    message: format!("unexpected character {other:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_tokens() {
+        let t = tokenize("SELECT COUNT(*) FROM t WHERE a.b >= 3.5 AND c <> 'x''y'").unwrap();
+        assert!(t.contains(&Token::Sym(">=")));
+        assert!(t.contains(&Token::Float(3.5)));
+        assert!(t.contains(&Token::Str("x'y".into())));
+        assert!(t.contains(&Token::Sym("<>")));
+    }
+
+    #[test]
+    fn bang_equals_normalized() {
+        let t = tokenize("a != b").unwrap();
+        assert_eq!(t[1], Token::Sym("<>"));
+    }
+
+    #[test]
+    fn unterminated_string_rejected() {
+        assert!(matches!(tokenize("'oops"), Err(SqlError::Lex { .. })));
+    }
+
+    #[test]
+    fn ints_and_dots() {
+        let t = tokenize("t.c1 = 42").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("t".into()),
+                Token::Sym("."),
+                Token::Ident("c1".into()),
+                Token::Sym("="),
+                Token::Int(42)
+            ]
+        );
+    }
+
+    #[test]
+    fn keyword_check_case_insensitive() {
+        let t = tokenize("select").unwrap();
+        assert!(t[0].is_kw("SELECT"));
+    }
+}

@@ -1,0 +1,65 @@
+//! # r2t-sql — SQL front end
+//!
+//! A parser for the SQL subset the R2T prototype accepts (Section 9 of the
+//! paper: SPJA queries with COUNT/SUM aggregation), lowering to the
+//! `r2t-engine` query IR:
+//!
+//! ```sql
+//! SELECT COUNT(*) | SUM(expr) | DISTINCT col [, col ...]
+//! FROM table [AS alias] [, table [AS alias] ...]
+//! [WHERE condition]
+//! ```
+//!
+//! * `expr` — arithmetic (`+ - *`) over columns and numeric literals.
+//! * `condition` — comparisons (`= <> < <= > >=`) combined with
+//!   `AND` / `OR` / `NOT` and parentheses; string literals in single quotes.
+//! * `SELECT DISTINCT c1, c2` counts distinct projected tuples (an SPJA
+//!   query with projection).
+//!
+//! Top-level column-equality conjuncts become shared join variables (hash
+//! joins); everything else stays a filter predicate. Self-joins arise
+//! naturally from repeating a table with different aliases.
+//!
+//! ```
+//! use r2t_sql::parse_query;
+//! let schema = r2t_engine::schema::graph_schema_node_dp();
+//! let q = parse_query(
+//!     "SELECT COUNT(*) FROM Edge AS e1, Edge AS e2 \
+//!      WHERE e1.dst = e2.src AND e1.src < e2.dst",
+//!     &schema,
+//! ).unwrap();
+//! assert_eq!(q.atoms.len(), 2);
+//! ```
+
+mod lexer;
+mod lower;
+mod parser;
+
+pub use lexer::{tokenize, Token};
+pub use lower::{parse_query, parse_statement, LoweredQuery};
+pub use parser::{parse, AggAst, ColRef, CondAst, ExprAst, SelectAst};
+
+/// Errors from parsing or lowering SQL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error with position.
+    Lex { position: usize, message: String },
+    /// Syntax error.
+    Parse(String),
+    /// Name-resolution / semantic error.
+    Semantic(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex { position, message } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Semantic(m) => write!(f, "semantic error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}

@@ -1,0 +1,403 @@
+//! Lowering: SQL AST → engine query IR.
+//!
+//! Each `(alias, column)` pair gets a join variable; top-level conjunctive
+//! `col = col` predicates are folded into shared variables (union–find), so
+//! the executor hash-joins on them. All other conditions become the filter
+//! predicate, and the aggregate head maps onto COUNT / SUM / projection.
+
+use crate::parser::{parse, AggAst, ColRef, CondAst, ExprAst};
+use crate::SqlError;
+use r2t_engine::query::{Aggregate, Atom, CmpOp, Expr, Predicate, Query, Var};
+use r2t_engine::{Schema, Value};
+
+struct Lowerer<'a> {
+    schema: &'a Schema,
+    /// (alias, relation name) in FROM order.
+    from: Vec<(String, String)>,
+    /// var id per (from index, column index).
+    var_of: Vec<Vec<Var>>,
+    /// union–find over variables.
+    parent: Vec<Var>,
+}
+
+impl<'a> Lowerer<'a> {
+    fn find(&mut self, v: Var) -> Var {
+        let p = self.parent[v as usize];
+        if p == v {
+            v
+        } else {
+            let r = self.find(p);
+            self.parent[v as usize] = r;
+            r
+        }
+    }
+
+    fn union(&mut self, a: Var, b: Var) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Keep the smaller id as the representative.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi as usize] = lo;
+        }
+    }
+
+    /// Resolves a column reference to its variable.
+    fn resolve(&mut self, c: &ColRef) -> Result<Var, SqlError> {
+        let mut matches: Vec<(usize, usize)> = Vec::new();
+        for (fi, (alias, rel)) in self.from.iter().enumerate() {
+            if let Some(a) = &c.alias {
+                if a != alias {
+                    continue;
+                }
+            }
+            let rel = self.schema.relation(rel).map_err(|e| SqlError::Semantic(e.to_string()))?;
+            if let Some(ci) = rel.columns.iter().position(|col| col.eq_ignore_ascii_case(&c.column))
+            {
+                matches.push((fi, ci));
+            }
+        }
+        match matches.len() {
+            0 => Err(SqlError::Semantic(format!(
+                "column {} not found",
+                display_col(c)
+            ))),
+            1 => Ok(self.var_of[matches[0].0][matches[0].1]),
+            _ => Err(SqlError::Semantic(format!(
+                "column {} is ambiguous across {} tables",
+                display_col(c),
+                matches.len()
+            ))),
+        }
+    }
+
+    fn lower_expr(&mut self, e: &ExprAst) -> Result<Expr, SqlError> {
+        Ok(match e {
+            ExprAst::Col(c) => Expr::Var(self.resolve(c)?),
+            ExprAst::Int(v) => Expr::Const(Value::Int(*v)),
+            ExprAst::Float(v) => Expr::Const(Value::Float(*v)),
+            ExprAst::Str(s) => Expr::Const(Value::str(s)),
+            ExprAst::Bin(op, a, b) => {
+                let (a, b) = (Box::new(self.lower_expr(a)?), Box::new(self.lower_expr(b)?));
+                match op {
+                    '+' => Expr::Add(a, b),
+                    '-' => Expr::Sub(a, b),
+                    '*' => Expr::Mul(a, b),
+                    other => return Err(SqlError::Semantic(format!("operator {other:?}"))),
+                }
+            }
+        })
+    }
+
+    fn lower_cond(&mut self, c: &CondAst) -> Result<Predicate, SqlError> {
+        Ok(match c {
+            CondAst::Cmp(op, a, b) => {
+                let op = match *op {
+                    "=" => CmpOp::Eq,
+                    "<>" => CmpOp::Ne,
+                    "<" => CmpOp::Lt,
+                    "<=" => CmpOp::Le,
+                    ">" => CmpOp::Gt,
+                    _ => CmpOp::Ge,
+                };
+                Predicate::Cmp(op, self.lower_expr(a)?, self.lower_expr(b)?)
+            }
+            CondAst::And(a, b) => {
+                Predicate::And(vec![self.lower_cond(a)?, self.lower_cond(b)?])
+            }
+            CondAst::Or(a, b) => Predicate::Or(vec![self.lower_cond(a)?, self.lower_cond(b)?]),
+            CondAst::Not(a) => Predicate::Not(Box::new(self.lower_cond(a)?)),
+        })
+    }
+}
+
+fn display_col(c: &ColRef) -> String {
+    match &c.alias {
+        Some(a) => format!("{a}.{}", c.column),
+        None => c.column.clone(),
+    }
+}
+
+/// Splits a condition into its top-level conjuncts.
+fn conjuncts(c: CondAst, out: &mut Vec<CondAst>) {
+    match c {
+        CondAst::And(a, b) => {
+            conjuncts(*a, out);
+            conjuncts(*b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// A lowered statement: the engine query plus the GROUP BY variables
+/// (empty for plain queries). Grouped queries are evaluated with
+/// `r2t_engine::exec::profile_grouped` and answered under DP with
+/// `r2t_core::groupby::GroupByR2T` (the paper's Section 11 extension).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoweredQuery {
+    /// The SPJA query.
+    pub query: Query,
+    /// GROUP BY join variables.
+    pub group_by: Vec<Var>,
+}
+
+/// Parses `sql` against `schema` into an engine [`Query`], rejecting
+/// GROUP BY (use [`parse_statement`] for grouped queries).
+pub fn parse_query(sql: &str, schema: &Schema) -> Result<Query, SqlError> {
+    let lowered = parse_statement(sql, schema)?;
+    if !lowered.group_by.is_empty() {
+        return Err(SqlError::Semantic(
+            "GROUP BY requires parse_statement + profile_grouped".to_string(),
+        ));
+    }
+    Ok(lowered.query)
+}
+
+/// Parses `sql` (optionally with GROUP BY) against `schema`.
+pub fn parse_statement(sql: &str, schema: &Schema) -> Result<LoweredQuery, SqlError> {
+    let ast = parse(sql)?;
+    // Allocate variables.
+    let mut from = Vec::new();
+    let mut var_of: Vec<Vec<Var>> = Vec::new();
+    let mut next: Var = 0;
+    for (table, alias) in &ast.from {
+        let rel = schema.relation(table).map_err(|e| SqlError::Semantic(e.to_string()))?;
+        let vars: Vec<Var> = (0..rel.arity())
+            .map(|_| {
+                let v = next;
+                next += 1;
+                v
+            })
+            .collect();
+        var_of.push(vars);
+        from.push((alias.clone(), table.clone()));
+    }
+    let mut lw = Lowerer { schema, from, var_of, parent: (0..next).collect() };
+
+    // Partition top-level conjuncts: col=col equalities become unions.
+    let mut filters: Vec<CondAst> = Vec::new();
+    if let Some(w) = ast.where_clause {
+        let mut parts = Vec::new();
+        conjuncts(w, &mut parts);
+        for p in parts {
+            if let CondAst::Cmp("=", ExprAst::Col(a), ExprAst::Col(b)) = &p {
+                let (va, vb) = (lw.resolve(a)?, lw.resolve(b)?);
+                lw.union(va, vb);
+            } else {
+                filters.push(p);
+            }
+        }
+    }
+
+    // Canonicalize all variables through the union–find and compact ids.
+    let mut canon: Vec<Var> = (0..next).map(|v| lw.find(v)).collect();
+    let mut remap = vec![Var::MAX; next as usize];
+    let mut compact: Var = 0;
+    #[allow(clippy::needless_range_loop)] // v indexes two parallel arrays
+    for v in 0..next as usize {
+        let root = canon[v] as usize;
+        if remap[root] == Var::MAX {
+            remap[root] = compact;
+            compact += 1;
+        }
+        canon[v] = remap[root];
+    }
+
+    let atoms: Vec<Atom> = lw
+        .from
+        .iter()
+        .enumerate()
+        .map(|(fi, (_, rel))| Atom {
+            relation: rel.clone(),
+            vars: lw.var_of[fi].iter().map(|&v| canon[v as usize]).collect(),
+        })
+        .collect();
+
+    // Lower the aggregate and filters with canonical variables by wrapping
+    // resolve: easiest is to lower first, then remap vars in the results.
+    let remap_expr = |e: Expr| -> Expr { remap_expr_vars(e, &canon) };
+    let aggregate = match &ast.agg {
+        AggAst::CountStar => Aggregate::Count,
+        AggAst::Sum(e) => Aggregate::Sum(remap_expr(lw.lower_expr(e)?)),
+        AggAst::Distinct(_) => Aggregate::Count,
+    };
+    let projection = match &ast.agg {
+        AggAst::Distinct(cols) => {
+            let mut vars = Vec::new();
+            for c in cols {
+                vars.push(canon[lw.resolve(c)? as usize]);
+            }
+            Some(vars)
+        }
+        _ => None,
+    };
+    let mut preds = Vec::new();
+    for f in &filters {
+        preds.push(remap_pred_vars(lw.lower_cond(f)?, &canon));
+    }
+    let predicate = match preds.len() {
+        0 => Predicate::True,
+        1 => preds.pop().expect("len checked"),
+        _ => Predicate::And(preds),
+    };
+
+    let mut group_by = Vec::new();
+    for c in &ast.group_by {
+        group_by.push(canon[lw.resolve(c)? as usize]);
+    }
+
+    Ok(LoweredQuery { query: Query { atoms, predicate, aggregate, projection }, group_by })
+}
+
+fn remap_expr_vars(e: Expr, canon: &[Var]) -> Expr {
+    match e {
+        Expr::Var(v) => Expr::Var(canon[v as usize]),
+        Expr::Const(c) => Expr::Const(c),
+        Expr::Add(a, b) => Expr::Add(
+            Box::new(remap_expr_vars(*a, canon)),
+            Box::new(remap_expr_vars(*b, canon)),
+        ),
+        Expr::Sub(a, b) => Expr::Sub(
+            Box::new(remap_expr_vars(*a, canon)),
+            Box::new(remap_expr_vars(*b, canon)),
+        ),
+        Expr::Mul(a, b) => Expr::Mul(
+            Box::new(remap_expr_vars(*a, canon)),
+            Box::new(remap_expr_vars(*b, canon)),
+        ),
+    }
+}
+
+fn remap_pred_vars(p: Predicate, canon: &[Var]) -> Predicate {
+    match p {
+        Predicate::True => Predicate::True,
+        Predicate::Cmp(op, a, b) => {
+            Predicate::Cmp(op, remap_expr_vars(a, canon), remap_expr_vars(b, canon))
+        }
+        Predicate::And(ps) => {
+            Predicate::And(ps.into_iter().map(|q| remap_pred_vars(q, canon)).collect())
+        }
+        Predicate::Or(ps) => {
+            Predicate::Or(ps.into_iter().map(|q| remap_pred_vars(q, canon)).collect())
+        }
+        Predicate::Not(q) => Predicate::Not(Box::new(remap_pred_vars(*q, canon))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2t_engine::schema::graph_schema_node_dp;
+    use r2t_engine::{exec, Instance, Value};
+
+    fn tiny_graph() -> Instance {
+        let mut inst = Instance::new();
+        inst.insert_all("Node", (0..4).map(|i| vec![Value::Int(i)]));
+        let mut edges = Vec::new();
+        for (a, b) in [(0, 1), (1, 2), (0, 2), (2, 3)] {
+            edges.push(vec![Value::Int(a), Value::Int(b)]);
+            edges.push(vec![Value::Int(b), Value::Int(a)]);
+        }
+        inst.insert_all("Edge", edges);
+        inst
+    }
+
+    #[test]
+    fn edge_counting_sql() {
+        let s = graph_schema_node_dp();
+        let q = parse_query(
+            "SELECT COUNT(*) FROM Node AS n1, Node AS n2, Edge \
+             WHERE Edge.src = n1.id AND Edge.dst = n2.id AND n1.id < n2.id",
+            &s,
+        )
+        .unwrap();
+        let inst = tiny_graph();
+        assert_eq!(exec::evaluate(&s, &inst, &q).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn equality_becomes_shared_variable() {
+        let s = graph_schema_node_dp();
+        let q = parse_query(
+            "SELECT COUNT(*) FROM Edge AS e1, Edge AS e2 WHERE e1.dst = e2.src",
+            &s,
+        )
+        .unwrap();
+        // e1.dst and e2.src collapse into one variable.
+        assert_eq!(q.atoms[0].vars[1], q.atoms[1].vars[0]);
+    }
+
+    #[test]
+    fn distinct_lowered_to_projection() {
+        let s = graph_schema_node_dp();
+        let q = parse_query("SELECT DISTINCT Edge.src FROM Edge", &s).unwrap();
+        assert!(q.projection.is_some());
+        let inst = tiny_graph();
+        // All 4 nodes appear as a source (edges are bidirectional).
+        assert_eq!(exec::evaluate(&s, &inst, &q).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn sum_aggregate_lowered() {
+        let s = graph_schema_node_dp();
+        let q = parse_query("SELECT SUM(Edge.dst) FROM Edge WHERE Edge.src = 0", &s).unwrap();
+        let inst = tiny_graph();
+        // Edges from node 0: to 1 and 2 → sum = 3.
+        assert_eq!(exec::evaluate(&s, &inst, &q).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn unknown_column_rejected() {
+        let s = graph_schema_node_dp();
+        assert!(matches!(
+            parse_query("SELECT COUNT(*) FROM Edge WHERE Edge.nope = 1", &s),
+            Err(SqlError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn ambiguous_column_rejected() {
+        let s = graph_schema_node_dp();
+        assert!(matches!(
+            parse_query("SELECT COUNT(*) FROM Node AS a, Node AS b WHERE id = 1", &s),
+            Err(SqlError::Semantic(_))
+        ));
+    }
+
+    #[test]
+    fn triangle_sql_matches_pattern() {
+        let s = graph_schema_node_dp();
+        let q = parse_query(
+            "SELECT COUNT(*) FROM Edge AS e1, Edge AS e2, Edge AS e3 \
+             WHERE e1.dst = e2.src AND e2.dst = e3.dst AND e1.src = e3.src \
+             AND e1.src < e1.dst AND e2.src < e2.dst",
+            &s,
+        )
+        .unwrap();
+        let inst = tiny_graph();
+        // Triangles with a < b < c: exactly {0,1,2}.
+        assert_eq!(exec::evaluate(&s, &inst, &q).unwrap(), 1.0);
+    }
+}
+
+#[cfg(test)]
+mod group_by_tests {
+    use super::*;
+    use r2t_engine::schema::graph_schema_node_dp;
+
+    #[test]
+    fn group_by_lowered_to_vars() {
+        let s = graph_schema_node_dp();
+        let q = parse_statement("SELECT COUNT(*) FROM Edge GROUP BY Edge.src", &s).unwrap();
+        assert_eq!(q.group_by.len(), 1);
+        assert_eq!(q.group_by[0], q.query.atoms[0].vars[0]);
+    }
+
+    #[test]
+    fn parse_query_rejects_group_by() {
+        let s = graph_schema_node_dp();
+        assert!(matches!(
+            parse_query("SELECT COUNT(*) FROM Edge GROUP BY Edge.src", &s),
+            Err(SqlError::Semantic(_))
+        ));
+    }
+}

@@ -1,0 +1,370 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::lexer::{tokenize, Token};
+use crate::SqlError;
+
+/// A possibly-qualified column reference `alias.column` or `column`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColRef {
+    /// Table alias, if qualified.
+    pub alias: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+/// Scalar expression AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprAst {
+    /// Column reference.
+    Col(ColRef),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// Binary arithmetic: `+`, `-`, `*`.
+    Bin(char, Box<ExprAst>, Box<ExprAst>),
+}
+
+/// Condition AST.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CondAst {
+    /// Comparison; op ∈ {"=", "<>", "<", "<=", ">", ">="}.
+    Cmp(&'static str, ExprAst, ExprAst),
+    /// Conjunction.
+    And(Box<CondAst>, Box<CondAst>),
+    /// Disjunction.
+    Or(Box<CondAst>, Box<CondAst>),
+    /// Negation.
+    Not(Box<CondAst>),
+}
+
+/// The SELECT head.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AggAst {
+    /// `COUNT(*)`.
+    CountStar,
+    /// `SUM(expr)`.
+    Sum(ExprAst),
+    /// `DISTINCT c1, c2, …` (count of distinct projected tuples).
+    Distinct(Vec<ColRef>),
+}
+
+/// A parsed SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectAst {
+    /// Aggregate head.
+    pub agg: AggAst,
+    /// FROM list: (table, alias) — alias defaults to the table name.
+    pub from: Vec<(String, String)>,
+    /// WHERE condition, if present.
+    pub where_clause: Option<CondAst>,
+    /// GROUP BY columns (empty if absent).
+    pub group_by: Vec<ColRef>,
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(t) if t.is_kw(kw) => Ok(()),
+            other => Err(SqlError::Parse(format!("expected {kw}, got {other:?}"))),
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Token::Sym(s)) if s == sym => Ok(()),
+            other => Err(SqlError::Parse(format!("expected {sym:?}, got {other:?}"))),
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(SqlError::Parse(format!("expected identifier, got {other:?}"))),
+        }
+    }
+
+    fn col_ref(&mut self) -> Result<ColRef, SqlError> {
+        let first = self.ident()?;
+        if self.eat_sym(".") {
+            let column = self.ident()?;
+            Ok(ColRef { alias: Some(first), column })
+        } else {
+            Ok(ColRef { alias: None, column: first })
+        }
+    }
+
+    // expr := term (('+'|'-') term)* ; term := factor ('*' factor)*
+    fn expr(&mut self) -> Result<ExprAst, SqlError> {
+        let mut lhs = self.term()?;
+        loop {
+            if self.eat_sym("+") {
+                lhs = ExprAst::Bin('+', Box::new(lhs), Box::new(self.term()?));
+            } else if self.eat_sym("-") {
+                lhs = ExprAst::Bin('-', Box::new(lhs), Box::new(self.term()?));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<ExprAst, SqlError> {
+        let mut lhs = self.factor()?;
+        while self.eat_sym("*") {
+            lhs = ExprAst::Bin('*', Box::new(lhs), Box::new(self.factor()?));
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<ExprAst, SqlError> {
+        match self.peek().cloned() {
+            Some(Token::Sym("(")) => {
+                self.pos += 1;
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Token::Sym("-")) => {
+                self.pos += 1;
+                let e = self.factor()?;
+                Ok(ExprAst::Bin('-', Box::new(ExprAst::Int(0)), Box::new(e)))
+            }
+            Some(Token::Int(v)) => {
+                self.pos += 1;
+                Ok(ExprAst::Int(v))
+            }
+            Some(Token::Float(v)) => {
+                self.pos += 1;
+                Ok(ExprAst::Float(v))
+            }
+            Some(Token::Str(s)) => {
+                self.pos += 1;
+                Ok(ExprAst::Str(s))
+            }
+            Some(Token::Ident(_)) => Ok(ExprAst::Col(self.col_ref()?)),
+            other => Err(SqlError::Parse(format!("expected expression, got {other:?}"))),
+        }
+    }
+
+    // cond := or_cond ; or := and ('OR' and)* ; and := unit ('AND' unit)*
+    fn cond(&mut self) -> Result<CondAst, SqlError> {
+        let mut lhs = self.and_cond()?;
+        while self.eat_kw("OR") {
+            lhs = CondAst::Or(Box::new(lhs), Box::new(self.and_cond()?));
+        }
+        Ok(lhs)
+    }
+
+    fn and_cond(&mut self) -> Result<CondAst, SqlError> {
+        let mut lhs = self.unit_cond()?;
+        while self.eat_kw("AND") {
+            lhs = CondAst::And(Box::new(lhs), Box::new(self.unit_cond()?));
+        }
+        Ok(lhs)
+    }
+
+    fn unit_cond(&mut self) -> Result<CondAst, SqlError> {
+        if self.eat_kw("NOT") {
+            return Ok(CondAst::Not(Box::new(self.unit_cond()?)));
+        }
+        if matches!(self.peek(), Some(Token::Sym("("))) {
+            // Could be a parenthesized condition or expression; try the
+            // condition first (backtracking on failure).
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(c) = self.cond() {
+                if self.eat_sym(")") {
+                    return Ok(c);
+                }
+            }
+            self.pos = save;
+        }
+        let lhs = self.expr()?;
+        let op = match self.next() {
+            Some(Token::Sym(s @ ("=" | "<>" | "<" | "<=" | ">" | ">="))) => s,
+            other => return Err(SqlError::Parse(format!("expected comparison, got {other:?}"))),
+        };
+        let rhs = self.expr()?;
+        Ok(CondAst::Cmp(op, lhs, rhs))
+    }
+
+    fn select(&mut self) -> Result<SelectAst, SqlError> {
+        self.expect_kw("SELECT")?;
+        let agg = if self.eat_kw("COUNT") {
+            self.expect_sym("(")?;
+            self.expect_sym("*")?;
+            self.expect_sym(")")?;
+            AggAst::CountStar
+        } else if self.eat_kw("SUM") {
+            self.expect_sym("(")?;
+            let e = self.expr()?;
+            self.expect_sym(")")?;
+            AggAst::Sum(e)
+        } else if self.eat_kw("DISTINCT") {
+            let mut cols = vec![self.col_ref()?];
+            while self.eat_sym(",") {
+                cols.push(self.col_ref()?);
+            }
+            AggAst::Distinct(cols)
+        } else {
+            return Err(SqlError::Parse(
+                "SELECT must be COUNT(*), SUM(expr), or DISTINCT cols".into(),
+            ));
+        };
+        self.expect_kw("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            let table = self.ident()?;
+            let explicit_as = self.eat_kw("AS");
+            // A bare alias must not be a clause keyword.
+            let bare_alias = matches!(
+                self.peek(),
+                Some(Token::Ident(s))
+                    if !s.eq_ignore_ascii_case("WHERE") && !s.eq_ignore_ascii_case("GROUP")
+            );
+            let alias = if explicit_as || bare_alias { self.ident()? } else { table.clone() };
+            from.push((table, alias));
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        let where_clause = if self.eat_kw("WHERE") { Some(self.cond()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            group_by.push(self.col_ref()?);
+            while self.eat_sym(",") {
+                group_by.push(self.col_ref()?);
+            }
+        }
+        if self.pos != self.tokens.len() {
+            return Err(SqlError::Parse(format!(
+                "trailing tokens starting at {:?}",
+                self.peek()
+            )));
+        }
+        Ok(SelectAst { agg, from, where_clause, group_by })
+    }
+}
+
+/// Parses a SELECT statement into an AST.
+pub fn parse(sql: &str) -> Result<SelectAst, SqlError> {
+    let tokens = tokenize(sql)?;
+    Parser { tokens, pos: 0 }.select()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_star() {
+        let ast = parse("SELECT COUNT(*) FROM Edge").unwrap();
+        assert_eq!(ast.agg, AggAst::CountStar);
+        assert_eq!(ast.from, vec![("Edge".into(), "Edge".into())]);
+        assert!(ast.where_clause.is_none());
+    }
+
+    #[test]
+    fn sum_with_arithmetic() {
+        let ast = parse("SELECT SUM(price * (1 - discount)) FROM lineitem").unwrap();
+        match ast.agg {
+            AggAst::Sum(ExprAst::Bin('*', _, _)) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn aliases_and_self_join() {
+        let ast = parse(
+            "SELECT COUNT(*) FROM Node AS n1, Node n2, Edge WHERE Edge.src = n1.id AND Edge.dst = n2.id",
+        )
+        .unwrap();
+        assert_eq!(ast.from.len(), 3);
+        assert_eq!(ast.from[1], ("Node".into(), "n2".into()));
+    }
+
+    #[test]
+    fn distinct_projection() {
+        let ast = parse("SELECT DISTINCT c.ck, c.nk FROM customer AS c").unwrap();
+        match ast.agg {
+            AggAst::Distinct(cols) => assert_eq!(cols.len(), 2),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_precedence() {
+        // a OR b AND c parses as a OR (b AND c).
+        let ast = parse("SELECT COUNT(*) FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        match ast.where_clause.unwrap() {
+            CondAst::Or(_, rhs) => assert!(matches!(*rhs, CondAst::And(_, _))),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parenthesized_condition() {
+        let ast =
+            parse("SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND NOT c > 3").unwrap();
+        assert!(matches!(ast.where_clause.unwrap(), CondAst::And(_, _)));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SELECT COUNT(*) FROM t LIMIT 5").is_err());
+    }
+
+    #[test]
+    fn group_by_parsed() {
+        let ast = parse("SELECT COUNT(*) FROM t GROUP BY t.a, b").unwrap();
+        assert_eq!(ast.group_by.len(), 2);
+        assert_eq!(ast.group_by[1].column, "b");
+    }
+
+    #[test]
+    fn string_comparison() {
+        let ast = parse("SELECT COUNT(*) FROM c WHERE seg = 'BUILDING'").unwrap();
+        match ast.where_clause.unwrap() {
+            CondAst::Cmp("=", _, ExprAst::Str(s)) => assert_eq!(s, "BUILDING"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+}

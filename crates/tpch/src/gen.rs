@@ -1,0 +1,164 @@
+//! Deterministic TPC-H-lite data generation.
+//!
+//! Fanouts follow TPC-H: ~10 orders per customer, 1–7 lineitems per order,
+//! 4 partsupp rows per part. The base sizes are 100× below real TPC-H so
+//! that scale factor 1 yields ≈75k tuples. A mild skew knob makes some
+//! customers/suppliers much heavier than others — exactly the situation
+//! truncation mechanisms exist for.
+
+use r2t_engine::{Instance, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Base row counts at scale factor 1 (≈ paper's SF1 ÷ 100, with the
+/// supplier/part proportions of real TPC-H so no single supplier carries a
+/// macroscopic share of the lineitems).
+const BASE_CUSTOMERS: usize = 1500;
+const BASE_SUPPLIERS: usize = 600;
+const BASE_PARTS: usize = 2000;
+
+const MKT_SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const PART_TYPES: [&str; 5] = ["ECONOMY", "STANDARD", "PROMO", "SMALL", "LARGE"];
+const RETURN_FLAGS: [&str; 3] = ["R", "A", "N"];
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Days spanned by order dates (1992-01-01 … ≈1998-08).
+pub const DATE_SPAN: i64 = 2400;
+
+/// Generates a TPC-H-lite instance at the given scale factor.
+///
+/// `skew` ∈ [0, 1] controls how concentrated orders are on a few heavy
+/// customers (0 = uniform; the default experiments use 0.3).
+pub fn generate(scale: f64, skew: f64, seed: u64) -> Instance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n_cust = ((BASE_CUSTOMERS as f64 * scale) as usize).max(10);
+    let n_supp = ((BASE_SUPPLIERS as f64 * scale) as usize).max(5);
+    let n_part = ((BASE_PARTS as f64 * scale) as usize).max(10);
+
+    let mut inst = Instance::new();
+    for (rk, name) in REGIONS.iter().enumerate() {
+        inst.insert("region", vec![Value::Int(rk as i64), Value::str(name)]);
+    }
+    for nk in 0..25i64 {
+        inst.insert(
+            "nation",
+            vec![Value::Int(nk), Value::str(&format!("NATION{nk:02}")), Value::Int(nk % 5)],
+        );
+    }
+    for sk in 0..n_supp as i64 {
+        inst.insert("supplier", vec![Value::Int(sk), Value::Int(rng.random_range(0..25))]);
+    }
+    for ck in 0..n_cust as i64 {
+        inst.insert(
+            "customer",
+            vec![
+                Value::Int(ck),
+                Value::Int(rng.random_range(0..25)),
+                Value::str(MKT_SEGMENTS[rng.random_range(0..MKT_SEGMENTS.len())]),
+            ],
+        );
+    }
+    for pk in 0..n_part as i64 {
+        inst.insert(
+            "part",
+            vec![Value::Int(pk), Value::str(PART_TYPES[rng.random_range(0..PART_TYPES.len())])],
+        );
+    }
+    for pk in 0..n_part as i64 {
+        for _ in 0..4 {
+            inst.insert(
+                "partsupp",
+                vec![
+                    Value::Int(pk),
+                    Value::Int(rng.random_range(0..n_supp as i64)),
+                    Value::Int(rng.random_range(1..50)),
+                    Value::Float((rng.random_range(100..5_000) as f64) / 100.0),
+                ],
+            );
+        }
+    }
+
+    // Orders: average 10 per customer, skewed so that a few customers are
+    // very heavy (Zipf-ish tilt by customer rank).
+    let mut ok_next: i64 = 0;
+    for ck in 0..n_cust as i64 {
+        let heavy = (ck as f64 + 1.0).powf(-skew);
+        let weight = heavy / (1..=n_cust).map(|r| (r as f64).powf(-skew)).sum::<f64>()
+            * (10.0 * n_cust as f64);
+        let n_orders = rng.random_range(0..=(2.0 * weight).ceil() as i64).min(40);
+        for _ in 0..n_orders {
+            let ok = ok_next;
+            ok_next += 1;
+            let orderdate = rng.random_range(0..DATE_SPAN);
+            inst.insert("orders", vec![Value::Int(ok), Value::Int(ck), Value::Int(orderdate)]);
+            let n_items = rng.random_range(1..=7);
+            for _ in 0..n_items {
+                let quantity = rng.random_range(1..=50);
+                let shipdate = orderdate + rng.random_range(1..=121);
+                let commitdate = orderdate + rng.random_range(30..=90);
+                let receiptdate = shipdate + rng.random_range(1..=30);
+                inst.insert(
+                    "lineitem",
+                    vec![
+                        Value::Int(ok),
+                        Value::Int(rng.random_range(0..n_part as i64)),
+                        Value::Int(rng.random_range(0..n_supp as i64)),
+                        Value::Int(quantity),
+                        Value::Float(quantity as f64 * rng.random_range(9..21) as f64),
+                        Value::Float(rng.random_range(0..=10) as f64 / 100.0),
+                        Value::Int(shipdate),
+                        Value::Int(commitdate),
+                        Value::Int(receiptdate),
+                        Value::str(SHIP_MODES[rng.random_range(0..SHIP_MODES.len())]),
+                        Value::str(RETURN_FLAGS[rng.random_range(0..RETURN_FLAGS.len())]),
+                    ],
+                );
+            }
+        }
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::tpch_schema;
+
+    #[test]
+    fn generated_instance_is_valid() {
+        let inst = generate(0.1, 0.3, 42);
+        let schema = tpch_schema(&["customer"]);
+        inst.validate(&schema).unwrap();
+        assert!(inst.rows("customer").len() >= 100);
+        assert!(!inst.rows("lineitem").is_empty());
+    }
+
+    #[test]
+    fn scale_controls_size() {
+        let small = generate(0.1, 0.3, 1);
+        let large = generate(0.4, 0.3, 1);
+        assert!(large.total_tuples() > 2 * small.total_tuples());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(0.1, 0.3, 7);
+        let b = generate(0.1, 0.3, 7);
+        assert_eq!(a.total_tuples(), b.total_tuples());
+        assert_eq!(a.rows("orders").len(), b.rows("orders").len());
+    }
+
+    #[test]
+    fn skew_creates_heavy_customers() {
+        let inst = generate(0.3, 0.6, 5);
+        // Count orders per customer; the max should far exceed the mean.
+        let mut counts = std::collections::HashMap::new();
+        for o in inst.rows("orders") {
+            *counts.entry(o[1].to_string()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().copied().max().unwrap();
+        let mean = inst.rows("orders").len() as f64 / counts.len() as f64;
+        assert!(max as f64 > 3.0 * mean, "max {max} mean {mean}");
+    }
+}

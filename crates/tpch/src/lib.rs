@@ -1,0 +1,25 @@
+//! # r2t-tpch — TPC-H-lite substrate
+//!
+//! A deterministic, scaled-down synthetic generator for the TPC-H schema
+//! (Figure 4 of the paper) plus the ten evaluation queries of Section 10.3
+//! (Q3, Q5, Q7, Q8, Q10, Q11, Q12, Q18, Q20, Q21), expressed in the
+//! `r2t-engine` IR with the paper's primary-private-relation designations:
+//!
+//! | category                      | queries        | primary private        |
+//! |-------------------------------|----------------|------------------------|
+//! | single primary private        | Q3, Q12, Q20   | customer / orders / supplier |
+//! | multiple primary private      | Q5, Q8, Q21    | customer + supplier    |
+//! | SUM aggregation               | Q7, Q11, Q18   | (as above)             |
+//! | projection (count distinct)   | Q10            | customer               |
+//!
+//! Group-by clauses are removed, as in the paper. Scale factor 1 generates
+//! ≈75k tuples (the paper's SF1 is 7.5M; a deliberate 100× scale-down so
+//! the truncation LPs remain laptop-sized — see DESIGN.md §2).
+
+pub mod gen;
+pub mod queries;
+pub mod schema;
+
+pub use gen::generate;
+pub use queries::{all_queries, Category, TpchQuery};
+pub use schema::tpch_schema;

@@ -1,0 +1,85 @@
+//! The TPC-H-lite schema (Figure 4 of the paper).
+//!
+//! Column sets are trimmed to what the ten evaluation queries touch. Dates
+//! are integers (days since 1992-01-01). The composite FK
+//! `lineitem.(pk,sk) → partsupp` of full TPC-H is modelled as the two
+//! single-column FKs `lineitem.pk → part` and `lineitem.sk → supplier`,
+//! which induces the same privacy propagation.
+
+use r2t_engine::Schema;
+
+/// Builds the TPC-H-lite schema with the given primary private relations.
+pub fn tpch_schema(primary_private: &[&str]) -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("region", &["rk", "rname"], Some("rk"), &[])
+        .expect("static schema");
+    s.add_relation("nation", &["nk", "nname", "rk"], Some("nk"), &[("rk", "region")])
+        .expect("static schema");
+    s.add_relation("supplier", &["sk", "s_nk"], Some("sk"), &[("s_nk", "nation")])
+        .expect("static schema");
+    s.add_relation(
+        "customer",
+        &["ck", "c_nk", "mktsegment"],
+        Some("ck"),
+        &[("c_nk", "nation")],
+    )
+    .expect("static schema");
+    s.add_relation("part", &["pk", "ptype"], Some("pk"), &[]).expect("static schema");
+    s.add_relation(
+        "partsupp",
+        &["ps_pk", "ps_sk", "availqty", "supplycost"],
+        None,
+        &[("ps_pk", "part"), ("ps_sk", "supplier")],
+    )
+    .expect("static schema");
+    s.add_relation(
+        "orders",
+        &["ok", "o_ck", "orderdate"],
+        Some("ok"),
+        &[("o_ck", "customer")],
+    )
+    .expect("static schema");
+    s.add_relation(
+        "lineitem",
+        &[
+            "l_ok",
+            "l_pk",
+            "l_sk",
+            "quantity",
+            "extendedprice",
+            "discount",
+            "shipdate",
+            "commitdate",
+            "receiptdate",
+            "shipmode",
+            "returnflag",
+        ],
+        None,
+        &[("l_ok", "orders"), ("l_pk", "part"), ("l_sk", "supplier")],
+    )
+    .expect("static schema");
+    s.set_primary_private(primary_private).expect("known relations");
+    s.validate().expect("schema is a DAG");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_validates() {
+        let s = tpch_schema(&["customer"]);
+        assert!(s.is_secondary_private("orders").unwrap());
+        assert!(s.is_secondary_private("lineitem").unwrap());
+        assert!(!s.is_secondary_private("supplier").unwrap());
+    }
+
+    #[test]
+    fn multiple_primary_private() {
+        let s = tpch_schema(&["customer", "supplier"]);
+        assert_eq!(s.primary_private().len(), 2);
+        assert!(s.is_secondary_private("partsupp").unwrap());
+        assert!(s.is_secondary_private("lineitem").unwrap());
+    }
+}

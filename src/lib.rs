@@ -1,0 +1,26 @@
+//! # r2t — facade crate
+//!
+//! Re-exports the full R2T stack so that examples, integration tests, and
+//! downstream users can depend on a single crate:
+//!
+//! * [`lp`] — from-scratch LP solver (revised simplex, presolve, dual bounds)
+//! * [`engine`] — relational engine with FK constraints and lineage tracking
+//! * [`sql`] — SQL subset parser
+//! * [`graph`] — graph substrate for node-DP pattern counting
+//! * [`tpch`] — TPC-H-lite generator and the paper's ten evaluation queries
+//! * [`core`] — the R2T mechanism, truncation methods, and DP baselines
+//!
+//! [`system::PrivateDatabase`] ties everything together: SQL in, ε-DP
+//! answers out (the paper's Figure 3 system as one type).
+//!
+//! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
+//! reproduction of every table and figure in the paper.
+
+pub mod system;
+
+pub use r2t_core as core;
+pub use r2t_engine as engine;
+pub use r2t_graph as graph;
+pub use r2t_lp as lp;
+pub use r2t_sql as sql;
+pub use r2t_tpch as tpch;

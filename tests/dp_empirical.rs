@@ -1,0 +1,104 @@
+//! Empirical ε-DP check: on a small instance and a down-neighbour, the
+//! output distributions of R2T over coarse bins must stay within e^ε of
+//! each other (up to sampling slack). This cannot *prove* privacy, but it
+//! reliably catches sign errors in the noise calibration and stability
+//! violations in the truncation — running it against naive truncation with
+//! a self-join (Example 1.2) fails, which is asserted below.
+
+use r2t::core::truncation::{LpTruncation, NaiveTruncation, Truncation};
+use r2t::core::{R2TConfig, R2T};
+use r2t::engine::lineage::ProfileBuilder;
+use r2t::engine::QueryProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Star graph edge-counting profile (hub 0 with `n` leaves).
+fn star_profile(n: u64) -> QueryProfile {
+    let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+    for leaf in 1..=n {
+        b.add_result(1.0, [0, leaf]);
+    }
+    b.build()
+}
+
+/// Empirical per-bin frequencies of `mech` over `runs` executions.
+fn histogram<F: FnMut(&mut StdRng) -> f64>(
+    bins: &[f64],
+    runs: usize,
+    seed: u64,
+    mut mech: F,
+) -> Vec<f64> {
+    let mut counts = vec![0usize; bins.len() + 1];
+    for r in 0..runs {
+        let mut rng = StdRng::seed_from_u64(seed ^ (r as u64).wrapping_mul(0x9E3779B97F4A7C15));
+        let v = mech(&mut rng);
+        let idx = bins.partition_point(|&b| v > b);
+        counts[idx] += 1;
+    }
+    counts.into_iter().map(|c| (c as f64 + 1.0) / (runs as f64 + 1.0)).collect()
+}
+
+#[test]
+fn r2t_outputs_are_epsilon_indistinguishable_on_neighbors() {
+    let eps = 0.5;
+    let p1 = star_profile(8);
+    let p2 = p1.remove_private(3); // delete one leaf: a down-neighbour
+    let cfg = R2TConfig { epsilon: eps, beta: 0.1, gs: 16.0, early_stop: false, parallel: false };
+    let r2t = R2T::new(cfg);
+    let bins = [0.0, 4.0, 8.0];
+    let runs = 4000;
+    let h1 = histogram(&bins, runs, 0xD1, |rng| {
+        r2t.run_with(&LpTruncation::new(&p1), rng).output
+    });
+    let h2 = histogram(&bins, runs, 0xD1, |rng| {
+        r2t.run_with(&LpTruncation::new(&p2), rng).output
+    });
+    // Group privacy slack: deleting leaf 3 changes one private tuple, so
+    // outputs must be within e^eps; allow 2x sampling slack.
+    let limit = (eps).exp() * 2.0;
+    for (a, b) in h1.iter().zip(&h2) {
+        let ratio = (a / b).max(b / a);
+        assert!(ratio <= limit, "bin ratio {ratio} exceeds {limit}: {h1:?} vs {h2:?}");
+    }
+}
+
+#[test]
+fn naive_truncation_with_self_joins_breaks_indistinguishability() {
+    // Example 1.2 shape: a 2-regular cycle vs the neighbour where a new hub
+    // connects to everyone. Naive truncation at small τ swings the entire
+    // count, and no reasonable ε explains the gap.
+    let n = 24u64;
+    let mut b1: ProfileBuilder<u64> = ProfileBuilder::new();
+    for i in 0..n {
+        b1.add_result(1.0, [i, (i + 1) % n]);
+    }
+    let p1 = b1.build();
+    let mut b2: ProfileBuilder<u64> = ProfileBuilder::new();
+    for i in 0..n {
+        b2.add_result(1.0, [i, (i + 1) % n]);
+    }
+    for i in 0..n {
+        b2.add_result(1.0, [n, i]);
+    }
+    let p2 = b2.build();
+
+    // The naive-truncation mechanism at fixed τ = 2 with noise Lap(τ/ε):
+    // on the cycle every node survives (degree 2), on the neighbour every
+    // node is cut (degree 3) — a gap of Θ(n·τ) that Lap(τ/ε) cannot mask.
+    let eps = 0.5;
+    let tau = 2.0;
+    let bins = [12.0];
+    let runs = 1500;
+    let h1 = histogram(&bins, runs, 0xE1, |rng| {
+        NaiveTruncation::new(&p1).value(tau) + r2t::core::noise::laplace(rng, tau / eps)
+    });
+    let h2 = histogram(&bins, runs, 0xE1, |rng| {
+        NaiveTruncation::new(&p2).value(tau) + r2t::core::noise::laplace(rng, tau / eps)
+    });
+    let worst =
+        h1.iter().zip(&h2).map(|(a, b)| (a / b).max(b / a)).fold(0.0f64, f64::max);
+    assert!(
+        worst > eps.exp() * 4.0,
+        "naive truncation should visibly break DP here, worst ratio {worst}"
+    );
+}

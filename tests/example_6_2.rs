@@ -1,0 +1,88 @@
+//! Full-pipeline reproduction of Example 6.2: graph construction → pattern
+//! enumeration with lineage → LP truncation → R2T, with the paper's
+//! hand-computed LP optima asserted exactly.
+
+use r2t::core::truncation::{LpTruncation, Truncation};
+use r2t::core::{R2TConfig, R2T};
+use r2t::graph::{Graph, Pattern};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn example_graph() -> Graph {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut next = 0u32;
+    for (k, count) in [(3u32, 1000usize), (4, 1000)] {
+        for _ in 0..count {
+            let base = next;
+            next += k;
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    edges.push((base + i, base + j));
+                }
+            }
+        }
+    }
+    for (k, count) in [(8u32, 100usize), (16, 10), (32, 1)] {
+        for _ in 0..count {
+            let center = next;
+            next += k + 1;
+            for leaf in 1..=k {
+                edges.push((center, center + leaf));
+            }
+        }
+    }
+    Graph::from_edges(next as usize, &edges)
+}
+
+#[test]
+fn node_count_matches_paper() {
+    let g = example_graph();
+    // 3000 + 4000 + 900 + 170 + 33 = 8103 nodes (as in the paper).
+    assert_eq!(g.num_vertices(), 8103);
+    assert_eq!(g.num_edges(), 9992);
+}
+
+#[test]
+fn lp_truncation_values_match_paper() {
+    let g = example_graph();
+    let profile = Pattern::Edge.profile(&g);
+    assert_eq!(profile.query_result(), 9992.0);
+    let t = LpTruncation::new(&profile);
+    for (tau, expected) in
+        [(2.0, 7222.0), (4.0, 9444.0), (8.0, 9888.0), (16.0, 9976.0), (32.0, 9992.0)]
+    {
+        let got = t.value(tau);
+        assert!((got - expected).abs() < 1e-3, "Q(I,{tau}) = {got}, paper says {expected}");
+    }
+    assert_eq!(t.value(0.0), 0.0);
+}
+
+#[test]
+fn r2t_error_within_theorem_bound() {
+    let g = example_graph();
+    let profile = Pattern::Edge.profile(&g);
+    let cfg = R2TConfig {
+        epsilon: 1.0,
+        beta: 0.1,
+        gs: 256.0,
+        early_stop: true,
+        parallel: false,
+    };
+    let log_gs = cfg.num_branches() as f64;
+    let tau_star = 32.0; // DS_Q(I): the 32-star's centre
+    let bound = 4.0 * log_gs * (log_gs / cfg.beta).ln() * tau_star / cfg.epsilon;
+    let r2t = R2T::new(cfg);
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut violations = 0;
+    let runs = 20;
+    for _ in 0..runs {
+        let t = LpTruncation::new(&profile);
+        let rep = r2t.run_with(&t, &mut rng);
+        assert!(rep.output <= 9992.0 + 1e-6 || (rep.output - 9992.0) < bound);
+        if (9992.0 - rep.output).abs() > bound {
+            violations += 1;
+        }
+    }
+    // β = 0.1: expect ≈ 2 violations in 20 runs; allow generous slack.
+    assert!(violations <= 6, "{violations}/{runs} outside the Theorem 5.1 bound");
+}

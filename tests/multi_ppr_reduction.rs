@@ -1,0 +1,106 @@
+//! Integration: the Section 8 reduction. Answering a query under multiple
+//! primary private relations directly (our implementation tags private ids
+//! with their relation) must agree with the paper's explicit construction:
+//! add a master relation `RP(id)` holding a unique id per private tuple and
+//! FK-link each original primary relation to it.
+
+use r2t::engine::exec;
+use r2t::engine::query::{atom, CmpOp, Predicate, Query};
+use r2t::engine::{Instance, Schema, Value};
+
+/// Direct schema: both `person` and `shop` primary private; `visit`
+/// references both.
+fn direct() -> (Schema, Instance) {
+    let mut s = Schema::new();
+    s.add_relation("person", &["pid"], Some("pid"), &[]).expect("schema");
+    s.add_relation("shop", &["sid"], Some("sid"), &[]).expect("schema");
+    s.add_relation("visit", &["pid", "sid"], None, &[("pid", "person"), ("sid", "shop")])
+        .expect("schema");
+    s.set_primary_private(&["person", "shop"]).expect("schema");
+    let mut i = Instance::new();
+    for p in 0..4 {
+        i.insert("person", vec![Value::Int(p)]);
+    }
+    for sh in 0..3 {
+        i.insert("shop", vec![Value::Int(100 + sh)]);
+    }
+    for (p, sh) in [(0, 100), (0, 101), (1, 100), (2, 102), (3, 102), (3, 100)] {
+        i.insert("visit", vec![Value::Int(p), Value::Int(sh)]);
+    }
+    i.validate(&s).expect("valid instance");
+    (s, i)
+}
+
+/// Section 8 construction: a master `rp(id)` relation; `person` and `shop`
+/// gain FK columns into it and become secondary private.
+fn reduced() -> (Schema, Instance) {
+    let mut s = Schema::new();
+    s.add_relation("rp", &["id"], Some("id"), &[]).expect("schema");
+    s.add_relation("person", &["pid"], Some("pid"), &[("pid", "rp")]).expect("schema");
+    s.add_relation("shop", &["sid"], Some("sid"), &[("sid", "rp")]).expect("schema");
+    s.add_relation("visit", &["pid", "sid"], None, &[("pid", "person"), ("sid", "shop")])
+        .expect("schema");
+    s.set_primary_private(&["rp"]).expect("schema");
+    let mut i = Instance::new();
+    // person ids and shop ids are disjoint, so they double as unique ids.
+    for p in 0..4 {
+        i.insert("rp", vec![Value::Int(p)]);
+        i.insert("person", vec![Value::Int(p)]);
+    }
+    for sh in 0..3 {
+        i.insert("rp", vec![Value::Int(100 + sh)]);
+        i.insert("shop", vec![Value::Int(100 + sh)]);
+    }
+    for (p, sh) in [(0, 100), (0, 101), (1, 100), (2, 102), (3, 102), (3, 100)] {
+        i.insert("visit", vec![Value::Int(p), Value::Int(sh)]);
+    }
+    i.validate(&s).expect("valid instance");
+    (s, i)
+}
+
+fn visit_count_query() -> Query {
+    Query::count(vec![atom("visit", &[0, 1])])
+        .with_predicate(Predicate::cmp_const(0, CmpOp::Ge, Value::Int(0)))
+}
+
+#[test]
+fn query_answers_agree() {
+    let (s1, i1) = direct();
+    let (s2, i2) = reduced();
+    let q = visit_count_query();
+    let a1 = exec::evaluate(&s1, &i1, &q).expect("direct runs");
+    let a2 = exec::evaluate(&s2, &i2, &q).expect("reduced runs");
+    assert_eq!(a1, a2);
+    assert_eq!(a1, 6.0);
+}
+
+#[test]
+fn sensitivity_profiles_agree() {
+    let (s1, i1) = direct();
+    let (s2, i2) = reduced();
+    let q = visit_count_query();
+    let p1 = exec::profile(&s1, &i1, &q).expect("direct runs");
+    let p2 = exec::profile(&s2, &i2, &q).expect("reduced runs");
+    assert_eq!(p1.num_private, p2.num_private);
+    let mut s1v = p1.sensitivities();
+    let mut s2v = p2.sensitivities();
+    s1v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    s2v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    assert_eq!(s1v, s2v);
+    assert_eq!(p1.downward_sensitivity(), p2.downward_sensitivity());
+}
+
+#[test]
+fn down_neighbors_agree() {
+    // Removing person 0 (and their visits) has the same effect under both
+    // formulations.
+    let (s1, i1) = direct();
+    let (s2, i2) = reduced();
+    let q = visit_count_query();
+    let n1 = i1.down_neighbor(&s1, "person", &Value::Int(0)).expect("neighbour");
+    let n2 = i2.down_neighbor(&s2, "rp", &Value::Int(0)).expect("neighbour");
+    let a1 = exec::evaluate(&s1, &n1, &q).expect("runs");
+    let a2 = exec::evaluate(&s2, &n2, &q).expect("runs");
+    assert_eq!(a1, a2);
+    assert_eq!(a1, 4.0); // person 0 contributed 2 visits
+}

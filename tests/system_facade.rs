@@ -1,0 +1,76 @@
+//! Integration tests for the end-to-end `PrivateDatabase` facade.
+
+use r2t::core::R2TConfig;
+use r2t::system::PrivateDatabase;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn db() -> PrivateDatabase {
+    let schema = r2t::tpch::tpch_schema(&["customer"]);
+    PrivateDatabase::new(schema, r2t::tpch::generate(0.08, 0.3, 3)).expect("valid instance")
+}
+
+fn cfg() -> R2TConfig {
+    R2TConfig { epsilon: 1.0, beta: 0.1, gs: 4096.0, early_stop: true, parallel: false }
+}
+
+const ORDERS_SQL: &str =
+    "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
+
+#[test]
+fn query_returns_underestimate() {
+    let db = db();
+    let exact = db.query_exact(ORDERS_SQL).expect("exact");
+    let mut rng = StdRng::seed_from_u64(1);
+    let noisy = db.query(ORDERS_SQL, &cfg(), &mut rng).expect("dp answer");
+    assert!(noisy <= exact + 1e-9);
+    assert!(noisy > 0.0, "noisy answer should be informative: {noisy} vs {exact}");
+}
+
+#[test]
+fn grouped_query_splits_budget() {
+    let db = db();
+    let mut rng = StdRng::seed_from_u64(2);
+    let groups = db
+        .query_grouped(
+            &format!("{ORDERS_SQL} GROUP BY customer.mktsegment"),
+            &cfg(),
+            &mut rng,
+        )
+        .expect("grouped answers");
+    assert_eq!(groups.len(), 5);
+    for (key, v) in &groups {
+        assert_eq!(key.len(), 1);
+        assert!(v.is_finite());
+    }
+}
+
+#[test]
+fn group_by_routed_to_the_right_api() {
+    let db = db();
+    let mut rng = StdRng::seed_from_u64(3);
+    assert!(db
+        .query(&format!("{ORDERS_SQL} GROUP BY customer.mktsegment"), &cfg(), &mut rng)
+        .is_err());
+    assert!(db.query_grouped(ORDERS_SQL, &cfg(), &mut rng).is_err());
+}
+
+#[test]
+fn explain_reports_lineage() {
+    let db = db();
+    let text = db.explain(ORDERS_SQL).expect("explain");
+    assert!(text.contains("join results"));
+    assert!(text.contains("max tuple sensitivity"));
+}
+
+#[test]
+fn invalid_instance_rejected() {
+    let schema = r2t::tpch::tpch_schema(&["customer"]);
+    let mut bad = r2t::engine::Instance::new();
+    bad.insert("orders", vec![
+        r2t::engine::Value::Int(1),
+        r2t::engine::Value::Int(999),
+        r2t::engine::Value::Int(0),
+    ]);
+    assert!(PrivateDatabase::new(schema, bad).is_err());
+}
