@@ -1,0 +1,247 @@
+//! Offline drop-in subset of the `criterion` API.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the slice of `criterion` its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical engine, each benchmark runs a short
+//! warm-up, then `sample_size` timed samples of an adaptively chosen batch
+//! size, and prints mean / p50 / p95 per iteration. Good enough to compare
+//! variants by eye and to keep `--benches` compiling; not a replacement for
+//! real criterion reports.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter, shown as `name/param`.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        let function_id = function_id.into();
+        let param = parameter.to_string();
+        let id = if param.is_empty() { function_id } else { format!("{function_id}/{param}") };
+        BenchmarkId { id }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything accepted where criterion takes a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, collecting `sample_size` samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and batch sizing: aim for >= ~2ms per sample so timer
+        // resolution noise stays small, capped to keep total time bounded.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed();
+        let batch = if once >= Duration::from_millis(2) {
+            1
+        } else {
+            let target = Duration::from_millis(2).as_nanos();
+            let per = once.as_nanos().max(1);
+            ((target / per) as usize).clamp(1, 10_000)
+        };
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_secs_f64() / batch as f64;
+            self.samples.push(elapsed);
+        }
+    }
+}
+
+fn report(group: &str, id: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{group}/{id:<40} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    let mean = samples.iter().sum::<f64>() / n as f64;
+    let p50 = samples[n / 2];
+    let p95 = samples[(n * 95 / 100).min(n - 1)];
+    let full = format!("{group}/{id}");
+    println!(
+        "{full:<56} mean {:>12}  p50 {:>12}  p95 {:>12}  ({n} samples)",
+        fmt_time(mean),
+        fmt_time(p50),
+        fmt_time(p95)
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b);
+        report(&self.name, &id, &mut b.samples);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new(), sample_size: self.sample_size };
+        f(&mut b, input);
+        report(&self.name, &id.id, &mut b.samples);
+        self
+    }
+
+    /// Ends the group (prints a separator).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        BenchmarkGroup { _parent: self, name, sample_size: 30 }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        let mut b = Bencher { samples: Vec::new(), sample_size: 30 };
+        f(&mut b);
+        report("bench", &id, &mut b.samples);
+        self
+    }
+}
+
+/// Re-export for call sites that import `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into one runner function named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generates `fn main` invoking each `criterion_group!` runner.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+
+    #[test]
+    fn id_rendering() {
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::new("f", "").id, "f");
+        assert_eq!(BenchmarkId::from_parameter(12).id, "12");
+    }
+}

@@ -22,6 +22,7 @@ fn bench_early_stop(c: &mut Criterion) {
             gs,
             early_stop: early,
             parallel: false,
+            ..Default::default()
         });
         let label = if early { "with" } else { "without" };
         g.bench_function(BenchmarkId::new(label, ""), |b| {
@@ -45,6 +46,7 @@ fn bench_branch_count(c: &mut Criterion) {
             gs: 2f64.powi(log_gs as i32),
             early_stop: true,
             parallel: false,
+            ..Default::default()
         });
         g.bench_function(BenchmarkId::from_parameter(log_gs), |b| {
             let mut rng = StdRng::seed_from_u64(10);

@@ -28,6 +28,7 @@ fn bench_mechanisms(c: &mut Criterion) {
                 gs,
                 early_stop: true,
                 parallel: false,
+                ..Default::default()
             });
             g.bench_function(BenchmarkId::new("R2T", ""), |b| {
                 let mut rng = StdRng::seed_from_u64(1);

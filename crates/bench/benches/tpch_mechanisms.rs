@@ -20,8 +20,14 @@ fn bench_tpch(c: &mut Criterion) {
         });
         let profile = exec::profile(&tq.schema, &inst, &tq.query).expect("runs");
         let gs = if tq.category == Category::Aggregation { 1u64 << 18 } else { 1u64 << 12 } as f64;
-        let r2t =
-            R2T::new(R2TConfig { epsilon: 0.8, beta: 0.1, gs, early_stop: true, parallel: false });
+        let r2t = R2T::new(R2TConfig {
+            epsilon: 0.8,
+            beta: 0.1,
+            gs,
+            early_stop: true,
+            parallel: false,
+            ..Default::default()
+        });
         g.bench_function("r2t", |b| {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| black_box(r2t.run(&profile, &mut rng)))
@@ -42,9 +48,7 @@ fn bench_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("tpch_generation");
     g.sample_size(10);
     for sf in [0.1, 0.4] {
-        g.bench_function(format!("scale_{sf}"), |b| {
-            b.iter(|| black_box(generate(sf, 0.3, 7)))
-        });
+        g.bench_function(format!("scale_{sf}"), |b| b.iter(|| black_box(generate(sf, 0.3, 7))));
     }
     g.finish();
 }

@@ -25,7 +25,14 @@ fn main() {
                 profile.max_sensitivity(),
                 enum_time
             );
-            let cfg = R2TConfig { epsilon: 0.8, beta: 0.1, gs, early_stop: true, parallel: true };
+            let cfg = R2TConfig {
+                epsilon: 0.8,
+                beta: 0.1,
+                gs,
+                early_stop: true,
+                parallel: true,
+                ..Default::default()
+            };
             let r2t = R2T::new(cfg);
             let mut rng = StdRng::seed_from_u64(1);
             let t0 = Instant::now();

@@ -36,6 +36,7 @@ fn main() {
                             gs,
                             early_stop: true,
                             parallel: false,
+                            ..Default::default()
                         });
                         measure(truth, reps, 0xF16 ^ eps.to_bits(), |rng| r2t.run(&profile, rng))
                     }

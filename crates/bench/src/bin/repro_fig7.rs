@@ -18,15 +18,8 @@ fn main() {
     println!("# Figure 7 — error & time vs data scale (eps = 0.8, GS = {gs}, reps = {reps})\n");
     for tq in [queries::q3(), queries::q12(), queries::q20()] {
         println!("## {}", tq.name);
-        let mut table = Table::new(&[
-            "scale",
-            "tuples",
-            "Q(I)",
-            "R2T err %",
-            "R2T (s)",
-            "LS err %",
-            "LS (s)",
-        ]);
+        let mut table =
+            Table::new(&["scale", "tuples", "Q(I)", "R2T err %", "R2T (s)", "LS err %", "LS (s)"]);
         for i in -3i32..=3 {
             let sf = base * 2f64.powi(i);
             let inst = generate(sf, 0.3, 0xC0FFEE ^ i as u64);
@@ -40,6 +33,7 @@ fn main() {
                 gs,
                 early_stop: true,
                 parallel: false,
+                ..Default::default()
             });
             let r2t_cell =
                 measure(truth, reps, 0xF7 + i as u64, |rng| r2t.run(&profile, rng)).expect("runs");

@@ -12,7 +12,10 @@ use r2t_tpch::{generate, queries};
 fn main() {
     let reps = reps();
     let inst = generate(scale(), 0.3, 0xC0FFEE);
-    println!("# Figure 8 — error vs GS_Q (eps = 0.8, reps = {reps}, {} tuples)\n", inst.total_tuples());
+    println!(
+        "# Figure 8 — error vs GS_Q (eps = 0.8, reps = {reps}, {} tuples)\n",
+        inst.total_tuples()
+    );
     let gss: Vec<f64> = (10..=26).step_by(4).map(|e| 2f64.powi(e)).collect();
     for tq in [queries::q3(), queries::q12(), queries::q20()] {
         let profile = exec::profile(&tq.schema, &inst, &tq.query).expect("query runs");
@@ -31,6 +34,7 @@ fn main() {
                 gs,
                 early_stop: true,
                 parallel: false,
+                ..Default::default()
             });
             let c = measure(truth, reps, 0xF80 ^ gs.to_bits(), |rng| r2t.run(&profile, rng))
                 .expect("runs");

@@ -25,8 +25,7 @@ fn main() {
         println!("## {}", ds.stats());
         let d = ds.degree_bound;
         let road = ds.name.starts_with("Roadnet");
-        let mut table =
-            Table::new(&["query", "Q(I)", "mech", "rel err %", "time/run (s)"]);
+        let mut table = Table::new(&["query", "Q(I)", "mech", "rel err %", "time/run (s)"]);
         for p in Pattern::ALL {
             let t0 = Instant::now();
             let profile = p.profile(&ds.graph);
@@ -43,11 +42,10 @@ fn main() {
                 gs,
                 early_stop: true,
                 parallel: false,
+                ..Default::default()
             });
-            let cell = measure(truth, reps, 0xACE0 ^ log_gs as u64, |rng| {
-                r2t.run(&profile, rng)
-            })
-            .expect("R2T always runs");
+            let cell = measure(truth, reps, 0xACE0 ^ log_gs as u64, |rng| r2t.run(&profile, rng))
+                .expect("R2T always runs");
             table.row(&[
                 p.label().into(),
                 fmt_sig(truth),

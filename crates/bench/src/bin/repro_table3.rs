@@ -45,6 +45,7 @@ fn main() {
                 gs: gss[i],
                 early_stop: true,
                 parallel: false,
+                ..Default::default()
             });
             let e = abs_error(truths[i], reps, 0x3A1 + i as u64, |rng| {
                 r2t.run(&profiles[i], rng).expect("r2t runs")
@@ -55,11 +56,8 @@ fn main() {
         table.row(&row);
     }
     for k in [1.0, 8.0, 64.0, 512.0, 4096.0, 32768.0, 262144.0] {
-        let mut row = vec![if k == 1.0 {
-            "LP tau=GS".to_string()
-        } else {
-            format!("LP tau=GS/{k}")
-        }];
+        let mut row =
+            vec![if k == 1.0 { "LP tau=GS".to_string() } else { format!("LP tau=GS/{k}") }];
         for i in 0..Pattern::ALL.len() {
             let tau = (gss[i] / k).max(1.0);
             let m = FixedTauLp { epsilon: 0.8, tau };

@@ -11,8 +11,7 @@ use std::time::Instant;
 fn main() {
     let reps = reps();
     println!("# Table 4 — early stop, Qrect (eps = 0.8, reps = {reps})\n");
-    let mut table =
-        Table::new(&["dataset", "w early stop (s)", "w/o early stop (s)", "speed up"]);
+    let mut table = Table::new(&["dataset", "w early stop (s)", "w/o early stop (s)", "speed up"]);
     for ds in datasets::all(scale()) {
         let profile = Pattern::Rectangle.profile(&ds.graph);
         let gs = Pattern::Rectangle.global_sensitivity(ds.degree_bound);
@@ -24,6 +23,7 @@ fn main() {
                 gs,
                 early_stop: early,
                 parallel: false,
+                ..Default::default()
             });
             let t0 = Instant::now();
             for r in 0..reps {

@@ -51,6 +51,7 @@ fn main() {
             gs,
             early_stop: true,
             parallel: false,
+            ..Default::default()
         });
         let r2t_cell = measure(truth, reps, 0x7A + truth as u64, |rng| r2t.run(&profile, rng))
             .expect("r2t runs");

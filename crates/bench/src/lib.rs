@@ -76,14 +76,55 @@ where
     let mut errors = Vec::with_capacity(reps);
     let mut total_time = 0.0;
     for r in 0..reps {
-        let mut rng = StdRng::seed_from_u64(seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(r as u64 + 1)));
+        let mut rng =
+            StdRng::seed_from_u64(seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(r as u64 + 1)));
         let t0 = Instant::now();
         let out = mech(&mut rng)?;
         total_time += t0.elapsed().as_secs_f64();
         errors.push((out - truth).abs());
     }
     let err = trimmed_mean(&errors);
-    Some(Cell { rel_err_pct: 100.0 * err / truth.abs().max(1e-12), seconds: total_time / reps as f64 })
+    Some(Cell {
+        rel_err_pct: 100.0 * err / truth.abs().max(1e-12),
+        seconds: total_time / reps as f64,
+    })
+}
+
+/// Example 6.2's instance scaled `scale`×: `1000·scale` triangles,
+/// `1000·scale` 4-cliques, `100·scale` 8-stars, `10·scale` 16-stars and
+/// `scale` 32-stars; join results are the weight-1 edges (9992 results per
+/// unit of scale). Used by the τ-sweep benchmarks, which want a profile
+/// whose truncation LPs are large enough for solver time to dominate.
+pub fn example_6_2_scaled(scale: usize) -> r2t_engine::QueryProfile {
+    let mut b: r2t_engine::lineage::ProfileBuilder<u64> =
+        r2t_engine::lineage::ProfileBuilder::new();
+    let mut next_node: u64 = 0;
+    let mut clique = |k: u64, count: usize, b: &mut r2t_engine::lineage::ProfileBuilder<u64>| {
+        for _ in 0..count {
+            let base = next_node;
+            next_node += k;
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    b.add_result(1.0, [base + i, base + j]);
+                }
+            }
+        }
+    };
+    clique(3, 1000 * scale, &mut b);
+    clique(4, 1000 * scale, &mut b);
+    let mut star = |k: u64, count: usize, b: &mut r2t_engine::lineage::ProfileBuilder<u64>| {
+        for _ in 0..count {
+            let center = next_node;
+            next_node += k + 1;
+            for i in 1..=k {
+                b.add_result(1.0, [center, center + i]);
+            }
+        }
+    };
+    star(8, 100 * scale, &mut b);
+    star(16, 10 * scale, &mut b);
+    star(32, scale, &mut b);
+    b.build()
 }
 
 /// A fixed-width plain-text table writer.

@@ -127,8 +127,7 @@ mod tests {
         let m = NaiveLaplace { epsilon: 1.0, gs: 1000.0 };
         let mut rng = StdRng::seed_from_u64(1);
         let n = 2000;
-        let mean: f64 =
-            (0..n).map(|_| m.run(&p, &mut rng).unwrap()).sum::<f64>() / n as f64;
+        let mean: f64 = (0..n).map(|_| m.run(&p, &mut rng).unwrap()).sum::<f64>() / n as f64;
         // Mean ≈ Q(I) = 10, but individual draws are wildly noisy.
         assert!((mean - 10.0).abs() < 100.0);
     }
@@ -149,8 +148,7 @@ mod tests {
         let m = LocalSensitivitySvt { epsilon: 4.0, gs: 1_f64 * 1024.0 };
         let mut rng = StdRng::seed_from_u64(3);
         let runs = 50;
-        let mean: f64 =
-            (0..runs).map(|_| m.run(&p, &mut rng).unwrap()).sum::<f64>() / runs as f64;
+        let mean: f64 = (0..runs).map(|_| m.run(&p, &mut rng).unwrap()).sum::<f64>() / runs as f64;
         // Should be in the right ballpark (not orders of magnitude off).
         assert!((mean - 100.0).abs() < 400.0, "{mean}");
     }

@@ -40,18 +40,12 @@ impl GroupByR2T {
     /// Answers one profile per group under a total budget of
     /// `config.epsilon` (each group gets `ε/k`). Returns one answer per
     /// input group, in input order.
-    pub fn run(
-        &self,
-        groups: &[(Tuple, QueryProfile)],
-        rng: &mut dyn RngCore,
-    ) -> Vec<GroupAnswer> {
+    pub fn run(&self, groups: &[(Tuple, QueryProfile)], rng: &mut dyn RngCore) -> Vec<GroupAnswer> {
         if groups.is_empty() {
             return Vec::new();
         }
-        let per_group = R2TConfig {
-            epsilon: self.config.epsilon / groups.len() as f64,
-            ..self.config.clone()
-        };
+        let per_group =
+            R2TConfig { epsilon: self.config.epsilon / groups.len() as f64, ..self.config.clone() };
         let r2t = R2T::new(per_group);
         groups
             .iter()
@@ -94,6 +88,7 @@ mod tests {
             gs: 64.0,
             early_stop: true,
             parallel: false,
+            ..Default::default()
         });
         let mut rng = StdRng::seed_from_u64(1);
         let out = m.run(&groups, &mut rng);
@@ -111,8 +106,14 @@ mod tests {
         let single = vec![(vec![Value::Int(0)], group(400, 2))];
         let many: Vec<(Tuple, QueryProfile)> =
             (0..8).map(|i| (vec![Value::Int(i)], group(50, 2))).collect();
-        let cfg =
-            R2TConfig { epsilon: 1.0, beta: 0.1, gs: 64.0, early_stop: true, parallel: false };
+        let cfg = R2TConfig {
+            epsilon: 1.0,
+            beta: 0.1,
+            gs: 64.0,
+            early_stop: true,
+            parallel: false,
+            ..Default::default()
+        };
         let m = GroupByR2T::new(cfg);
         let runs = 12;
         let mut err_single = 0.0;

@@ -20,7 +20,7 @@
 //! scoped threads and share the winner through an atomic.
 
 use crate::noise::laplace;
-use crate::truncation::{self, Truncation};
+use crate::truncation::{self, SweepBranchSolver, Truncation};
 use crate::Mechanism;
 use r2t_engine::QueryProfile;
 use rand::RngCore;
@@ -42,12 +42,27 @@ pub struct R2TConfig {
     pub early_stop: bool,
     /// Solve the branches on multiple threads.
     pub parallel: bool,
+    /// Reuse simplex bases across adjacent τ-branches (the warm-started
+    /// branch sweep). Affects runtime only; values agree with cold solves to
+    /// solver tolerance.
+    pub warm_sweep: bool,
+    /// How often (in simplex iterations) each branch LP checks the racing
+    /// cutoff and reports progress.
+    pub event_every: usize,
 }
 
 impl Default for R2TConfig {
     fn default() -> Self {
-        R2TConfig { epsilon: 0.8, beta: 0.1, gs: (1u64 << 20) as f64, early_stop: true, parallel: true }
-            .normalized()
+        R2TConfig {
+            epsilon: 0.8,
+            beta: 0.1,
+            gs: (1u64 << 20) as f64,
+            early_stop: true,
+            parallel: true,
+            warm_sweep: true,
+            event_every: 16,
+        }
+        .normalized()
     }
 }
 
@@ -115,7 +130,7 @@ impl R2T {
     /// Runs R2T on a profile, choosing the paper's truncation automatically
     /// (SJA LP, or the projected LP when the query has a projection).
     pub fn run_profile(&self, profile: &QueryProfile, rng: &mut dyn RngCore) -> R2TReport {
-        let trunc = truncation::for_profile(profile);
+        let trunc = truncation::for_profile_with(profile, self.config.event_every);
         self.run_with(trunc.as_ref(), rng)
     }
 
@@ -141,40 +156,60 @@ impl R2T {
             .map(|&tau| BranchReport { tau, lp_value: None, shifted: None, seconds: 0.0 })
             .collect();
 
+        // Branches are processed from the largest τ down in both modes: the
+        // paper observes those LPs terminate fastest under early stop, and
+        // the warm-started sweep wants descending τ so every reduced LP is a
+        // prefix-extension of the previous one (basis reuse).
+        let order: Vec<usize> = (0..nb).rev().collect();
+        // A fresh worker-local solver session (shared LP structure, private
+        // basis chain + workspace). `None` falls back to the stateless path.
+        let new_session = || -> Option<Box<dyn SweepBranchSolver + '_>> {
+            if cfg.warm_sweep {
+                trunc.sweep_session()
+            } else {
+                None
+            }
+        };
+        let threads = if cfg.parallel && nb > 1 {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).min(nb)
+        } else {
+            1
+        };
+
         if cfg.early_stop {
-            // Shared winner; branches processed from the largest τ down
-            // (the paper observes those LPs terminate fastest).
+            // Shared winner through an atomic max-register.
             let best = AtomicF64::new(base);
             let next = AtomicUsize::new(0);
-            let order: Vec<usize> = (0..nb).rev().collect();
-            let run_branch = |j: usize| -> BranchReport {
-                let tau = taus[j];
-                let shift = shifts[j];
-                let t0 = Instant::now();
-                let mut keep_going = |ub: f64| ub + shift > best.load();
-                let value = trunc.value_racing(tau, &mut keep_going);
-                if let Some(v) = value {
-                    best.fetch_max(v + shift);
-                }
-                BranchReport {
-                    tau,
-                    lp_value: value,
-                    shifted: value.map(|v| v + shift),
-                    seconds: t0.elapsed().as_secs_f64(),
-                }
-            };
-            if cfg.parallel && nb > 1 {
-                let threads = std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
-                    .min(nb);
+            let run_branch =
+                |j: usize, session: &mut Option<Box<dyn SweepBranchSolver + '_>>| -> BranchReport {
+                    let tau = taus[j];
+                    let shift = shifts[j];
+                    let t0 = Instant::now();
+                    let mut keep_going = |ub: f64| ub + shift > best.load();
+                    let value = match session.as_mut() {
+                        Some(s) => s.value_racing(tau, &mut keep_going),
+                        None => trunc.value_racing(tau, &mut keep_going),
+                    };
+                    if let Some(v) = value {
+                        best.fetch_max(v + shift);
+                    }
+                    BranchReport {
+                        tau,
+                        lp_value: value,
+                        shifted: value.map(|v| v + shift),
+                        seconds: t0.elapsed().as_secs_f64(),
+                    }
+                };
+            if threads > 1 {
                 let results: Vec<(usize, BranchReport)> = std::thread::scope(|scope| {
                     let mut handles = Vec::new();
                     for _ in 0..threads {
                         let next = &next;
                         let order = &order;
                         let run_branch = &run_branch;
+                        let new_session = &new_session;
                         handles.push(scope.spawn(move || {
+                            let mut session = new_session();
                             let mut out = Vec::new();
                             loop {
                                 let i = next.fetch_add(1, Ordering::Relaxed);
@@ -182,7 +217,7 @@ impl R2T {
                                     break;
                                 }
                                 let j = order[i];
-                                out.push((j, run_branch(j)));
+                                out.push((j, run_branch(j, &mut session)));
                             }
                             out
                         }));
@@ -193,86 +228,87 @@ impl R2T {
                     reports[j] = r;
                 }
             } else {
+                let mut session = new_session();
                 for &j in &order {
-                    reports[j] = run_branch(j);
+                    reports[j] = run_branch(j, &mut session);
                 }
             }
-            let output = best.load();
-            let winner = pick_winner(&reports, output, base);
-            R2TReport { output, branches: reports, winner, seconds: start.elapsed().as_secs_f64() }
         } else {
             // Plain R2T: evaluate every branch fully.
-            if cfg.parallel && nb > 1 {
-                let next = AtomicUsize::new(0);
-                let threads = std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
-                    .min(nb);
-                let results: Vec<(usize, BranchReport)> = std::thread::scope(|scope| {
-                    let mut handles = Vec::new();
-                    for _ in 0..threads {
-                        let next = &next;
-                        let taus = &taus;
-                        let shifts = &shifts;
-                        handles.push(scope.spawn(move || {
-                            let mut out = Vec::new();
-                            loop {
-                                let j = next.fetch_add(1, Ordering::Relaxed);
-                                if j >= taus.len() {
-                                    break;
-                                }
-                                let t0 = Instant::now();
-                                let v = trunc.value(taus[j]);
-                                out.push((
-                                    j,
-                                    BranchReport {
-                                        tau: taus[j],
-                                        lp_value: Some(v),
-                                        shifted: Some(v + shifts[j]),
-                                        seconds: t0.elapsed().as_secs_f64(),
-                                    },
-                                ));
-                            }
-                            out
-                        }));
-                    }
-                    handles.into_iter().flat_map(|h| h.join().expect("branch panicked")).collect()
-                });
-                for (j, r) in results {
-                    reports[j] = r;
-                }
-            } else {
-                for j in 0..nb {
+            let run_branch =
+                |j: usize, session: &mut Option<Box<dyn SweepBranchSolver + '_>>| -> BranchReport {
                     let t0 = Instant::now();
-                    let v = trunc.value(taus[j]);
-                    reports[j] = BranchReport {
+                    let v = match session.as_mut() {
+                        Some(s) => s.value(taus[j]),
+                        None => trunc.value(taus[j]),
+                    };
+                    BranchReport {
                         tau: taus[j],
                         lp_value: Some(v),
                         shifted: Some(v + shifts[j]),
                         seconds: t0.elapsed().as_secs_f64(),
-                    };
+                    }
+                };
+            if threads > 1 {
+                let next = AtomicUsize::new(0);
+                let results: Vec<(usize, BranchReport)> = std::thread::scope(|scope| {
+                    let mut handles = Vec::new();
+                    for _ in 0..threads {
+                        let next = &next;
+                        let order = &order;
+                        let run_branch = &run_branch;
+                        let new_session = &new_session;
+                        handles.push(scope.spawn(move || {
+                            let mut session = new_session();
+                            let mut out = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= order.len() {
+                                    break;
+                                }
+                                let j = order[i];
+                                out.push((j, run_branch(j, &mut session)));
+                            }
+                            out
+                        }));
+                    }
+                    handles.into_iter().flat_map(|h| h.join().expect("branch panicked")).collect()
+                });
+                for (j, r) in results {
+                    reports[j] = r;
+                }
+            } else {
+                let mut session = new_session();
+                for &j in &order {
+                    reports[j] = run_branch(j, &mut session);
                 }
             }
-            let output = reports
-                .iter()
-                .filter_map(|r| r.shifted)
-                .fold(base, f64::max);
-            let winner = pick_winner(&reports, output, base);
-            R2TReport { output, branches: reports, winner, seconds: start.elapsed().as_secs_f64() }
         }
+
+        let (output, winner) = pick_winner(&reports, base);
+        R2TReport { output, branches: reports, winner, seconds: start.elapsed().as_secs_f64() }
     }
 }
 
-fn pick_winner(reports: &[BranchReport], output: f64, base: f64) -> Option<usize> {
-    if output <= base {
-        return None;
+/// Exact post-hoc maximum over the completed branches: the output is
+/// `max(base, max_j shifted_j)` and the winner is the lowest-index branch
+/// attaining it strictly above `base`. Identical values tie toward the
+/// smaller τ, deterministically — no float matching against a recomputed
+/// output (completed-branch sets, and therefore the winner, are the same in
+/// every execution mode because early stop only skips branches that cannot
+/// win).
+fn pick_winner(reports: &[BranchReport], base: f64) -> (f64, Option<usize>) {
+    let mut output = base;
+    let mut winner = None;
+    for (i, r) in reports.iter().enumerate() {
+        if let Some(s) = r.shifted {
+            if s > output {
+                output = s;
+                winner = Some(i);
+            }
+        }
     }
-    reports
-        .iter()
-        .enumerate()
-        .filter(|(_, r)| r.shifted.is_some_and(|s| (s - output).abs() < 1e-9))
-        .map(|(i, _)| i)
-        .next()
+    (output, winner)
 }
 
 impl Mechanism for R2T {
@@ -330,7 +366,14 @@ mod tests {
 
     fn cfg() -> R2TConfig {
         // Example 6.2's setting: GS = 256, ε = 1, β = 0.1.
-        R2TConfig { epsilon: 1.0, beta: 0.1, gs: 256.0, early_stop: false, parallel: false }
+        R2TConfig {
+            epsilon: 1.0,
+            beta: 0.1,
+            gs: 256.0,
+            early_stop: false,
+            parallel: false,
+            ..R2TConfig::default()
+        }
     }
 
     #[test]
@@ -429,7 +472,8 @@ mod tests {
 
     #[test]
     fn empty_profile_returns_zero_ish() {
-        let b: r2t_engine::lineage::ProfileBuilder<u64> = r2t_engine::lineage::ProfileBuilder::new();
+        let b: r2t_engine::lineage::ProfileBuilder<u64> =
+            r2t_engine::lineage::ProfileBuilder::new();
         let p = b.build();
         let r2t = R2T::new(cfg());
         let mut rng = StdRng::seed_from_u64(4);

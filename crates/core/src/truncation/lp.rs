@@ -11,10 +11,13 @@
 //! from `r2t-lp`, which eliminates every constraint row whose total weight
 //! is already ≤ τ — the dominant case on sparse instances.
 
-use super::Truncation;
+use super::{SweepBranchSolver, Truncation};
 use r2t_engine::QueryProfile;
 use r2t_lp::presolve::presolve;
-use r2t_lp::{Problem, RevisedSimplex, RowBounds, SolveOptions, Status, VarBounds};
+use r2t_lp::{
+    Problem, RevisedSimplex, RowBounds, SolveOptions, Status, SweepProblem, SweepSession, VarBounds,
+};
+use std::sync::OnceLock;
 
 /// LP truncation for SJA queries.
 #[derive(Debug)]
@@ -22,16 +25,16 @@ pub struct LpTruncation<'a> {
     profile: &'a QueryProfile,
     /// How often (in simplex iterations) to check the racing cutoff.
     pub event_every: usize,
+    /// Shared τ-sweep structure, built lazily by the first worker that asks
+    /// for a sweep session.
+    sweep: OnceLock<Option<SweepProblem>>,
 }
 
 impl<'a> LpTruncation<'a> {
     /// Prepares the LP truncation for a profile.
     pub fn new(profile: &'a QueryProfile) -> Self {
-        assert!(
-            profile.groups.is_none(),
-            "use ProjectedLpTruncation for projection queries"
-        );
-        LpTruncation { profile, event_every: 16 }
+        assert!(profile.groups.is_none(), "use ProjectedLpTruncation for projection queries");
+        LpTruncation { profile, event_every: 16, sweep: OnceLock::new() }
     }
 
     /// Builds the truncation LP for a given τ.
@@ -60,12 +63,7 @@ impl<'a> LpTruncation<'a> {
             // results referencing no private tuple survive. (The LP would
             // grind through one degenerate pivot per variable here.)
             return Some(
-                self.profile
-                    .results
-                    .iter()
-                    .filter(|r| r.refs.is_empty())
-                    .map(|r| r.weight)
-                    .sum(),
+                self.profile.results.iter().filter(|r| r.refs.is_empty()).map(|r| r.weight).sum(),
             );
         }
         let lp = self.build_lp(tau);
@@ -104,9 +102,71 @@ impl Truncation for LpTruncation<'_> {
         self.solve(tau, Some(should_continue))
     }
 
+    fn sweep_session(&self) -> Option<Box<dyn SweepBranchSolver + '_>> {
+        let sp = self
+            .sweep
+            .get_or_init(|| {
+                if self.profile.results.is_empty() {
+                    return None;
+                }
+                // All rows are τ-parameterized; the placeholder bound is
+                // irrelevant (sweep rows are re-bounded per branch).
+                let lp = self.build_lp(f64::INFINITY);
+                let rows: Vec<usize> = (0..lp.num_rows()).collect();
+                SweepProblem::new(&lp, &rows).ok()
+            })
+            .as_ref()?;
+        let solver = RevisedSimplex {
+            options: SolveOptions { event_every: self.event_every, ..SolveOptions::default() },
+        };
+        Some(Box::new(SweepWorker { trunc: self, session: sp.session(solver) }))
+    }
+
     fn tau_star(&self) -> f64 {
         // For SJA queries DS_Q(I) = max_j S_Q(I, t_j) (Eq. 6).
         self.profile.max_sensitivity()
+    }
+}
+
+/// Worker-local warm-starting branch solver for [`LpTruncation`]. Any
+/// non-optimal outcome other than a racing stop falls back to the stateless
+/// per-τ path, so results always agree with [`LpTruncation::value`].
+struct SweepWorker<'t, 'p> {
+    trunc: &'t LpTruncation<'p>,
+    session: SweepSession<'t>,
+}
+
+impl SweepBranchSolver for SweepWorker<'_, '_> {
+    fn value(&mut self, tau: f64) -> f64 {
+        if tau <= 0.0 {
+            return self.trunc.value(tau);
+        }
+        match self.session.solve(tau) {
+            Ok(s) if s.status == Status::Optimal => s.objective,
+            _ => self.trunc.value(tau),
+        }
+    }
+
+    fn value_racing(
+        &mut self,
+        tau: f64,
+        should_continue: &mut dyn FnMut(f64) -> bool,
+    ) -> Option<f64> {
+        if tau <= 0.0 {
+            return self.trunc.value_racing(tau, should_continue);
+        }
+        match self.session.solve_racing(tau, |ev| should_continue(ev.dual_bound)) {
+            Ok(s) => match s.status {
+                Status::Optimal => Some(s.objective),
+                Status::Stopped => None,
+                _ => self.trunc.value_racing(tau, should_continue),
+            },
+            Err(_) => self.trunc.value_racing(tau, should_continue),
+        }
+    }
+
+    fn stats(&self) -> r2t_lp::SolveStats {
+        self.session.stats()
     }
 }
 

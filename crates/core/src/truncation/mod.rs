@@ -25,6 +25,28 @@ pub use projected::ProjectedLpTruncation;
 
 use r2t_engine::QueryProfile;
 
+/// A per-worker branch solver carrying LP solver state (simplex bases,
+/// workspace buffers) across the τ-branches it is fed. Created through
+/// [`Truncation::sweep_session`]; one session per racing worker thread.
+/// Results match the stateless [`Truncation`] entry points to solver
+/// tolerance, but adjacent branches reuse each other's optimal bases, so
+/// feeding branches in descending-τ order is much cheaper.
+pub trait SweepBranchSolver {
+    /// Computes `Q(I, τ)` (full solve).
+    fn value(&mut self, tau: f64) -> f64;
+
+    /// Racing variant; see [`Truncation::value_racing`].
+    fn value_racing(
+        &mut self,
+        tau: f64,
+        should_continue: &mut dyn FnMut(f64) -> bool,
+    ) -> Option<f64>;
+
+    /// Cumulative solver counters (warm-start acceptance, iteration counts)
+    /// across every branch this session has solved.
+    fn stats(&self) -> r2t_lp::SolveStats;
+}
+
 /// Abstraction over truncation methods. Implementations borrow the profile
 /// and may precompute shared state (e.g. the LP skeleton).
 pub trait Truncation: Sync {
@@ -41,6 +63,14 @@ pub trait Truncation: Sync {
         Some(self.value(tau))
     }
 
+    /// Creates a warm-starting branch solver over this truncation's shared
+    /// LP structure, if the method supports one (`None` = callers fall back
+    /// to the stateless entry points). The first call builds the shared
+    /// sweep structure; subsequent calls (other workers) reuse it.
+    fn sweep_session(&self) -> Option<Box<dyn SweepBranchSolver + '_>> {
+        None
+    }
+
     /// The saturation threshold `τ*(I)` of this method on this profile.
     fn tau_star(&self) -> f64;
 }
@@ -52,6 +82,20 @@ pub fn for_profile(profile: &QueryProfile) -> Box<dyn Truncation + '_> {
         Box::new(ProjectedLpTruncation::new(profile))
     } else {
         Box::new(LpTruncation::new(profile))
+    }
+}
+
+/// Like [`for_profile`], with an explicit racing-cutoff check cadence
+/// (simplex iterations between callback invocations).
+pub fn for_profile_with(profile: &QueryProfile, event_every: usize) -> Box<dyn Truncation + '_> {
+    if profile.groups.is_some() {
+        let mut t = ProjectedLpTruncation::new(profile);
+        t.event_every = event_every;
+        Box::new(t)
+    } else {
+        let mut t = LpTruncation::new(profile);
+        t.event_every = event_every;
+        Box::new(t)
     }
 }
 

@@ -11,10 +11,13 @@
 //! Lemma 7.3); the gap between `IS_Q(I)` and the true `DS_Q(I)` is the price
 //! of projection, which Theorem 7.2 proves unavoidable.
 
-use super::Truncation;
+use super::{SweepBranchSolver, Truncation};
 use r2t_engine::QueryProfile;
 use r2t_lp::presolve::presolve;
-use r2t_lp::{Problem, RevisedSimplex, RowBounds, SolveOptions, Status, VarBounds};
+use r2t_lp::{
+    Problem, RevisedSimplex, RowBounds, SolveOptions, Status, SweepProblem, SweepSession, VarBounds,
+};
+use std::sync::OnceLock;
 
 /// LP truncation for SPJA (projection) queries.
 #[derive(Debug)]
@@ -22,6 +25,9 @@ pub struct ProjectedLpTruncation<'a> {
     profile: &'a QueryProfile,
     /// How often (in simplex iterations) to check the racing cutoff.
     pub event_every: usize,
+    /// Shared τ-sweep structure (group rows static, tuple rows swept),
+    /// built lazily by the first worker that asks for a sweep session.
+    sweep: OnceLock<Option<SweepProblem>>,
 }
 
 impl<'a> ProjectedLpTruncation<'a> {
@@ -29,7 +35,7 @@ impl<'a> ProjectedLpTruncation<'a> {
     /// groups are accepted (each result forms its own group), so this method
     /// strictly generalizes [`super::LpTruncation`].
     pub fn new(profile: &'a QueryProfile) -> Self {
-        ProjectedLpTruncation { profile, event_every: 16 }
+        ProjectedLpTruncation { profile, event_every: 16, sweep: OnceLock::new() }
     }
 
     fn build_lp(&self, tau: f64) -> Problem {
@@ -125,9 +131,71 @@ impl Truncation for ProjectedLpTruncation<'_> {
         self.solve(tau, Some(should_continue))
     }
 
+    fn sweep_session(&self) -> Option<Box<dyn SweepBranchSolver + '_>> {
+        let sp = self
+            .sweep
+            .get_or_init(|| {
+                if self.profile.results.is_empty() {
+                    return None;
+                }
+                // Group rows (added first by build_lp) keep their ≤ 0 bound
+                // in every branch; only the per-tuple rows sweep with τ.
+                let lp = self.build_lp(f64::INFINITY);
+                let n_groups = self.profile.groups.as_ref().map_or(0, |g| g.len());
+                let rows: Vec<usize> = (n_groups..lp.num_rows()).collect();
+                SweepProblem::new(&lp, &rows).ok()
+            })
+            .as_ref()?;
+        let solver = RevisedSimplex {
+            options: SolveOptions { event_every: self.event_every, ..SolveOptions::default() },
+        };
+        Some(Box::new(SweepWorker { trunc: self, session: sp.session(solver) }))
+    }
+
     fn tau_star(&self) -> f64 {
         // IS_Q(I) = max_j S_Q(I, t_j), computed over raw join results.
         self.profile.max_sensitivity()
+    }
+}
+
+/// Worker-local warm-starting branch solver for [`ProjectedLpTruncation`];
+/// see [`super::lp`] for the fallback contract.
+struct SweepWorker<'t, 'p> {
+    trunc: &'t ProjectedLpTruncation<'p>,
+    session: SweepSession<'t>,
+}
+
+impl SweepBranchSolver for SweepWorker<'_, '_> {
+    fn value(&mut self, tau: f64) -> f64 {
+        if tau <= 0.0 {
+            return self.trunc.value(tau);
+        }
+        match self.session.solve(tau) {
+            Ok(s) if s.status == Status::Optimal => s.objective,
+            _ => self.trunc.value(tau),
+        }
+    }
+
+    fn value_racing(
+        &mut self,
+        tau: f64,
+        should_continue: &mut dyn FnMut(f64) -> bool,
+    ) -> Option<f64> {
+        if tau <= 0.0 {
+            return self.trunc.value_racing(tau, should_continue);
+        }
+        match self.session.solve_racing(tau, |ev| should_continue(ev.dual_bound)) {
+            Ok(s) => match s.status {
+                Status::Optimal => Some(s.objective),
+                Status::Stopped => None,
+                _ => self.trunc.value_racing(tau, should_continue),
+            },
+            Err(_) => self.trunc.value_racing(tau, should_continue),
+        }
+    }
+
+    fn stats(&self) -> r2t_lp::SolveStats {
+        self.session.stats()
     }
 }
 

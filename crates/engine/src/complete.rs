@@ -32,9 +32,11 @@ pub fn complete_query(schema: &Schema, query: &Query) -> Result<Query, EngineErr
                 let fk_var = atom.vars[fk.column];
                 let target = schema.relation(&fk.references)?;
                 let pk = target.primary_key.expect("validated: FK target has a PK");
-                let grounded = q.atoms.iter().chain(to_add.iter()).any(|a| {
-                    a.relation == fk.references && a.vars[pk] == fk_var
-                });
+                let grounded = q
+                    .atoms
+                    .iter()
+                    .chain(to_add.iter())
+                    .any(|a| a.relation == fk.references && a.vars[pk] == fk_var);
                 if !grounded {
                     let mut vars = Vec::with_capacity(target.arity());
                     for col in 0..target.arity() {
@@ -76,11 +78,7 @@ mod tests {
     #[test]
     fn already_complete_query_unchanged() {
         let s = graph_schema_node_dp();
-        let q = Query::count(vec![
-            atom("Node", &[0]),
-            atom("Node", &[1]),
-            atom("Edge", &[0, 1]),
-        ]);
+        let q = Query::count(vec![atom("Node", &[0]), atom("Node", &[1]), atom("Edge", &[0, 1])]);
         let c = complete_query(&s, &q).unwrap();
         assert_eq!(c.atoms.len(), 3);
     }
@@ -117,9 +115,6 @@ mod tests {
     fn arity_mismatch_rejected() {
         let s = graph_schema_node_dp();
         let q = Query::count(vec![atom("Edge", &[0])]);
-        assert!(matches!(
-            complete_query(&s, &q),
-            Err(EngineError::ArityMismatch { .. })
-        ));
+        assert!(matches!(complete_query(&s, &q), Err(EngineError::ArityMismatch { .. })));
     }
 }

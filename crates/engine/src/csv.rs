@@ -120,8 +120,7 @@ mod tests {
     fn blank_lines_skipped() {
         let schema = graph_schema_node_dp();
         let mut inst = Instance::new();
-        let n =
-            load_csv(&mut inst, &schema, "Node", "1\n\n2\n".as_bytes(), false).expect("loads");
+        let n = load_csv(&mut inst, &schema, "Node", "1\n\n2\n".as_bytes(), false).expect("loads");
         assert_eq!(n, 2);
     }
 }

@@ -63,9 +63,7 @@ pub fn profile(
         if w == 0.0 {
             continue;
         }
-        let refs = private_vars
-            .iter()
-            .map(|&(pidx, var)| (pidx, binding[var as usize].clone()));
+        let refs = private_vars.iter().map(|&(pidx, var)| (pidx, binding[var as usize].clone()));
         match &q.projection {
             None => {
                 builder.add_result(w, refs);
@@ -134,11 +132,8 @@ pub fn profile_grouped(
         }
         let key: Tuple = group_vars.iter().map(|&v| binding[v as usize].clone()).collect();
         let fkey = fmt_key(&key);
-        let (_, builder) =
-            groups.entry(fkey).or_insert_with(|| (key, ProfileBuilder::new()));
-        let refs = private_vars
-            .iter()
-            .map(|&(pidx, var)| (pidx, binding[var as usize].clone()));
+        let (_, builder) = groups.entry(fkey).or_insert_with(|| (key, ProfileBuilder::new()));
+        let refs = private_vars.iter().map(|&(pidx, var)| (pidx, binding[var as usize].clone()));
         match &q.projection {
             None => {
                 builder.add_result(w, refs);
@@ -207,8 +202,7 @@ fn join(
         let next = (0..natoms)
             .filter(|&i| !used[i])
             .max_by_key(|&i| {
-                let shared =
-                    q.atoms[i].vars.iter().filter(|&&v| bound[v as usize]).count();
+                let shared = q.atoms[i].vars.iter().filter(|&&v| bound[v as usize]).count();
                 (shared, std::cmp::Reverse(sizes[i]))
             })
             .expect("unused atom exists");
@@ -256,8 +250,7 @@ fn join(
         }
         let mut next_partials = Vec::new();
         for p in &partials {
-            let key: Vec<Value> =
-                key_vars.iter().map(|&(_, v)| p[v as usize].clone()).collect();
+            let key: Vec<Value> = key_vars.iter().map(|&(_, v)| p[v as usize].clone()).collect();
             if let Some(matches) = index.get(&key) {
                 for &ri in matches {
                     if let Some(b) = bind_tuple(p, &bound_now, atom, &rows[ri]) {
@@ -369,16 +362,22 @@ mod tests {
     fn edge_count_with_predicate() {
         let (s, inst) = triangle_plus_star();
         // Undirected edges counted once: src < dst.
-        let q = Query::count(vec![atom("Edge", &[0, 1])])
-            .with_predicate(Predicate::cmp_vars(0, CmpOp::Lt, 1));
+        let q = Query::count(vec![atom("Edge", &[0, 1])]).with_predicate(Predicate::cmp_vars(
+            0,
+            CmpOp::Lt,
+            1,
+        ));
         assert_eq!(evaluate(&s, &inst, &q).unwrap(), 6.0);
     }
 
     #[test]
     fn lineage_tracks_both_endpoints() {
         let (s, inst) = triangle_plus_star();
-        let q = Query::count(vec![atom("Edge", &[0, 1])])
-            .with_predicate(Predicate::cmp_vars(0, CmpOp::Lt, 1));
+        let q = Query::count(vec![atom("Edge", &[0, 1])]).with_predicate(Predicate::cmp_vars(
+            0,
+            CmpOp::Lt,
+            1,
+        ));
         let p = profile(&s, &inst, &q).unwrap();
         assert_eq!(p.results.len(), 6);
         assert!(p.results.iter().all(|r| r.refs.len() == 2));
@@ -391,15 +390,12 @@ mod tests {
     #[test]
     fn triangle_count_via_self_join() {
         let (s, inst) = triangle_plus_star();
-        let q = Query::count(vec![
-            atom("Edge", &[0, 1]),
-            atom("Edge", &[1, 2]),
-            atom("Edge", &[0, 2]),
-        ])
-        .with_predicate(Predicate::And(vec![
-            Predicate::cmp_vars(0, CmpOp::Lt, 1),
-            Predicate::cmp_vars(1, CmpOp::Lt, 2),
-        ]));
+        let q =
+            Query::count(vec![atom("Edge", &[0, 1]), atom("Edge", &[1, 2]), atom("Edge", &[0, 2])])
+                .with_predicate(Predicate::And(vec![
+                    Predicate::cmp_vars(0, CmpOp::Lt, 1),
+                    Predicate::cmp_vars(1, CmpOp::Lt, 2),
+                ]));
         assert_eq!(evaluate(&s, &inst, &q).unwrap(), 1.0);
     }
 

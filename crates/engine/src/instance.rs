@@ -98,10 +98,9 @@ impl Instance {
         key: &Value,
     ) -> Result<Instance, EngineError> {
         let rel = schema.relation(private_rel)?;
-        let pk =
-            rel.primary_key.ok_or_else(|| EngineError::MalformedQuery(format!(
-                "{private_rel} has no primary key"
-            )))?;
+        let pk = rel.primary_key.ok_or_else(|| {
+            EngineError::MalformedQuery(format!("{private_rel} has no primary key"))
+        })?;
         // deleted[rel_name] = set of PK values deleted from that relation.
         let mut deleted: HashMap<String, HashSet<Value>> = HashMap::new();
         deleted.entry(private_rel.to_string()).or_default().insert(key.clone());

@@ -115,10 +115,7 @@ fn numeric(a: Value, b: Value, f: impl Fn(f64, f64) -> f64) -> Value {
                 Value::Float(r)
             }
         }
-        (x, y) => Value::Float(f(
-            x.as_f64().unwrap_or(f64::NAN),
-            y.as_f64().unwrap_or(f64::NAN),
-        )),
+        (x, y) => Value::Float(f(x.as_f64().unwrap_or(f64::NAN), y.as_f64().unwrap_or(f64::NAN))),
     }
 }
 

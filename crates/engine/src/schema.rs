@@ -140,11 +140,7 @@ impl Schema {
         }
         let n = self.relations.len();
         let mut colour = vec![Colour::White; n];
-        fn dfs(
-            schema: &Schema,
-            i: usize,
-            colour: &mut [Colour],
-        ) -> Result<(), EngineError> {
+        fn dfs(schema: &Schema, i: usize, colour: &mut [Colour]) -> Result<(), EngineError> {
             colour[i] = Colour::Grey;
             for fk in &schema.relations[i].foreign_keys {
                 let j = schema.by_name[&fk.references];

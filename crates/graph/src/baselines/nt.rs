@@ -33,10 +33,8 @@ impl NaiveTruncationSmooth {
     pub fn truncate(g: &Graph, theta: f64) -> Graph {
         let keep: Vec<bool> =
             (0..g.num_vertices() as u32).map(|v| (g.degree(v) as f64) <= theta).collect();
-        let edges: Vec<(u32, u32)> = g
-            .edges()
-            .filter(|&(u, v)| keep[u as usize] && keep[v as usize])
-            .collect();
+        let edges: Vec<(u32, u32)> =
+            g.edges().filter(|&(u, v)| keep[u as usize] && keep[v as usize]).collect();
         Graph::from_edges(g.num_vertices(), &edges)
     }
 
@@ -71,10 +69,8 @@ mod tests {
     #[test]
     fn truncation_removes_high_degree_nodes() {
         // Star with 5 leaves plus a triangle.
-        let g = Graph::from_edges(
-            0,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (6, 7), (7, 8), (6, 8)],
-        );
+        let g =
+            Graph::from_edges(0, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (6, 7), (7, 8), (6, 8)]);
         let t = NaiveTruncationSmooth::truncate(&g, 2.0);
         // Node 0 (degree 5) removed; the triangle stays.
         assert_eq!(t.num_edges(), 3);
@@ -83,11 +79,7 @@ mod tests {
 
     #[test]
     fn smooth_bound_grows_with_theta() {
-        let mk = |theta| NaiveTruncationSmooth {
-            pattern: Pattern::Triangle,
-            theta,
-            epsilon: 1.0,
-        };
+        let mk = |theta| NaiveTruncationSmooth { pattern: Pattern::Triangle, theta, epsilon: 1.0 };
         assert!(mk(8.0).smooth_bound() < mk(64.0).smooth_bound());
     }
 

@@ -51,10 +51,8 @@ impl RecursiveMechanismLite {
             else {
                 break;
             };
-            let edges: Vec<(u32, u32)> = current
-                .edges()
-                .filter(|&(u, v)| u != victim && v != victim)
-                .collect();
+            let edges: Vec<(u32, u32)> =
+                current.edges().filter(|&(u, v)| u != victim && v != victim).collect();
             current = Graph::from_edges(current.num_vertices(), &edges);
             chain.push(self.pattern.count(&current) as f64);
         }

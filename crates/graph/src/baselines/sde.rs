@@ -40,9 +40,7 @@ impl SmoothDistanceEstimator {
                 deg[u as usize] += 1;
                 deg[v as usize] += 1;
             }
-            let worst = (0..g.num_vertices())
-                .filter(|&v| alive[v])
-                .max_by_key(|&v| deg[v]);
+            let worst = (0..g.num_vertices()).filter(|&v| alive[v]).max_by_key(|&v| deg[v]);
             match worst {
                 Some(v) if deg[v] as f64 > theta => {
                     alive[v] = false;

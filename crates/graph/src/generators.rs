@@ -63,7 +63,13 @@ pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// to its right and down neighbours, plus random diagonal shortcuts with
 /// probability `diag_p`, and a fraction `drop_p` of grid edges removed.
 /// Degrees stay small (≤ 8), mimicking RoadnetPA/CA.
-pub fn perturbed_grid<R: Rng>(rows: usize, cols: usize, diag_p: f64, drop_p: f64, rng: &mut R) -> Graph {
+pub fn perturbed_grid<R: Rng>(
+    rows: usize,
+    cols: usize,
+    diag_p: f64,
+    drop_p: f64,
+    rng: &mut R,
+) -> Graph {
     let id = |r: usize, c: usize| (r * cols + c) as u32;
     let mut edges = Vec::new();
     for r in 0..rows {
@@ -152,9 +158,6 @@ mod tests {
         let g1 = preferential_attachment(200, 2, &mut StdRng::seed_from_u64(9));
         let g2 = preferential_attachment(200, 2, &mut StdRng::seed_from_u64(9));
         assert_eq!(g1.num_edges(), g2.num_edges());
-        assert_eq!(
-            g1.edges().collect::<Vec<_>>(),
-            g2.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(g1.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
     }
 }

@@ -63,9 +63,7 @@ impl Graph {
 
     /// Whether the edge `{a, b}` exists.
     pub fn has_edge(&self, a: u32, b: u32) -> bool {
-        self.adj
-            .get(a as usize)
-            .is_some_and(|l| l.binary_search(&b).is_ok())
+        self.adj.get(a as usize).is_some_and(|l| l.binary_search(&b).is_ok())
     }
 
     /// Sorted neighbours of `v`.

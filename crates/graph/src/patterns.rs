@@ -35,7 +35,8 @@ pub enum Pattern {
 
 impl Pattern {
     /// All four patterns in the paper's order.
-    pub const ALL: [Pattern; 4] = [Pattern::Edge, Pattern::Path2, Pattern::Triangle, Pattern::Rectangle];
+    pub const ALL: [Pattern; 4] =
+        [Pattern::Edge, Pattern::Path2, Pattern::Triangle, Pattern::Rectangle];
 
     /// The paper's label.
     pub fn label(&self) -> &'static str {
@@ -252,9 +253,7 @@ pub fn star_profile(g: &Graph, k: usize) -> QueryProfile {
 
 /// Counts `k`-stars without lineage: `Σ_v C(d_v, k)`.
 pub fn star_count(g: &Graph, k: usize) -> u64 {
-    (0..g.num_vertices() as u32)
-        .map(|v| binomial(g.degree(v) as u64, k as u64))
-        .sum()
+    (0..g.num_vertices() as u32).map(|v| binomial(g.degree(v) as u64, k as u64)).sum()
 }
 
 fn binomial(n: u64, k: u64) -> u64 {
@@ -293,10 +292,7 @@ fn intersect_above(a: &[u32], b: &[u32], above: u32) -> u64 {
 pub fn to_instance(g: &Graph) -> r2t_engine::Instance {
     use r2t_engine::Value;
     let mut inst = r2t_engine::Instance::new();
-    inst.insert_all(
-        "Node",
-        (0..g.num_vertices() as i64).map(|i| vec![Value::Int(i)]),
-    );
+    inst.insert_all("Node", (0..g.num_vertices() as i64).map(|i| vec![Value::Int(i)]));
     let mut edges = Vec::with_capacity(2 * g.num_edges());
     for (u, v) in g.edges() {
         edges.push(vec![Value::Int(u as i64), Value::Int(v as i64)]);
@@ -316,10 +312,7 @@ mod tests {
 
     fn k4_plus_tail() -> Graph {
         // K4 on {0,1,2,3} plus tail 3-4-5.
-        Graph::from_edges(
-            6,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)],
-        )
+        Graph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4), (4, 5)])
     }
 
     #[test]
@@ -362,13 +355,11 @@ mod tests {
             let inst = to_instance(&g);
             for p in Pattern::ALL {
                 let direct = p.count(&g) as f64;
-                let via_engine =
-                    r2t_engine::exec::evaluate(&schema, &inst, &p.to_query()).unwrap();
+                let via_engine = r2t_engine::exec::evaluate(&schema, &inst, &p.to_query()).unwrap();
                 assert_eq!(direct, via_engine, "{p:?} seed {seed}");
                 // Lineage sensitivities agree too.
                 let prof_direct = p.profile(&g);
-                let prof_engine =
-                    r2t_engine::exec::profile(&schema, &inst, &p.to_query()).unwrap();
+                let prof_engine = r2t_engine::exec::profile(&schema, &inst, &p.to_query()).unwrap();
                 let mut s1 = prof_direct.sensitivities();
                 let mut s2 = prof_engine.sensitivities();
                 s1.sort_by(|x, y| x.partial_cmp(y).unwrap());

@@ -31,12 +31,10 @@ impl GraphStats {
         degrees.sort_unstable();
         let max_degree = degrees.last().copied().unwrap_or(0);
         let mean_degree = if nodes == 0 { 0.0 } else { 2.0 * edges as f64 / nodes as f64 };
-        let p99_degree =
-            if nodes == 0 { 0 } else { degrees[(nodes - 1) * 99 / 100] };
+        let p99_degree = if nodes == 0 { 0 } else { degrees[(nodes - 1) * 99 / 100] };
         let wedges = Pattern::Path2.count(g);
         let triangles = Pattern::Triangle.count(g);
-        let clustering =
-            if wedges == 0 { 0.0 } else { 3.0 * triangles as f64 / wedges as f64 };
+        let clustering = if wedges == 0 { 0.0 } else { 3.0 * triangles as f64 / wedges as f64 };
         GraphStats { nodes, edges, max_degree, mean_degree, p99_degree, clustering }
     }
 }

@@ -56,7 +56,7 @@ impl DenseSimplex {
         // --- Standard-form conversion -----------------------------------
         let mut maps: Vec<VarMap> = Vec::with_capacity(n);
         let mut nz = 0usize; // number of standard-form variables
-        // Extra rows from variable upper bounds: (z index, bound).
+                             // Extra rows from variable upper bounds: (z index, bound).
         let mut ub_rows: Vec<(usize, f64)> = Vec::new();
         for j in 0..n {
             let VarBounds { lower, upper } = problem.var_bounds(j);
@@ -237,9 +237,7 @@ impl DenseSimplex {
             // Pivot remaining basic artificials out where possible.
             for i in 0..mr {
                 if basis[i] >= artificial_start && tab[i][rhs_col].abs() <= TOL {
-                    if let Some(k) =
-                        (0..artificial_start).find(|&k| tab[i][k].abs() > 1e-8)
-                    {
+                    if let Some(k) = (0..artificial_start).find(|&k| tab[i][k].abs() > 1e-8) {
                         pivot(&mut tab, &mut basis, &mut vec![0.0; rhs_col + 1], i, k, rhs_col);
                     }
                     // If no pivot exists the row is redundant; leaving the
@@ -347,8 +345,7 @@ fn run_simplex(
             if a > TOL {
                 let ratio = tab[i][rhs_col] / a;
                 if ratio < best - TOL
-                    || (ratio < best + TOL
-                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                    || (ratio < best + TOL && leave.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best = ratio;
                     leave = Some(i);

@@ -53,12 +53,16 @@ pub mod presolve;
 pub mod problem;
 pub mod revised;
 pub mod sparse;
+pub mod sweep;
 
 pub use dense::DenseSimplex;
 pub use dual_bound::lagrangian_bound;
 pub use problem::{Problem, RowBounds, Sense, VarBounds};
-pub use revised::{RevisedSimplex, SolveOptions, SolverEvent};
+pub use revised::{
+    RevisedSimplex, SolveOptions, SolveStats, SolverContext, SolverEvent, WarmStart,
+};
 pub use sparse::ColMatrix;
+pub use sweep::{SweepProblem, SweepSession, SweepSolve};
 
 /// Floating-point tolerance used to decide primal feasibility.
 pub const FEAS_TOL: f64 = 1e-7;

@@ -61,9 +61,9 @@ pub fn write_mps<W: Write>(problem: &Problem, name: &str, mut w: W) -> std::io::
         writeln!(w, " {kind}  R{i}")?;
     }
     writeln!(w, "COLUMNS")?;
-    let mat = problem.freeze().map_err(|e| {
-        std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string())
-    })?;
+    let mat = problem
+        .freeze()
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e.to_string()))?;
     for j in 0..problem.num_vars() {
         let c = problem.objective_coefficient(j);
         if c != 0.0 {
@@ -157,9 +157,7 @@ pub fn read_mps<R: Read>(reader: R) -> Result<(Problem, Vec<String>, Vec<String>
                 "ROWS" => Section::Rows,
                 "COLUMNS" => Section::Columns,
                 "RHS" => Section::Rhs,
-                "RANGES" => {
-                    return Err(err(lineno, "RANGES sections are not supported".into()))
-                }
+                "RANGES" => return Err(err(lineno, "RANGES sections are not supported".into())),
                 "BOUNDS" => Section::Bounds,
                 "ENDATA" => Section::Done,
                 other => return Err(err(lineno, format!("unknown section {other:?}"))),

@@ -365,9 +365,8 @@ mod tests {
             for (got, want) in b.iter().zip(&x_true) {
                 assert!((got - want).abs() < 1e-8);
             }
-            let mut c: Vec<f64> = (0..m)
-                .map(|j| (0..m).map(|i| a[i * m + j] * x_true[i]).sum())
-                .collect();
+            let mut c: Vec<f64> =
+                (0..m).map(|j| (0..m).map(|i| a[i * m + j] * x_true[i]).sum()).collect();
             lu.btran(&mut c, &mut scratch);
             for (got, want) in c.iter().zip(&x_true) {
                 assert!((got - want).abs() < 1e-8);

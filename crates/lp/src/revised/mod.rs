@@ -72,12 +72,103 @@ impl Default for SolveOptions {
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum VarState {
+pub(crate) enum VarState {
     Basic,
     AtLower,
     AtUpper,
     /// Free variable parked at zero.
     AtZero,
+}
+
+/// A borrowed, already-frozen LP in **maximize** sense: the shared input of
+/// the cold and warm solve paths. [`crate::sweep::SweepProblem`] assembles
+/// these per-τ without round-tripping through a [`Problem`].
+pub(crate) struct RawLp<'a> {
+    /// Constraint matrix, `m × n`.
+    pub mat: &'a ColMatrix,
+    /// Structural variable lower bounds (len `n`).
+    pub var_lower: &'a [f64],
+    /// Structural variable upper bounds (len `n`).
+    pub var_upper: &'a [f64],
+    /// Objective coefficients in maximize sense (len `n`).
+    pub obj: &'a [f64],
+    /// Row activity lower bounds (len `m`).
+    pub row_lower: &'a [f64],
+    /// Row activity upper bounds (len `m`).
+    pub row_upper: &'a [f64],
+}
+
+/// The optimal basis of a finished solve, reusable as the starting point of
+/// an adjacent solve (same matrix, re-parameterized bounds). Produced by
+/// [`SolverContext`] after an optimal solve; consumed by
+/// [`RevisedSimplex::solve_from_basis`].
+#[derive(Debug, Clone)]
+pub struct WarmStart {
+    pub(crate) n: usize,
+    pub(crate) m: usize,
+    /// Basic variable per row slot (structural `j < n`, logical `n + i`).
+    pub(crate) basis: Vec<usize>,
+    /// State of every structural and logical variable (len `n + m`).
+    pub(crate) state: Vec<VarState>,
+}
+
+impl WarmStart {
+    /// Assembles a basis from raw parts (used by the sweep layer's prefix
+    /// translation). Invalid contents are safe: the solver validates before
+    /// use and falls back to a cold start.
+    pub(crate) fn from_parts(n: usize, m: usize, basis: Vec<usize>, state: Vec<VarState>) -> Self {
+        WarmStart { n, m, basis, state }
+    }
+
+    /// Number of structural variables of the solve that produced this basis.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of rows of the solve that produced this basis.
+    pub fn num_rows(&self) -> usize {
+        self.m
+    }
+}
+
+/// Counters accumulated by a [`SolverContext`] across solves.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SolveStats {
+    /// Total solves routed through the context.
+    pub solves: usize,
+    /// Solves that were offered a warm basis.
+    pub warm_attempts: usize,
+    /// Warm bases accepted (factorized and reoptimized without falling back).
+    pub warm_accepted: usize,
+    /// Dual-simplex iterations spent reoptimizing warm bases.
+    pub dual_iterations: usize,
+    /// Primal-simplex iterations (cold solves plus warm cleanup).
+    pub primal_iterations: usize,
+}
+
+/// Per-worker reusable solver state: scratch/workspace buffers plus the
+/// optimal basis of the most recent solve. One context per thread — contexts
+/// are deliberately not `Sync`.
+#[derive(Debug, Default)]
+pub struct SolverContext {
+    col_buf: Vec<f64>,
+    scratch: Vec<f64>,
+    pub(crate) last_basis: Option<WarmStart>,
+    /// Counters across all solves run through this context.
+    pub stats: SolveStats,
+}
+
+impl SolverContext {
+    /// Creates an empty context.
+    pub fn new() -> Self {
+        SolverContext::default()
+    }
+
+    /// The optimal basis of the most recent optimal solve, if that solve
+    /// finished at optimality with no artificial variable left in the basis.
+    pub fn take_basis(&mut self) -> Option<WarmStart> {
+        self.last_basis.take()
+    }
 }
 
 /// The production LP solver. See the module documentation.
@@ -237,9 +328,17 @@ impl<'a> Work<'a> {
 
     /// Row duals for the current basis under the current cost vector.
     fn duals(&mut self) -> Vec<f64> {
-        let mut c: Vec<f64> = self.basis.iter().map(|&j| self.obj[j]).collect();
-        self.btran(&mut c);
+        let mut c = Vec::new();
+        self.duals_into(&mut c);
         c
+    }
+
+    /// [`Self::duals`] into a caller-owned buffer, so per-iteration callers
+    /// pay no allocation.
+    fn duals_into(&mut self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(self.basis.iter().map(|&j| self.obj[j]));
+        self.btran(out);
     }
 
     /// A weak-duality upper bound on the optimum from the current duals,
@@ -334,10 +433,36 @@ impl RevisedSimplex {
     /// iterations (if nonzero). Returning `false` from the callback aborts
     /// with [`Status::Stopped`]; the returned solution is the best
     /// primal-feasible point found (a valid lower bound for maximization).
-    pub fn solve_with_callback<F>(
+    pub fn solve_with_callback<F>(&self, problem: &Problem, cb: F) -> Result<Solution, LpError>
+    where
+        F: FnMut(SolverEvent) -> bool,
+    {
+        self.solve_with_context(problem, None, None, cb)
+    }
+
+    /// Solves the problem starting from the optimal basis of an adjacent
+    /// solve (same matrix shape, re-parameterized bounds): the basis is
+    /// refactorized, dual-simplex iterations restore primal feasibility, and
+    /// a primal cleanup pass certifies optimality. Falls back to a cold
+    /// start automatically when the warm basis is singular or stalls, so the
+    /// result is always identical in status/optimality to [`Self::solve`].
+    /// `ctx` supplies reusable workspace buffers and receives the new
+    /// optimal basis (see [`SolverContext::take_basis`]).
+    pub fn solve_from_basis(
         &self,
         problem: &Problem,
-        mut cb: F,
+        warm: &WarmStart,
+        ctx: &mut SolverContext,
+    ) -> Result<Solution, LpError> {
+        self.solve_with_context(problem, Some(warm), Some(ctx), |_| true)
+    }
+
+    fn solve_with_context<F>(
+        &self,
+        problem: &Problem,
+        warm: Option<&WarmStart>,
+        ctx: Option<&mut SolverContext>,
+        cb: F,
     ) -> Result<Solution, LpError>
     where
         F: FnMut(SolverEvent) -> bool,
@@ -345,50 +470,218 @@ impl RevisedSimplex {
         let mat = problem.freeze()?;
         let n = problem.num_vars();
         let m = problem.num_rows();
+        let var_lower: Vec<f64> = (0..n).map(|j| problem.var_bounds(j).lower).collect();
+        let var_upper: Vec<f64> = (0..n).map(|j| problem.var_bounds(j).upper).collect();
+        let obj: Vec<f64> = (0..n).map(|j| problem.max_objective(j)).collect();
+        let row_lower: Vec<f64> = (0..m).map(|i| problem.row_bounds(i).lower).collect();
+        let row_upper: Vec<f64> = (0..m).map(|i| problem.row_bounds(i).upper).collect();
+        let raw = RawLp {
+            mat: &mat,
+            var_lower: &var_lower,
+            var_upper: &var_upper,
+            obj: &obj,
+            row_lower: &row_lower,
+            row_upper: &row_upper,
+        };
+        let mut sol = self.solve_raw(&raw, warm, ctx, cb)?;
+        // solve_raw works in maximize sense; negation back to the stated
+        // sense is exact, so this matches evaluating the stated objective.
+        if problem.sense() == crate::problem::Sense::Minimize && sol.status != Status::Infeasible {
+            sol.objective = -sol.objective;
+        }
+        Ok(sol)
+    }
 
+    /// The shared solve entry over a borrowed maximize-sense LP: routes to
+    /// the warm path when a compatible basis is supplied, else cold-starts.
+    pub(crate) fn solve_raw<F>(
+        &self,
+        raw: &RawLp<'_>,
+        warm: Option<&WarmStart>,
+        mut ctx: Option<&mut SolverContext>,
+        mut cb: F,
+    ) -> Result<Solution, LpError>
+    where
+        F: FnMut(SolverEvent) -> bool,
+    {
+        let n = raw.mat.cols();
+        let m = raw.mat.rows();
+        if let Some(c) = ctx.as_deref_mut() {
+            c.stats.solves += 1;
+            c.last_basis = None;
+        }
         if m == 0 {
-            // Pure box problem: each variable sits at its best bound.
-            let mut x = vec![0.0; n];
-            for j in 0..n {
-                let b = problem.var_bounds(j);
-                let c = problem.max_objective(j);
-                x[j] = if c > 0.0 {
-                    if b.upper.is_finite() { b.upper } else { f64::INFINITY }
-                } else if c < 0.0 {
-                    if b.lower.is_finite() { b.lower } else { f64::NEG_INFINITY }
-                } else if b.lower.is_finite() {
-                    b.lower
-                } else if b.upper.is_finite() {
-                    b.upper
-                } else {
-                    0.0
-                };
-                if !x[j].is_finite() {
-                    return Ok(Solution {
-                        status: Status::Unbounded,
-                        objective: match problem.sense() {
-                            crate::problem::Sense::Maximize => f64::INFINITY,
-                            crate::problem::Sense::Minimize => f64::NEG_INFINITY,
-                        },
-                        x: vec![0.0; n],
-                        y: Vec::new(),
-                        iterations: 0,
-                    });
+            return Ok(box_solution(raw));
+        }
+        if let Some(ws) = warm {
+            if let Some(c) = ctx.as_deref_mut() {
+                c.stats.warm_attempts += 1;
+            }
+            if ws.n == n && ws.m == m && ws.basis.len() == m && ws.state.len() == n + m {
+                if let Some(sol) = self.solve_warm(raw, ws, ctx.as_deref_mut(), &mut cb)? {
+                    if let Some(c) = ctx.as_deref_mut() {
+                        c.stats.warm_accepted += 1;
+                    }
+                    return Ok(sol);
                 }
             }
-            let objective = problem.objective_value(&x);
-            return Ok(Solution { status: Status::Optimal, objective, x, y: Vec::new(), iterations: 0 });
+        }
+        self.solve_cold(raw, ctx, &mut cb)
+    }
+
+    /// Attempts the warm-started path. Returns `Ok(None)` when the basis is
+    /// unusable (singular factorization, inconsistent states, dual stall) —
+    /// the caller then falls back to a cold start, guaranteeing correctness.
+    fn solve_warm<F>(
+        &self,
+        raw: &RawLp<'_>,
+        ws: &WarmStart,
+        mut ctx: Option<&mut SolverContext>,
+        cb: &mut F,
+    ) -> Result<Option<Solution>, LpError>
+    where
+        F: FnMut(SolverEvent) -> bool,
+    {
+        let n = ws.n;
+        let m = ws.m;
+        for &j in &ws.basis {
+            if j >= n + m || ws.state[j] != VarState::Basic {
+                return Ok(None);
+            }
+        }
+        if ws.state.iter().filter(|&&s| s == VarState::Basic).count() != m {
+            return Ok(None);
+        }
+        let mut lower: Vec<f64> = Vec::with_capacity(n + m);
+        let mut upper: Vec<f64> = Vec::with_capacity(n + m);
+        let mut obj: Vec<f64> = Vec::with_capacity(n + m);
+        lower.extend_from_slice(raw.var_lower);
+        lower.extend_from_slice(raw.row_lower);
+        upper.extend_from_slice(raw.var_upper);
+        upper.extend_from_slice(raw.row_upper);
+        obj.extend_from_slice(raw.obj);
+        obj.resize(n + m, 0.0);
+        // Nonbasic states must point at finite bounds under the *new*
+        // parameterization.
+        for j in 0..n + m {
+            let bad = match ws.state[j] {
+                VarState::AtLower => !lower[j].is_finite(),
+                VarState::AtUpper => !upper[j].is_finite(),
+                _ => false,
+            };
+            if bad {
+                return Ok(None);
+            }
+        }
+        let Ok(lu) = factorize_basis(n, m, raw.mat, &[], &ws.basis) else {
+            return Ok(None);
+        };
+        let (mut col_buf, scratch) = match ctx.as_deref_mut() {
+            Some(c) => (std::mem::take(&mut c.col_buf), std::mem::take(&mut c.scratch)),
+            None => (Vec::new(), Vec::new()),
+        };
+        col_buf.clear();
+        col_buf.resize(m, 0.0);
+        let mut w = Work {
+            n,
+            m,
+            mat: raw.mat,
+            lower,
+            upper,
+            obj,
+            art: Vec::new(),
+            state: ws.state.clone(),
+            basis: ws.basis.clone(),
+            xb: vec![0.0; m],
+            lu,
+            etas: Vec::new(),
+            scratch,
+            col_buf,
+            iterations: 0,
+        };
+        w.recompute_xb();
+
+        // Profitability guard: the dual repair does roughly one pivot per
+        // bound violation, and dual pivots price every nonbasic column, so
+        // when most of the basis re-violates (a large τ drop revealing many
+        // binding rows) the repair costs more than a cold solve of the same
+        // already-assembled LP. Bail out before iterating; the caller falls
+        // back to the cold path without rebuilding anything.
+        let violated = (0..m)
+            .filter(|&s| {
+                let j = w.basis[s];
+                w.lower[j] - w.xb[s] > crate::FEAS_TOL || w.xb[s] - w.upper[j] > crate::FEAS_TOL
+            })
+            .count();
+        if violated > (m / 8).max(16) {
+            if let Some(c) = ctx.as_deref_mut() {
+                c.col_buf = std::mem::take(&mut w.col_buf);
+                c.scratch = std::mem::take(&mut w.scratch);
+            }
+            return Ok(None);
         }
 
-        let mut lower: Vec<f64> = (0..n).map(|j| problem.var_bounds(j).lower).collect();
-        let mut upper: Vec<f64> = (0..n).map(|j| problem.var_bounds(j).upper).collect();
-        let mut obj: Vec<f64> = (0..n).map(|j| problem.max_objective(j)).collect();
-        for i in 0..m {
-            let b = problem.row_bounds(i);
-            lower.push(b.lower);
-            upper.push(b.upper);
-            obj.push(0.0);
+        let max_iters = if self.options.max_iterations == 0 {
+            60 * (m + n) + 20_000
+        } else {
+            self.options.max_iterations
+        };
+        // The repair should converge in O(violations) pivots; if it churns
+        // far past that, a cold start is cheaper than letting it grind.
+        let dual_cap = (8 * violated + 64).min(max_iters);
+        match self.dual_iterate(&mut w, dual_cap, cb)? {
+            DualOutcome::Feasible => {}
+            DualOutcome::Stopped => {
+                return Ok(Some(finish(raw, w, Status::Stopped, ctx)));
+            }
+            DualOutcome::Stalled => {
+                // Hand the buffers back so the cold retry reuses them.
+                if let Some(c) = ctx.as_deref_mut() {
+                    c.col_buf = std::mem::take(&mut w.col_buf);
+                    c.scratch = std::mem::take(&mut w.scratch);
+                }
+                return Ok(None);
+            }
         }
+        if let Some(c) = ctx.as_deref_mut() {
+            c.stats.dual_iterations += w.iterations;
+        }
+        let before = w.iterations;
+        let outcome = self.iterate(&mut w, max_iters, false, cb)?;
+        if let Some(c) = ctx.as_deref_mut() {
+            c.stats.primal_iterations += w.iterations - before;
+        }
+        let status = match outcome {
+            PhaseOutcome::Optimal => Status::Optimal,
+            PhaseOutcome::Unbounded => Status::Unbounded,
+            PhaseOutcome::IterLimit => Status::IterationLimit,
+            PhaseOutcome::Stopped => Status::Stopped,
+        };
+        Ok(Some(finish(raw, w, status, ctx)))
+    }
+
+    /// Cold start: all-logical basis, Phase 1 artificials when needed.
+    fn solve_cold<F>(
+        &self,
+        raw: &RawLp<'_>,
+        mut ctx: Option<&mut SolverContext>,
+        cb: &mut F,
+    ) -> Result<Solution, LpError>
+    where
+        F: FnMut(SolverEvent) -> bool,
+    {
+        let mat = raw.mat;
+        let n = mat.cols();
+        let m = mat.rows();
+        let mut lower: Vec<f64> = Vec::with_capacity(n + m);
+        let mut upper: Vec<f64> = Vec::with_capacity(n + m);
+        let mut obj: Vec<f64> = Vec::with_capacity(n + m);
+        lower.extend_from_slice(raw.var_lower);
+        lower.extend_from_slice(raw.row_lower);
+        upper.extend_from_slice(raw.var_upper);
+        upper.extend_from_slice(raw.row_upper);
+        obj.extend_from_slice(raw.obj);
+        obj.resize(n + m, 0.0);
 
         // Initial nonbasic states for structural variables.
         let mut state: Vec<VarState> = (0..n)
@@ -453,11 +746,17 @@ impl RevisedSimplex {
 
         // The initial basis is mixed logicals/artificials — all singleton
         // columns — so this factorization is trivially sparse.
-        let lu = factorize_basis(n, m, &mat, &art, &basis)?;
+        let lu = factorize_basis(n, m, mat, &art, &basis)?;
+        let (mut col_buf, scratch) = match ctx.as_deref_mut() {
+            Some(c) => (std::mem::take(&mut c.col_buf), std::mem::take(&mut c.scratch)),
+            None => (Vec::new(), Vec::new()),
+        };
+        col_buf.clear();
+        col_buf.resize(m, 0.0);
         let mut w = Work {
             n,
             m,
-            mat: &mat,
+            mat,
             lower,
             upper,
             obj,
@@ -467,8 +766,8 @@ impl RevisedSimplex {
             xb,
             lu,
             etas: Vec::new(),
-            scratch: Vec::new(),
-            col_buf: vec![0.0; m],
+            scratch,
+            col_buf,
             iterations: 0,
         };
 
@@ -487,7 +786,7 @@ impl RevisedSimplex {
             for j in 0..w.n + w.m {
                 w.obj[j] = 0.0;
             }
-            let outcome = self.iterate(&mut w, max_iters, true, &mut cb)?;
+            let outcome = self.iterate(&mut w, max_iters, true, cb)?;
             match outcome {
                 PhaseOutcome::Optimal => {}
                 PhaseOutcome::Unbounded => {
@@ -528,36 +827,18 @@ impl RevisedSimplex {
             w.obj = real_obj;
         }
 
-        let outcome = self.iterate(&mut w, max_iters, false, &mut cb)?;
+        let before = w.iterations;
+        let outcome = self.iterate(&mut w, max_iters, false, cb)?;
+        if let Some(c) = ctx.as_deref_mut() {
+            c.stats.primal_iterations += w.iterations - before;
+        }
         let status = match outcome {
             PhaseOutcome::Optimal => Status::Optimal,
             PhaseOutcome::Unbounded => Status::Unbounded,
             PhaseOutcome::IterLimit => Status::IterationLimit,
             PhaseOutcome::Stopped => Status::Stopped,
         };
-
-        // Extract structural solution.
-        let mut x = vec![0.0f64; n];
-        for j in 0..n {
-            if w.state[j] != VarState::Basic {
-                x[j] = w.nb_value(j);
-            }
-        }
-        for (s, &j) in w.basis.iter().enumerate() {
-            if j < n {
-                x[j] = w.xb[s];
-            }
-        }
-        let y = w.duals();
-        let objective = if status == Status::Unbounded {
-            match problem.sense() {
-                crate::problem::Sense::Maximize => f64::INFINITY,
-                crate::problem::Sense::Minimize => f64::NEG_INFINITY,
-            }
-        } else {
-            problem.objective_value(&x)
-        };
-        Ok(Solution { status, objective, x, y, iterations: w.iterations })
+        Ok(finish(raw, w, status, ctx))
     }
 
     /// Runs simplex iterations under the current cost vector until optimal,
@@ -575,6 +856,8 @@ impl RevisedSimplex {
         let mut degenerate_run = 0usize;
         let mut bland = false;
         let mut candidates: Vec<usize> = Vec::new();
+        let mut all: Vec<(usize, f64, f64)> = Vec::new();
+        let mut y: Vec<f64> = Vec::new();
         loop {
             if w.iterations >= max_iters {
                 return Ok(PhaseOutcome::IterLimit);
@@ -584,7 +867,7 @@ impl RevisedSimplex {
             // list; when it is exhausted, a full Dantzig scan refills it
             // with the top-K improving columns (a fruitless full scan proves
             // optimality). partial_pricing == 0: full Dantzig every time.
-            let y = w.duals();
+            w.duals_into(&mut y);
             let nvars = w.nvars();
             let klist = self.options.partial_pricing;
             let price = |w: &Work<'_>, j: usize, y: &[f64]| -> Option<(f64, f64)> {
@@ -623,15 +906,22 @@ impl RevisedSimplex {
                     }
                 });
                 if enter.is_none() {
-                    // Refill with the top-K improving columns.
-                    let mut all: Vec<(usize, f64, f64)> = Vec::new();
+                    // Refill with the top-K improving columns. Early pivots can
+                    // see tens of thousands of improving columns, so select the
+                    // top K first and only sort those.
+                    all.clear();
                     for j in 0..nvars {
                         if let Some((d, score)) = price(w, j, &y) {
                             all.push((j, d, score));
                         }
                     }
+                    if all.len() > klist {
+                        all.select_nth_unstable_by(klist - 1, |a, b| {
+                            b.2.partial_cmp(&a.2).expect("finite scores")
+                        });
+                        all.truncate(klist);
+                    }
                     all.sort_unstable_by(|a, b| b.2.partial_cmp(&a.2).expect("finite scores"));
-                    all.truncate(klist);
                     candidates.clear();
                     candidates.extend(all.iter().map(|&(j, _, _)| j));
                     enter = all.first().copied();
@@ -773,7 +1063,9 @@ impl RevisedSimplex {
                 bland = false;
             }
 
-            if self.options.event_every != 0 && w.iterations.is_multiple_of(self.options.event_every) {
+            if self.options.event_every != 0
+                && w.iterations.is_multiple_of(self.options.event_every)
+            {
                 let dual = if phase_one { f64::INFINITY } else { w.dual_upper_bound() };
                 let ev = SolverEvent {
                     iteration: w.iterations,
@@ -787,6 +1079,256 @@ impl RevisedSimplex {
             }
         }
     }
+
+    /// Dual-simplex iterations from a dual-feasible (or near-feasible) basis
+    /// toward primal feasibility: repeatedly kick the most bound-violating
+    /// basic variable out of the basis, choosing the entering variable by a
+    /// dual ratio test so reduced-cost signs are preserved. Used only on the
+    /// warm path; any stall reports [`DualOutcome::Stalled`] and the caller
+    /// cold-starts instead.
+    fn dual_iterate<F>(
+        &self,
+        w: &mut Work<'_>,
+        max_iters: usize,
+        cb: &mut F,
+    ) -> Result<DualOutcome, LpError>
+    where
+        F: FnMut(SolverEvent) -> bool,
+    {
+        let mut rho = vec![0.0f64; w.m];
+        // Row duals are maintained across pivots via the rank-one update
+        // y ← y + (d_q/α_q)·ρ (ρ is already in hand for the ratio test),
+        // replacing the full BTRAN per iteration that `duals()` would cost.
+        // Recomputed from scratch at every refactorization to bound drift.
+        let mut y = w.duals();
+        loop {
+            // Pick the leaving slot: largest primal bound violation.
+            let mut r = usize::MAX;
+            let mut worst = crate::FEAS_TOL;
+            for s in 0..w.m {
+                let j = w.basis[s];
+                let below = w.lower[j] - w.xb[s];
+                let above = w.xb[s] - w.upper[j];
+                let v = below.max(above);
+                if v > worst {
+                    worst = v;
+                    r = s;
+                }
+            }
+            if r == usize::MAX {
+                return Ok(DualOutcome::Feasible);
+            }
+            if w.iterations >= max_iters {
+                return Ok(DualOutcome::Stalled);
+            }
+            let leaving = w.basis[r];
+            // `delta_pos`: the leaving variable sits above its upper bound
+            // and must decrease onto it; otherwise it is below its lower
+            // bound and must increase.
+            let delta_pos = w.xb[r] > w.upper[leaving];
+
+            // rho = B^-T e_r, the leaving row of B^-1 in original row space.
+            rho.iter_mut().for_each(|v| *v = 0.0);
+            rho[r] = 1.0;
+            w.btran(&mut rho);
+
+            // Dual ratio test over nonbasic columns: the entering variable
+            // minimizes |d_j| / |alpha_j| among sign-eligible columns, so
+            // the dual point stays feasible as long as it started feasible.
+            let mut best: Option<(usize, f64, f64, f64)> = None; // (j, |alpha|, ratio, d)
+            for j in 0..w.n + w.m {
+                let st = w.state[j];
+                if st == VarState::Basic || (w.lower[j] == w.upper[j] && st != VarState::AtZero) {
+                    continue;
+                }
+                let alpha = w.col_dot(j, &rho);
+                if alpha.abs() <= PIV_TOL {
+                    continue;
+                }
+                let eligible = match st {
+                    VarState::AtLower => {
+                        if delta_pos {
+                            alpha > 0.0
+                        } else {
+                            alpha < 0.0
+                        }
+                    }
+                    VarState::AtUpper => {
+                        if delta_pos {
+                            alpha < 0.0
+                        } else {
+                            alpha > 0.0
+                        }
+                    }
+                    VarState::AtZero => true,
+                    VarState::Basic => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                let d = w.obj[j] - w.col_dot(j, &y);
+                let slack = match st {
+                    VarState::AtLower => (-d).max(0.0),
+                    VarState::AtUpper => d.max(0.0),
+                    _ => d.abs(),
+                };
+                let ratio = slack / alpha.abs();
+                let better = match best {
+                    None => true,
+                    Some((_, ba, br, _)) => {
+                        ratio < br - 1e-12 || (ratio < br + 1e-12 && alpha.abs() > ba)
+                    }
+                };
+                if better {
+                    best = Some((j, alpha.abs(), ratio, d));
+                }
+            }
+            let Some((q, _, _, d_q)) = best else {
+                return Ok(DualOutcome::Stalled);
+            };
+
+            // FTRAN the entering column and pivot on slot r.
+            let mut col = std::mem::take(&mut w.col_buf);
+            w.scatter_col(q, &mut col);
+            w.ftran(&mut col);
+            let alpha_q = col[r];
+            if alpha_q.abs() <= PIV_TOL {
+                w.col_buf = col;
+                return Ok(DualOutcome::Stalled);
+            }
+            let bound = if delta_pos { w.upper[leaving] } else { w.lower[leaving] };
+            let t = (w.xb[r] - bound) / alpha_q;
+            let enter_val = w.nb_value(q) + t;
+            for (s, &cv) in col.iter().enumerate() {
+                if cv != 0.0 {
+                    w.xb[s] -= t * cv;
+                }
+            }
+            w.state[leaving] = if delta_pos { VarState::AtUpper } else { VarState::AtLower };
+            w.basis[r] = q;
+            w.state[q] = VarState::Basic;
+            w.xb[r] = enter_val;
+            let mut entries: Vec<(u32, f64)> = Vec::new();
+            for (s, &cv) in col.iter().enumerate() {
+                if s != r && cv != 0.0 {
+                    entries.push((s as u32, cv));
+                }
+            }
+            w.etas.push(Eta { slot: r, pivot: alpha_q, entries });
+            w.col_buf = col;
+            w.iterations += 1;
+            if d_q != 0.0 {
+                let gamma = d_q / alpha_q;
+                for (yi, &ri) in y.iter_mut().zip(rho.iter()) {
+                    *yi += gamma * ri;
+                }
+            }
+            if w.etas.len() >= self.options.refactor_interval {
+                w.refactorize()?;
+                y = w.duals();
+            }
+
+            if self.options.event_every != 0
+                && w.iterations.is_multiple_of(self.options.event_every)
+            {
+                // No primal-feasible point yet, so the primal objective is
+                // reported as -inf; the dual bound is valid throughout.
+                let ev = SolverEvent {
+                    iteration: w.iterations,
+                    primal_objective: f64::NEG_INFINITY,
+                    dual_bound: w.dual_upper_bound(),
+                    phase_one: false,
+                };
+                if !cb(ev) {
+                    return Ok(DualOutcome::Stopped);
+                }
+            }
+        }
+    }
+}
+
+enum DualOutcome {
+    Feasible,
+    Stalled,
+    Stopped,
+}
+
+/// Solves an `m == 0` pure box problem (maximize sense).
+fn box_solution(raw: &RawLp<'_>) -> Solution {
+    let n = raw.mat.cols();
+    let mut x = vec![0.0; n];
+    for j in 0..n {
+        let (lo, hi) = (raw.var_lower[j], raw.var_upper[j]);
+        let c = raw.obj[j];
+        x[j] = if c > 0.0 {
+            if hi.is_finite() {
+                hi
+            } else {
+                f64::INFINITY
+            }
+        } else if c < 0.0 {
+            if lo.is_finite() {
+                lo
+            } else {
+                f64::NEG_INFINITY
+            }
+        } else if lo.is_finite() {
+            lo
+        } else if hi.is_finite() {
+            hi
+        } else {
+            0.0
+        };
+        if !x[j].is_finite() {
+            return Solution {
+                status: Status::Unbounded,
+                objective: f64::INFINITY,
+                x: vec![0.0; n],
+                y: Vec::new(),
+                iterations: 0,
+            };
+        }
+    }
+    let objective = raw.obj.iter().zip(&x).map(|(c, v)| c * v).sum();
+    Solution { status: Status::Optimal, objective, x, y: Vec::new(), iterations: 0 }
+}
+
+/// Extracts the structural solution (maximize-sense objective), returns the
+/// workspace buffers to `ctx`, and records the optimal basis for warm reuse.
+fn finish(
+    raw: &RawLp<'_>,
+    mut w: Work<'_>,
+    status: Status,
+    ctx: Option<&mut SolverContext>,
+) -> Solution {
+    let n = w.n;
+    let m = w.m;
+    let mut x = vec![0.0f64; n];
+    for j in 0..n {
+        if w.state[j] != VarState::Basic {
+            x[j] = w.nb_value(j);
+        }
+    }
+    for (s, &j) in w.basis.iter().enumerate() {
+        if j < n {
+            x[j] = w.xb[s];
+        }
+    }
+    let y = w.duals();
+    let objective = if status == Status::Unbounded {
+        f64::INFINITY
+    } else {
+        raw.obj.iter().zip(&x).map(|(c, v)| c * v).sum()
+    };
+    if let Some(c) = ctx {
+        c.col_buf = std::mem::take(&mut w.col_buf);
+        c.scratch = std::mem::take(&mut w.scratch);
+        if status == Status::Optimal && w.basis.iter().all(|&j| j < n + m) {
+            w.state.truncate(n + m);
+            c.last_basis = Some(WarmStart { n, m, basis: w.basis, state: w.state });
+        }
+    }
+    Solution { status, objective, x, y, iterations: w.iterations }
 }
 
 #[cfg(test)]
@@ -898,14 +1440,12 @@ mod tests {
     fn callback_stop_returns_feasible_point() {
         // A big enough star LP that at least one event fires.
         let mut p = Problem::new();
-        let vars: Vec<usize> =
-            (0..200).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
+        let vars: Vec<usize> = (0..200).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
         for w in vars.chunks(2) {
             p.add_row(RowBounds::at_most(1.0), &[(w[0], 1.0), (w[1], 1.0)]);
         }
-        let solver = RevisedSimplex {
-            options: SolveOptions { event_every: 1, ..SolveOptions::default() },
-        };
+        let solver =
+            RevisedSimplex { options: SolveOptions { event_every: 1, ..SolveOptions::default() } };
         let s = solver.solve_with_callback(&p, |ev| ev.iteration < 5).unwrap();
         assert_eq!(s.status, Status::Stopped);
         assert!(p.max_violation(&s.x) <= 1e-7);
@@ -914,14 +1454,12 @@ mod tests {
     #[test]
     fn events_report_consistent_bounds() {
         let mut p = Problem::new();
-        let vars: Vec<usize> =
-            (0..64).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
+        let vars: Vec<usize> = (0..64).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
         for w in vars.windows(2) {
             p.add_row(RowBounds::at_most(1.0), &[(w[0], 1.0), (w[1], 1.0)]);
         }
-        let solver = RevisedSimplex {
-            options: SolveOptions { event_every: 4, ..SolveOptions::default() },
-        };
+        let solver =
+            RevisedSimplex { options: SolveOptions { event_every: 4, ..SolveOptions::default() } };
         let mut events = Vec::new();
         let s = solver
             .solve_with_callback(&p, |ev| {
@@ -931,10 +1469,7 @@ mod tests {
             .unwrap();
         assert_eq!(s.status, Status::Optimal);
         for ev in &events {
-            assert!(
-                ev.dual_bound >= ev.primal_objective - 1e-6,
-                "dual bound below primal: {ev:?}"
-            );
+            assert!(ev.dual_bound >= ev.primal_objective - 1e-6, "dual bound below primal: {ev:?}");
             assert!(ev.dual_bound >= s.objective - 1e-6);
         }
     }
@@ -944,8 +1479,9 @@ mod tests {
         // Force more iterations than the refactor interval.
         let mut p = Problem::new();
         let n = 300;
-        let vars: Vec<usize> =
-            (0..n).map(|i| p.add_var(1.0 + (i % 7) as f64 * 0.1, VarBounds::new(0.0, 1.0))).collect();
+        let vars: Vec<usize> = (0..n)
+            .map(|i| p.add_var(1.0 + (i % 7) as f64 * 0.1, VarBounds::new(0.0, 1.0)))
+            .collect();
         for w in vars.windows(2) {
             p.add_row(RowBounds::at_most(1.2), &[(w[0], 1.0), (w[1], 1.0)]);
         }
@@ -974,5 +1510,148 @@ mod tests {
         assert_eq!(s.status, Status::Optimal);
         assert!((s.objective - 4.0).abs() < 1e-7, "{}", s.objective);
         assert!(p.max_violation(&s.x) <= 1e-7);
+    }
+}
+
+#[cfg(test)]
+mod warm_tests {
+    use super::*;
+    use crate::problem::{RowBounds, VarBounds};
+
+    /// Deterministic packing LP: `n` unit-objective vars in [0, cap_j], rows
+    /// `sum_{j in S_i} x_j <= tau` with pseudo-random sparse membership.
+    fn packing(n: usize, m: usize, tau: f64) -> Problem {
+        let mut p = Problem::new();
+        let mut s = 0x9e37u64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as usize
+        };
+        for j in 0..n {
+            let cap = 1.0 + (j % 3) as f64;
+            p.add_var(1.0, VarBounds::new(0.0, cap));
+        }
+        for _ in 0..m {
+            let k = 2 + next() % 5;
+            let mut terms = Vec::new();
+            for _ in 0..k {
+                terms.push((next() % n, 1.0));
+            }
+            terms.sort_unstable_by_key(|&(j, _)| j);
+            terms.dedup_by_key(|&mut (j, _)| j);
+            p.add_row(RowBounds::at_most(tau), &terms);
+        }
+        p
+    }
+
+    fn retau(p: &mut Problem, tau: f64) {
+        for i in 0..p.num_rows() {
+            p.set_row_bounds(i, RowBounds::at_most(tau));
+        }
+    }
+
+    #[test]
+    fn warm_restart_after_rhs_tightening_matches_cold() {
+        let solver = RevisedSimplex::new();
+        let mut ctx = SolverContext::new();
+        let mut p = packing(40, 16, 8.0);
+        let cold_hi = solver.solve_with_context(&p, None, Some(&mut ctx), |_| true).unwrap();
+        assert_eq!(cold_hi.status, Status::Optimal);
+        let warm = ctx.take_basis().expect("optimal solve records a basis");
+
+        retau(&mut p, 4.0);
+        let warm_sol = solver.solve_from_basis(&p, &warm, &mut ctx).unwrap();
+        let cold_sol = solver.solve(&p).unwrap();
+        assert_eq!(warm_sol.status, Status::Optimal);
+        assert!(
+            (warm_sol.objective - cold_sol.objective).abs()
+                <= 1e-9 * (1.0 + cold_sol.objective.abs()),
+            "warm {} cold {}",
+            warm_sol.objective,
+            cold_sol.objective
+        );
+        assert!(p.max_violation(&warm_sol.x) <= 1e-7);
+        assert_eq!(ctx.stats.warm_attempts, 1);
+        assert_eq!(ctx.stats.warm_accepted, 1);
+    }
+
+    #[test]
+    fn warm_chain_down_a_tau_race_matches_cold_everywhere() {
+        let solver = RevisedSimplex::new();
+        let mut ctx = SolverContext::new();
+        let mut p = packing(60, 24, 32.0);
+        let mut warm: Option<WarmStart> = None;
+        for tau in [32.0, 16.0, 8.0, 4.0, 2.0, 1.0] {
+            retau(&mut p, tau);
+            let sol = match &warm {
+                Some(ws) => solver.solve_from_basis(&p, ws, &mut ctx).unwrap(),
+                None => solver.solve_with_context(&p, None, Some(&mut ctx), |_| true).unwrap(),
+            };
+            let cold = solver.solve(&p).unwrap();
+            assert_eq!(sol.status, Status::Optimal, "tau={tau}");
+            assert!(
+                (sol.objective - cold.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()),
+                "tau={tau}: warm {} cold {}",
+                sol.objective,
+                cold.objective
+            );
+            warm = ctx.take_basis();
+            assert!(warm.is_some(), "tau={tau} should record a basis");
+        }
+        assert_eq!(ctx.stats.warm_attempts, 5);
+        assert_eq!(ctx.stats.warm_accepted, 5, "no fallbacks expected on this chain");
+    }
+
+    #[test]
+    fn mismatched_warm_basis_falls_back_to_cold() {
+        let solver = RevisedSimplex::new();
+        let mut ctx = SolverContext::new();
+        let small = packing(10, 4, 2.0);
+        solver.solve_with_context(&small, None, Some(&mut ctx), |_| true).unwrap();
+        let warm = ctx.take_basis().unwrap();
+
+        let big = packing(40, 16, 8.0);
+        let sol = solver.solve_from_basis(&big, &warm, &mut ctx).unwrap();
+        let cold = solver.solve(&big).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - cold.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()));
+        assert_eq!(ctx.stats.warm_accepted, 0, "mismatched basis must not be accepted");
+    }
+
+    #[test]
+    fn corrupted_warm_basis_falls_back_to_cold() {
+        let solver = RevisedSimplex::new();
+        let mut ctx = SolverContext::new();
+        let p = packing(30, 12, 4.0);
+        solver.solve_with_context(&p, None, Some(&mut ctx), |_| true).unwrap();
+        let mut warm = ctx.take_basis().unwrap();
+        // Duplicate one basic column: the basis matrix becomes singular.
+        if warm.basis.len() >= 2 {
+            let dup = warm.basis[0];
+            let old = warm.basis[1];
+            warm.basis[1] = dup;
+            warm.state[old] = VarState::AtLower;
+        }
+        let sol = solver.solve_from_basis(&p, &warm, &mut ctx).unwrap();
+        let cold = solver.solve(&p).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - cold.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()));
+    }
+
+    #[test]
+    fn warm_loosening_bounds_also_matches() {
+        // Loosening (tau up) makes the old basis primal feasible already;
+        // the primal cleanup pass should reoptimize directly.
+        let solver = RevisedSimplex::new();
+        let mut ctx = SolverContext::new();
+        let mut p = packing(40, 16, 2.0);
+        solver.solve_with_context(&p, None, Some(&mut ctx), |_| true).unwrap();
+        let warm = ctx.take_basis().unwrap();
+        retau(&mut p, 16.0);
+        let sol = solver.solve_from_basis(&p, &warm, &mut ctx).unwrap();
+        let cold = solver.solve(&p).unwrap();
+        assert_eq!(sol.status, Status::Optimal);
+        assert!((sol.objective - cold.objective).abs() <= 1e-9 * (1.0 + cold.objective.abs()));
+        assert_eq!(ctx.stats.warm_accepted, 1);
     }
 }

@@ -89,10 +89,7 @@ impl ColMatrix {
     pub fn col(&self, j: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.col_ptr[j];
         let hi = self.col_ptr[j + 1];
-        self.row_idx[lo..hi]
-            .iter()
-            .zip(&self.values[lo..hi])
-            .map(|(&r, &v)| (r as usize, v))
+        self.row_idx[lo..hi].iter().zip(&self.values[lo..hi]).map(|(&r, &v)| (r as usize, v))
     }
 
     /// Number of nonzeros in column `j`.
@@ -119,6 +116,55 @@ impl ColMatrix {
     /// (i.e. one entry of `Aᵀ y`).
     pub fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
         self.col(j).map(|(i, v)| v * y[i]).sum()
+    }
+
+    /// Extracts the leading `rows × cols` submatrix. Because entries within
+    /// each column are stored sorted by row, each column's surviving slice is
+    /// a prefix found by binary search — no re-sorting or triplet round trip.
+    /// This is the workhorse of the sweep layer, where each τ's reduced LP is
+    /// a prefix of one globally permuted matrix.
+    pub fn prefix(&self, rows: usize, cols: usize) -> ColMatrix {
+        assert!(rows <= self.rows && cols <= self.cols, "prefix exceeds matrix shape");
+        let r = rows as u32;
+        let mut col_ptr = Vec::with_capacity(cols + 1);
+        col_ptr.push(0usize);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        for j in 0..cols {
+            let lo = self.col_ptr[j];
+            let hi = self.col_ptr[j + 1];
+            let keep = self.row_idx[lo..hi].partition_point(|&i| i < r);
+            row_idx.extend_from_slice(&self.row_idx[lo..lo + keep]);
+            values.extend_from_slice(&self.values[lo..lo + keep]);
+            col_ptr.push(row_idx.len());
+        }
+        ColMatrix { rows, cols, col_ptr, row_idx, values }
+    }
+
+    /// Extracts the submatrix of `kept_cols` (in the given order), remapping
+    /// row indices through `row_map` (`u32::MAX` marks a dropped row).
+    /// `row_map` must be monotone over the kept rows so that per-column
+    /// sortedness is preserved. This is the workhorse of the sweep layer,
+    /// which keeps the reduced LP in original row/column order.
+    pub fn gather(&self, kept_cols: &[u32], row_map: &[u32], rows: usize) -> ColMatrix {
+        assert_eq!(row_map.len(), self.rows, "row_map must cover every row");
+        let mut col_ptr = Vec::with_capacity(kept_cols.len() + 1);
+        col_ptr.push(0usize);
+        let mut row_idx = Vec::new();
+        let mut values = Vec::new();
+        for &j in kept_cols {
+            let lo = self.col_ptr[j as usize];
+            let hi = self.col_ptr[j as usize + 1];
+            for t in lo..hi {
+                let r = row_map[self.row_idx[t] as usize];
+                if r != u32::MAX {
+                    row_idx.push(r);
+                    values.push(self.values[t]);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        ColMatrix { rows, cols: kept_cols.len(), col_ptr, row_idx, values }
     }
 }
 
@@ -154,6 +200,22 @@ mod tests {
         let y = [3.0, -1.0];
         assert_eq!(m.col_dot(0, &y), 1.0);
         assert_eq!(m.col_dot(1, &y), -5.0);
+    }
+
+    #[test]
+    fn prefix_extracts_leading_submatrix() {
+        let m = ColMatrix::from_triplets(
+            4,
+            3,
+            &[(0, 0, 1.0), (2, 0, 2.0), (3, 0, 9.0), (1, 1, 4.0), (3, 2, 5.0)],
+        );
+        let p = m.prefix(3, 2);
+        assert_eq!(p.rows(), 3);
+        assert_eq!(p.cols(), 2);
+        assert_eq!(p.col(0).collect::<Vec<_>>(), vec![(0, 1.0), (2, 2.0)]);
+        assert_eq!(p.col(1).collect::<Vec<_>>(), vec![(1, 4.0)]);
+        // Full-shape prefix is the identity operation.
+        assert_eq!(m.prefix(4, 3), m);
     }
 
     #[test]

@@ -40,17 +40,12 @@ impl RandomLp {
 
 fn arb_lp(max_vars: usize, max_rows: usize, allow_eq: bool) -> impl Strategy<Value = RandomLp> {
     (2..=max_vars, 1..=max_rows).prop_flat_map(move |(n, m)| {
-        let bounds = prop::collection::vec((0.0f64..3.0, 0.0f64..4.0), n).prop_map(|v| {
-            v.into_iter().map(|(lo, w)| (lo, lo + w)).collect::<Vec<_>>()
-        });
+        let bounds = prop::collection::vec((0.0f64..3.0, 0.0f64..4.0), n)
+            .prop_map(|v| v.into_iter().map(|(lo, w)| (lo, lo + w)).collect::<Vec<_>>());
         let obj = prop::collection::vec(-3.0f64..3.0, n);
         let senses = if allow_eq { -1i8..=1 } else { -1i8..=-1 };
         let rows = prop::collection::vec(
-            (
-                prop::collection::vec((0..n, -2.0f64..2.0), 1..=n.min(4)),
-                senses,
-                -2.0f64..6.0,
-            ),
+            (prop::collection::vec((0..n, -2.0f64..2.0), 1..=n.min(4)), senses, -2.0f64..6.0),
             m,
         );
         (bounds, obj, rows).prop_map(move |(var_bounds, objective, rows)| RandomLp {
@@ -66,10 +61,8 @@ fn arb_lp(max_vars: usize, max_rows: usize, allow_eq: bool) -> impl Strategy<Val
 fn arb_packing_lp() -> impl Strategy<Value = RandomLp> {
     (2..=14usize, 1..=10usize).prop_flat_map(|(n, m)| {
         let psi = prop::collection::vec(0.0f64..5.0, n);
-        let rows = prop::collection::vec(
-            (prop::collection::vec(0..n, 1..=n.min(5)), 0.5f64..8.0),
-            m,
-        );
+        let rows =
+            prop::collection::vec((prop::collection::vec(0..n, 1..=n.min(5)), 0.5f64..8.0), m);
         (psi, rows).prop_map(move |(psi, rows)| RandomLp {
             nvars: n,
             var_bounds: psi.iter().map(|&u| (0.0, u)).collect(),

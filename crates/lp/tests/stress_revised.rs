@@ -82,8 +82,7 @@ fn medium_truncation_lp_solves_exactly() {
     for _ in 0..blocks {
         let d = rng.random_range(1..=12);
         let tau = rng.random_range(1..=8) as f64;
-        let vars: Vec<usize> =
-            (0..d).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
+        let vars: Vec<usize> = (0..d).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
         let terms: Vec<(usize, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
         p.add_row(RowBounds::at_most(tau), &terms);
         expected += (d as f64).min(tau);
@@ -96,8 +95,7 @@ fn medium_truncation_lp_solves_exactly() {
 #[test]
 fn iteration_limit_reported_not_panicked() {
     let mut p = Problem::new();
-    let vars: Vec<usize> =
-        (0..60).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
+    let vars: Vec<usize> = (0..60).map(|_| p.add_var(1.0, VarBounds::new(0.0, 1.0))).collect();
     for w in vars.windows(3) {
         p.add_row(RowBounds::at_most(1.0), &[(w[0], 1.0), (w[1], 1.0), (w[2], 1.0)]);
     }

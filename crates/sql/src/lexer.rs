@@ -104,9 +104,8 @@ pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
                 while i < b.len() && b[i].is_ascii_digit() {
                     i += 1;
                 }
-                let is_float = i < b.len()
-                    && b[i] == b'.'
-                    && b.get(i + 1).is_some_and(|d| d.is_ascii_digit());
+                let is_float =
+                    i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit());
                 if is_float {
                     i += 1;
                     while i < b.len() && b[i].is_ascii_digit() {

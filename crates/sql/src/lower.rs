@@ -57,10 +57,7 @@ impl<'a> Lowerer<'a> {
             }
         }
         match matches.len() {
-            0 => Err(SqlError::Semantic(format!(
-                "column {} not found",
-                display_col(c)
-            ))),
+            0 => Err(SqlError::Semantic(format!("column {} not found", display_col(c)))),
             1 => Ok(self.var_of[matches[0].0][matches[0].1]),
             _ => Err(SqlError::Semantic(format!(
                 "column {} is ambiguous across {} tables",
@@ -101,9 +98,7 @@ impl<'a> Lowerer<'a> {
                 };
                 Predicate::Cmp(op, self.lower_expr(a)?, self.lower_expr(b)?)
             }
-            CondAst::And(a, b) => {
-                Predicate::And(vec![self.lower_cond(a)?, self.lower_cond(b)?])
-            }
+            CondAst::And(a, b) => Predicate::And(vec![self.lower_cond(a)?, self.lower_cond(b)?]),
             CondAst::Or(a, b) => Predicate::Or(vec![self.lower_cond(a)?, self.lower_cond(b)?]),
             CondAst::Not(a) => Predicate::Not(Box::new(self.lower_cond(a)?)),
         })
@@ -252,18 +247,15 @@ fn remap_expr_vars(e: Expr, canon: &[Var]) -> Expr {
     match e {
         Expr::Var(v) => Expr::Var(canon[v as usize]),
         Expr::Const(c) => Expr::Const(c),
-        Expr::Add(a, b) => Expr::Add(
-            Box::new(remap_expr_vars(*a, canon)),
-            Box::new(remap_expr_vars(*b, canon)),
-        ),
-        Expr::Sub(a, b) => Expr::Sub(
-            Box::new(remap_expr_vars(*a, canon)),
-            Box::new(remap_expr_vars(*b, canon)),
-        ),
-        Expr::Mul(a, b) => Expr::Mul(
-            Box::new(remap_expr_vars(*a, canon)),
-            Box::new(remap_expr_vars(*b, canon)),
-        ),
+        Expr::Add(a, b) => {
+            Expr::Add(Box::new(remap_expr_vars(*a, canon)), Box::new(remap_expr_vars(*b, canon)))
+        }
+        Expr::Sub(a, b) => {
+            Expr::Sub(Box::new(remap_expr_vars(*a, canon)), Box::new(remap_expr_vars(*b, canon)))
+        }
+        Expr::Mul(a, b) => {
+            Expr::Mul(Box::new(remap_expr_vars(*a, canon)), Box::new(remap_expr_vars(*b, canon)))
+        }
     }
 }
 
@@ -317,11 +309,9 @@ mod tests {
     #[test]
     fn equality_becomes_shared_variable() {
         let s = graph_schema_node_dp();
-        let q = parse_query(
-            "SELECT COUNT(*) FROM Edge AS e1, Edge AS e2 WHERE e1.dst = e2.src",
-            &s,
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT COUNT(*) FROM Edge AS e1, Edge AS e2 WHERE e1.dst = e2.src", &s)
+                .unwrap();
         // e1.dst and e2.src collapse into one variable.
         assert_eq!(q.atoms[0].vars[1], q.atoms[1].vars[0]);
     }

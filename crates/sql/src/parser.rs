@@ -275,10 +275,7 @@ impl Parser {
             }
         }
         if self.pos != self.tokens.len() {
-            return Err(SqlError::Parse(format!(
-                "trailing tokens starting at {:?}",
-                self.peek()
-            )));
+            return Err(SqlError::Parse(format!("trailing tokens starting at {:?}", self.peek())));
         }
         Ok(SelectAst { agg, from, where_clause, group_by })
     }
@@ -342,8 +339,7 @@ mod tests {
 
     #[test]
     fn parenthesized_condition() {
-        let ast =
-            parse("SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND NOT c > 3").unwrap();
+        let ast = parse("SELECT COUNT(*) FROM t WHERE (a = 1 OR b = 2) AND NOT c > 3").unwrap();
         assert!(matches!(ast.where_clause.unwrap(), CondAst::And(_, _)));
     }
 

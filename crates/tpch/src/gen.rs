@@ -95,9 +95,9 @@ pub fn generate(scale: f64, skew: f64, seed: u64) -> Instance {
             let n_items = rng.random_range(1..=7);
             for _ in 0..n_items {
                 let quantity = rng.random_range(1..=50);
-                let shipdate = orderdate + rng.random_range(1..=121);
-                let commitdate = orderdate + rng.random_range(30..=90);
-                let receiptdate = shipdate + rng.random_range(1..=30);
+                let shipdate = orderdate + rng.random_range(1..=121i64);
+                let commitdate = orderdate + rng.random_range(30..=90i64);
+                let receiptdate = shipdate + rng.random_range(1..=30i64);
                 inst.insert(
                     "lineitem",
                     vec![

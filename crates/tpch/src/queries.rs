@@ -197,8 +197,7 @@ pub fn q8() -> TpchQuery {
         name: "Q8",
         category: Category::MultiPrivate,
         schema: tpch_schema(&["customer", "supplier"]),
-        query: Query::count(vec![part, lineitem, orders, customer, supplier])
-            .with_predicate(pred),
+        query: Query::count(vec![part, lineitem, orders, customer, supplier]).with_predicate(pred),
     }
 }
 

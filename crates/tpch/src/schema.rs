@@ -11,19 +11,13 @@ use r2t_engine::Schema;
 /// Builds the TPC-H-lite schema with the given primary private relations.
 pub fn tpch_schema(primary_private: &[&str]) -> Schema {
     let mut s = Schema::new();
-    s.add_relation("region", &["rk", "rname"], Some("rk"), &[])
-        .expect("static schema");
+    s.add_relation("region", &["rk", "rname"], Some("rk"), &[]).expect("static schema");
     s.add_relation("nation", &["nk", "nname", "rk"], Some("nk"), &[("rk", "region")])
         .expect("static schema");
     s.add_relation("supplier", &["sk", "s_nk"], Some("sk"), &[("s_nk", "nation")])
         .expect("static schema");
-    s.add_relation(
-        "customer",
-        &["ck", "c_nk", "mktsegment"],
-        Some("ck"),
-        &[("c_nk", "nation")],
-    )
-    .expect("static schema");
+    s.add_relation("customer", &["ck", "c_nk", "mktsegment"], Some("ck"), &[("c_nk", "nation")])
+        .expect("static schema");
     s.add_relation("part", &["pk", "ptype"], Some("pk"), &[]).expect("static schema");
     s.add_relation(
         "partsupp",
@@ -32,13 +26,8 @@ pub fn tpch_schema(primary_private: &[&str]) -> Schema {
         &[("ps_pk", "part"), ("ps_sk", "supplier")],
     )
     .expect("static schema");
-    s.add_relation(
-        "orders",
-        &["ok", "o_ck", "orderdate"],
-        Some("ok"),
-        &[("o_ck", "customer")],
-    )
-    .expect("static schema");
+    s.add_relation("orders", &["ok", "o_ck", "orderdate"], Some("ok"), &[("o_ck", "customer")])
+        .expect("static schema");
     s.add_relation(
         "lineitem",
         &[

@@ -17,7 +17,10 @@ fn main() {
                WHERE orders.o_ck = customer.ck \
                GROUP BY customer.mktsegment";
     println!("SQL> {sql}\n");
-    println!("{}\n", db.explain(&sql.replace(" GROUP BY customer.mktsegment", "")).expect("explain"));
+    println!(
+        "{}\n",
+        db.explain(&sql.replace(" GROUP BY customer.mktsegment", "")).expect("explain")
+    );
 
     let cfg = R2TConfig { epsilon: 4.0, beta: 0.1, gs: 2048.0, ..Default::default() };
     let mut rng = StdRng::seed_from_u64(2);

@@ -65,6 +65,7 @@ fn main() {
         gs: 256.0,
         early_stop: false,
         parallel: false,
+        ..Default::default()
     });
     let mut rng = StdRng::seed_from_u64(2022);
     let report = r2t.run_with(&trunc, &mut rng);

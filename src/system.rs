@@ -106,12 +106,8 @@ impl PrivateDatabase {
                 "query_grouped requires GROUP BY".to_string(),
             )));
         }
-        let groups = exec::profile_grouped(
-            &self.schema,
-            &self.instance,
-            &lowered.query,
-            &lowered.group_by,
-        )?;
+        let groups =
+            exec::profile_grouped(&self.schema, &self.instance, &lowered.query, &lowered.group_by)?;
         let answers = GroupByR2T::new(cfg.clone()).run(&groups, rng);
         Ok(answers.into_iter().map(|g| (g.key, g.answer)).collect())
     }

@@ -43,16 +43,19 @@ fn r2t_outputs_are_epsilon_indistinguishable_on_neighbors() {
     let eps = 0.5;
     let p1 = star_profile(8);
     let p2 = p1.remove_private(3); // delete one leaf: a down-neighbour
-    let cfg = R2TConfig { epsilon: eps, beta: 0.1, gs: 16.0, early_stop: false, parallel: false };
+    let cfg = R2TConfig {
+        epsilon: eps,
+        beta: 0.1,
+        gs: 16.0,
+        early_stop: false,
+        parallel: false,
+        ..Default::default()
+    };
     let r2t = R2T::new(cfg);
     let bins = [0.0, 4.0, 8.0];
     let runs = 4000;
-    let h1 = histogram(&bins, runs, 0xD1, |rng| {
-        r2t.run_with(&LpTruncation::new(&p1), rng).output
-    });
-    let h2 = histogram(&bins, runs, 0xD1, |rng| {
-        r2t.run_with(&LpTruncation::new(&p2), rng).output
-    });
+    let h1 = histogram(&bins, runs, 0xD1, |rng| r2t.run_with(&LpTruncation::new(&p1), rng).output);
+    let h2 = histogram(&bins, runs, 0xD1, |rng| r2t.run_with(&LpTruncation::new(&p2), rng).output);
     // Group privacy slack: deleting leaf 3 changes one private tuple, so
     // outputs must be within e^eps; allow 2x sampling slack.
     let limit = (eps).exp() * 2.0;
@@ -95,8 +98,7 @@ fn naive_truncation_with_self_joins_breaks_indistinguishability() {
     let h2 = histogram(&bins, runs, 0xE1, |rng| {
         NaiveTruncation::new(&p2).value(tau) + r2t::core::noise::laplace(rng, tau / eps)
     });
-    let worst =
-        h1.iter().zip(&h2).map(|(a, b)| (a / b).max(b / a)).fold(0.0f64, f64::max);
+    let worst = h1.iter().zip(&h2).map(|(a, b)| (a / b).max(b / a)).fold(0.0f64, f64::max);
     assert!(
         worst > eps.exp() * 4.0,
         "naive truncation should visibly break DP here, worst ratio {worst}"

@@ -67,6 +67,7 @@ fn r2t_error_within_theorem_bound() {
         gs: 256.0,
         early_stop: true,
         parallel: false,
+        ..Default::default()
     };
     let log_gs = cfg.num_branches() as f64;
     let tau_star = 32.0; // DS_Q(I): the 32-star's centre

@@ -32,6 +32,7 @@ fn grouped_sql_answers_every_group() {
         gs: 64.0,
         early_stop: true,
         parallel: false,
+        ..Default::default()
     });
     let mut rng = StdRng::seed_from_u64(17);
     let answers = m.run(&groups, &mut rng);
@@ -55,12 +56,11 @@ fn grouped_profiles_have_disjoint_supports() {
         &schema,
     )
     .expect("parses");
-    let groups = exec::profile_grouped(&schema, &inst, &lowered.query, &lowered.group_by)
-        .expect("runs");
+    let groups =
+        exec::profile_grouped(&schema, &inst, &lowered.query, &lowered.group_by).expect("runs");
     // Grouping by a customer attribute: each customer falls in one group, so
     // the max over groups of DS equals the global DS.
     let flat = exec::profile(&schema, &inst, &lowered.query).expect("runs");
-    let max_grouped =
-        groups.iter().map(|(_, p)| p.max_sensitivity()).fold(0.0f64, f64::max);
+    let max_grouped = groups.iter().map(|(_, p)| p.max_sensitivity()).fold(0.0f64, f64::max);
     assert_eq!(max_grouped, flat.max_sensitivity());
 }

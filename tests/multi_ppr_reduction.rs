@@ -59,8 +59,11 @@ fn reduced() -> (Schema, Instance) {
 }
 
 fn visit_count_query() -> Query {
-    Query::count(vec![atom("visit", &[0, 1])])
-        .with_predicate(Predicate::cmp_const(0, CmpOp::Ge, Value::Int(0)))
+    Query::count(vec![atom("visit", &[0, 1])]).with_predicate(Predicate::cmp_const(
+        0,
+        CmpOp::Ge,
+        Value::Int(0),
+    ))
 }
 
 #[test]

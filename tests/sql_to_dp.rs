@@ -59,6 +59,7 @@ fn dp_answer_from_raw_sql() {
         gs: 64.0,
         early_stop: true,
         parallel: false,
+        ..Default::default()
     });
     let mut rng = StdRng::seed_from_u64(14);
     let out = r2t.run(&profile, &mut rng).expect("runs");

@@ -11,11 +11,17 @@ fn db() -> PrivateDatabase {
 }
 
 fn cfg() -> R2TConfig {
-    R2TConfig { epsilon: 1.0, beta: 0.1, gs: 4096.0, early_stop: true, parallel: false }
+    R2TConfig {
+        epsilon: 1.0,
+        beta: 0.1,
+        gs: 4096.0,
+        early_stop: true,
+        parallel: false,
+        ..Default::default()
+    }
 }
 
-const ORDERS_SQL: &str =
-    "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
+const ORDERS_SQL: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
 
 #[test]
 fn query_returns_underestimate() {
@@ -32,11 +38,7 @@ fn grouped_query_splits_budget() {
     let db = db();
     let mut rng = StdRng::seed_from_u64(2);
     let groups = db
-        .query_grouped(
-            &format!("{ORDERS_SQL} GROUP BY customer.mktsegment"),
-            &cfg(),
-            &mut rng,
-        )
+        .query_grouped(&format!("{ORDERS_SQL} GROUP BY customer.mktsegment"), &cfg(), &mut rng)
         .expect("grouped answers");
     assert_eq!(groups.len(), 5);
     for (key, v) in &groups {
@@ -67,10 +69,9 @@ fn explain_reports_lineage() {
 fn invalid_instance_rejected() {
     let schema = r2t::tpch::tpch_schema(&["customer"]);
     let mut bad = r2t::engine::Instance::new();
-    bad.insert("orders", vec![
-        r2t::engine::Value::Int(1),
-        r2t::engine::Value::Int(999),
-        r2t::engine::Value::Int(0),
-    ]);
+    bad.insert(
+        "orders",
+        vec![r2t::engine::Value::Int(1), r2t::engine::Value::Int(999), r2t::engine::Value::Int(0)],
+    );
     assert!(PrivateDatabase::new(schema, bad).is_err());
 }
