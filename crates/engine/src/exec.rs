@@ -1,4 +1,4 @@
-//! The join executor with lineage tracking.
+//! The join executors with lineage tracking.
 //!
 //! Evaluates an SPJA query by multi-way hash join: atoms are joined in a
 //! greedy order (start from the smallest relation, then always pick the atom
@@ -12,31 +12,73 @@
 //! relation binds that relation's PK to a variable, and the value of that
 //! variable in the result identifies the referenced tuple (Section 3.2:
 //! `q` references `t_P` iff `|t_P ⋈ q| = 1`).
+//!
+//! Two executors share these semantics:
+//!
+//! * The **columnar executor** ([`profile`], [`profile_grouped`]) interns
+//!   every joined value into a dense `u32` id once per relation, represents
+//!   partial bindings as flat id arrays in a reusable arena, probes id-keyed
+//!   hash indexes, and partitions probe work across `std::thread::scope`
+//!   workers. The final probe stage streams surviving bindings straight into
+//!   per-worker [`IdProfileBuilder`] shards (predicate, weight, and lineage
+//!   are evaluated inside the probe loop — the full binding set is never
+//!   materialized), which are merged in deterministic chunk order: the
+//!   resulting [`QueryProfile`] is bit-identical regardless of worker count.
+//! * The **reference executor** ([`profile_reference`],
+//!   [`profile_grouped_reference`]) is the original single-threaded
+//!   row-at-a-time path over `Vec<Value>` bindings, kept as a differential
+//!   oracle and as the baseline for the `join_exec` benchmark.
 
 use crate::complete::complete_query;
 use crate::instance::Instance;
-use crate::lineage::{ProfileBuilder, QueryProfile};
-use crate::query::Query;
+use crate::interner::{ColumnarTable, Interner, UNBOUND};
+use crate::lineage::{pack_private_key, IdProfileBuilder, ProfileBuilder, QueryProfile};
+use crate::query::{Aggregate, Atom, Query, Var};
 use crate::schema::Schema;
-use crate::value::{Tuple, Value};
+use crate::value::{cmp_tuples, Tuple, Value};
 use crate::EngineError;
 use std::collections::HashMap;
 
 /// A reference key for a private tuple: (primary-private relation index,
-/// primary-key value).
+/// primary-key value). Used by the reference executor; the columnar path
+/// packs the interned equivalent via [`pack_private_key`].
 pub type PrivateKey = (u32, Value);
 
-/// Evaluates the query and returns the lineage-annotated profile.
-pub fn profile(
-    schema: &Schema,
-    instance: &Instance,
-    query: &Query,
-) -> Result<QueryProfile, EngineError> {
-    let q = complete_query(schema, query)?;
-    let nvars = q.num_vars();
+/// Tuning knobs for the columnar executor.
+#[derive(Debug, Clone)]
+pub struct ExecOptions {
+    /// Worker threads for probe/emission stages. `None` uses the machine's
+    /// available parallelism. The produced profile is identical for every
+    /// setting — workers change wall clock, never results.
+    pub workers: Option<usize>,
+    /// Minimum probe-side binding count before a stage fans out to threads;
+    /// below it the stage runs inline (thread setup would dominate).
+    pub parallel_threshold: usize,
+}
 
-    // Private atoms: (atom idx, private relation idx, PK variable).
-    let mut private_vars: Vec<(u32, crate::query::Var)> = Vec::new();
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions { workers: None, parallel_threshold: 4096 }
+    }
+}
+
+/// Execution statistics reported alongside a profile.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecStats {
+    /// Largest number of partial bindings materialized at once (the final
+    /// stage streams into the profile, so it never counts here).
+    pub peak_bindings: usize,
+    /// Distinct values interned by the columnar executor (0 for the
+    /// reference path).
+    pub interned_values: usize,
+    /// Join results that survived the predicate and nonzero-weight filters.
+    pub surviving_results: usize,
+}
+
+/// Private atoms of a *completed* query: (primary-private relation index,
+/// PK variable), sorted and deduplicated. Shared by every executor path.
+fn private_key_vars(schema: &Schema, q: &Query) -> Result<Vec<(u32, Var)>, EngineError> {
+    let mut private_vars: Vec<(u32, Var)> = Vec::new();
     for atom in &q.atoms {
         if let Some(pidx) = schema.primary_private().iter().position(|p| *p == atom.relation) {
             let rel = schema.relation(&atom.relation)?;
@@ -51,33 +93,41 @@ pub fn profile(
     }
     private_vars.sort_unstable();
     private_vars.dedup();
+    Ok(private_vars)
+}
 
-    let bindings = join(schema, instance, &q, nvars)?;
+/// Evaluates the query and returns the lineage-annotated profile.
+pub fn profile(
+    schema: &Schema,
+    instance: &Instance,
+    query: &Query,
+) -> Result<QueryProfile, EngineError> {
+    Ok(profile_with_stats(schema, instance, query, &ExecOptions::default())?.0)
+}
 
-    let mut builder: ProfileBuilder<PrivateKey> = ProfileBuilder::new();
-    for binding in &bindings {
-        if !q.predicate.eval(binding) {
-            continue;
-        }
-        let w = q.aggregate.weight(binding);
-        if w == 0.0 {
-            continue;
-        }
-        let refs = private_vars.iter().map(|&(pidx, var)| (pidx, binding[var as usize].clone()));
-        match &q.projection {
-            None => {
-                builder.add_result(w, refs);
-            }
-            Some(proj) => {
-                let key: Tuple = proj.iter().map(|&v| binding[v as usize].clone()).collect();
-                // The projected result's weight must depend only on the
-                // projected variables; `w` computed from this member is that
-                // weight (asserted consistent across members in debug).
-                builder.add_projected_result((u32::MAX, Value::Str(fmt_key(&key))), w, w, refs);
-            }
-        }
+/// [`profile`] with explicit options and execution statistics.
+pub fn profile_with_stats(
+    schema: &Schema,
+    instance: &Instance,
+    query: &Query,
+    opts: &ExecOptions,
+) -> Result<(QueryProfile, ExecStats), EngineError> {
+    let q = complete_query(schema, query)?;
+    if q.num_vars() == 0 {
+        // Degenerate zero-variable queries (relations without columns) are
+        // not worth a columnar path.
+        return profile_reference(schema, instance, query);
     }
-    Ok(builder.build())
+    let private_vars = private_key_vars(schema, &q)?;
+    let Some(plan) = Plan::new(schema, instance, &q, private_vars, opts)? else {
+        return Ok((QueryProfile::default(), ExecStats::default()));
+    };
+    let interned_values = plan.interner.len();
+    let (out, peak_bindings, surviving_results) = plan.run(None)?;
+    let EmitOut::Flat(builder) = out else {
+        unreachable!("flat run produced grouped output");
+    };
+    Ok((builder.build(), ExecStats { peak_bindings, interned_values, surviving_results }))
 }
 
 /// Evaluates a *group-by* query: join results are partitioned by the values
@@ -86,14 +136,25 @@ pub fn profile(
 /// extension; the DP half (splitting ε across groups) lives in
 /// `r2t-core::groupby`.
 ///
-/// Groups are returned sorted by their key's display form, so the output is
-/// deterministic.
+/// Groups are returned sorted by their key under the canonical value order
+/// ([`crate::value::Value::cmp_key`]), so the output is deterministic.
 pub fn profile_grouped(
     schema: &Schema,
     instance: &Instance,
     query: &Query,
-    group_vars: &[crate::query::Var],
+    group_vars: &[Var],
 ) -> Result<Vec<(Tuple, QueryProfile)>, EngineError> {
+    Ok(profile_grouped_with_stats(schema, instance, query, group_vars, &ExecOptions::default())?.0)
+}
+
+/// [`profile_grouped`] with explicit options and execution statistics.
+pub fn profile_grouped_with_stats(
+    schema: &Schema,
+    instance: &Instance,
+    query: &Query,
+    group_vars: &[Var],
+    opts: &ExecOptions,
+) -> Result<(Vec<(Tuple, QueryProfile)>, ExecStats), EngineError> {
     let q = complete_query(schema, query)?;
     let nvars = q.num_vars();
     for &v in group_vars {
@@ -103,66 +164,29 @@ pub fn profile_grouped(
             )));
         }
     }
-    let mut private_vars: Vec<(u32, crate::query::Var)> = Vec::new();
-    for atom in &q.atoms {
-        if let Some(pidx) = schema.primary_private().iter().position(|p| *p == atom.relation) {
-            let rel = schema.relation(&atom.relation)?;
-            let pk = rel.primary_key.ok_or_else(|| {
-                EngineError::MalformedQuery(format!(
-                    "primary private relation {} has no primary key",
-                    atom.relation
-                ))
-            })?;
-            private_vars.push((pidx as u32, atom.vars[pk]));
-        }
+    if nvars == 0 {
+        let groups = profile_grouped_reference(schema, instance, query, group_vars)?;
+        return Ok((groups, ExecStats::default()));
     }
-    private_vars.sort_unstable();
-    private_vars.dedup();
-
-    let bindings = join(schema, instance, &q, nvars)?;
-    let mut groups: HashMap<std::sync::Arc<str>, (Tuple, ProfileBuilder<PrivateKey>)> =
-        HashMap::new();
-    for binding in &bindings {
-        if !q.predicate.eval(binding) {
-            continue;
-        }
-        let w = q.aggregate.weight(binding);
-        if w == 0.0 {
-            continue;
-        }
-        let key: Tuple = group_vars.iter().map(|&v| binding[v as usize].clone()).collect();
-        let fkey = fmt_key(&key);
-        let (_, builder) = groups.entry(fkey).or_insert_with(|| (key, ProfileBuilder::new()));
-        let refs = private_vars.iter().map(|&(pidx, var)| (pidx, binding[var as usize].clone()));
-        match &q.projection {
-            None => {
-                builder.add_result(w, refs);
-            }
-            Some(proj) => {
-                let pkey: Tuple = proj.iter().map(|&v| binding[v as usize].clone()).collect();
-                builder.add_projected_result((u32::MAX, Value::Str(fmt_key(&pkey))), w, w, refs);
-            }
-        }
-    }
-    let mut out: Vec<(Tuple, QueryProfile)> =
-        groups.into_values().map(|(key, b)| (key, b.build())).collect();
-    out.sort_by_key(|(key, _)| fmt_key(key));
-    Ok(out)
-}
-
-fn fmt_key(t: &Tuple) -> std::sync::Arc<str> {
-    use std::fmt::Write;
-    let mut s = String::new();
-    for v in t {
-        // A length-prefixed encoding keeps distinct tuples distinct.
-        match v {
-            Value::Int(i) => write!(s, "i{i};"),
-            Value::Float(f) => write!(s, "f{};", f.to_bits()),
-            Value::Str(x) => write!(s, "s{}:{x};", x.len()),
-        }
-        .expect("writing to a String cannot fail");
-    }
-    std::sync::Arc::from(s.as_str())
+    let private_vars = private_key_vars(schema, &q)?;
+    let Some(plan) = Plan::new(schema, instance, &q, private_vars, opts)? else {
+        return Ok((Vec::new(), ExecStats::default()));
+    };
+    let interned_values = plan.interner.len();
+    let (out, peak_bindings, surviving_results) = plan.run(Some(group_vars))?;
+    let EmitOut::Grouped(acc) = out else {
+        unreachable!("grouped run produced flat output");
+    };
+    let mut groups: Vec<(Tuple, QueryProfile)> = acc
+        .entries
+        .into_iter()
+        .map(|(key, b)| {
+            let tuple: Tuple = key.iter().map(|&id| plan.interner.resolve(id).clone()).collect();
+            (tuple, b.build())
+        })
+        .collect();
+    groups.sort_by(|(a, _), (b, _)| cmp_tuples(a, b));
+    Ok((groups, ExecStats { peak_bindings, interned_values, surviving_results }))
 }
 
 /// Evaluates the query answer `Q(I)` directly.
@@ -170,24 +194,279 @@ pub fn evaluate(schema: &Schema, instance: &Instance, query: &Query) -> Result<f
     Ok(profile(schema, instance, query)?.query_result())
 }
 
-/// Computes all join bindings (dense variable assignments).
-fn join(
-    schema: &Schema,
-    instance: &Instance,
-    q: &Query,
+// ---------------------------------------------------------------------------
+// The columnar pipeline.
+// ---------------------------------------------------------------------------
+
+/// Prepared columnar execution state: interned tables, join order, and the
+/// variable sets each emission needs.
+struct Plan<'q> {
+    q: &'q Query,
     nvars: usize,
-) -> Result<Vec<Vec<Value>>, EngineError> {
-    if q.atoms.is_empty() {
-        return Ok(Vec::new());
-    }
-    // Validate relations and collect sizes.
-    let mut sizes = Vec::with_capacity(q.atoms.len());
-    for atom in &q.atoms {
-        schema.relation(&atom.relation)?;
-        sizes.push(instance.rows(&atom.relation).len());
+    interner: Interner,
+    /// Interned tables, one per *distinct* relation (self-joins share).
+    tables: Vec<ColumnarTable>,
+    /// Atom index -> index into `tables`.
+    atom_table: Vec<usize>,
+    /// Greedy join order over atom indices.
+    order: Vec<usize>,
+    /// (primary-private relation index, PK variable) pairs.
+    private_vars: Vec<(u32, Var)>,
+    /// Variables whose `Value` must be materialized per result (those read
+    /// by the predicate or the weight expression).
+    needed_vars: Vec<Var>,
+    workers: usize,
+    threshold: usize,
+}
+
+impl<'q> Plan<'q> {
+    /// Interns the instance and plans the join; `None` when the query has no
+    /// atoms (empty profile).
+    fn new(
+        schema: &Schema,
+        instance: &Instance,
+        q: &'q Query,
+        private_vars: Vec<(u32, Var)>,
+        opts: &ExecOptions,
+    ) -> Result<Option<Plan<'q>>, EngineError> {
+        if q.atoms.is_empty() {
+            return Ok(None);
+        }
+        let nvars = q.num_vars();
+        let mut interner = Interner::new();
+        let mut tables: Vec<ColumnarTable> = Vec::new();
+        let mut by_rel: HashMap<&str, usize> = HashMap::new();
+        let mut atom_table = Vec::with_capacity(q.atoms.len());
+        for atom in &q.atoms {
+            schema.relation(&atom.relation)?;
+            let idx = match by_rel.get(atom.relation.as_str()) {
+                Some(&i) => i,
+                None => {
+                    let i = tables.len();
+                    tables.push(instance.columnar(&atom.relation, &mut interner));
+                    by_rel.insert(atom.relation.as_str(), i);
+                    i
+                }
+            };
+            atom_table.push(idx);
+        }
+        let sizes: Vec<usize> = atom_table.iter().map(|&i| tables[i].nrows).collect();
+        let order = greedy_order(q, &sizes, nvars);
+        let mut needed_vars = Vec::new();
+        q.predicate.vars(&mut needed_vars);
+        if let Aggregate::Sum(e) = &q.aggregate {
+            e.vars(&mut needed_vars);
+        }
+        needed_vars.sort_unstable();
+        needed_vars.dedup();
+        let workers = opts
+            .workers
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+        Ok(Some(Plan {
+            q,
+            nvars,
+            interner,
+            tables,
+            atom_table,
+            order,
+            private_vars,
+            needed_vars,
+            workers: workers.max(1),
+            threshold: opts.parallel_threshold,
+        }))
     }
 
-    // Greedy ordering.
+    /// Worker count for a stage over `nparts` probe bindings.
+    fn workers_for(&self, nparts: usize) -> usize {
+        if nparts < self.threshold.max(1) {
+            1
+        } else {
+            self.workers.min(nparts)
+        }
+    }
+
+    /// Runs the pipeline: every stage but the last extends the binding
+    /// arena; the last streams into profile shards. Returns the emitted
+    /// output, the peak binding count, and the surviving-result count.
+    fn run(&self, group_vars: Option<&[Var]>) -> Result<(EmitOut, usize, usize), EngineError> {
+        let nvars = self.nvars;
+        let mut bound = vec![false; nvars];
+        // The seed is one fully-unbound partial: probing it against the
+        // first atom's index (which has no bound key columns, i.e. matches
+        // every row) is exactly the seeding scan.
+        let mut partials: Vec<u32> = vec![UNBOUND; nvars];
+        let mut peak = 1usize;
+        for (s, &ai) in self.order.iter().enumerate() {
+            let atom = &self.q.atoms[ai];
+            let table = &self.tables[self.atom_table[ai]];
+            let index = KeyIndex::build(table, &atom.vars, &bound);
+            if s + 1 == self.order.len() {
+                let (out, emitted) = self.emit_stage(&partials, atom, table, &index, group_vars)?;
+                return Ok((out, peak, emitted));
+            }
+            partials = self.extend_stage(&partials, atom, table, &index);
+            peak = peak.max(partials.len() / nvars);
+            for &v in &atom.vars {
+                bound[v as usize] = true;
+            }
+            if partials.is_empty() {
+                break;
+            }
+        }
+        Ok((EmitOut::empty(group_vars.is_some()), peak, 0))
+    }
+
+    /// One intermediate probe stage: extends every partial with the atom's
+    /// matching rows, fanning out across workers when the probe side is
+    /// large enough. Chunks are contiguous and concatenated in order, so the
+    /// output arena is identical for any worker count.
+    fn extend_stage(
+        &self,
+        partials: &[u32],
+        atom: &Atom,
+        table: &ColumnarTable,
+        index: &KeyIndex,
+    ) -> Vec<u32> {
+        let nvars = self.nvars;
+        let nparts = partials.len() / nvars;
+        let workers = self.workers_for(nparts);
+        if workers <= 1 {
+            return extend_range(partials, nvars, &atom.vars, table, index);
+        }
+        let chunk_parts = nparts.div_ceil(workers);
+        let outs: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partials
+                .chunks(chunk_parts * nvars)
+                .map(|chunk| {
+                    scope.spawn(move || extend_range(chunk, nvars, &atom.vars, table, index))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("probe worker panicked")).collect()
+        });
+        let total = outs.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for o in outs {
+            out.extend_from_slice(&o);
+        }
+        out
+    }
+
+    /// The final probe stage: surviving bindings stream into per-worker
+    /// profile shards, merged in chunk order (deterministic for any worker
+    /// count).
+    fn emit_stage(
+        &self,
+        partials: &[u32],
+        atom: &Atom,
+        table: &ColumnarTable,
+        index: &KeyIndex,
+        group_vars: Option<&[Var]>,
+    ) -> Result<(EmitOut, usize), EngineError> {
+        let nparts = partials.len() / self.nvars;
+        let workers = self.workers_for(nparts);
+        if workers <= 1 {
+            return self.emit_range(partials, atom, table, index, group_vars);
+        }
+        let chunk_parts = nparts.div_ceil(workers);
+        let shards: Vec<Result<(EmitOut, usize), EngineError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partials
+                .chunks(chunk_parts * self.nvars)
+                .map(|chunk| {
+                    scope.spawn(move || self.emit_range(chunk, atom, table, index, group_vars))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("emit worker panicked")).collect()
+        });
+        let mut shards = shards.into_iter();
+        let (mut acc, mut emitted) = shards.next().expect("at least one worker")?;
+        for shard in shards {
+            let (shard, n) = shard?;
+            emitted += n;
+            match (&mut acc, shard) {
+                (EmitOut::Flat(a), EmitOut::Flat(b)) => a.merge(b)?,
+                (EmitOut::Grouped(a), EmitOut::Grouped(b)) => a.merge(b)?,
+                _ => unreachable!("workers agree on grouping"),
+            }
+        }
+        Ok((acc, emitted))
+    }
+
+    /// Probes one contiguous chunk of partials through the final atom and
+    /// emits surviving bindings into a fresh shard.
+    fn emit_range(
+        &self,
+        chunk: &[u32],
+        atom: &Atom,
+        table: &ColumnarTable,
+        index: &KeyIndex,
+        group_vars: Option<&[Var]>,
+    ) -> Result<(EmitOut, usize), EngineError> {
+        let nvars = self.nvars;
+        let mut out = EmitOut::empty(group_vars.is_some());
+        let mut emitted = 0usize;
+        let mut keybuf: Vec<u32> = Vec::new();
+        let mut gkey: Vec<u32> = Vec::new();
+        let mut pkey: Vec<u32> = Vec::new();
+        let mut nb: Vec<u32> = vec![UNBOUND; nvars];
+        let mut scratch: Vec<Value> = vec![Value::Int(i64::MIN); nvars];
+        for p in chunk.chunks_exact(nvars) {
+            let Some(matches) = index.candidates(p, &mut keybuf) else { continue };
+            'rows: for &ri in matches {
+                nb.copy_from_slice(p);
+                for (col, &v) in atom.vars.iter().enumerate() {
+                    let id = table.cols[col][ri as usize];
+                    let slot = &mut nb[v as usize];
+                    if *slot == UNBOUND {
+                        *slot = id;
+                    } else if *slot != id {
+                        continue 'rows;
+                    }
+                }
+                // The binding is complete: evaluate predicate and weight on
+                // the resolved values, then emit lineage over interned ids.
+                for &v in &self.needed_vars {
+                    scratch[v as usize] = self.interner.resolve(nb[v as usize]).clone();
+                }
+                if !self.q.predicate.eval(&scratch) {
+                    continue;
+                }
+                let w = self.q.aggregate.weight(&scratch);
+                if w == 0.0 {
+                    continue;
+                }
+                emitted += 1;
+                let refs = self
+                    .private_vars
+                    .iter()
+                    .map(|&(pidx, var)| pack_private_key(pidx, nb[var as usize]));
+                let builder = match (&mut out, group_vars) {
+                    (EmitOut::Flat(b), _) => b,
+                    (EmitOut::Grouped(acc), Some(gv)) => {
+                        gkey.clear();
+                        gkey.extend(gv.iter().map(|&v| nb[v as usize]));
+                        acc.builder(&gkey)
+                    }
+                    _ => unreachable!("grouped output without group vars"),
+                };
+                match &self.q.projection {
+                    None => {
+                        builder.add_result(w, refs);
+                    }
+                    Some(proj) => {
+                        pkey.clear();
+                        pkey.extend(proj.iter().map(|&v| nb[v as usize]));
+                        builder.add_projected_result(&pkey, w, w, refs)?;
+                    }
+                }
+            }
+        }
+        Ok((out, emitted))
+    }
+}
+
+/// Greedy join order: smallest atom first, then maximize shared bound
+/// variables, tie-breaking towards smaller relations.
+fn greedy_order(q: &Query, sizes: &[usize], nvars: usize) -> Vec<usize> {
     let natoms = q.atoms.len();
     let mut used = vec![false; natoms];
     let mut order = Vec::with_capacity(natoms);
@@ -212,6 +491,277 @@ fn join(
         }
         order.push(next);
     }
+    order
+}
+
+/// Extends each partial in `chunk` with the atom's matching rows; the
+/// `UNBOUND` sentinel marks unbound variables, and repeated variables must
+/// agree (within the atom and against the partial).
+fn extend_range(
+    chunk: &[u32],
+    nvars: usize,
+    vars: &[Var],
+    table: &ColumnarTable,
+    index: &KeyIndex,
+) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut keybuf: Vec<u32> = Vec::new();
+    for p in chunk.chunks_exact(nvars) {
+        let Some(matches) = index.candidates(p, &mut keybuf) else { continue };
+        'rows: for &ri in matches {
+            let base = out.len();
+            out.extend_from_slice(p);
+            for (col, &v) in vars.iter().enumerate() {
+                let id = table.cols[col][ri as usize];
+                let slot = &mut out[base + v as usize];
+                if *slot == UNBOUND {
+                    *slot = id;
+                } else if *slot != id {
+                    out.truncate(base);
+                    continue 'rows;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A per-stage hash index over the atom's key columns (first occurrence of
+/// each already-bound variable), keyed by interned ids.
+enum KeyIndex {
+    /// No bound key columns: every row matches (seed or Cartesian stage).
+    All(Vec<u32>),
+    /// 1–2 key columns packed into a `u64`.
+    Packed { key_vars: [Var; 2], nkeys: usize, map: HashMap<u64, Vec<u32>> },
+    /// 3+ key columns.
+    Wide { key_vars: Vec<Var>, map: HashMap<Box<[u32]>, Vec<u32>> },
+}
+
+impl KeyIndex {
+    fn build(table: &ColumnarTable, vars: &[Var], bound: &[bool]) -> KeyIndex {
+        let mut key_cols: Vec<(usize, Var)> = Vec::new();
+        let mut seen: Vec<Var> = Vec::new();
+        for (col, &v) in vars.iter().enumerate() {
+            if bound[v as usize] && !seen.contains(&v) {
+                key_cols.push((col, v));
+                seen.push(v);
+            }
+        }
+        match key_cols.len() {
+            0 => KeyIndex::All((0..table.nrows as u32).collect()),
+            n @ (1 | 2) => {
+                let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+                let c0 = &table.cols[key_cols[0].0];
+                for (ri, &v0) in c0.iter().enumerate() {
+                    let mut k = v0 as u64;
+                    if n == 2 {
+                        k = (k << 32) | table.cols[key_cols[1].0][ri] as u64;
+                    }
+                    map.entry(k).or_default().push(ri as u32);
+                }
+                let second = if n == 2 { key_cols[1].1 } else { 0 };
+                KeyIndex::Packed { key_vars: [key_cols[0].1, second], nkeys: n, map }
+            }
+            _ => {
+                let mut map: HashMap<Box<[u32]>, Vec<u32>> = HashMap::new();
+                let mut key: Vec<u32> = Vec::with_capacity(key_cols.len());
+                for ri in 0..table.nrows {
+                    key.clear();
+                    key.extend(key_cols.iter().map(|&(c, _)| table.cols[c][ri]));
+                    if let Some(rows) = map.get_mut(key.as_slice()) {
+                        rows.push(ri as u32);
+                    } else {
+                        map.insert(key.as_slice().into(), vec![ri as u32]);
+                    }
+                }
+                KeyIndex::Wide { key_vars: key_cols.iter().map(|&(_, v)| v).collect(), map }
+            }
+        }
+    }
+
+    /// Row ids matching the partial's key values (`None` when absent).
+    #[inline]
+    fn candidates<'a>(&'a self, p: &[u32], keybuf: &mut Vec<u32>) -> Option<&'a [u32]> {
+        match self {
+            KeyIndex::All(rows) => Some(rows),
+            KeyIndex::Packed { key_vars, nkeys, map } => {
+                let mut k = p[key_vars[0] as usize] as u64;
+                if *nkeys == 2 {
+                    k = (k << 32) | p[key_vars[1] as usize] as u64;
+                }
+                map.get(&k).map(Vec::as_slice)
+            }
+            KeyIndex::Wide { key_vars, map } => {
+                keybuf.clear();
+                keybuf.extend(key_vars.iter().map(|&v| p[v as usize]));
+                map.get(keybuf.as_slice()).map(Vec::as_slice)
+            }
+        }
+    }
+}
+
+/// Per-worker emission target: one shard for flat queries, a keyed shard
+/// collection for group-by queries.
+enum EmitOut {
+    Flat(IdProfileBuilder),
+    Grouped(GroupedAcc),
+}
+
+impl EmitOut {
+    fn empty(grouped: bool) -> EmitOut {
+        if grouped {
+            EmitOut::Grouped(GroupedAcc::default())
+        } else {
+            EmitOut::Flat(IdProfileBuilder::new())
+        }
+    }
+}
+
+/// Group-keyed shard collection preserving first-seen group order (so shard
+/// merges reproduce the sequential group discovery order).
+#[derive(Default)]
+struct GroupedAcc {
+    ids: HashMap<Box<[u32]>, u32>,
+    entries: Vec<(Box<[u32]>, IdProfileBuilder)>,
+}
+
+impl GroupedAcc {
+    fn builder(&mut self, key: &[u32]) -> &mut IdProfileBuilder {
+        if let Some(&i) = self.ids.get(key) {
+            return &mut self.entries[i as usize].1;
+        }
+        let key: Box<[u32]> = key.into();
+        self.ids.insert(key.clone(), self.entries.len() as u32);
+        self.entries.push((key, IdProfileBuilder::new()));
+        &mut self.entries.last_mut().expect("just pushed").1
+    }
+
+    fn merge(&mut self, shard: GroupedAcc) -> Result<(), EngineError> {
+        for (key, b) in shard.entries {
+            self.builder(&key).merge(b)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The reference executor (pre-columnar row-at-a-time path).
+// ---------------------------------------------------------------------------
+
+/// Evaluates via the original single-threaded row-at-a-time executor
+/// (`Vec<Value>` bindings, value-keyed hash indexes). Kept as the
+/// differential-testing oracle and the baseline the `join_exec` benchmark
+/// measures against.
+pub fn profile_reference(
+    schema: &Schema,
+    instance: &Instance,
+    query: &Query,
+) -> Result<(QueryProfile, ExecStats), EngineError> {
+    let q = complete_query(schema, query)?;
+    let nvars = q.num_vars();
+    let private_vars = private_key_vars(schema, &q)?;
+    let (bindings, peak_bindings) = join_rows(schema, instance, &q, nvars)?;
+    let mut builder: ProfileBuilder<PrivateKey, Tuple> = ProfileBuilder::new();
+    let mut surviving = 0usize;
+    for binding in &bindings {
+        if !q.predicate.eval(binding) {
+            continue;
+        }
+        let w = q.aggregate.weight(binding);
+        if w == 0.0 {
+            continue;
+        }
+        surviving += 1;
+        let refs = private_vars.iter().map(|&(pidx, var)| (pidx, binding[var as usize].clone()));
+        match &q.projection {
+            None => {
+                builder.add_result(w, refs);
+            }
+            Some(proj) => {
+                let key: Tuple = proj.iter().map(|&v| binding[v as usize].clone()).collect();
+                builder.add_projected_result(key, w, w, refs)?;
+            }
+        }
+    }
+    let stats = ExecStats { peak_bindings, interned_values: 0, surviving_results: surviving };
+    Ok((builder.build(), stats))
+}
+
+/// Group-by evaluation via the reference executor; same output contract as
+/// [`profile_grouped`] (canonically key-sorted groups).
+pub fn profile_grouped_reference(
+    schema: &Schema,
+    instance: &Instance,
+    query: &Query,
+    group_vars: &[Var],
+) -> Result<Vec<(Tuple, QueryProfile)>, EngineError> {
+    let q = complete_query(schema, query)?;
+    let nvars = q.num_vars();
+    for &v in group_vars {
+        if (v as usize) >= nvars {
+            return Err(EngineError::MalformedQuery(format!(
+                "group-by variable {v} not bound by the join"
+            )));
+        }
+    }
+    let private_vars = private_key_vars(schema, &q)?;
+    let (bindings, _) = join_rows(schema, instance, &q, nvars)?;
+    let mut ids: HashMap<Tuple, usize> = HashMap::new();
+    let mut entries: Vec<(Tuple, ProfileBuilder<PrivateKey, Tuple>)> = Vec::new();
+    for binding in &bindings {
+        if !q.predicate.eval(binding) {
+            continue;
+        }
+        let w = q.aggregate.weight(binding);
+        if w == 0.0 {
+            continue;
+        }
+        let key: Tuple = group_vars.iter().map(|&v| binding[v as usize].clone()).collect();
+        let idx = match ids.get(&key) {
+            Some(&i) => i,
+            None => {
+                let i = entries.len();
+                ids.insert(key.clone(), i);
+                entries.push((key, ProfileBuilder::new()));
+                i
+            }
+        };
+        let builder = &mut entries[idx].1;
+        let refs = private_vars.iter().map(|&(pidx, var)| (pidx, binding[var as usize].clone()));
+        match &q.projection {
+            None => {
+                builder.add_result(w, refs);
+            }
+            Some(proj) => {
+                let pkey: Tuple = proj.iter().map(|&v| binding[v as usize].clone()).collect();
+                builder.add_projected_result(pkey, w, w, refs)?;
+            }
+        }
+    }
+    let mut out: Vec<(Tuple, QueryProfile)> =
+        entries.into_iter().map(|(key, b)| (key, b.build())).collect();
+    out.sort_by(|(a, _), (b, _)| cmp_tuples(a, b));
+    Ok(out)
+}
+
+/// Computes all join bindings (dense variable assignments) row-at-a-time,
+/// returning the bindings and the peak materialized binding count.
+fn join_rows(
+    schema: &Schema,
+    instance: &Instance,
+    q: &Query,
+    nvars: usize,
+) -> Result<(Vec<Vec<Value>>, usize), EngineError> {
+    if q.atoms.is_empty() {
+        return Ok((Vec::new(), 0));
+    }
+    // Validate relations and collect sizes.
+    let mut sizes = Vec::with_capacity(q.atoms.len());
+    for atom in &q.atoms {
+        schema.relation(&atom.relation)?;
+        sizes.push(instance.rows(&atom.relation).len());
+    }
+    let order = greedy_order(q, &sizes, nvars);
 
     // Seed with the first atom.
     let sentinel = Value::Int(i64::MIN);
@@ -228,13 +778,14 @@ fn join(
             bound_now[v as usize] = true;
         }
     }
+    let mut peak = partials.len();
 
     for &ai in &order[1..] {
         let atom = &q.atoms[ai];
         let rows = instance.rows(&atom.relation);
         // Key positions: columns whose variable is already bound (first
         // occurrence per variable).
-        let mut key_vars: Vec<(usize, u32)> = Vec::new(); // (col, var)
+        let mut key_vars: Vec<(usize, Var)> = Vec::new(); // (col, var)
         let mut seen = Vec::new();
         for (col, &v) in atom.vars.iter().enumerate() {
             if bound_now[v as usize] && !seen.contains(&v) {
@@ -260,23 +811,19 @@ fn join(
             }
         }
         partials = next_partials;
+        peak = peak.max(partials.len());
         for &v in &atom.vars {
             bound_now[v as usize] = true;
         }
     }
-    Ok(partials)
+    Ok((partials, peak))
 }
 
 /// Extends a partial binding with a tuple; `None` on conflict (repeated
 /// variables must agree).
-fn bind_tuple(
-    partial: &[Value],
-    bound: &[bool],
-    atom: &crate::query::Atom,
-    row: &Tuple,
-) -> Option<Vec<Value>> {
+fn bind_tuple(partial: &[Value], bound: &[bool], atom: &Atom, row: &Tuple) -> Option<Vec<Value>> {
     let mut out = partial.to_vec();
-    let mut newly: Vec<u32> = Vec::with_capacity(atom.vars.len());
+    let mut newly: Vec<Var> = Vec::with_capacity(atom.vars.len());
     for (col, &v) in atom.vars.iter().enumerate() {
         let vi = v as usize;
         if bound[vi] || newly.contains(&v) {
@@ -319,7 +866,7 @@ pub fn evaluate_bruteforce(
         }
     }
     let mut total = 0.0;
-    let mut seen = std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<Tuple> = std::collections::HashSet::new();
     for b in &bindings {
         if !q.predicate.eval(b) {
             continue;
@@ -329,7 +876,7 @@ pub fn evaluate_bruteforce(
             None => total += w,
             Some(proj) => {
                 let key: Tuple = proj.iter().map(|&v| b[v as usize].clone()).collect();
-                if seen.insert(fmt_key(&key)) {
+                if seen.insert(key) {
                     total += w;
                 }
             }
@@ -460,6 +1007,79 @@ mod tests {
         let q = Query::count(vec![atom("Edge", &[0, 0])]);
         assert_eq!(evaluate(&s, &inst, &q).unwrap(), 0.0);
     }
+
+    /// Queries exercising every executor feature on the shared fixture.
+    fn fixture_queries() -> Vec<Query> {
+        vec![
+            Query::count(vec![atom("Edge", &[0, 1])]),
+            Query::count(vec![atom("Edge", &[0, 1])]).with_predicate(Predicate::cmp_vars(
+                0,
+                CmpOp::Lt,
+                1,
+            )),
+            Query::count(vec![atom("Edge", &[0, 1]), atom("Edge", &[1, 2])])
+                .with_predicate(Predicate::cmp_vars(0, CmpOp::Ne, 2)),
+            Query::count(vec![atom("Edge", &[0, 1]), atom("Edge", &[1, 2]), atom("Edge", &[0, 2])]),
+            Query::count(vec![atom("Edge", &[0, 1])]).with_sum(Expr::Var(1)),
+            Query::count(vec![atom("Edge", &[0, 1])]).with_projection(vec![0]),
+            Query::count(vec![atom("Edge", &[0, 1]), atom("Edge", &[1, 2])])
+                .with_projection(vec![0, 2]),
+            Query::count(vec![atom("Node", &[0]), atom("Node", &[1])]),
+        ]
+    }
+
+    #[test]
+    fn columnar_matches_reference() {
+        let (s, inst) = triangle_plus_star();
+        for q in fixture_queries() {
+            let fast = profile(&s, &inst, &q).unwrap();
+            let (slow, _) = profile_reference(&s, &inst, &q).unwrap();
+            assert_eq!(fast, slow, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn parallel_profiles_are_deterministic() {
+        let (s, inst) = triangle_plus_star();
+        for q in fixture_queries() {
+            let mut runs = Vec::new();
+            for workers in [1, 2, 5] {
+                let opts = ExecOptions { workers: Some(workers), parallel_threshold: 1 };
+                runs.push(profile_with_stats(&s, &inst, &q, &opts).unwrap().0);
+            }
+            assert_eq!(runs[0], runs[1], "{q:?}");
+            assert_eq!(runs[0], runs[2], "{q:?}");
+            // And the forced-parallel profile equals the default one.
+            assert_eq!(runs[0], profile(&s, &inst, &q).unwrap(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn inconsistent_projected_weight_rejected() {
+        // SUM(dst) projected onto src: node 0 has edges to 1 and 2, so the
+        // "group weight" differs across members — malformed by Section 7.
+        let (s, inst) = triangle_plus_star();
+        let q = Query::count(vec![atom("Edge", &[0, 1])])
+            .with_sum(Expr::Var(1))
+            .with_projection(vec![0]);
+        let err = profile(&s, &inst, &q).unwrap_err();
+        assert!(matches!(err, EngineError::InconsistentGroupWeight { .. }), "{err}");
+        let err = profile_reference(&s, &inst, &q).unwrap_err();
+        assert!(matches!(err, EngineError::InconsistentGroupWeight { .. }), "{err}");
+    }
+
+    #[test]
+    fn stats_report_peak_and_interning() {
+        let (s, inst) = triangle_plus_star();
+        let q = Query::count(vec![atom("Edge", &[0, 1]), atom("Edge", &[1, 2])]);
+        let (_, stats) = profile_with_stats(&s, &inst, &q, &ExecOptions::default()).unwrap();
+        assert!(stats.peak_bindings > 0);
+        // 7 node ids; every edge value is a node id, so nothing more.
+        assert_eq!(stats.interned_values, 7);
+        assert!(stats.surviving_results > 0);
+        let (_, ref_stats) = profile_reference(&s, &inst, &q).unwrap();
+        assert_eq!(ref_stats.surviving_results, stats.surviving_results);
+    }
 }
 
 #[cfg(test)]
@@ -516,5 +1136,46 @@ mod grouped_tests {
         let inst = Instance::new();
         let q = Query::count(vec![atom("Edge", &[0, 1])]);
         assert!(profile_grouped(&s, &inst, &q, &[99]).is_err());
+    }
+
+    #[test]
+    fn grouped_columnar_matches_reference_and_is_deterministic() {
+        let s = graph_schema_node_dp();
+        let mut inst = Instance::new();
+        inst.insert_all("Node", (0..8).map(|i| vec![Value::Int(i)]));
+        let mut edges = Vec::new();
+        for (a, b) in [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (4, 0), (5, 6), (6, 7), (7, 5)] {
+            edges.push(vec![Value::Int(a), Value::Int(b)]);
+            edges.push(vec![Value::Int(b), Value::Int(a)]);
+        }
+        inst.insert_all("Edge", edges);
+        for q in [
+            Query::count(vec![atom("Edge", &[0, 1])]),
+            Query::count(vec![atom("Edge", &[0, 1]), atom("Edge", &[1, 2])]),
+            Query::count(vec![atom("Edge", &[0, 1]), atom("Edge", &[1, 2])])
+                .with_projection(vec![0, 2]),
+        ] {
+            let reference = profile_grouped_reference(&s, &inst, &q, &[0]).unwrap();
+            let fast = profile_grouped(&s, &inst, &q, &[0]).unwrap();
+            assert_eq!(fast, reference, "{q:?}");
+            let opts = ExecOptions { workers: Some(4), parallel_threshold: 1 };
+            let forced = profile_grouped_with_stats(&s, &inst, &q, &[0], &opts).unwrap().0;
+            assert_eq!(forced, reference, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn group_output_is_sorted_by_canonical_key_order() {
+        let s = graph_schema_node_dp();
+        let mut inst = Instance::new();
+        inst.insert_all("Node", (0..12).map(|i| vec![Value::Int(i)]));
+        inst.insert_all(
+            "Edge",
+            [(10, 1), (2, 3), (7, 4)].map(|(a, b)| vec![Value::Int(a), Value::Int(b)]),
+        );
+        let q = Query::count(vec![atom("Edge", &[0, 1])]);
+        let groups = profile_grouped(&s, &inst, &q, &[0]).unwrap();
+        let keys: Vec<i64> = groups.iter().map(|(k, _)| k[0].as_i64().unwrap()).collect();
+        assert_eq!(keys, vec![2, 7, 10], "numeric order, not display order");
     }
 }

@@ -39,6 +39,18 @@ impl Instance {
         self.tables.values().map(|v| v.len()).sum()
     }
 
+    /// Interns `relation`'s rows into a column-major id table (the columnar
+    /// executor's working representation; see [`crate::interner`]). Sharing
+    /// one interner across the relations of a query keeps ids comparable
+    /// across join columns.
+    pub fn columnar(
+        &self,
+        relation: &str,
+        interner: &mut crate::interner::Interner,
+    ) -> crate::interner::ColumnarTable {
+        crate::interner::ColumnarTable::from_rows(self.rows(relation), interner)
+    }
+
     /// Validates against a schema: arities, PK uniqueness, FK integrity.
     pub fn validate(&self, schema: &Schema) -> Result<(), EngineError> {
         schema.validate()?;

@@ -1,0 +1,134 @@
+//! Value interning for the columnar executor.
+//!
+//! The join executor works over dense `u32` value ids instead of [`Value`]s:
+//! every value appearing in a joined relation is interned exactly once, and
+//! all subsequent key hashing, equality checking, and binding storage happens
+//! on the ids. Interning preserves [`Value`] equality exactly (bitwise for
+//! floats, kind-strict across `Int`/`Float`/`Str`), so id equality is value
+//! equality and hash-join semantics are unchanged.
+//!
+//! [`ColumnarTable`] is the interned, column-major image of one relation:
+//! `cols[c][r]` is the id of row `r`'s value in column `c`. Cache-friendly
+//! column access is what the probe loops iterate over.
+
+use crate::value::{Tuple, Value};
+use std::collections::HashMap;
+
+/// Id reserved as the "unbound variable" sentinel in partial bindings; the
+/// interner never hands it out.
+pub const UNBOUND: u32 = u32::MAX;
+
+/// A dense `Value -> u32` dictionary with an id-indexed reverse side table.
+#[derive(Debug, Default)]
+pub struct Interner {
+    ids: HashMap<Value, u32>,
+    values: Vec<Value>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner::default()
+    }
+
+    /// Interns a value, returning its dense id (allocating on first sight).
+    pub fn intern(&mut self, v: &Value) -> u32 {
+        if let Some(&id) = self.ids.get(v) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        assert!(id < UNBOUND, "interner id space exhausted");
+        self.ids.insert(v.clone(), id);
+        self.values.push(v.clone());
+        id
+    }
+
+    /// The value behind an id.
+    #[inline]
+    pub fn resolve(&self, id: u32) -> &Value {
+        &self.values[id as usize]
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// One relation's rows interned column-major: `cols[c][r]` is the id of the
+/// value in column `c` of row `r`.
+#[derive(Debug)]
+pub struct ColumnarTable {
+    /// Column-major interned ids.
+    pub cols: Vec<Vec<u32>>,
+    /// Number of rows.
+    pub nrows: usize,
+}
+
+impl ColumnarTable {
+    /// Interns `rows` (all of the same arity) into a columnar table.
+    pub fn from_rows(rows: &[Tuple], interner: &mut Interner) -> ColumnarTable {
+        let arity = rows.first().map(|t| t.len()).unwrap_or(0);
+        let mut cols = vec![Vec::with_capacity(rows.len()); arity];
+        for row in rows {
+            for (c, v) in row.iter().enumerate() {
+                cols[c].push(interner.intern(v));
+            }
+        }
+        ColumnarTable { cols, nrows: rows.len() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_preserves_value_identity() {
+        let mut i = Interner::new();
+        let a = i.intern(&Value::Int(7));
+        let b = i.intern(&Value::Int(7));
+        let c = i.intern(&Value::Float(7.0));
+        let d = i.intern(&Value::str("7"));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_ne!(c, d);
+        assert_eq!(i.len(), 3);
+        assert_eq!(i.resolve(a), &Value::Int(7));
+        assert_eq!(i.resolve(d), &Value::str("7"));
+    }
+
+    #[test]
+    fn float_interning_is_bitwise() {
+        let mut i = Interner::new();
+        let z = i.intern(&Value::Float(0.0));
+        let nz = i.intern(&Value::Float(-0.0));
+        assert_ne!(z, nz, "0.0 and -0.0 are distinct join keys");
+    }
+
+    #[test]
+    fn columnar_table_round_trips() {
+        let mut i = Interner::new();
+        let rows = vec![vec![Value::Int(1), Value::str("x")], vec![Value::Int(2), Value::str("x")]];
+        let t = ColumnarTable::from_rows(&rows, &mut i);
+        assert_eq!(t.nrows, 2);
+        assert_eq!(t.cols.len(), 2);
+        assert_eq!(t.cols[1][0], t.cols[1][1], "shared string interned once");
+        assert_eq!(i.resolve(t.cols[0][1]), &Value::Int(2));
+    }
+
+    #[test]
+    fn empty_rows_make_empty_table() {
+        let mut i = Interner::new();
+        let t = ColumnarTable::from_rows(&[], &mut i);
+        assert_eq!(t.nrows, 0);
+        assert!(t.cols.is_empty());
+        assert!(i.is_empty());
+    }
+}

@@ -26,12 +26,15 @@ pub mod complete;
 pub mod csv;
 pub mod exec;
 pub mod instance;
+pub mod interner;
 pub mod lineage;
 pub mod query;
 pub mod schema;
 pub mod value;
 
+pub use exec::{ExecOptions, ExecStats};
 pub use instance::Instance;
+pub use interner::Interner;
 pub use lineage::{QueryProfile, ResultLine};
 pub use query::{Aggregate, Atom, CmpOp, Expr, Predicate, Query};
 pub use schema::{Relation, Schema};
@@ -54,6 +57,15 @@ pub enum EngineError {
     MalformedQuery(String),
     /// The FK graph contained a cycle (it must be a DAG).
     CyclicForeignKeys,
+    /// Two members of one projected-result group reported different group
+    /// weights: the projected weight must depend only on the projected
+    /// attributes (Section 7's `ψ(p_l)`).
+    InconsistentGroupWeight {
+        /// Weight recorded when the group was first seen.
+        expected: f64,
+        /// Conflicting weight reported by a later member.
+        got: f64,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -74,6 +86,11 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::MalformedQuery(msg) => write!(f, "malformed query: {msg}"),
             EngineError::CyclicForeignKeys => write!(f, "foreign-key graph contains a cycle"),
+            EngineError::InconsistentGroupWeight { expected, got } => write!(
+                f,
+                "projected-group weight depends on non-projected attributes \
+                 (group weight {expected}, member reported {got})"
+            ),
         }
     }
 }

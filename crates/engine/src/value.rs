@@ -42,6 +42,27 @@ impl Value {
         }
     }
 
+    /// Canonical *total* order used for deterministic output ordering (e.g.
+    /// sorting group-by keys): values order first by kind (`Int` < `Float` <
+    /// `Str`), then within a kind by value, floats by IEEE total order. This
+    /// is a strict total order consistent with `Eq` — unlike
+    /// [`Value::cmp_total`], which treats `Int(3)` and `Float(3.0)` as equal.
+    pub fn cmp_key(&self, other: &Value) -> std::cmp::Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Int(_) => 0,
+                Value::Float(_) => 1,
+                Value::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.total_cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
     /// Total comparison used by predicates: numerics compare numerically
     /// (Int/Float mixed fine), strings lexicographically. Cross-kind
     /// comparisons order numerics before strings (stable but arbitrary).
@@ -124,6 +145,18 @@ impl From<&str> for Value {
 /// A tuple of values.
 pub type Tuple = Vec<Value>;
 
+/// Lexicographic [`Value::cmp_key`] order on tuples (canonical group-key
+/// ordering: deterministic and consistent with tuple equality).
+pub fn cmp_tuples(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b.iter()) {
+        let ord = x.cmp_key(y);
+        if ord != std::cmp::Ordering::Equal {
+            return ord;
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +183,29 @@ mod tests {
     fn string_comparison() {
         assert_eq!(Value::str("abc").cmp_total(&Value::str("abd")), Ordering::Less);
         assert_eq!(Value::Int(5).cmp_total(&Value::str("a")), Ordering::Less);
+    }
+
+    #[test]
+    fn cmp_key_is_a_total_order_consistent_with_eq() {
+        // Distinct values never compare Equal under cmp_key.
+        let vals = [
+            Value::Int(3),
+            Value::Int(10),
+            Value::Float(3.0),
+            Value::Float(-0.0),
+            Value::Float(0.0),
+            Value::str("a"),
+            Value::str("ab"),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                assert_eq!(a.cmp_key(b) == Ordering::Equal, i == j, "{a:?} vs {b:?}");
+                assert_eq!(a.cmp_key(b), b.cmp_key(a).reverse());
+            }
+        }
+        // Numeric order within a kind, not string order: 3 < 10.
+        assert_eq!(Value::Int(3).cmp_key(&Value::Int(10)), Ordering::Less);
+        assert_eq!(cmp_tuples(&[Value::Int(1)], &[Value::Int(1), Value::Int(0)]), Ordering::Less);
     }
 
     #[test]
