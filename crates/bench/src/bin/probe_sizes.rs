@@ -1,20 +1,19 @@
 //! Development probe: prints dataset/profile sizes and single R2T run times
 //! so the benchmark scales can be tuned. Not part of the paper reproduction.
 
+use r2t_bench::{obs_init, timed};
 use r2t_core::{R2TConfig, R2T};
 use r2t_graph::{datasets, Pattern};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 fn main() {
+    let obs = obs_init("probe_sizes");
     let scale = r2t_bench::scale();
     for ds in datasets::all(scale) {
         println!("{}", ds.stats());
         for p in Pattern::ALL {
-            let t0 = Instant::now();
-            let profile = p.profile(&ds.graph);
-            let enum_time = t0.elapsed().as_secs_f64();
+            let (profile, enum_time) = timed("bench.enumerate", || p.profile(&ds.graph));
             let gs = p.global_sensitivity(ds.degree_bound);
             print!(
                 "  {:6} results={:>9} private={:>7} Q={:>12} DS={:>8} enum={:.2}s",
@@ -35,14 +34,13 @@ fn main() {
             };
             let r2t = R2T::new(cfg);
             let mut rng = StdRng::seed_from_u64(1);
-            let t0 = Instant::now();
-            let rep = r2t.run_profile(&profile, &mut rng);
+            let (rep, r2t_secs) = timed("bench.race", || r2t.run_profile(&profile, &mut rng));
             println!(
-                "  r2t={:.2}s out={:.0} err={:.2}%",
-                t0.elapsed().as_secs_f64(),
+                "  r2t={r2t_secs:.2}s out={:.0} err={:.2}%",
                 rep.output,
                 100.0 * (rep.output - profile.query_result()).abs() / profile.query_result()
             );
         }
     }
+    obs.finish();
 }

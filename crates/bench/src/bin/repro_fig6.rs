@@ -2,7 +2,7 @@
 //! dataset as the privacy parameter ε sweeps 0.1 … 12.8 (doubling), for all
 //! four graph pattern queries. Printed as one series per mechanism.
 
-use r2t_bench::{fmt_sig, measure, reps, scale, Table};
+use r2t_bench::{fmt_sig, measure, obs_init, reps, scale, Table};
 use r2t_core::baselines::FixedTauLp;
 use r2t_core::{Mechanism, R2TConfig, R2T};
 use r2t_graph::baselines::{GraphMechanism, NaiveTruncationSmooth, SmoothDistanceEstimator};
@@ -10,6 +10,7 @@ use r2t_graph::{datasets, Pattern};
 use rand::Rng;
 
 fn main() {
+    let obs = obs_init("fig6");
     let reps = reps();
     let ds = datasets::roadnet_pa_like(scale());
     println!("# Figure 6 — error vs eps on {} (reps = {reps})\n", ds.stats());
@@ -67,4 +68,5 @@ fn main() {
         println!("{}", table.render());
         println!("(cells: relative error %)\n");
     }
+    obs.finish();
 }

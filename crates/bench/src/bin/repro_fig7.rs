@@ -3,14 +3,14 @@
 //! scale). The paper's headline: R2T's *error barely moves with scale*
 //! (it tracks DS_Q(I), not the data size), while its time grows linearly.
 
-use r2t_bench::{fmt_sig, measure, reps, scale, Table};
+use r2t_bench::{fmt_sig, measure, obs_init, reps, scale, timed, Table};
 use r2t_core::baselines::LocalSensitivitySvt;
 use r2t_core::{Mechanism, R2TConfig, R2T};
 use r2t_engine::exec;
 use r2t_tpch::{generate, queries};
-use std::time::Instant;
 
 fn main() {
+    let obs = obs_init("fig7");
     let reps = reps();
     let base = scale() * 0.25;
     let gs: f64 =
@@ -23,9 +23,9 @@ fn main() {
         for i in -3i32..=3 {
             let sf = base * 2f64.powi(i);
             let inst = generate(sf, 0.3, 0xC0FFEE ^ i as u64);
-            let t0 = Instant::now();
-            let profile = exec::profile(&tq.schema, &inst, &tq.query).expect("query runs");
-            let eval_secs = t0.elapsed().as_secs_f64();
+            let (profile, eval_secs) = timed("bench.eval", || {
+                exec::profile(&tq.schema, &inst, &tq.query).expect("query runs")
+            });
             let truth = profile.query_result();
             let r2t = R2T::new(R2TConfig {
                 epsilon: 0.8,
@@ -55,4 +55,5 @@ fn main() {
         }
         println!("{}", table.render());
     }
+    obs.finish();
 }

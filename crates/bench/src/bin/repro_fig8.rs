@@ -3,13 +3,14 @@
 //! headline: LS degrades (near-)linearly in GS_Q while R2T degrades only
 //! logarithmically, so the analyst can set GS_Q very conservatively.
 
-use r2t_bench::{fmt_sig, measure, reps, scale, Table};
+use r2t_bench::{fmt_sig, measure, obs_init, reps, scale, Table};
 use r2t_core::baselines::LocalSensitivitySvt;
 use r2t_core::{Mechanism, R2TConfig, R2T};
 use r2t_engine::exec;
 use r2t_tpch::{generate, queries};
 
 fn main() {
+    let obs = obs_init("fig8");
     let reps = reps();
     let inst = generate(scale(), 0.3, 0xC0FFEE);
     println!(
@@ -50,4 +51,5 @@ fn main() {
         println!("{}", table.render());
         println!("(cells: relative error %)\n");
     }
+    obs.finish();
 }

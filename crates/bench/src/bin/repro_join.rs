@@ -13,7 +13,7 @@
 //! Honours `R2T_REPS` (default 5) and `R2T_SCALE` (default 1.0, scales the
 //! graph sizes and the TPC-H scale factor).
 
-use r2t_bench::{reps, scale};
+use r2t_bench::{mean, obs_init, reps, scale, timed};
 use r2t_engine::exec::{profile_reference, profile_with_stats, ExecOptions};
 use r2t_engine::schema::graph_schema_node_dp;
 use r2t_engine::{Instance, Query, Schema};
@@ -24,7 +24,6 @@ use r2t_tpch::{generate, queries};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 struct WorkloadResult {
     name: String,
@@ -37,10 +36,6 @@ struct WorkloadResult {
     identical: bool,
 }
 
-fn mean(v: &[f64]) -> f64 {
-    v.iter().sum::<f64>() / v.len() as f64
-}
-
 fn run_workload(
     name: &str,
     schema: &Schema,
@@ -48,7 +43,7 @@ fn run_workload(
     query: &Query,
     reps: usize,
 ) -> WorkloadResult {
-    let opts = ExecOptions::default();
+    let opts = ExecOptions { workers: r2t_bench::workers(), ..ExecOptions::default() };
     // Warm-up + correctness check (untimed).
     let (old_profile, old_stats) = profile_reference(schema, inst, query).expect("reference");
     let (new_profile, new_stats) =
@@ -62,14 +57,18 @@ fn run_workload(
     // thermal drift cannot systematically favour either side.
     for rep in 0..reps {
         let time_old = |times: &mut Vec<f64>| {
-            let t0 = Instant::now();
-            std::hint::black_box(profile_reference(schema, inst, query).expect("reference"));
-            times.push(t0.elapsed().as_secs_f64());
+            let ((), secs) = timed("bench.reference", || {
+                std::hint::black_box(profile_reference(schema, inst, query).expect("reference"));
+            });
+            times.push(secs);
         };
         let time_new = |times: &mut Vec<f64>| {
-            let t0 = Instant::now();
-            std::hint::black_box(profile_with_stats(schema, inst, query, &opts).expect("columnar"));
-            times.push(t0.elapsed().as_secs_f64());
+            let ((), secs) = timed("bench.columnar", || {
+                std::hint::black_box(
+                    profile_with_stats(schema, inst, query, &opts).expect("columnar"),
+                );
+            });
+            times.push(secs);
         };
         if rep % 2 == 0 {
             time_old(&mut old_times);
@@ -94,6 +93,7 @@ fn run_workload(
 }
 
 fn main() {
+    let obs = obs_init("join");
     let reps = reps();
     let scale = scale();
     println!("# BENCH join — reference vs columnar executor (reps = {reps}, scale = {scale})\n");
@@ -160,4 +160,5 @@ fn main() {
     std::fs::create_dir_all("results").expect("results dir");
     std::fs::write("results/BENCH_join.json", &json).expect("write BENCH_join.json");
     println!("\nwrote results/BENCH_join.json");
+    obs.finish();
 }

@@ -12,26 +12,15 @@
 //!
 //! Honours `R2T_REPS` (default 5).
 
-use r2t_bench::{example_6_2_scaled, reps};
+use r2t_bench::{example_6_2_scaled, mean, obs_init, p95, reps, timed};
 use r2t_core::truncation::for_profile;
 use r2t_engine::{exec, QueryProfile};
 use r2t_tpch::{generate, queries};
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// The τ-race in warm-chain (descending) order for `nb` branches.
 fn race_taus(nb: u32) -> Vec<f64> {
     (1..=nb).rev().map(|j| (1u64 << j) as f64).collect()
-}
-
-fn mean(v: &[f64]) -> f64 {
-    v.iter().sum::<f64>() / v.len() as f64
-}
-
-fn p95(v: &[f64]) -> f64 {
-    let mut s = v.to_vec();
-    s.sort_by(f64::total_cmp);
-    s[((s.len() as f64 * 0.95).ceil() as usize - 1).min(s.len() - 1)]
 }
 
 struct WorkloadResult {
@@ -61,24 +50,27 @@ fn run_workload(name: &str, profile: &QueryProfile, nb: u32, reps: usize) -> Wor
     // sweep-structure build and then chains bases. Totals are whole-race
     // wall-clock, so the warm side is charged for its session setup.
     let cold_race = |times: &mut [Vec<f64>], values: &mut [f64]| {
-        let t0 = Instant::now();
-        for (i, &tau) in taus.iter().enumerate() {
-            let t1 = Instant::now();
-            values[i] = t.value(tau);
-            times[i].push(t1.elapsed().as_secs_f64());
-        }
-        t0.elapsed().as_secs_f64()
+        let ((), total) = timed("bench.cold_race", || {
+            for (i, &tau) in taus.iter().enumerate() {
+                let (v, secs) = timed("branch", || t.value(tau));
+                values[i] = v;
+                times[i].push(secs);
+            }
+        });
+        total
     };
     let warm_race =
         |t: &dyn r2t_core::truncation::Truncation, times: &mut [Vec<f64>], values: &mut [f64]| {
-            let t0 = Instant::now();
-            let mut session = t.sweep_session().expect("LP truncations support sweeps");
-            for (i, &tau) in taus.iter().enumerate() {
-                let t1 = Instant::now();
-                values[i] = session.value(tau);
-                times[i].push(t1.elapsed().as_secs_f64());
-            }
-            (t0.elapsed().as_secs_f64(), session.stats())
+            let (stats, total) = timed("bench.warm_race", || {
+                let mut session = t.sweep_session().expect("LP truncations support sweeps");
+                for (i, &tau) in taus.iter().enumerate() {
+                    let (v, secs) = timed("branch", || session.value(tau));
+                    values[i] = v;
+                    times[i].push(secs);
+                }
+                session.stats()
+            });
+            (total, stats)
         };
 
     // Warm-up pass (untimed): stabilizes caches, the allocator and CPU
@@ -172,6 +164,7 @@ fn run_workload(name: &str, profile: &QueryProfile, nb: u32, reps: usize) -> Wor
 }
 
 fn main() {
+    let obs = obs_init("lp_sweep");
     let reps = reps();
     println!("# BENCH lp_sweep — cold vs warm branch sweeps (reps = {reps})\n");
 
@@ -213,4 +206,5 @@ fn main() {
     std::fs::create_dir_all("results").expect("results dir");
     std::fs::write("results/BENCH_lp_sweep.json", &json).expect("write BENCH_lp_sweep.json");
     println!("\nwrote results/BENCH_lp_sweep.json");
+    obs.finish();
 }

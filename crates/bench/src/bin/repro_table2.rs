@@ -7,7 +7,7 @@
 //! RM runs only where the paper's RM finished (the road networks' triangle /
 //! rectangle cells); other cells print "over time limit" as in the paper.
 
-use r2t_bench::{fmt_sig, measure, reps, scale, Table};
+use r2t_bench::{fmt_sig, measure, obs_init, reps, scale, timed, Table};
 use r2t_core::baselines::FixedTauLp;
 use r2t_core::{Mechanism, R2TConfig, R2T};
 use r2t_graph::baselines::{
@@ -15,9 +15,9 @@ use r2t_graph::baselines::{
 };
 use r2t_graph::{datasets, Pattern};
 use rand::Rng;
-use std::time::Instant;
 
 fn main() {
+    let obs = obs_init("table2");
     let reps = reps();
     let scale = scale();
     println!("# Table 2 — graph pattern counting (eps = 0.8, reps = {reps}, scale = {scale})\n");
@@ -27,9 +27,7 @@ fn main() {
         let road = ds.name.starts_with("Roadnet");
         let mut table = Table::new(&["query", "Q(I)", "mech", "rel err %", "time/run (s)"]);
         for p in Pattern::ALL {
-            let t0 = Instant::now();
-            let profile = p.profile(&ds.graph);
-            let enum_secs = t0.elapsed().as_secs_f64();
+            let (profile, enum_secs) = timed("bench.enumerate", || p.profile(&ds.graph));
             let truth = profile.query_result();
             let gs = p.global_sensitivity(d);
             let log_d = (d.log2()) as u32;
@@ -123,4 +121,5 @@ fn main() {
         }
         println!("{}", table.render());
     }
+    obs.finish();
 }

@@ -3,7 +3,7 @@
 //! the LP's average error over a random τ (the paper's selection rule).
 //! The best LP row per query is the "tuned optimum" R2T provably tracks.
 
-use r2t_bench::{fmt_sig, reps, scale, trimmed_mean, Table};
+use r2t_bench::{fmt_sig, obs_init, reps, scale, trimmed_mean, Table};
 use r2t_core::baselines::FixedTauLp;
 use r2t_core::{Mechanism, R2TConfig, R2T};
 use r2t_graph::{datasets, Pattern};
@@ -20,6 +20,7 @@ fn abs_error<F: FnMut(&mut StdRng) -> f64>(truth: f64, reps: usize, seed: u64, m
 }
 
 fn main() {
+    let obs = obs_init("table3");
     let reps = reps();
     let ds = datasets::amazon2_like(scale());
     println!("# Table 3 — R2T vs LP at fixed τ on {} (eps = 0.8, reps = {reps})\n", ds.stats());
@@ -83,4 +84,5 @@ fn main() {
     }
     println!("{}", table.render());
     println!("(cells: trimmed-mean absolute error)");
+    obs.finish();
 }

@@ -1,14 +1,14 @@
 //! Reproduces **Table 4**: running time of R2T on the rectangle query with
 //! and without the early-stop optimization, across all five datasets.
 
-use r2t_bench::{reps, scale, Table};
+use r2t_bench::{obs_init, reps, scale, timed, Table};
 use r2t_core::{R2TConfig, R2T};
 use r2t_graph::{datasets, Pattern};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Instant;
 
 fn main() {
+    let obs = obs_init("table4");
     let reps = reps();
     println!("# Table 4 — early stop, Qrect (eps = 0.8, reps = {reps})\n");
     let mut table = Table::new(&["dataset", "w early stop (s)", "w/o early stop (s)", "speed up"]);
@@ -25,12 +25,13 @@ fn main() {
                 parallel: false,
                 ..Default::default()
             });
-            let t0 = Instant::now();
-            for r in 0..reps {
-                let mut rng = StdRng::seed_from_u64(0xE57 + r as u64);
-                let _ = r2t.run_profile(&profile, &mut rng);
-            }
-            times[i] = t0.elapsed().as_secs_f64() / reps as f64;
+            let ((), secs) = timed("bench.race", || {
+                for r in 0..reps {
+                    let mut rng = StdRng::seed_from_u64(0xE57 + r as u64);
+                    let _ = r2t.run_profile(&profile, &mut rng);
+                }
+            });
+            times[i] = secs / reps as f64;
         }
         table.row(&[
             ds.name.to_string(),
@@ -40,4 +41,5 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    obs.finish();
 }

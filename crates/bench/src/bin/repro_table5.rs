@@ -8,14 +8,14 @@
 //! counting queries, 2^18 for SUM queries — the paper uses 10^6 everywhere,
 //! matched to its 100× larger data and value domains).
 
-use r2t_bench::{fmt_sig, measure, reps, scale, Table};
+use r2t_bench::{fmt_sig, measure, obs_init, reps, scale, timed, workers, Table};
 use r2t_core::baselines::LocalSensitivitySvt;
 use r2t_core::{Mechanism, R2TConfig, R2T};
-use r2t_engine::exec;
+use r2t_engine::exec::{self, ExecOptions};
 use r2t_tpch::{all_queries, generate};
-use std::time::Instant;
 
 fn main() {
+    let obs = obs_init("table5");
     let reps = reps();
     let sf = scale();
     let gs_env: Option<f64> = std::env::var("R2T_GS").ok().and_then(|v| v.parse().ok());
@@ -40,9 +40,10 @@ fn main() {
         } else {
             (1u64 << 12) as f64
         });
-        let t0 = Instant::now();
-        let profile = exec::profile(&tq.schema, &inst, &tq.query).expect("query runs");
-        let eval_secs = t0.elapsed().as_secs_f64();
+        let opts = ExecOptions { workers: workers(), ..ExecOptions::default() };
+        let (profile, eval_secs) = timed("bench.eval", || {
+            exec::profile_with_stats(&tq.schema, &inst, &tq.query, &opts).expect("query runs").0
+        });
         let truth = profile.query_result();
 
         let r2t = R2T::new(R2TConfig {
@@ -73,4 +74,5 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    obs.finish();
 }

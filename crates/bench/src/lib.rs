@@ -9,6 +9,7 @@
 //! Environment knobs honoured by all `repro_*` binaries:
 //! * `R2T_REPS` — repetitions per cell (default 5).
 //! * `R2T_SCALE` — dataset scale multiplier (default 1.0).
+//! * `R2T_WORKERS` — join-executor worker threads (default: machine parallelism).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,6 +23,86 @@ pub fn reps() -> usize {
 /// Dataset scale multiplier (`R2T_SCALE`, default 1.0).
 pub fn scale() -> f64 {
     std::env::var("R2T_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1.0)
+}
+
+/// Join-executor worker override (`R2T_WORKERS`). `None` — the default —
+/// lets the executor use the machine's available parallelism; setting it
+/// forces a fixed fan-out (useful to exercise per-worker telemetry on small
+/// machines, or to pin benchmarks to a core count).
+pub fn workers() -> Option<usize> {
+    std::env::var("R2T_WORKERS").ok().and_then(|v| v.parse().ok())
+}
+
+/// Plain mean of a sample vector.
+pub fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+/// The 95th-percentile sample (nearest-rank).
+pub fn p95(values: &[f64]) -> f64 {
+    let mut s = values.to_vec();
+    s.sort_by(f64::total_cmp);
+    s[((s.len() as f64 * 0.95).ceil() as usize - 1).min(s.len() - 1)]
+}
+
+/// Times one closure under an `r2t-obs` span, returning its result and the
+/// elapsed seconds. The single timing idiom shared by every repro binary —
+/// the measured section also shows up in the span tree of an `--obs` report.
+pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
+    let _span = r2t_obs::span(name);
+    let t0 = Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Shared `--obs` handling for the repro binaries: call [`obs_init`] first
+/// thing in `main` and [`ObsRun::finish`] last. Repro binaries default the
+/// runtime level to `counters` (release library builds default to `off`);
+/// passing `--obs` raises the default to `full` and writes
+/// `results/OBS_<bench>.json` at the end. An explicit `R2T_OBS=` env value
+/// always wins over both defaults. `--obs-pretty` additionally prints the
+/// human-readable trace.
+pub fn obs_init(bench: &'static str) -> ObsRun {
+    let write = std::env::args().any(|a| a == "--obs" || a == "--obs-pretty");
+    let pretty = std::env::args().any(|a| a == "--obs-pretty");
+    let default = if write { r2t_obs::Level::Full } else { r2t_obs::Level::Counters };
+    r2t_obs::set_default_level(default);
+    if write && !r2t_obs::COMPILED {
+        eprintln!(
+            "warning: --obs requested but the obs registry is not compiled in; \
+             rerun with `--features obs` to get a populated results/OBS_{bench}.json"
+        );
+    }
+    let _ = r2t_obs::drain(); // reset the epoch so t=0 is "after obs_init"
+    ObsRun { bench, write, pretty }
+}
+
+/// Token returned by [`obs_init`]; finishing it drains the registry and
+/// writes/prints the run report as requested.
+#[must_use = "call finish() at the end of main to emit the obs report"]
+pub struct ObsRun {
+    bench: &'static str,
+    write: bool,
+    pretty: bool,
+}
+
+impl ObsRun {
+    /// Drains the obs registry; when `--obs` was passed, writes
+    /// `results/OBS_<bench>.json` (and prints the pretty trace under
+    /// `--obs-pretty`).
+    pub fn finish(self) {
+        let report = r2t_obs::drain();
+        if !self.write {
+            return;
+        }
+        std::fs::create_dir_all("results").expect("results dir");
+        let path = format!("results/OBS_{}.json", self.bench);
+        std::fs::write(&path, report.to_json()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+        println!("wrote {path}");
+        if self.pretty {
+            println!("\n{}", report.pretty());
+        }
+    }
 }
 
 /// The paper's trimmed mean: drop the best 20% and worst 20% of the absolute
@@ -78,9 +159,9 @@ where
     for r in 0..reps {
         let mut rng =
             StdRng::seed_from_u64(seed ^ (0x9E3779B97F4A7C15u64.wrapping_mul(r as u64 + 1)));
-        let t0 = Instant::now();
-        let out = mech(&mut rng)?;
-        total_time += t0.elapsed().as_secs_f64();
+        let (out, secs) = timed("bench.mechanism", || mech(&mut rng));
+        let out = out?;
+        total_time += secs;
         errors.push((out - truth).abs());
     }
     let err = trimmed_mean(&errors);
@@ -183,6 +264,21 @@ impl Table {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mean_and_p95() {
+        let v: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        assert!((mean(&v) - 10.5).abs() < 1e-12);
+        assert_eq!(p95(&v), 19.0);
+        assert_eq!(p95(&[3.0]), 3.0);
+    }
+
+    #[test]
+    fn timed_returns_result_and_elapsed() {
+        let (out, secs) = timed("bench.test", || 40 + 2);
+        assert_eq!(out, 42);
+        assert!((0.0..1.0).contains(&secs));
+    }
 
     #[test]
     fn trimmed_mean_drops_extremes() {

@@ -137,18 +137,35 @@ impl R2T {
     /// Runs R2T with an explicit truncation method.
     pub fn run_with(&self, trunc: &dyn Truncation, rng: &mut dyn RngCore) -> R2TReport {
         let start = Instant::now();
+        let _run_span = r2t_obs::span("r2t.run");
         let cfg = &self.config;
         let log_gs = cfg.num_branches().max(1) as f64;
         let nb = cfg.num_branches().max(1) as usize;
         let penalty_unit = log_gs * (log_gs / cfg.beta).ln() / cfg.epsilon;
 
+        // All attributes here are public mechanism parameters.
+        r2t_obs::event(
+            "r2t.race.start",
+            &[
+                ("branches", r2t_obs::Attr::U64(nb as u64)),
+                ("epsilon", r2t_obs::Attr::F64(cfg.epsilon)),
+                ("gs", r2t_obs::Attr::F64(cfg.gs)),
+                ("early_stop", r2t_obs::Attr::Bool(cfg.early_stop)),
+                ("parallel", r2t_obs::Attr::Bool(cfg.parallel)),
+                ("warm_sweep", r2t_obs::Attr::Bool(cfg.warm_sweep)),
+            ],
+        );
+
         // Pre-draw all noise so early stop cannot leak through the noise
-        // stream (and so with/without early stop are comparable).
+        // stream (and so with/without early stop are comparable). Only the
+        // *count* of draws is recorded — a draw's value next to the released
+        // output would reconstruct the true branch value.
         let taus: Vec<f64> = (1..=nb).map(|j| (1u64 << j) as f64).collect();
         let shifts: Vec<f64> = taus
             .iter()
             .map(|&tau| laplace(rng, log_gs * tau / cfg.epsilon) - penalty_unit * tau)
             .collect();
+        r2t_obs::counter_add("r2t.noise.draws", nb as u64);
 
         let base = trunc.value(0.0);
         let mut reports: Vec<BranchReport> = taus
@@ -184,8 +201,15 @@ impl R2T {
                 |j: usize, session: &mut Option<Box<dyn SweepBranchSolver + '_>>| -> BranchReport {
                     let tau = taus[j];
                     let shift = shifts[j];
+                    let _branch_span = r2t_obs::span("r2t.branch");
                     let t0 = Instant::now();
-                    let mut keep_going = |ub: f64| ub + shift > best.load();
+                    // The cutoff check is the progress granule `event_every`
+                    // configures; counting it here makes branch progress
+                    // observable instead of silently discarded.
+                    let mut keep_going = |ub: f64| {
+                        r2t_obs::counter_add("r2t.progress.checks", 1);
+                        ub + shift > best.load()
+                    };
                     let value = match session.as_mut() {
                         Some(s) => s.value_racing(tau, &mut keep_going),
                         None => trunc.value_racing(tau, &mut keep_going),
@@ -193,12 +217,14 @@ impl R2T {
                     if let Some(v) = value {
                         best.fetch_max(v + shift);
                     }
-                    BranchReport {
+                    let report = BranchReport {
                         tau,
                         lp_value: value,
                         shifted: value.map(|v| v + shift),
                         seconds: t0.elapsed().as_secs_f64(),
-                    }
+                    };
+                    record_branch(&report, session.is_some());
+                    report
                 };
             if threads > 1 {
                 let results: Vec<(usize, BranchReport)> = std::thread::scope(|scope| {
@@ -237,17 +263,20 @@ impl R2T {
             // Plain R2T: evaluate every branch fully.
             let run_branch =
                 |j: usize, session: &mut Option<Box<dyn SweepBranchSolver + '_>>| -> BranchReport {
+                    let _branch_span = r2t_obs::span("r2t.branch");
                     let t0 = Instant::now();
                     let v = match session.as_mut() {
                         Some(s) => s.value(taus[j]),
                         None => trunc.value(taus[j]),
                     };
-                    BranchReport {
+                    let report = BranchReport {
                         tau: taus[j],
                         lp_value: Some(v),
                         shifted: Some(v + shifts[j]),
                         seconds: t0.elapsed().as_secs_f64(),
-                    }
+                    };
+                    record_branch(&report, session.is_some());
+                    report
                 };
             if threads > 1 {
                 let next = AtomicUsize::new(0);
@@ -286,7 +315,44 @@ impl R2T {
         }
 
         let (output, winner) = pick_winner(&reports, base);
+        r2t_obs::event(
+            "r2t.race.done",
+            &[
+                // `output` is the released ε-DP answer; the winning τ is a
+                // function of the released per-branch noisy estimates — both
+                // already covered by the privacy budget.
+                ("output", r2t_obs::Attr::F64(output)),
+                ("winner_tau", r2t_obs::Attr::F64(winner.map_or(0.0, |i| reports[i].tau))),
+                ("base_won", r2t_obs::Attr::Bool(winner.is_none())),
+            ],
+        );
         R2TReport { output, branches: reports, winner, seconds: start.elapsed().as_secs_f64() }
+    }
+}
+
+/// Emits a branch lifecycle event. Records the τ, the *noisy shifted*
+/// estimate (released, budget-covered), and the wall time — never the raw
+/// pre-noise `lp_value`, which is not DP-protected.
+fn record_branch(report: &BranchReport, warm_sweep: bool) {
+    match report.shifted {
+        Some(shifted) => r2t_obs::event(
+            "r2t.branch.completed",
+            &[
+                ("tau", r2t_obs::Attr::F64(report.tau)),
+                ("shifted", r2t_obs::Attr::F64(shifted)),
+                ("secs", r2t_obs::Attr::F64(report.seconds)),
+                ("warm_sweep", r2t_obs::Attr::Bool(warm_sweep)),
+            ],
+        ),
+        None => r2t_obs::event(
+            "r2t.branch.killed",
+            &[
+                ("tau", r2t_obs::Attr::F64(report.tau)),
+                ("reason", r2t_obs::Attr::Str("dual-bound-cutoff")),
+                ("secs", r2t_obs::Attr::F64(report.seconds)),
+                ("warm_sweep", r2t_obs::Attr::Bool(warm_sweep)),
+            ],
+        ),
     }
 }
 

@@ -37,7 +37,9 @@ use crate::query::{Aggregate, Atom, Query, Var};
 use crate::schema::Schema;
 use crate::value::{cmp_tuples, Tuple, Value};
 use crate::EngineError;
+use r2t_obs::Attr;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// A reference key for a private tuple: (primary-private relation index,
 /// primary-key value). Used by the reference executor; the columnar path
@@ -262,6 +264,7 @@ impl<'q> Plan<'q> {
         let workers = opts
             .workers
             .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
+        r2t_obs::gauge_max("exec.interner.values", interner.len() as u64);
         Ok(Some(Plan {
             q,
             nvars,
@@ -289,6 +292,7 @@ impl<'q> Plan<'q> {
     /// arena; the last streams into profile shards. Returns the emitted
     /// output, the peak binding count, and the surviving-result count.
     fn run(&self, group_vars: Option<&[Var]>) -> Result<(EmitOut, usize, usize), EngineError> {
+        let _run_span = r2t_obs::span("exec.run");
         let nvars = self.nvars;
         let mut bound = vec![false; nvars];
         // The seed is one fully-unbound partial: probing it against the
@@ -300,12 +304,18 @@ impl<'q> Plan<'q> {
             let atom = &self.q.atoms[ai];
             let table = &self.tables[self.atom_table[ai]];
             let index = KeyIndex::build(table, &atom.vars, &bound);
+            let rows_in = partials.len() / nvars;
             if s + 1 == self.order.len() {
-                let (out, emitted) = self.emit_stage(&partials, atom, table, &index, group_vars)?;
+                let (out, emitted) =
+                    self.emit_stage(&partials, s, atom, table, &index, group_vars)?;
+                r2t_obs::counter_add("exec.rows.emitted", emitted as u64);
+                r2t_obs::gauge_max("exec.peak_bindings", peak as u64);
+                self.record_stage(s, "emit", rows_in, emitted, table.nrows);
                 return Ok((out, peak, emitted));
             }
-            partials = self.extend_stage(&partials, atom, table, &index);
+            partials = self.extend_stage(&partials, s, atom, table, &index);
             peak = peak.max(partials.len() / nvars);
+            self.record_stage(s, "extend", rows_in, partials.len() / nvars, table.nrows);
             for &v in &atom.vars {
                 bound[v as usize] = true;
             }
@@ -313,16 +323,45 @@ impl<'q> Plan<'q> {
                 break;
             }
         }
+        r2t_obs::gauge_max("exec.peak_bindings", peak as u64);
         Ok((EmitOut::empty(group_vars.is_some()), peak, 0))
+    }
+
+    /// Records one pipeline stage's build/probe volumes. All counts are
+    /// non-private pipeline cardinalities (see DESIGN.md §3.3).
+    fn record_stage(
+        &self,
+        stage: usize,
+        kind: &'static str,
+        rows_in: usize,
+        rows_out: usize,
+        build_rows: usize,
+    ) {
+        r2t_obs::counter_add("exec.stages", 1);
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::event(
+                "exec.stage",
+                &[
+                    ("stage", Attr::U64(stage as u64)),
+                    ("kind", Attr::Str(kind)),
+                    ("rows_in", Attr::U64(rows_in as u64)),
+                    ("rows_out", Attr::U64(rows_out as u64)),
+                    ("build_rows", Attr::U64(build_rows as u64)),
+                    ("workers", Attr::U64(self.workers_for(rows_in) as u64)),
+                ],
+            );
+        }
     }
 
     /// One intermediate probe stage: extends every partial with the atom's
     /// matching rows, fanning out across workers when the probe side is
     /// large enough. Chunks are contiguous and concatenated in order, so the
-    /// output arena is identical for any worker count.
+    /// output arena is identical for any worker count. `stage` is the
+    /// pipeline position, used only for telemetry labels.
     fn extend_stage(
         &self,
         partials: &[u32],
+        stage: usize,
         atom: &Atom,
         table: &ColumnarTable,
         index: &KeyIndex,
@@ -337,8 +376,14 @@ impl<'q> Plan<'q> {
         let outs: Vec<Vec<u32>> = std::thread::scope(|scope| {
             let handles: Vec<_> = partials
                 .chunks(chunk_parts * nvars)
-                .map(|chunk| {
-                    scope.spawn(move || extend_range(chunk, nvars, &atom.vars, table, index))
+                .enumerate()
+                .map(|(widx, chunk)| {
+                    scope.spawn(move || {
+                        let t0 = worker_clock();
+                        let out = extend_range(chunk, nvars, &atom.vars, table, index);
+                        record_worker(t0, stage, widx, chunk.len() / nvars, out.len() / nvars);
+                        out
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("probe worker panicked")).collect()
@@ -357,6 +402,7 @@ impl<'q> Plan<'q> {
     fn emit_stage(
         &self,
         partials: &[u32],
+        stage: usize,
         atom: &Atom,
         table: &ColumnarTable,
         index: &KeyIndex,
@@ -371,8 +417,15 @@ impl<'q> Plan<'q> {
         let shards: Vec<Result<(EmitOut, usize), EngineError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = partials
                 .chunks(chunk_parts * self.nvars)
-                .map(|chunk| {
-                    scope.spawn(move || self.emit_range(chunk, atom, table, index, group_vars))
+                .enumerate()
+                .map(|(widx, chunk)| {
+                    scope.spawn(move || {
+                        let t0 = worker_clock();
+                        let out = self.emit_range(chunk, atom, table, index, group_vars);
+                        let emitted = out.as_ref().map(|&(_, n)| n).unwrap_or(0);
+                        record_worker(t0, stage, widx, chunk.len() / self.nvars, emitted);
+                        out
+                    })
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().expect("emit worker panicked")).collect()
@@ -492,6 +545,35 @@ fn greedy_order(q: &Query, sizes: &[usize], nvars: usize) -> Vec<usize> {
         order.push(next);
     }
     order
+}
+
+/// Starts the per-worker timer when full-trace telemetry is active; the
+/// level check keeps `Instant::now` syscalls off the hot path otherwise.
+fn worker_clock() -> Option<Instant> {
+    r2t_obs::enabled(r2t_obs::Level::Full).then(Instant::now)
+}
+
+/// Records one worker's chunk timing (skew shows up as spread across the
+/// `secs` values of a stage's workers). No-op unless [`worker_clock`] armed.
+fn record_worker(
+    t0: Option<Instant>,
+    stage: usize,
+    worker: usize,
+    rows_in: usize,
+    rows_out: usize,
+) {
+    if let Some(t0) = t0 {
+        r2t_obs::event(
+            "exec.worker",
+            &[
+                ("stage", Attr::U64(stage as u64)),
+                ("worker", Attr::U64(worker as u64)),
+                ("rows_in", Attr::U64(rows_in as u64)),
+                ("rows_out", Attr::U64(rows_out as u64)),
+                ("secs", Attr::F64(t0.elapsed().as_secs_f64())),
+            ],
+        );
+    }
 }
 
 /// Extends each partial in `chunk` with the atom's matching rows; the

@@ -506,6 +506,8 @@ impl RevisedSimplex {
     {
         let n = raw.mat.cols();
         let m = raw.mat.rows();
+        let _solve_span = r2t_obs::span("lp.solve");
+        r2t_obs::counter_add("lp.solves", 1);
         if let Some(c) = ctx.as_deref_mut() {
             c.stats.solves += 1;
             c.last_basis = None;
@@ -514,11 +516,13 @@ impl RevisedSimplex {
             return Ok(box_solution(raw));
         }
         if let Some(ws) = warm {
+            r2t_obs::counter_add("lp.warm.attempts", 1);
             if let Some(c) = ctx.as_deref_mut() {
                 c.stats.warm_attempts += 1;
             }
             if ws.n == n && ws.m == m && ws.basis.len() == m && ws.state.len() == n + m {
                 if let Some(sol) = self.solve_warm(raw, ws, ctx.as_deref_mut(), &mut cb)? {
+                    r2t_obs::counter_add("lp.warm.accepted", 1);
                     if let Some(c) = ctx.as_deref_mut() {
                         c.stats.warm_accepted += 1;
                     }
@@ -643,11 +647,13 @@ impl RevisedSimplex {
                 return Ok(None);
             }
         }
+        r2t_obs::counter_add("lp.iterations.dual", w.iterations as u64);
         if let Some(c) = ctx.as_deref_mut() {
             c.stats.dual_iterations += w.iterations;
         }
         let before = w.iterations;
         let outcome = self.iterate(&mut w, max_iters, false, cb)?;
+        r2t_obs::counter_add("lp.iterations.primal", (w.iterations - before) as u64);
         if let Some(c) = ctx.as_deref_mut() {
             c.stats.primal_iterations += w.iterations - before;
         }
@@ -829,6 +835,8 @@ impl RevisedSimplex {
 
         let before = w.iterations;
         let outcome = self.iterate(&mut w, max_iters, false, cb)?;
+        r2t_obs::counter_add("lp.cold.solves", 1);
+        r2t_obs::counter_add("lp.iterations.primal", (w.iterations - before) as u64);
         if let Some(c) = ctx.as_deref_mut() {
             c.stats.primal_iterations += w.iterations - before;
         }
@@ -1073,7 +1081,9 @@ impl RevisedSimplex {
                     dual_bound: dual,
                     phase_one,
                 };
+                r2t_obs::counter_add("lp.cutoff.checks", 1);
                 if !cb(ev) {
+                    r2t_obs::counter_add("lp.cutoff.stops", 1);
                     return Ok(PhaseOutcome::Stopped);
                 }
             }
@@ -1239,7 +1249,9 @@ impl RevisedSimplex {
                     dual_bound: w.dual_upper_bound(),
                     phase_one: false,
                 };
+                r2t_obs::counter_add("lp.cutoff.checks", 1);
                 if !cb(ev) {
+                    r2t_obs::counter_add("lp.cutoff.stops", 1);
                     return Ok(DualOutcome::Stopped);
                 }
             }

@@ -304,8 +304,12 @@ impl<'a> SweepSession<'a> {
             }
         }
         let (k, r) = (kept_vars.len(), kept_rows.len());
+        r2t_obs::counter_add("lp.sweep.branches", 1);
+        r2t_obs::counter_add("lp.sweep.rows_eliminated", (m - r) as u64);
+        r2t_obs::counter_add("lp.sweep.vars_eliminated", (n - k) as u64);
         if k == 0 && r == 0 {
             // Everything eliminated: the closed-form fixed objective.
+            r2t_obs::counter_add("lp.sweep.closed_form", 1);
             return Ok(SweepSolve { status: Status::Optimal, objective: fixed });
         }
 
@@ -347,6 +351,20 @@ impl<'a> SweepSession<'a> {
             .as_ref()
             .filter(|s| r.saturating_sub(s.ws.num_rows()) <= (r / 8).max(16))
             .and_then(|s| translate_basis(s, &var_map, &row_map, &kept_vars, p));
+        if warm.is_some() {
+            r2t_obs::counter_add("lp.sweep.warm_translated", 1);
+        }
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::event(
+                "lp.sweep.branch",
+                &[
+                    ("tau", r2t_obs::Attr::F64(tau)),
+                    ("kept_vars", r2t_obs::Attr::U64(k as u64)),
+                    ("kept_rows", r2t_obs::Attr::U64(r as u64)),
+                    ("warm", r2t_obs::Attr::Bool(warm.is_some())),
+                ],
+            );
+        }
         let sol = self.solver.solve_raw(&raw, warm.as_ref(), Some(&mut self.ctx), |mut ev| {
             ev.primal_objective += fixed;
             ev.dual_bound += fixed;

@@ -1,0 +1,457 @@
+//! `r2t-obs`: a DP-safe tracing/metrics spine for the R2T stack.
+//!
+//! The crate exposes four recording primitives — [`counter_add`],
+//! [`gauge_max`], [`record_value`], and [`span`]/[`event`] — plus a single
+//! [`drain`] that merges every thread's shard into one [`RunReport`].
+//!
+//! # Cost model
+//!
+//! Without the `enabled` cargo feature every entry point is an inline no-op:
+//! [`level`] is a constant `Off`, so the guard folds and the optimizer deletes
+//! the call. With the feature compiled in, the hot path is one relaxed atomic
+//! load plus a branch when the runtime level says "off"; when recording, each
+//! thread writes into its own thread-local shard — no locks are taken until
+//! [`drain`] (or thread exit, which flushes the shard into the global merge
+//! under a mutex).
+//!
+//! # Runtime levels
+//!
+//! The level is read from `R2T_OBS` (`off|counters|spans|full`) the first
+//! time it is needed and cached. [`set_default_level`] lets binaries pick a
+//! different default (repro binaries use `counters`) while still letting the
+//! env var win; [`set_level`] overrides both.
+//!
+//! # DP-safety rules
+//!
+//! Telemetry must never widen the privacy loss of the mechanism it observes.
+//! The API enforces the coarse rule by construction — metric names and string
+//! attributes are `&'static str`, so raw tuple values cannot be recorded —
+//! and instrumented code follows the fine rules:
+//!
+//! * **Released quantities are safe.** τ values, the *noisy shifted* branch
+//!   estimates, and the final output are covered by the mechanism's ε budget
+//!   (the race is ε-DP by composition over all branches), so recording them
+//!   adds nothing.
+//! * **Pre-noise values are never recorded.** The raw LP value `Q(I, τ)` and
+//!   the Laplace draws themselves are *not* DP-protected; either one next to
+//!   a released output reconstructs the true answer. Instrumentation keeps
+//!   both in-process only.
+//! * **Structural counts are public-parameter functions.** Branch counts,
+//!   LP dimensions, presolve reductions, and executor partition sizes depend
+//!   on the query, the schema, and GS_Q — public parameters — plus the input
+//!   cardinality, which this pipeline (like the paper's experiments) treats
+//!   as public.
+//! * **Timings and iteration counts are side channels**, not outputs of the
+//!   DP mechanism. They are recorded because this layer's threat model (ours
+//!   and the paper's) assumes the analyst does not observe execution time;
+//!   deployments with timing-sensitive adversaries should ship only the
+//!   `counters` level off-box. DESIGN.md §3.3 carries the field-by-field
+//!   table.
+
+mod report;
+
+pub use report::{Attr, Event, RunReport, ValueStats};
+
+/// Whether the recording machinery is compiled in (`enabled` cargo feature).
+pub const COMPILED: bool = cfg!(feature = "enabled");
+
+/// Instrumentation level, ordered by verbosity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+#[repr(u8)]
+pub enum Level {
+    /// Record nothing.
+    #[default]
+    Off = 0,
+    /// Counters, gauges, and value aggregates only.
+    Counters = 1,
+    /// Plus hierarchical span durations.
+    Spans = 2,
+    /// Plus discrete time-stamped events with attributes.
+    Full = 3,
+}
+
+impl Level {
+    /// Parses a level name as accepted by `R2T_OBS`.
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "off" | "0" | "" => Some(Level::Off),
+            "counters" | "1" => Some(Level::Counters),
+            "spans" | "2" => Some(Level::Spans),
+            "full" | "3" => Some(Level::Full),
+            _ => None,
+        }
+    }
+
+    /// Canonical lower-case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Counters => "counters",
+            Level::Spans => "spans",
+            Level::Full => "full",
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    fn from_u8(v: u8) -> Level {
+        match v {
+            1 => Level::Counters,
+            2 => Level::Spans,
+            3 => Level::Full,
+            _ => Level::Off,
+        }
+    }
+}
+
+/// Current instrumentation level.
+///
+/// Constant [`Level::Off`] when the crate is compiled without `enabled`;
+/// otherwise resolved once from [`set_level`] / `R2T_OBS` / the default.
+#[inline(always)]
+pub fn level() -> Level {
+    #[cfg(feature = "enabled")]
+    {
+        registry::level()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Level::Off
+    }
+}
+
+/// Whether recording at `at` (or verboser) is active.
+#[inline(always)]
+pub fn enabled(at: Level) -> bool {
+    level() >= at
+}
+
+/// Forces the instrumentation level, overriding `R2T_OBS` and any default.
+pub fn set_level(_level: Level) {
+    #[cfg(feature = "enabled")]
+    registry::set_level(_level);
+}
+
+/// Sets the level to use when `R2T_OBS` is unset. The env var, when present
+/// and valid, still wins; an explicit [`set_level`] wins over both.
+pub fn set_default_level(_level: Level) {
+    #[cfg(feature = "enabled")]
+    registry::set_default_level(_level);
+}
+
+/// Adds `delta` to the named monotonic counter ([`Level::Counters`]+).
+#[inline(always)]
+pub fn counter_add(_name: &'static str, _delta: u64) {
+    #[cfg(feature = "enabled")]
+    if level() >= Level::Counters {
+        registry::with_shard(|s| *s.shard.counters.entry(_name).or_insert(0) += _delta);
+    }
+}
+
+/// Raises the named high-water-mark gauge to at least `value`
+/// ([`Level::Counters`]+).
+#[inline(always)]
+pub fn gauge_max(_name: &'static str, _value: u64) {
+    #[cfg(feature = "enabled")]
+    if level() >= Level::Counters {
+        registry::with_shard(|s| {
+            let g = s.shard.gauges.entry(_name).or_insert(0);
+            *g = (*g).max(_value);
+        });
+    }
+}
+
+/// Folds a sample into the named value aggregate ([`Level::Counters`]+).
+#[inline(always)]
+pub fn record_value(_name: &'static str, _value: f64) {
+    #[cfg(feature = "enabled")]
+    if level() >= Level::Counters {
+        registry::with_shard(|s| s.shard.values.entry(_name).or_default().record(_value));
+    }
+}
+
+/// Opens a named span; the returned guard records the wall time under the
+/// thread's `/`-joined span path when dropped ([`Level::Spans`]+). Below that
+/// level the guard is inert and takes no timestamp.
+#[inline(always)]
+#[must_use = "a span records its duration when the guard is dropped"]
+pub fn span(_name: &'static str) -> SpanGuard {
+    #[cfg(feature = "enabled")]
+    {
+        if level() >= Level::Spans {
+            return registry::enter_span(_name);
+        }
+        SpanGuard { armed: None }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        SpanGuard { _private: () }
+    }
+}
+
+/// Records a discrete event. At [`Level::Counters`]+ this bumps the counter
+/// `name`; at [`Level::Full`] it also stores a time-stamped event with the
+/// given attributes, qualified by the thread's current span path.
+///
+/// Attribute values are evaluated by the caller; guard expensive ones with
+/// [`enabled`]`(Level::Full)`.
+#[inline(always)]
+pub fn event(_name: &'static str, _attrs: &[(&'static str, Attr)]) {
+    #[cfg(feature = "enabled")]
+    {
+        let l = level();
+        if l >= Level::Counters {
+            registry::record_event(_name, _attrs, l >= Level::Full);
+        }
+    }
+}
+
+/// Flushes the calling thread's shard, merges every exited thread's shard,
+/// and returns the aggregate as a [`RunReport`], resetting the registry (and
+/// its time epoch) for the next run.
+///
+/// Shards of *still-running* other threads are not included — drain after
+/// worker threads have joined (the executor's scoped threads always have).
+pub fn drain() -> RunReport {
+    #[cfg(feature = "enabled")]
+    {
+        registry::drain()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        RunReport::default()
+    }
+}
+
+/// RAII guard returned by [`span`].
+pub struct SpanGuard {
+    #[cfg(feature = "enabled")]
+    armed: Option<registry::SpanEntry>,
+    #[cfg(not(feature = "enabled"))]
+    _private: (),
+}
+
+impl Drop for SpanGuard {
+    #[inline(always)]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        if let Some(entry) = self.armed.take() {
+            registry::exit_span(entry);
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+mod registry {
+    use super::{Attr, Event, Level, RunReport, SpanGuard, ValueStats};
+    use std::cell::RefCell;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU8, Ordering};
+    use std::sync::{LazyLock, Mutex};
+    use std::time::Instant;
+
+    /// `0xFF` = not yet resolved; otherwise a `Level` discriminant.
+    static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+    const UNSET: u8 = 0xFF;
+
+    #[inline(always)]
+    pub fn level() -> Level {
+        let v = LEVEL.load(Ordering::Relaxed);
+        if v != UNSET {
+            return Level::from_u8(v);
+        }
+        resolve_level(Level::Off)
+    }
+
+    #[cold]
+    fn resolve_level(default: Level) -> Level {
+        let l = std::env::var("R2T_OBS").ok().and_then(|s| Level::parse(&s)).unwrap_or(default);
+        LEVEL.store(l as u8, Ordering::Relaxed);
+        l
+    }
+
+    pub fn set_level(l: Level) {
+        LEVEL.store(l as u8, Ordering::Relaxed);
+    }
+
+    pub fn set_default_level(l: Level) {
+        // Recompute with the new default; the env var still takes precedence.
+        LEVEL.store(UNSET, Ordering::Relaxed);
+        resolve_level(l);
+    }
+
+    #[derive(Default)]
+    pub(super) struct Shard {
+        pub counters: HashMap<&'static str, u64>,
+        pub gauges: HashMap<&'static str, u64>,
+        pub values: HashMap<&'static str, ValueStats>,
+        pub spans: HashMap<String, ValueStats>,
+        pub events: Vec<RawEvent>,
+    }
+
+    pub(super) struct RawEvent {
+        at: Instant,
+        path: String,
+        attrs: Vec<(&'static str, Attr)>,
+    }
+
+    impl Shard {
+        fn is_empty(&self) -> bool {
+            self.counters.is_empty()
+                && self.gauges.is_empty()
+                && self.values.is_empty()
+                && self.spans.is_empty()
+                && self.events.is_empty()
+        }
+
+        fn merge_into(self, into: &mut Shard) {
+            for (k, v) in self.counters {
+                *into.counters.entry(k).or_insert(0) += v;
+            }
+            for (k, v) in self.gauges {
+                let g = into.gauges.entry(k).or_insert(0);
+                *g = (*g).max(v);
+            }
+            for (k, v) in self.values {
+                into.values.entry(k).or_default().merge(&v);
+            }
+            for (k, v) in self.spans {
+                into.spans.entry(k).or_default().merge(&v);
+            }
+            into.events.extend(self.events);
+        }
+    }
+
+    struct Global {
+        epoch: Instant,
+        merged: Shard,
+    }
+
+    static GLOBAL: LazyLock<Mutex<Global>> =
+        LazyLock::new(|| Mutex::new(Global { epoch: Instant::now(), merged: Shard::default() }));
+
+    /// Per-thread recording state: the shard plus the live span path. Flushed
+    /// into [`GLOBAL`] on thread exit via `Drop`, so scoped worker threads
+    /// contribute automatically before the spawning scope returns.
+    pub(super) struct ShardCell {
+        pub shard: Shard,
+        /// `/`-joined names of the open spans on this thread.
+        path: String,
+    }
+
+    impl Drop for ShardCell {
+        fn drop(&mut self) {
+            let shard = std::mem::take(&mut self.shard);
+            if !shard.is_empty() {
+                if let Ok(mut g) = GLOBAL.lock() {
+                    shard.merge_into(&mut g.merged);
+                }
+            }
+        }
+    }
+
+    thread_local! {
+        static SHARD: RefCell<ShardCell> =
+            RefCell::new(ShardCell { shard: Shard::default(), path: String::new() });
+    }
+
+    /// Runs `f` against this thread's shard. Silently drops the record if the
+    /// thread-local has already been destroyed (recording from other TLS
+    /// destructors during thread teardown).
+    #[inline]
+    pub(super) fn with_shard(f: impl FnOnce(&mut ShardCell)) {
+        let _ = SHARD.try_with(|cell| {
+            if let Ok(mut cell) = cell.try_borrow_mut() {
+                f(&mut cell);
+            }
+        });
+    }
+
+    pub(super) struct SpanEntry {
+        start: Instant,
+        /// Length to truncate the thread path back to on exit.
+        truncate_to: usize,
+    }
+
+    pub(super) fn enter_span(name: &'static str) -> SpanGuard {
+        let mut armed = None;
+        with_shard(|cell| {
+            let truncate_to = cell.path.len();
+            if !cell.path.is_empty() {
+                cell.path.push('/');
+            }
+            cell.path.push_str(name);
+            armed = Some(SpanEntry { start: Instant::now(), truncate_to });
+        });
+        SpanGuard { armed }
+    }
+
+    pub(super) fn exit_span(entry: SpanEntry) {
+        let secs = entry.start.elapsed().as_secs_f64();
+        with_shard(|cell| {
+            let stats = match cell.shard.spans.get_mut(cell.path.as_str()) {
+                Some(stats) => stats,
+                None => cell.shard.spans.entry(cell.path.clone()).or_default(),
+            };
+            stats.record(secs);
+            cell.path.truncate(entry.truncate_to);
+        });
+    }
+
+    pub(super) fn record_event(name: &'static str, attrs: &[(&'static str, Attr)], full: bool) {
+        let at = if full { Some(Instant::now()) } else { None };
+        with_shard(|cell| {
+            *cell.shard.counters.entry(name).or_insert(0) += 1;
+            if let Some(at) = at {
+                let path = if cell.path.is_empty() {
+                    name.to_string()
+                } else {
+                    format!("{}/{}", cell.path, name)
+                };
+                cell.shard.events.push(RawEvent { at, path, attrs: to_owned_attrs(attrs) });
+            }
+        });
+    }
+
+    fn to_owned_attrs(attrs: &[(&'static str, Attr)]) -> Vec<(&'static str, Attr)> {
+        attrs.to_vec()
+    }
+
+    pub(super) fn drain() -> RunReport {
+        // Flush the calling thread's shard first so a single-threaded run
+        // needs no thread exit to be visible.
+        with_shard(|cell| {
+            let shard = std::mem::take(&mut cell.shard);
+            if !shard.is_empty() {
+                if let Ok(mut g) = GLOBAL.lock() {
+                    shard.merge_into(&mut g.merged);
+                }
+            }
+        });
+        let now = Instant::now();
+        let (epoch, merged) = {
+            let mut g = GLOBAL.lock().expect("obs registry poisoned");
+            let epoch = std::mem::replace(&mut g.epoch, now);
+            (epoch, std::mem::take(&mut g.merged))
+        };
+        let mut report = RunReport {
+            level: level(),
+            wall_secs: now.saturating_duration_since(epoch).as_secs_f64(),
+            ..RunReport::default()
+        };
+        report.counters.extend(merged.counters);
+        report.gauges.extend(merged.gauges);
+        report.values.extend(merged.values);
+        report.spans.extend(merged.spans);
+        report.events = merged
+            .events
+            .into_iter()
+            .map(|e| Event {
+                t_secs: e.at.saturating_duration_since(epoch).as_secs_f64(),
+                path: e.path,
+                attrs: e.attrs,
+            })
+            .collect();
+        report.events.sort_by(|a, b| a.t_secs.total_cmp(&b.t_secs));
+        report
+    }
+}

@@ -1,0 +1,344 @@
+//! The drained output of an instrumented run: aggregates, events, and their
+//! JSON / pretty-text serializations.
+//!
+//! Everything in a [`RunReport`] is built from `&'static str` metric names,
+//! numbers, and booleans — the recording API deliberately cannot carry
+//! runtime strings, so raw tuple values can never end up in a report by
+//! construction (see the crate docs for the full DP-safety rules).
+
+use crate::Level;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// An attribute value attached to a discrete [`Event`].
+///
+/// Strings are restricted to `&'static str` on purpose: attribute *labels*
+/// (outcomes, reasons, stage kinds) are compile-time constants, so private
+/// database values cannot flow into telemetry through this type.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Attr {
+    /// Unsigned integer (counts, sizes, indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point (τ values, seconds, released outputs).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Compile-time string label.
+    Str(&'static str),
+}
+
+impl Attr {
+    fn write_json(&self, out: &mut String) {
+        match *self {
+            Attr::U64(v) => write!(out, "{v}").unwrap(),
+            Attr::I64(v) => write!(out, "{v}").unwrap(),
+            Attr::F64(v) if v.is_finite() => write!(out, "{v}").unwrap(),
+            Attr::F64(_) => out.push_str("null"),
+            Attr::Bool(v) => write!(out, "{v}").unwrap(),
+            Attr::Str(s) => write_json_str(out, s),
+        }
+    }
+}
+
+/// Count/sum/min/max aggregate of a recorded value or span duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValueStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Default for ValueStats {
+    fn default() -> Self {
+        ValueStats { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+}
+
+impl ValueStats {
+    /// Folds one sample in.
+    pub fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Folds another aggregate in (shard merge).
+    pub fn merge(&mut self, other: &ValueStats) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Mean of the samples (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+
+    fn write_json(&self, out: &mut String) {
+        let (min, max) = if self.count == 0 { (0.0, 0.0) } else { (self.min, self.max) };
+        write!(
+            out,
+            "{{\"count\": {}, \"sum\": {:.9}, \"min\": {:.9}, \"max\": {:.9}}}",
+            self.count, self.sum, min, max
+        )
+        .unwrap();
+    }
+}
+
+/// A discrete lifecycle event recorded at [`Level::Full`].
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Seconds since the start of the drained run.
+    pub t_secs: f64,
+    /// Span-qualified event path (e.g. `r2t.run/r2t.branch`).
+    pub path: String,
+    /// Attribute key/value pairs.
+    pub attrs: Vec<(&'static str, Attr)>,
+}
+
+/// The merged telemetry of one run, produced by [`crate::drain`].
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Instrumentation level the run was drained at.
+    pub level: Level,
+    /// Wall-clock seconds covered by this report (drain-to-drain).
+    pub wall_secs: f64,
+    /// Monotonic counters, by name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Max-gauges (high-water marks), by name.
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Value aggregates (timings, sizes), by name.
+    pub values: BTreeMap<&'static str, ValueStats>,
+    /// Span duration aggregates, keyed by `/`-joined nesting path.
+    pub spans: BTreeMap<String, ValueStats>,
+    /// Discrete events in time order (empty below [`Level::Full`]).
+    pub events: Vec<Event>,
+}
+
+impl RunReport {
+    /// Whether nothing at all was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.values.is_empty()
+            && self.spans.is_empty()
+            && self.events.is_empty()
+    }
+
+    /// Serializes the report as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        writeln!(out, "  \"obs_level\": \"{}\",", self.level.as_str()).unwrap();
+        writeln!(out, "  \"compiled\": {},", crate::COMPILED).unwrap();
+        writeln!(out, "  \"wall_secs\": {:.6},", self.wall_secs).unwrap();
+        write_map(&mut out, "counters", &self.counters, |out, v| {
+            write!(out, "{v}").unwrap();
+        });
+        out.push_str(",\n");
+        write_map(&mut out, "gauges", &self.gauges, |out, v| {
+            write!(out, "{v}").unwrap();
+        });
+        out.push_str(",\n");
+        write_map(&mut out, "values", &self.values, |out, v| v.write_json(out));
+        out.push_str(",\n");
+        let spans: BTreeMap<&str, &ValueStats> =
+            self.spans.iter().map(|(k, v)| (k.as_str(), v)).collect();
+        write_map(&mut out, "spans", &spans, |out, v| v.write_json(out));
+        out.push_str(",\n  \"events\": [");
+        for (i, ev) in self.events.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            write!(out, "    {{\"t\": {:.6}, \"path\": ", ev.t_secs).unwrap();
+            write_json_str(&mut out, &ev.path);
+            for (k, v) in &ev.attrs {
+                out.push_str(", ");
+                write_json_str(&mut out, k);
+                out.push_str(": ");
+                v.write_json(&mut out);
+            }
+            out.push('}');
+        }
+        if !self.events.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Renders a human-readable trace summary (counters, gauges, span tree,
+    /// event tail) for terminal output.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        writeln!(
+            out,
+            "obs report — level {}, {:.3}s wall, {} events",
+            self.level.as_str(),
+            self.wall_secs,
+            self.events.len()
+        )
+        .unwrap();
+        if !self.counters.is_empty() {
+            writeln!(out, "counters:").unwrap();
+            for (k, v) in &self.counters {
+                writeln!(out, "  {k:<36} {v}").unwrap();
+            }
+        }
+        if !self.gauges.is_empty() {
+            writeln!(out, "gauges:").unwrap();
+            for (k, v) in &self.gauges {
+                writeln!(out, "  {k:<36} {v}").unwrap();
+            }
+        }
+        if !self.values.is_empty() {
+            writeln!(out, "values:").unwrap();
+            for (k, v) in &self.values {
+                writeln!(
+                    out,
+                    "  {k:<36} n={} mean={:.6} min={:.6} max={:.6}",
+                    v.count,
+                    v.mean(),
+                    v.min,
+                    v.max
+                )
+                .unwrap();
+            }
+        }
+        if !self.spans.is_empty() {
+            writeln!(out, "spans:").unwrap();
+            for (path, v) in &self.spans {
+                let depth = path.matches('/').count();
+                let name = path.rsplit('/').next().unwrap_or(path);
+                writeln!(
+                    out,
+                    "  {:indent$}{name:<width$} n={} total={:.6}s max={:.6}s",
+                    "",
+                    v.count,
+                    v.sum,
+                    v.max,
+                    indent = 2 * depth,
+                    width = 34usize.saturating_sub(2 * depth),
+                )
+                .unwrap();
+            }
+        }
+        for ev in self.events.iter().rev().take(12).rev() {
+            write!(out, "  [{:>9.6}s] {}", ev.t_secs, ev.path).unwrap();
+            for (k, v) in &ev.attrs {
+                let mut s = String::new();
+                v.write_json(&mut s);
+                write!(out, " {k}={s}").unwrap();
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn write_map<V>(
+    out: &mut String,
+    key: &str,
+    map: &BTreeMap<&str, V>,
+    mut val: impl FnMut(&mut String, &V),
+) {
+    write!(out, "  \"{key}\": {{").unwrap();
+    for (i, (k, v)) in map.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    ");
+        write_json_str(out, k);
+        out.push_str(": ");
+        val(out, v);
+    }
+    if !map.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push('}');
+}
+
+/// Writes `s` as a JSON string literal with escaping.
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32).unwrap(),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_stats_aggregate_and_merge() {
+        let mut a = ValueStats::default();
+        a.record(1.0);
+        a.record(3.0);
+        let mut b = ValueStats::default();
+        b.record(5.0);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.sum, 9.0);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 5.0);
+        assert_eq!(a.mean(), 3.0);
+    }
+
+    #[test]
+    fn json_escapes_strings() {
+        let mut s = String::new();
+        write_json_str(&mut s, "a\"b\\c\nd");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let mut r = RunReport::default();
+        r.counters.insert("x.count", 3);
+        r.gauges.insert("x.peak", 9);
+        let mut v = ValueStats::default();
+        v.record(0.5);
+        r.values.insert("x.secs", v);
+        r.spans.insert("a/b".to_string(), v);
+        r.events.push(Event {
+            t_secs: 0.25,
+            path: "a/ev".to_string(),
+            attrs: vec![("tau", Attr::F64(4.0)), ("why", Attr::Str("cutoff"))],
+        });
+        let json = r.to_json();
+        assert!(json.contains("\"x.count\": 3"));
+        assert!(json.contains("\"x.peak\": 9"));
+        assert!(json.contains("\"a/b\""));
+        assert!(json.contains("\"why\": \"cutoff\""));
+        // Non-finite floats must not produce invalid JSON.
+        let mut s = String::new();
+        Attr::F64(f64::INFINITY).write_json(&mut s);
+        assert_eq!(s, "null");
+    }
+
+    #[test]
+    fn pretty_mentions_counters_and_events() {
+        let mut r = RunReport { level: Level::Full, ..RunReport::default() };
+        r.counters.insert("k", 7);
+        r.events.push(Event { t_secs: 0.0, path: "e".into(), attrs: vec![] });
+        let p = r.pretty();
+        assert!(p.contains("level full"));
+        assert!(p.contains('k'));
+        assert!(p.contains("] e"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Registry behaviour: span nesting, cross-thread counter aggregation, level
+//! gating, drain semantics, JSON output. Runs in its own process (integration
+//! test binary); a static mutex serializes the tests because the registry is
+//! process-global state.
+
+use r2t_obs::{Attr, Level, RunReport};
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn with_level<T>(level: Level, f: impl FnOnce() -> T) -> T {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    r2t_obs::set_level(level);
+    let _ = r2t_obs::drain(); // discard anything a previous test left behind
+    let out = f();
+    r2t_obs::set_level(Level::Off);
+    out
+}
+
+fn drained(level: Level, f: impl FnOnce()) -> RunReport {
+    with_level(level, || {
+        f();
+        r2t_obs::drain()
+    })
+}
+
+#[test]
+fn spans_nest_into_slash_paths() {
+    if !r2t_obs::COMPILED {
+        return;
+    }
+    let report = drained(Level::Spans, || {
+        let _outer = r2t_obs::span("outer");
+        {
+            let _inner = r2t_obs::span("inner");
+            let _leaf = r2t_obs::span("leaf");
+        }
+        let _inner2 = r2t_obs::span("inner");
+    });
+    let paths: Vec<&str> = report.spans.keys().map(String::as_str).collect();
+    assert_eq!(paths, vec!["outer", "outer/inner", "outer/inner/leaf"]);
+    assert_eq!(report.spans["outer/inner"].count, 2, "re-entered span aggregates");
+    assert_eq!(report.spans["outer"].count, 1);
+    // A parent span's total covers its children.
+    assert!(report.spans["outer"].sum >= report.spans["outer/inner"].sum);
+}
+
+#[test]
+fn counters_aggregate_across_threads() {
+    if !r2t_obs::COMPILED {
+        return;
+    }
+    let report = drained(Level::Counters, || {
+        r2t_obs::counter_add("t.hits", 1);
+        r2t_obs::gauge_max("t.peak", 5);
+        std::thread::scope(|scope| {
+            for i in 0..4u64 {
+                scope.spawn(move || {
+                    r2t_obs::counter_add("t.hits", 10);
+                    r2t_obs::gauge_max("t.peak", 3 + i);
+                    r2t_obs::record_value("t.size", i as f64);
+                });
+            }
+        });
+    });
+    assert_eq!(report.counters["t.hits"], 41, "sums across per-thread shards");
+    assert_eq!(report.gauges["t.peak"], 6, "gauge keeps the max across shards");
+    let sizes = &report.values["t.size"];
+    assert_eq!(sizes.count, 4);
+    assert_eq!(sizes.sum, 6.0);
+    assert_eq!(sizes.min, 0.0);
+    assert_eq!(sizes.max, 3.0);
+}
+
+#[test]
+fn levels_gate_recording() {
+    if !r2t_obs::COMPILED {
+        return;
+    }
+    let everything = || {
+        r2t_obs::counter_add("g.count", 1);
+        let _s = r2t_obs::span("g.span");
+        r2t_obs::event("g.event", &[("flag", Attr::Bool(true))]);
+    };
+
+    let off = drained(Level::Off, everything);
+    assert!(off.is_empty(), "Off records nothing");
+
+    let counters = drained(Level::Counters, everything);
+    assert_eq!(counters.counters["g.count"], 1);
+    assert_eq!(counters.counters["g.event"], 1, "events still bump their counter");
+    assert!(counters.spans.is_empty(), "no span timings below Spans");
+    assert!(counters.events.is_empty(), "no raw events below Full");
+
+    let spans = drained(Level::Spans, everything);
+    assert_eq!(spans.spans["g.span"].count, 1);
+    assert!(spans.events.is_empty());
+
+    let full = drained(Level::Full, everything);
+    assert_eq!(full.events.len(), 1);
+    assert_eq!(full.events[0].path, "g.span/g.event", "events are span-path qualified");
+    assert_eq!(full.events[0].attrs, vec![("flag", Attr::Bool(true))]);
+}
+
+#[test]
+fn drain_resets_the_registry() {
+    if !r2t_obs::COMPILED {
+        return;
+    }
+    with_level(Level::Counters, || {
+        r2t_obs::counter_add("d.once", 1);
+        let first = r2t_obs::drain();
+        assert_eq!(first.counters["d.once"], 1);
+        let second = r2t_obs::drain();
+        assert!(second.is_empty(), "second drain starts fresh");
+    });
+}
+
+#[test]
+fn full_report_serializes_to_json() {
+    if !r2t_obs::COMPILED {
+        return;
+    }
+    let report = drained(Level::Full, || {
+        let _s = r2t_obs::span("j.run");
+        r2t_obs::counter_add("j.count", 2);
+        r2t_obs::event(
+            "j.branch",
+            &[("tau", Attr::F64(8.0)), ("outcome", Attr::Str("killed")), ("iters", Attr::U64(3))],
+        );
+    });
+    let json = report.to_json();
+    assert!(json.contains("\"obs_level\": \"full\""));
+    assert!(json.contains("\"j.count\": 2"));
+    assert!(json.contains("\"outcome\": \"killed\""));
+    assert!(json.contains("\"j.run\""));
+    // Events appear time-ordered with a numeric offset.
+    assert!(json.contains("\"t\": 0."));
+    assert!(!report.pretty().is_empty());
+}
+
+#[test]
+fn disabled_build_is_inert() {
+    if r2t_obs::COMPILED {
+        return;
+    }
+    // Without the feature the API must stay callable and record nothing.
+    r2t_obs::set_level(Level::Full);
+    r2t_obs::counter_add("x", 1);
+    let _s = r2t_obs::span("x");
+    r2t_obs::event("x", &[("v", Attr::U64(1))]);
+    assert_eq!(r2t_obs::level(), Level::Off);
+    assert!(!r2t_obs::enabled(Level::Counters));
+    assert!(r2t_obs::drain().is_empty());
+}

@@ -9,6 +9,8 @@
 //! * [`graph`] — graph substrate for node-DP pattern counting
 //! * [`tpch`] — TPC-H-lite generator and the paper's ten evaluation queries
 //! * [`core`] — the R2T mechanism, truncation methods, and DP baselines
+//! * [`obs`] — DP-safe tracing/metrics spine (compiled in via the `obs`
+//!   feature; runtime level via `R2T_OBS=off|counters|spans|full`)
 //!
 //! [`system::PrivateDatabase`] ties everything together: SQL in, ε-DP
 //! answers out (the paper's Figure 3 system as one type).
@@ -22,5 +24,6 @@ pub use r2t_core as core;
 pub use r2t_engine as engine;
 pub use r2t_graph as graph;
 pub use r2t_lp as lp;
+pub use r2t_obs as obs;
 pub use r2t_sql as sql;
 pub use r2t_tpch as tpch;

@@ -1,0 +1,136 @@
+//! Differential smoke test for the observability layer: a fully instrumented
+//! run (level `full`) must produce **bit-identical** results to an
+//! uninstrumented run (level `off`) — telemetry may never perturb the
+//! mechanism. Exercised over both join executors (sequential and
+//! forced-parallel columnar) and both R2T execution modes.
+//!
+//! The obs registry is process-global, so the tests in this binary serialize
+//! through a mutex; being an integration-test binary keeps them in their own
+//! process, away from every other test's registry.
+
+use r2t::core::{R2TConfig, R2T};
+use r2t::engine::exec::{profile_grouped_with_stats, profile_with_stats, ExecOptions};
+use r2t::engine::QueryProfile;
+use r2t::obs::Level;
+use r2t::tpch::{generate, queries};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Mutex;
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+/// Runs `f` at the given obs level and returns its result, draining the
+/// registry afterwards so state never crosses tests.
+fn at_level<T>(level: Level, f: impl FnOnce() -> T) -> T {
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    r2t::obs::set_level(level);
+    let out = f();
+    let _ = r2t::obs::drain();
+    r2t::obs::set_level(Level::Off);
+    out
+}
+
+fn exec_opts(parallel: bool) -> ExecOptions {
+    if parallel {
+        // Force fan-out even on the small test instance.
+        ExecOptions { workers: Some(4), parallel_threshold: 1 }
+    } else {
+        ExecOptions { workers: Some(1), parallel_threshold: usize::MAX }
+    }
+}
+
+/// Full R2T pipeline (join + race) under one obs level; returns the exact
+/// profile and the released outputs of both race modes.
+fn pipeline(level: Level, parallel: bool) -> (QueryProfile, f64, f64) {
+    at_level(level, || {
+        let inst = generate(0.08, 0.3, 21);
+        let tq = queries::q3();
+        let (profile, _) =
+            profile_with_stats(&tq.schema, &inst, &tq.query, &exec_opts(parallel)).expect("q3");
+        let cfg = R2TConfig {
+            epsilon: 0.8,
+            beta: 0.1,
+            gs: 4096.0,
+            early_stop: true,
+            parallel,
+            ..Default::default()
+        };
+        let out_early = {
+            let mut rng = StdRng::seed_from_u64(99);
+            R2T::new(cfg.clone()).run_profile(&profile, &mut rng).output
+        };
+        let out_plain = {
+            let mut rng = StdRng::seed_from_u64(99);
+            R2T::new(R2TConfig { early_stop: false, ..cfg }).run_profile(&profile, &mut rng).output
+        };
+        (profile, out_early, out_plain)
+    })
+}
+
+#[test]
+fn instrumented_run_is_bit_identical_sequential() {
+    let (p_off, early_off, plain_off) = pipeline(Level::Off, false);
+    let (p_full, early_full, plain_full) = pipeline(Level::Full, false);
+    assert_eq!(p_off, p_full, "sequential executor profile changed under instrumentation");
+    assert_eq!(early_off.to_bits(), early_full.to_bits(), "early-stop R2T output changed");
+    assert_eq!(plain_off.to_bits(), plain_full.to_bits(), "plain R2T output changed");
+}
+
+#[test]
+fn instrumented_run_is_bit_identical_parallel() {
+    let (p_off, early_off, plain_off) = pipeline(Level::Off, true);
+    let (p_full, early_full, plain_full) = pipeline(Level::Full, true);
+    assert_eq!(p_off, p_full, "parallel executor profile changed under instrumentation");
+    assert_eq!(early_off.to_bits(), early_full.to_bits(), "early-stop R2T output changed");
+    assert_eq!(plain_off.to_bits(), plain_full.to_bits(), "plain R2T output changed");
+}
+
+#[test]
+fn grouped_executor_is_bit_identical_under_instrumentation() {
+    let run = |level| {
+        at_level(level, || {
+            let inst = generate(0.08, 0.3, 21);
+            let tq = queries::q10();
+            let group_vars: Vec<_> = (0..1).collect();
+            profile_grouped_with_stats(&tq.schema, &inst, &tq.query, &group_vars, &exec_opts(true))
+                .expect("q10 grouped")
+                .0
+        })
+    };
+    assert_eq!(run(Level::Off), run(Level::Full), "grouped profiles changed");
+}
+
+#[test]
+fn full_instrumentation_records_race_and_exec_telemetry() {
+    if !r2t::obs::COMPILED {
+        return; // nothing is recorded without the `obs` feature
+    }
+    let report = {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        r2t::obs::set_level(Level::Full);
+        let _ = r2t::obs::drain();
+        let inst = generate(0.08, 0.3, 21);
+        let tq = queries::q3();
+        let (profile, _) =
+            profile_with_stats(&tq.schema, &inst, &tq.query, &exec_opts(true)).expect("q3");
+        let mut rng = StdRng::seed_from_u64(7);
+        let cfg = R2TConfig { epsilon: 0.8, gs: 4096.0, ..Default::default() };
+        let _ = R2T::new(cfg).run_profile(&profile, &mut rng);
+        let report = r2t::obs::drain();
+        r2t::obs::set_level(Level::Off);
+        report
+    };
+    assert!(report.counters.contains_key("exec.stages"), "executor stages recorded");
+    assert!(report.counters.contains_key("lp.solves"), "LP solves recorded");
+    assert!(report.counters.contains_key("r2t.noise.draws"), "noise draw count recorded");
+    assert!(report.counters.contains_key("r2t.race.start"), "race lifecycle recorded");
+    assert!(report.spans.keys().any(|k| k.contains("r2t.run")), "race span recorded");
+    assert!(
+        report.events.iter().any(|e| e.path.contains("r2t.branch")),
+        "per-branch events recorded"
+    );
+    // The JSON export of a real run must be non-trivial and well-formed
+    // enough to contain the counters section.
+    let json = report.to_json();
+    assert!(json.contains("\"r2t.noise.draws\""));
+}
