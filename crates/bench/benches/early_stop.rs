@@ -16,14 +16,8 @@ fn bench_early_stop(c: &mut Criterion) {
     let mut g = c.benchmark_group("early_stop_qrect");
     g.sample_size(10);
     for early in [true, false] {
-        let r2t = R2T::new(R2TConfig {
-            epsilon: 0.8,
-            beta: 0.1,
-            gs,
-            early_stop: early,
-            parallel: false,
-            ..Default::default()
-        });
+        let r2t =
+            R2T::new(R2TConfig::builder(0.8, 0.1, gs).early_stop(early).parallel(false).build());
         let label = if early { "with" } else { "without" };
         g.bench_function(BenchmarkId::new(label, ""), |b| {
             let mut rng = StdRng::seed_from_u64(9);
@@ -40,14 +34,12 @@ fn bench_branch_count(c: &mut Criterion) {
     let mut g = c.benchmark_group("branches_vs_gs");
     g.sample_size(10);
     for log_gs in [8u32, 16, 24] {
-        let r2t = R2T::new(R2TConfig {
-            epsilon: 0.8,
-            beta: 0.1,
-            gs: 2f64.powi(log_gs as i32),
-            early_stop: true,
-            parallel: false,
-            ..Default::default()
-        });
+        let r2t = R2T::new(
+            R2TConfig::builder(0.8, 0.1, 2f64.powi(log_gs as i32))
+                .early_stop(true)
+                .parallel(false)
+                .build(),
+        );
         g.bench_function(BenchmarkId::from_parameter(log_gs), |b| {
             let mut rng = StdRng::seed_from_u64(10);
             b.iter(|| black_box(r2t.run_profile(&profile, &mut rng)))

@@ -22,14 +22,8 @@ fn bench_mechanisms(c: &mut Criterion) {
             let mut g =
                 c.benchmark_group(format!("{}_{}", ds.name.replace('-', "_"), pattern.label()));
             g.sample_size(10);
-            let r2t = R2T::new(R2TConfig {
-                epsilon: 0.8,
-                beta: 0.1,
-                gs,
-                early_stop: true,
-                parallel: false,
-                ..Default::default()
-            });
+            let r2t =
+                R2T::new(R2TConfig::builder(0.8, 0.1, gs).early_stop(true).parallel(false).build());
             g.bench_function(BenchmarkId::new("R2T", ""), |b| {
                 let mut rng = StdRng::seed_from_u64(1);
                 b.iter(|| black_box(r2t.run(&profile, &mut rng)))

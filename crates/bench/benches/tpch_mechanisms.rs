@@ -20,14 +20,8 @@ fn bench_tpch(c: &mut Criterion) {
         });
         let profile = exec::profile(&tq.schema, &inst, &tq.query).expect("runs");
         let gs = if tq.category == Category::Aggregation { 1u64 << 18 } else { 1u64 << 12 } as f64;
-        let r2t = R2T::new(R2TConfig {
-            epsilon: 0.8,
-            beta: 0.1,
-            gs,
-            early_stop: true,
-            parallel: false,
-            ..Default::default()
-        });
+        let r2t =
+            R2T::new(R2TConfig::builder(0.8, 0.1, gs).early_stop(true).parallel(false).build());
         g.bench_function("r2t", |b| {
             let mut rng = StdRng::seed_from_u64(1);
             b.iter(|| black_box(r2t.run(&profile, &mut rng)))

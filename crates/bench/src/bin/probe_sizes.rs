@@ -24,14 +24,7 @@ fn main() {
                 profile.max_sensitivity(),
                 enum_time
             );
-            let cfg = R2TConfig {
-                epsilon: 0.8,
-                beta: 0.1,
-                gs,
-                early_stop: true,
-                parallel: true,
-                ..Default::default()
-            };
+            let cfg = R2TConfig::builder(0.8, 0.1, gs).early_stop(true).parallel(true).build();
             let r2t = R2T::new(cfg);
             let mut rng = StdRng::seed_from_u64(1);
             let (rep, r2t_secs) = timed("bench.race", || r2t.run_profile(&profile, &mut rng));

@@ -31,14 +31,12 @@ fn main() {
             for &eps in &epsilons {
                 let cell = match mech {
                     "R2T" => {
-                        let r2t = R2T::new(R2TConfig {
-                            epsilon: eps,
-                            beta: 0.1,
-                            gs,
-                            early_stop: true,
-                            parallel: false,
-                            ..Default::default()
-                        });
+                        let r2t = R2T::new(
+                            R2TConfig::builder(eps, 0.1, gs)
+                                .early_stop(true)
+                                .parallel(false)
+                                .build(),
+                        );
                         measure(truth, reps, 0xF16 ^ eps.to_bits(), |rng| r2t.run(&profile, rng))
                     }
                     "NT" => measure(truth, reps, 0xF16A ^ eps.to_bits(), |rng| {

@@ -29,14 +29,8 @@ fn main() {
         let mut row_r2t = vec!["R2T".to_string()];
         let mut row_ls = vec!["LS".to_string()];
         for &gs in &gss {
-            let r2t = R2T::new(R2TConfig {
-                epsilon: 0.8,
-                beta: 0.1,
-                gs,
-                early_stop: true,
-                parallel: false,
-                ..Default::default()
-            });
+            let r2t =
+                R2T::new(R2TConfig::builder(0.8, 0.1, gs).early_stop(true).parallel(false).build());
             let c = measure(truth, reps, 0xF80 ^ gs.to_bits(), |rng| r2t.run(&profile, rng))
                 .expect("runs");
             row_r2t.push(fmt_sig(c.rel_err_pct));

@@ -1,0 +1,236 @@
+//! Measures the session serving layer against the cold one-shot path and
+//! records the trajectory into `results/BENCH_serving.json`.
+//!
+//! For each TPC-H-lite workload the same query is answered repeatedly three
+//! ways per repetition: **cold** through the deprecated
+//! `PrivateDatabase::query` (parse + lineage + LP race per call, both in the
+//! library's default race mode and in the aligned sequential mode), and
+//! **prepared** through a `Session` where `prepare` paid the parse, lineage
+//! and presolve once and each `answer` only charges the accountant and draws
+//! fresh noise. The bench asserts that prepared answers are bit-identical to
+//! cold answers on the same noise substream (the serving layer changes
+//! latency, never values) and that the prepared path is at least 5x faster
+//! than the cold aligned path. A second phase drives `answer_all_with` across
+//! worker counts and asserts the batch output is worker-count independent.
+//!
+//! Honours `R2T_REPS` (default 5).
+
+use r2t_bench::{mean, obs_init, p95, reps, timed};
+use r2t_core::R2TConfig;
+use r2t_service::{substream_rng, PrivateDatabase, QuerySpec};
+use std::fmt::Write as _;
+
+const ORDERS_SQL: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
+const ITEMS_SQL: &str = "SELECT COUNT(*) FROM orders, lineitem WHERE lineitem.l_ok = orders.ok";
+
+/// Answers per repetition on the prepared path. Prepared answers are
+/// microsecond-scale, so each repetition times a block of them.
+const WARM_BLOCK: usize = 64;
+
+/// The fully deterministic race mode (sequential, no early stop): the mode in
+/// which a prepared answer is bit-identical to a cold `query` call.
+fn aligned_cfg() -> R2TConfig {
+    R2TConfig::builder(1.0, 0.1, 4096.0).early_stop(false).parallel(false).build()
+}
+
+/// The library default race mode (early stop + parallel branches): what a
+/// caller who never opened a session would actually pay per query.
+fn default_cfg() -> R2TConfig {
+    R2TConfig::new(1.0, 0.1, 4096.0)
+}
+
+struct WorkloadResult {
+    name: String,
+    json: String,
+    prepare_s: f64,
+    warm_per_answer: f64,
+    cold_aligned: f64,
+    cold_default: f64,
+}
+
+fn run_workload(name: &str, db: &PrivateDatabase, sql: &str, reps: usize) -> WorkloadResult {
+    let seed = 0xA11CE;
+    let eps = 0.5;
+
+    // Equality gate first: the serving layer must change latency, never
+    // values. A fresh session's charges get ledger indices 0, 1, 2, ... and
+    // each index pins the noise substream, so a cold call on the same
+    // substream must reproduce the prepared answer bit for bit.
+    let session = db.open_session(1e9, aligned_cfg(), seed);
+    let prepared = session.prepare(sql).expect("prepare");
+    for i in 0..4u64 {
+        let warm = prepared.answer(eps).expect("prepared answer");
+        assert_eq!(warm.receipt.substream, i);
+        #[allow(deprecated)]
+        let cold = db
+            .query(sql, &aligned_cfg().with_epsilon(eps), &mut substream_rng(seed, i))
+            .expect("cold answer");
+        assert_eq!(
+            warm.noisy.to_bits(),
+            cold.to_bits(),
+            "{name}: prepared answer diverged from cold on substream {i}: {} vs {cold}",
+            warm.noisy
+        );
+    }
+
+    // One-time preparation cost on a fresh session (parse + lineage +
+    // presolve + branch values), then the timed phases reuse that session.
+    let session = db.open_session(1e9, aligned_cfg(), seed ^ 1);
+    let (prepared, prepare_s) = timed("bench.prepare", || session.prepare(sql).expect("prepare"));
+
+    let warm_block = || {
+        let ((), secs) = timed("bench.warm_block", || {
+            for _ in 0..WARM_BLOCK {
+                let a = prepared.answer(eps).expect("prepared answer");
+                assert!(a.noisy.is_finite());
+            }
+        });
+        secs / WARM_BLOCK as f64
+    };
+    let cold_one = |cfg: &R2TConfig, i: u64| {
+        #[allow(deprecated)]
+        let (out, secs) = timed("bench.cold_query", || {
+            db.query(sql, &cfg.with_epsilon(eps), &mut substream_rng(seed ^ 2, i))
+        });
+        out.expect("cold answer");
+        secs
+    };
+
+    // Warm-up pass (untimed): stabilizes caches, the allocator and CPU
+    // frequency so no measured path pays first-run effects.
+    warm_block();
+    cold_one(&aligned_cfg(), u64::MAX);
+    cold_one(&default_cfg(), u64::MAX - 1);
+
+    // Alternate which path runs first in each repetition so slow frequency /
+    // thermal drift cannot systematically favour either side.
+    let mut warm_times = Vec::with_capacity(reps);
+    let mut cold_aligned_times = Vec::with_capacity(reps);
+    let mut cold_default_times = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        if rep % 2 == 0 {
+            cold_aligned_times.push(cold_one(&aligned_cfg(), rep as u64));
+            cold_default_times.push(cold_one(&default_cfg(), rep as u64));
+            warm_times.push(warm_block());
+        } else {
+            warm_times.push(warm_block());
+            cold_default_times.push(cold_one(&default_cfg(), rep as u64));
+            cold_aligned_times.push(cold_one(&aligned_cfg(), rep as u64));
+        }
+    }
+
+    let warm_per_answer = mean(&warm_times);
+    let cold_aligned = mean(&cold_aligned_times);
+    let cold_default = mean(&cold_default_times);
+    let speedup_aligned = cold_aligned / warm_per_answer.max(1e-12);
+    let speedup_default = cold_default / warm_per_answer.max(1e-12);
+    assert!(
+        speedup_aligned >= 5.0,
+        "{name}: prepared answers must be >= 5x faster than cold queries \
+         (cold {cold_aligned:.6}s vs warm {warm_per_answer:.6}s = {speedup_aligned:.1}x)"
+    );
+
+    let mut json = String::new();
+    write!(
+        json,
+        "    {{\n      \"name\": \"{name}\",\n      \"warm_block\": {WARM_BLOCK},\n      \"prepare_s\": {prepare_s:.6},\n      \"warm_per_answer_mean_s\": {warm_per_answer:.9},\n      \"warm_per_answer_p95_s\": {:.9},\n      \"cold_aligned_mean_s\": {cold_aligned:.6},\n      \"cold_aligned_p95_s\": {:.6},\n      \"cold_default_mean_s\": {cold_default:.6},\n      \"speedup_vs_cold_aligned\": {speedup_aligned:.1},\n      \"speedup_vs_cold_default\": {speedup_default:.1},\n      \"bitwise_equal_to_cold\": true\n    }}",
+        p95(&warm_times),
+        p95(&cold_aligned_times),
+    )
+    .unwrap();
+
+    WorkloadResult {
+        name: name.to_string(),
+        json,
+        prepare_s,
+        warm_per_answer,
+        cold_aligned,
+        cold_default,
+    }
+}
+
+/// Batch serving: one `answer_all_with` call per repetition for each worker
+/// count. Every measurement opens a fresh session with the same seed so the
+/// batch output must be bit-identical across worker counts — the fan-out
+/// changes throughput, never values.
+fn run_batch(db: &PrivateDatabase, reps: usize) -> String {
+    let specs: Vec<QuerySpec> = (0..16)
+        .map(|i| {
+            let sql = if i % 2 == 0 { ORDERS_SQL } else { ITEMS_SQL };
+            QuerySpec::new(sql, 0.25)
+        })
+        .collect();
+    let mut reference: Option<Vec<u64>> = None;
+    let mut rows = Vec::new();
+    for &workers in &[1usize, 2, 4, 8] {
+        let mut times = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let session = db.open_session(1e9, aligned_cfg(), 0xBA7C4);
+            // Prepare both texts up front so the timed section is pure
+            // serving: charge + noise draws fanned across `workers` threads.
+            session.prepare(ORDERS_SQL).expect("prepare");
+            session.prepare(ITEMS_SQL).expect("prepare");
+            let (answers, secs) = timed("bench.answer_all", || {
+                session.answer_all_with(&specs, workers).expect("batch")
+            });
+            times.push(secs);
+            let bits: Vec<u64> = answers.iter().map(|a| a.noisy.to_bits()).collect();
+            match &reference {
+                None => reference = Some(bits),
+                Some(r) => assert_eq!(r, &bits, "batch output depends on worker count {workers}"),
+            }
+        }
+        let batch_mean = mean(&times);
+        println!(
+            "batch answer_all      workers={workers} batch={:.6}s throughput={:.0} answers/s",
+            batch_mean,
+            specs.len() as f64 / batch_mean.max(1e-12)
+        );
+        rows.push(format!(
+            "    {{\"workers\": {workers}, \"batch_size\": {}, \"batch_mean_s\": {batch_mean:.6}, \"batch_p95_s\": {:.6}, \"answers_per_s\": {:.0}}}",
+            specs.len(),
+            p95(&times),
+            specs.len() as f64 / batch_mean.max(1e-12)
+        ));
+    }
+    rows.join(",\n")
+}
+
+fn main() {
+    let obs = obs_init("serving");
+    let reps = reps();
+    println!("# BENCH serving — prepared sessions vs cold one-shot queries (reps = {reps})\n");
+
+    let schema = r2t_tpch::tpch_schema(&["customer"]);
+    let db = PrivateDatabase::new(schema, r2t_tpch::generate(0.2, 0.3, 0xC0FFEE))
+        .expect("valid TPC-H-lite instance");
+
+    let workloads = vec![
+        run_workload("orders_per_customer", &db, ORDERS_SQL, reps),
+        run_workload("items_per_order", &db, ITEMS_SQL, reps),
+    ];
+
+    for w in &workloads {
+        println!(
+            "{:<22} prepare={:.4}s warm={:.2}us/ans cold_aligned={:.4}s cold_default={:.4}s speedup={:.0}x",
+            w.name,
+            w.prepare_s,
+            w.warm_per_answer * 1e6,
+            w.cold_aligned,
+            w.cold_default,
+            w.cold_aligned / w.warm_per_answer.max(1e-12)
+        );
+    }
+    println!();
+    let batch_json = run_batch(&db, reps);
+
+    let body: Vec<&str> = workloads.iter().map(|w| w.json.as_str()).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"serving\",\n  \"reps\": {reps},\n  \"workloads\": [\n{}\n  ],\n  \"batch\": [\n{batch_json}\n  ]\n}}\n",
+        body.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_serving.json", &json).expect("write BENCH_serving.json");
+    println!("\nwrote results/BENCH_serving.json");
+    obs.finish();
+}

@@ -34,14 +34,8 @@ fn main() {
             let log_gs = gs.log2() as u32;
 
             // R2T.
-            let r2t = R2T::new(R2TConfig {
-                epsilon: 0.8,
-                beta: 0.1,
-                gs,
-                early_stop: true,
-                parallel: false,
-                ..Default::default()
-            });
+            let r2t =
+                R2T::new(R2TConfig::builder(0.8, 0.1, gs).early_stop(true).parallel(false).build());
             let cell = measure(truth, reps, 0xACE0 ^ log_gs as u64, |rng| r2t.run(&profile, rng))
                 .expect("R2T always runs");
             table.row(&[

@@ -40,14 +40,9 @@ fn main() {
     {
         let mut row = vec!["R2T".to_string()];
         for (i, profile) in profiles.iter().enumerate() {
-            let r2t = R2T::new(R2TConfig {
-                epsilon: 0.8,
-                beta: 0.1,
-                gs: gss[i],
-                early_stop: true,
-                parallel: false,
-                ..Default::default()
-            });
+            let r2t = R2T::new(
+                R2TConfig::builder(0.8, 0.1, gss[i]).early_stop(true).parallel(false).build(),
+            );
             let e = abs_error(truths[i], reps, 0x3A1 + i as u64, |rng| {
                 r2t.run(&profiles[i], rng).expect("r2t runs")
             });

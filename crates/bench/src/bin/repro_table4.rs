@@ -17,14 +17,9 @@ fn main() {
         let gs = Pattern::Rectangle.global_sensitivity(ds.degree_bound);
         let mut times = [0.0f64; 2];
         for (i, early) in [true, false].into_iter().enumerate() {
-            let r2t = R2T::new(R2TConfig {
-                epsilon: 0.8,
-                beta: 0.1,
-                gs,
-                early_stop: early,
-                parallel: false,
-                ..Default::default()
-            });
+            let r2t = R2T::new(
+                R2TConfig::builder(0.8, 0.1, gs).early_stop(early).parallel(false).build(),
+            );
             let ((), secs) = timed("bench.race", || {
                 for r in 0..reps {
                     let mut rng = StdRng::seed_from_u64(0xE57 + r as u64);

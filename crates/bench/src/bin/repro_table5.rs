@@ -46,14 +46,8 @@ fn main() {
         });
         let truth = profile.query_result();
 
-        let r2t = R2T::new(R2TConfig {
-            epsilon: 0.8,
-            beta: 0.1,
-            gs,
-            early_stop: true,
-            parallel: false,
-            ..Default::default()
-        });
+        let r2t =
+            R2T::new(R2TConfig::builder(0.8, 0.1, gs).early_stop(true).parallel(false).build());
         let r2t_cell = measure(truth, reps, 0x7A + truth as u64, |rng| r2t.run(&profile, rng))
             .expect("r2t runs");
         let ls = LocalSensitivitySvt { epsilon: 0.8, gs };

@@ -71,6 +71,34 @@ impl Accountant {
         Ok(())
     }
 
+    /// Number of successful charges so far. (A serving layer uses this as
+    /// the deterministic substream index of the *next* charge: refused
+    /// charges never advance it.)
+    pub fn num_charges(&self) -> usize {
+        self.charges.len()
+    }
+
+    /// Atomically reserves a batch of charges: either every charge commits
+    /// (appended to the ledger in input order) or none does and the budget is
+    /// untouched. The all-or-nothing discipline keeps a concurrent batch from
+    /// half-spending before discovering it cannot finish.
+    pub fn charge_many(&mut self, charges: &[(&str, f64)]) -> Result<(), BudgetExceeded> {
+        let mut total = 0.0;
+        for &(_, epsilon) in charges {
+            assert!(epsilon >= 0.0, "charges must be non-negative");
+            total += epsilon;
+        }
+        if total > self.remaining() + 1e-12 {
+            return Err(BudgetExceeded { requested: total, remaining: self.remaining() });
+        }
+        self.charges.reserve(charges.len());
+        for &(label, epsilon) in charges {
+            self.spent += epsilon;
+            self.charges.push((label.to_string(), epsilon));
+        }
+        Ok(())
+    }
+
     /// The ledger: (label, ε) per successful charge, in order.
     pub fn ledger(&self) -> &[(String, f64)] {
         &self.charges
@@ -112,5 +140,33 @@ mod tests {
     fn zero_charges_always_fit() {
         let mut a = Accountant::new(0.0);
         a.charge("free", 0.0).expect("zero charge");
+    }
+
+    #[test]
+    fn batch_commits_in_order() {
+        let mut a = Accountant::new(1.0);
+        a.charge_many(&[("q1", 0.25), ("q2", 0.5), ("q3", 0.25)]).expect("exact fit");
+        assert!((a.spent() - 1.0).abs() < 1e-12);
+        assert_eq!(a.num_charges(), 3);
+        assert_eq!(a.ledger()[1], ("q2".to_string(), 0.5));
+    }
+
+    #[test]
+    fn over_budget_batch_refused_atomically() {
+        let mut a = Accountant::new(1.0);
+        a.charge("warm", 0.5).expect("fits");
+        // The first two entries alone would fit; the batch as a whole does
+        // not, and none of it may spend.
+        let err = a.charge_many(&[("q1", 0.2), ("q2", 0.2), ("q3", 0.2)]).expect_err("over");
+        assert!((err.requested - 0.6).abs() < 1e-12);
+        assert!((a.spent() - 0.5).abs() < 1e-12, "refused batch must not spend");
+        assert_eq!(a.num_charges(), 1, "refused batch must not advance the ledger");
+    }
+
+    #[test]
+    fn empty_batch_is_free() {
+        let mut a = Accountant::new(0.0);
+        a.charge_many(&[]).expect("empty batch");
+        assert_eq!(a.num_charges(), 0);
     }
 }

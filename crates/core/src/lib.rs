@@ -26,7 +26,10 @@ pub mod noise;
 pub mod r2t;
 pub mod truncation;
 
+pub use accountant::{Accountant, BudgetExceeded};
 pub use mechanism::Mechanism;
-pub use r2t::{R2TConfig, R2TReport, R2T};
+pub use r2t::{BranchValues, R2TConfig, R2TConfigBuilder, R2TReport, R2T};
 pub use r2t_engine::QueryProfile;
-pub use truncation::{LpTruncation, NaiveTruncation, ProjectedLpTruncation, Truncation};
+pub use truncation::{
+    LpTruncation, NaiveTruncation, ProjectedLpTruncation, SweepCache, Truncation,
+};

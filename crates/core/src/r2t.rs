@@ -28,7 +28,13 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Configuration for R2T.
+///
+/// Construct through [`R2TConfig::builder`] (or [`R2TConfig::new`] for the
+/// default execution strategy); the struct is `#[non_exhaustive]` so knobs
+/// can be added without breaking downstream crates. Individual fields stay
+/// public and may be reassigned after construction.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct R2TConfig {
     /// Privacy budget ε.
     pub epsilon: f64,
@@ -84,6 +90,65 @@ impl R2TConfig {
     /// default execution strategy (early stop, parallel).
     pub fn new(epsilon: f64, beta: f64, gs: f64) -> Self {
         R2TConfig { epsilon, beta, gs, ..R2TConfig::default() }.normalized()
+    }
+
+    /// Starts a builder. The privacy/utility parameters (ε, β, `GS_Q`) are
+    /// required up front; execution knobs are chained:
+    ///
+    /// ```
+    /// let cfg = r2t_core::R2TConfig::builder(1.0, 0.1, 4096.0)
+    ///     .early_stop(false)
+    ///     .parallel(false)
+    ///     .build();
+    /// assert_eq!(cfg.num_branches(), 12);
+    /// ```
+    pub fn builder(epsilon: f64, beta: f64, gs: f64) -> R2TConfigBuilder {
+        R2TConfigBuilder { cfg: R2TConfig { epsilon, beta, gs, ..R2TConfig::default() } }
+    }
+
+    /// This config with a different ε (all other knobs kept). The per-charge
+    /// override a serving session applies on top of its base config.
+    pub fn with_epsilon(&self, epsilon: f64) -> R2TConfig {
+        let mut cfg = self.clone();
+        cfg.epsilon = epsilon;
+        cfg
+    }
+}
+
+/// Chained builder for [`R2TConfig`]; see [`R2TConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct R2TConfigBuilder {
+    cfg: R2TConfig,
+}
+
+impl R2TConfigBuilder {
+    /// Enable/disable the early-stop optimization (Algorithm 1).
+    pub fn early_stop(mut self, on: bool) -> Self {
+        self.cfg.early_stop = on;
+        self
+    }
+
+    /// Solve race branches on multiple threads.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.cfg.parallel = on;
+        self
+    }
+
+    /// Reuse simplex bases across adjacent τ-branches.
+    pub fn warm_sweep(mut self, on: bool) -> Self {
+        self.cfg.warm_sweep = on;
+        self
+    }
+
+    /// Racing-cutoff check cadence, in simplex iterations.
+    pub fn event_every(mut self, iterations: usize) -> Self {
+        self.cfg.event_every = iterations;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> R2TConfig {
+        self.cfg.normalized()
     }
 }
 
@@ -328,6 +393,115 @@ impl R2T {
         );
         R2TReport { output, branches: reports, winner, seconds: start.elapsed().as_secs_f64() }
     }
+
+    /// Runs R2T over *precomputed* branch values: draws the same noise stream
+    /// as [`Self::run_with`] (one Laplace sample per branch, ascending τ) and
+    /// takes the shifted maximum of Eq. 8, but spends no solver time.
+    ///
+    /// `Q(I, τ)` is a deterministic, pre-noise function of the instance, so a
+    /// serving layer may evaluate the τ grid once per query and then answer
+    /// repeated (separately budgeted) charges from the cache — each call here
+    /// still draws fresh noise and is a full ε-DP release. The output is
+    /// bit-identical to [`Self::run_with`] in the sequential
+    /// no-early-stop mode that [`BranchValues::compute`] mirrors, and agrees
+    /// to solver tolerance with every other execution mode.
+    ///
+    /// Panics if `values` was computed for a different τ grid than
+    /// `self.config.num_branches()` implies.
+    pub fn run_cached(&self, values: &BranchValues, rng: &mut dyn RngCore) -> R2TReport {
+        let start = Instant::now();
+        let _run_span = r2t_obs::span("r2t.run");
+        let cfg = &self.config;
+        let log_gs = cfg.num_branches().max(1) as f64;
+        let nb = cfg.num_branches().max(1) as usize;
+        assert_eq!(
+            nb,
+            values.values.len(),
+            "BranchValues computed for a different GS grid ({} branches, config wants {nb})",
+            values.values.len(),
+        );
+        let penalty_unit = log_gs * (log_gs / cfg.beta).ln() / cfg.epsilon;
+        r2t_obs::event(
+            "r2t.race.start",
+            &[
+                ("branches", r2t_obs::Attr::U64(nb as u64)),
+                ("epsilon", r2t_obs::Attr::F64(cfg.epsilon)),
+                ("gs", r2t_obs::Attr::F64(cfg.gs)),
+                ("cached", r2t_obs::Attr::Bool(true)),
+            ],
+        );
+        // The exact noise stream of `run_with`: one draw per branch in
+        // ascending-τ order, shifted down by the branch's own noise scale.
+        let reports: Vec<BranchReport> = (1..=nb)
+            .map(|j| {
+                let tau = (1u64 << j) as f64;
+                let shift = laplace(rng, log_gs * tau / cfg.epsilon) - penalty_unit * tau;
+                let v = values.values[j - 1];
+                BranchReport { tau, lp_value: Some(v), shifted: Some(v + shift), seconds: 0.0 }
+            })
+            .collect();
+        r2t_obs::counter_add("r2t.noise.draws", nb as u64);
+        let (output, winner) = pick_winner(&reports, values.base);
+        r2t_obs::event(
+            "r2t.race.done",
+            &[
+                ("output", r2t_obs::Attr::F64(output)),
+                ("winner_tau", r2t_obs::Attr::F64(winner.map_or(0.0, |i| reports[i].tau))),
+                ("base_won", r2t_obs::Attr::Bool(winner.is_none())),
+            ],
+        );
+        R2TReport { output, branches: reports, winner, seconds: start.elapsed().as_secs_f64() }
+    }
+}
+
+/// The pre-noise half of an R2T run: `Q(I, 0)` plus `Q(I, τ⁽ʲ⁾)` for the
+/// geometric τ grid. Deterministic per (profile, grid) — no randomness is
+/// consumed computing it — so it can be cached and replayed by
+/// [`R2T::run_cached`] across any number of separately budgeted answers.
+///
+/// **DP-safety**: these are raw query evaluations. A cache entry must be
+/// treated like the instance itself — never released without noise, and never
+/// reused beyond the lifetime of the instance it was computed on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BranchValues {
+    /// `Q(I, 0)` — the no-noise floor of Eq. 8.
+    pub base: f64,
+    /// `Q(I, 2ʲ)` for `j = 1 ..= num_branches`, ascending.
+    pub values: Vec<f64>,
+}
+
+impl BranchValues {
+    /// Number of branches in the grid.
+    pub fn num_branches(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Evaluates the τ grid with the same descending warm-sweep chain the
+    /// sequential no-early-stop race uses (one [`SweepBranchSolver`] session
+    /// fed τ values largest-first when `warm_sweep` is set), so the cached
+    /// values — and therefore [`R2T::run_cached`]'s outputs — are
+    /// bit-identical to that mode of [`R2T::run_with`].
+    pub fn compute(trunc: &dyn Truncation, num_branches: u32, warm_sweep: bool) -> Self {
+        let nb = num_branches.max(1) as usize;
+        let mut values = vec![0.0f64; nb];
+        let mut session = if warm_sweep { trunc.sweep_session() } else { None };
+        for j in (1..=nb).rev() {
+            let tau = (1u64 << j) as f64;
+            values[j - 1] = match session.as_mut() {
+                Some(s) => s.value(tau),
+                None => trunc.value(tau),
+            };
+        }
+        BranchValues { base: trunc.value(0.0), values }
+    }
+
+    /// [`Self::compute`] with the truncation method picked for the profile
+    /// the way [`R2T::run_profile`] picks it, honouring the config's grid
+    /// depth, warm-sweep setting, and cutoff cadence.
+    pub fn for_profile(profile: &QueryProfile, cfg: &R2TConfig) -> Self {
+        let trunc = truncation::for_profile_with(profile, cfg.event_every);
+        Self::compute(trunc.as_ref(), cfg.num_branches(), cfg.warm_sweep)
+    }
 }
 
 /// Emits a branch lifecycle event. Records the τ, the *noisy shifted*
@@ -534,6 +708,80 @@ mod tests {
         assert!(rep.branches.iter().all(|b| b.lp_value.is_some()));
         // With τ ≥ 32 the LP value is the exact answer.
         assert!((rep.branches[5].lp_value.unwrap() - 9992.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn builder_matches_literal_and_normalizes() {
+        let b = R2TConfig::builder(1.0, 0.1, 256.0)
+            .early_stop(false)
+            .parallel(false)
+            .warm_sweep(false)
+            .event_every(32)
+            .build();
+        assert_eq!(b.epsilon, 1.0);
+        assert_eq!(b.beta, 0.1);
+        assert_eq!(b.gs, 256.0);
+        assert!(!b.early_stop && !b.parallel && !b.warm_sweep);
+        assert_eq!(b.event_every, 32);
+        // GS is clamped exactly like the literal constructors do.
+        assert_eq!(R2TConfig::builder(1.0, 0.1, 0.5).build().gs, 2.0);
+        let e = R2TConfig::builder(1.0, 0.1, 256.0).build().with_epsilon(0.25);
+        assert_eq!(e.epsilon, 0.25);
+        assert_eq!(e.gs, 256.0);
+    }
+
+    #[test]
+    fn cached_values_reproduce_sequential_run_bitwise() {
+        let p = example_6_2_profile();
+        for warm in [false, true] {
+            let mut c = cfg(); // early_stop = false, parallel = false
+            c.warm_sweep = warm;
+            let r2t = R2T::new(c.clone());
+            let t = LpTruncation::new(&p);
+            let values = BranchValues::compute(&t, c.num_branches(), warm);
+            assert_eq!(values.num_branches(), 8);
+            for seed in 0..5 {
+                let mut rng1 = StdRng::seed_from_u64(seed);
+                let mut rng2 = StdRng::seed_from_u64(seed);
+                let t2 = LpTruncation::new(&p);
+                let full = r2t.run_with(&t2, &mut rng1);
+                let cached = r2t.run_cached(&values, &mut rng2);
+                assert_eq!(
+                    full.output.to_bits(),
+                    cached.output.to_bits(),
+                    "warm={warm} seed={seed}: {} vs {}",
+                    full.output,
+                    cached.output
+                );
+                assert_eq!(full.winner, cached.winner);
+            }
+        }
+    }
+
+    #[test]
+    fn cached_run_consumes_same_noise_stream() {
+        // After a cached run the RNG must sit exactly where a full run would
+        // leave it: one draw per branch, nothing else.
+        let p = example_6_2_profile();
+        let c = cfg();
+        let r2t = R2T::new(c.clone());
+        let values = BranchValues::for_profile(&p, &c);
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        let t = LpTruncation::new(&p);
+        r2t.run_with(&t, &mut rng1);
+        r2t.run_cached(&values, &mut rng2);
+        assert_eq!(rng1.next_u64(), rng2.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "different GS grid")]
+    fn cached_run_rejects_mismatched_grid() {
+        let p = example_6_2_profile();
+        let values = BranchValues::for_profile(&p, &cfg()); // 8 branches
+        let other = R2T::new(R2TConfig::builder(1.0, 0.1, 1024.0).build()); // 10
+        let mut rng = StdRng::seed_from_u64(1);
+        other.run_cached(&values, &mut rng);
     }
 
     #[test]

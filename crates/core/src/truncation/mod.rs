@@ -24,6 +24,18 @@ pub use naive::NaiveTruncation;
 pub use projected::ProjectedLpTruncation;
 
 use r2t_engine::QueryProfile;
+use std::sync::{Arc, OnceLock};
+
+/// A shareable, lazily built τ-sweep LP structure (constraint skeleton,
+/// monotone presolve thresholds) for one profile. Truncations built with
+/// [`LpTruncation::with_sweep_cache`] / [`ProjectedLpTruncation::with_sweep_cache`]
+/// populate the cache on first use and every later truncation over the same
+/// profile reuses it — the amortization a prepared query lives on. The inner
+/// `None` records that the profile has no sweep structure (empty profile).
+///
+/// Like the profile it derives from, the cached structure is pre-noise state:
+/// it must never outlive the instance it was built on.
+pub type SweepCache = Arc<OnceLock<Option<r2t_lp::SweepProblem>>>;
 
 /// A per-worker branch solver carrying LP solver state (simplex bases,
 /// workspace buffers) across the τ-branches it is fed. Created through
@@ -94,6 +106,26 @@ pub fn for_profile_with(profile: &QueryProfile, event_every: usize) -> Box<dyn T
         Box::new(t)
     } else {
         let mut t = LpTruncation::new(profile);
+        t.event_every = event_every;
+        Box::new(t)
+    }
+}
+
+/// Like [`for_profile_with`], sharing the sweep structure through an external
+/// [`SweepCache`] so repeated truncations over the same cached profile skip
+/// the LP build + presolve. The cache must always be paired with the same
+/// profile (a serving layer keys both by the query).
+pub fn for_profile_cached<'a>(
+    profile: &'a QueryProfile,
+    event_every: usize,
+    cache: &SweepCache,
+) -> Box<dyn Truncation + 'a> {
+    if profile.groups.is_some() {
+        let mut t = ProjectedLpTruncation::with_sweep_cache(profile, Arc::clone(cache));
+        t.event_every = event_every;
+        Box::new(t)
+    } else {
+        let mut t = LpTruncation::with_sweep_cache(profile, Arc::clone(cache));
         t.event_every = event_every;
         Box::new(t)
     }

@@ -11,13 +11,13 @@
 //! Lemma 7.3); the gap between `IS_Q(I)` and the true `DS_Q(I)` is the price
 //! of projection, which Theorem 7.2 proves unavoidable.
 
-use super::{SweepBranchSolver, Truncation};
+use super::{SweepBranchSolver, SweepCache, Truncation};
 use r2t_engine::QueryProfile;
 use r2t_lp::presolve::presolve;
 use r2t_lp::{
     Problem, RevisedSimplex, RowBounds, SolveOptions, Status, SweepProblem, SweepSession, VarBounds,
 };
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// LP truncation for SPJA (projection) queries.
 #[derive(Debug)]
@@ -26,8 +26,9 @@ pub struct ProjectedLpTruncation<'a> {
     /// How often (in simplex iterations) to check the racing cutoff.
     pub event_every: usize,
     /// Shared τ-sweep structure (group rows static, tuple rows swept),
-    /// built lazily by the first worker that asks for a sweep session.
-    sweep: OnceLock<Option<SweepProblem>>,
+    /// built lazily by the first worker that asks for a sweep session;
+    /// shareable across truncation instances via [`Self::with_sweep_cache`].
+    sweep: SweepCache,
 }
 
 impl<'a> ProjectedLpTruncation<'a> {
@@ -35,7 +36,13 @@ impl<'a> ProjectedLpTruncation<'a> {
     /// groups are accepted (each result forms its own group), so this method
     /// strictly generalizes [`super::LpTruncation`].
     pub fn new(profile: &'a QueryProfile) -> Self {
-        ProjectedLpTruncation { profile, event_every: 16, sweep: OnceLock::new() }
+        Self::with_sweep_cache(profile, Arc::new(OnceLock::new()))
+    }
+
+    /// Like [`Self::new`], but sharing the sweep structure through `cache`;
+    /// see [`super::LpTruncation::with_sweep_cache`].
+    pub fn with_sweep_cache(profile: &'a QueryProfile, cache: SweepCache) -> Self {
+        ProjectedLpTruncation { profile, event_every: 16, sweep: cache }
     }
 
     fn build_lp(&self, tau: f64) -> Problem {
@@ -208,8 +215,8 @@ mod tests {
     fn overlap_profile(m: u64) -> QueryProfile {
         let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
         for l in 0..m {
-            b.add_projected_result(l, 1.0, 1.0, [1]);
-            b.add_projected_result(l, 1.0, 1.0, [2]);
+            b.add_projected_result(l, 1.0, 1.0, [1]).unwrap();
+            b.add_projected_result(l, 1.0, 1.0, [2]).unwrap();
         }
         b.build()
     }
@@ -247,9 +254,9 @@ mod tests {
     fn group_weight_caps_value() {
         // One projected result of weight 2 backed by three unit results.
         let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
-        b.add_projected_result(0, 2.0, 1.0, [1]);
-        b.add_projected_result(0, 2.0, 1.0, [2]);
-        b.add_projected_result(0, 2.0, 1.0, [3]);
+        b.add_projected_result(0, 2.0, 1.0, [1]).unwrap();
+        b.add_projected_result(0, 2.0, 1.0, [2]).unwrap();
+        b.add_projected_result(0, 2.0, 1.0, [3]).unwrap();
         let p = b.build();
         let t = ProjectedLpTruncation::new(&p);
         assert!((t.value(1.0) - 2.0).abs() < 1e-6);

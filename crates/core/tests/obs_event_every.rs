@@ -45,15 +45,11 @@ fn race(profile: &QueryProfile, event_every: usize) -> (f64, u64) {
     let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
     r2t_obs::set_level(r2t_obs::Level::Counters);
     let _ = r2t_obs::drain();
-    let cfg = R2TConfig {
-        epsilon: 1.0,
-        beta: 0.1,
-        gs: 256.0,
-        early_stop: true,
-        parallel: false,
-        event_every,
-        ..Default::default()
-    };
+    let cfg = R2TConfig::builder(1.0, 0.1, 256.0)
+        .early_stop(true)
+        .parallel(false)
+        .event_every(event_every)
+        .build();
     let mut rng = StdRng::seed_from_u64(42);
     let out = R2T::new(cfg).run_profile(profile, &mut rng).output;
     let report = r2t_obs::drain();

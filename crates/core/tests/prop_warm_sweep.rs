@@ -47,7 +47,8 @@ fn build_projected(rp: &RandomProfile) -> QueryProfile {
             rp.group_weights[gid],
             *w,
             refs.iter().map(|&r| r as u64),
-        );
+        )
+        .expect("consistent group weights");
     }
     b.build()
 }

@@ -35,7 +35,7 @@ pub mod value;
 pub use exec::{ExecOptions, ExecStats};
 pub use instance::Instance;
 pub use interner::Interner;
-pub use lineage::{QueryProfile, ResultLine};
+pub use lineage::{ProfileSummary, QueryProfile, ResultLine};
 pub use query::{Aggregate, Atom, CmpOp, Expr, Predicate, Query};
 pub use schema::{Relation, Schema};
 pub use value::{Tuple, Value};

@@ -128,6 +128,21 @@ impl QueryProfile {
             .fold(0.0, f64::max)
     }
 
+    /// Summarizes the profile's shape for explain/describe output. Like the
+    /// profile itself the summary is *pre-noise* state — `max_sensitivity`
+    /// and `query_result` are raw data-dependent quantities, so the summary
+    /// must never be released to an analyst without going through a DP
+    /// mechanism.
+    pub fn summary(&self) -> ProfileSummary {
+        ProfileSummary {
+            results: self.results.len(),
+            num_private: self.num_private,
+            query_result: self.query_result(),
+            max_sensitivity: self.max_sensitivity(),
+            is_projection: self.groups.is_some(),
+        }
+    }
+
     /// Transposes references into `C_j(I)`: for each private tuple, the
     /// indices of the join results referencing it.
     pub fn reference_lists(&self) -> Vec<Vec<u32>> {
@@ -138,6 +153,37 @@ impl QueryProfile {
             }
         }
         c
+    }
+}
+
+/// Shape of a [`QueryProfile`], produced by [`QueryProfile::summary`]. Not
+/// DP: a planning/debugging artifact, rendered by `explain`-style APIs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfileSummary {
+    /// Number of surviving join results.
+    pub results: usize,
+    /// Number of distinct referenced private tuples.
+    pub num_private: usize,
+    /// The true (noiseless) query answer `Q(I)`.
+    pub query_result: f64,
+    /// `max_j S_Q(I, t_j)` — `DS_Q(I)` for SJA queries, `IS_Q(I)` for SPJA.
+    pub max_sensitivity: f64,
+    /// Whether the query has a duplicate-removing projection.
+    pub is_projection: bool,
+}
+
+impl std::fmt::Display for ProfileSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} join results; {} referenced private tuples; Q(I) = {}; \
+             max tuple sensitivity = {}; projection: {}",
+            self.results,
+            self.num_private,
+            self.query_result,
+            self.max_sensitivity,
+            self.is_projection,
+        )
     }
 }
 
@@ -376,6 +422,20 @@ mod tests {
         assert_eq!(s, vec![1.0, 3.0]); // alice: 1, bob: 1 + 2
         assert_eq!(p.max_sensitivity(), 3.0);
         assert!(!p.is_functionally_self_join_free());
+    }
+
+    #[test]
+    fn summary_reflects_shape() {
+        let mut b: ProfileBuilder<&str> = ProfileBuilder::new();
+        b.add_result(1.0, ["alice", "bob"]);
+        b.add_result(2.0, ["bob"]);
+        let s = b.build().summary();
+        assert_eq!(s.results, 2);
+        assert_eq!(s.num_private, 2);
+        assert_eq!(s.query_result, 3.0);
+        assert_eq!(s.max_sensitivity, 3.0);
+        assert!(!s.is_projection);
+        assert!(s.to_string().contains("2 join results"));
     }
 
     #[test]

@@ -1,0 +1,110 @@
+//! The database facade: a validated instance plus its privacy policy.
+
+use crate::session::Session;
+use crate::Error;
+use r2t_core::groupby::GroupByR2T;
+use r2t_core::{Accountant, R2TConfig, R2T};
+use r2t_engine::{exec, Instance, ProfileSummary, Schema, Tuple};
+use r2t_sql::parse_statement;
+use rand::RngCore;
+
+/// A validated database instance plus its privacy policy, answering SQL
+/// queries under ε-DP with R2T.
+///
+/// One-shot entry points ([`Self::query`], [`Self::query_grouped`]) are
+/// deprecated: they spend `cfg.epsilon` per call with no cross-query
+/// bookkeeping. Open a [`Session`] instead — it enforces a total budget
+/// across everything the analyst asks and amortizes query preparation.
+#[derive(Debug, Clone)]
+pub struct PrivateDatabase {
+    schema: Schema,
+    instance: Instance,
+}
+
+impl PrivateDatabase {
+    /// Builds the system, validating referential integrity and the FK DAG.
+    pub fn new(schema: Schema, instance: Instance) -> Result<Self, Error> {
+        instance.validate(&schema)?;
+        Ok(PrivateDatabase { schema, instance })
+    }
+
+    /// The schema (including the privacy designation).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The validated instance. Raw private data — for the engine and the
+    /// serving layer, not for release.
+    pub(crate) fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Opens a serving session with a total ε budget. `base` fixes the
+    /// mechanism parameters (β, `GS_Q`, execution strategy) for every answer
+    /// in the session; each charge picks its own ε. `seed` roots the
+    /// session's deterministic noise substreams: the `i`-th successful charge
+    /// draws from [`crate::substream_rng`]`(seed, i)`.
+    pub fn open_session(&self, total_epsilon: f64, base: R2TConfig, seed: u64) -> Session<'_> {
+        Session::new(self, Accountant::new(total_epsilon), base, seed)
+    }
+
+    /// Answers a SQL query under ε-DP with R2T, spending `cfg.epsilon` from a
+    /// fresh single-query budget.
+    #[deprecated(
+        note = "spends cfg.epsilon with no cross-query budget: use open_session + prepare/answer"
+    )]
+    pub fn query(&self, sql: &str, cfg: &R2TConfig, rng: &mut dyn RngCore) -> Result<f64, Error> {
+        let lowered = parse_statement(sql, &self.schema)?;
+        if !lowered.group_by.is_empty() {
+            return Err(Error::Unsupported("use query_grouped for GROUP BY".to_string()));
+        }
+        let profile = exec::profile(&self.schema, &self.instance, &lowered.query)?;
+        // Even the one-shot path goes through an accountant: the charge is
+        // committed before the mechanism touches the data, so no answering
+        // path in the crate can release without a recorded charge.
+        let mut accountant = Accountant::new(cfg.epsilon);
+        accountant.charge(sql, cfg.epsilon)?;
+        Ok(R2T::new(cfg.clone()).run_profile(&profile, rng).output)
+    }
+
+    /// Answers a GROUP BY SQL query under a *total* budget of `cfg.epsilon`
+    /// split across the groups (Section 11). Returns (group key, answer).
+    #[deprecated(
+        note = "spends cfg.epsilon with no cross-query budget: use open_session + prepare/answer_grouped"
+    )]
+    pub fn query_grouped(
+        &self,
+        sql: &str,
+        cfg: &R2TConfig,
+        rng: &mut dyn RngCore,
+    ) -> Result<Vec<(Tuple, f64)>, Error> {
+        let lowered = parse_statement(sql, &self.schema)?;
+        if lowered.group_by.is_empty() {
+            return Err(Error::Unsupported("query_grouped requires GROUP BY".to_string()));
+        }
+        let groups =
+            exec::profile_grouped(&self.schema, &self.instance, &lowered.query, &lowered.group_by)?;
+        let mut accountant = Accountant::new(cfg.epsilon);
+        accountant.charge(sql, cfg.epsilon)?;
+        let answers = GroupByR2T::new(cfg.clone()).run(&groups, rng);
+        Ok(answers.into_iter().map(|g| (g.key, g.answer)).collect())
+    }
+
+    /// Evaluates a query *without* privacy (for testing / utility studies).
+    pub fn query_exact(&self, sql: &str) -> Result<f64, Error> {
+        let lowered = parse_statement(sql, &self.schema)?;
+        Ok(exec::profile(&self.schema, &self.instance, &lowered.query)?.query_result())
+    }
+
+    /// The lineage shape of a query without answering it. The output is
+    /// *not* DP — it is a planning/debugging aid.
+    pub fn describe(&self, sql: &str) -> Result<ProfileSummary, Error> {
+        let lowered = parse_statement(sql, &self.schema)?;
+        Ok(exec::profile(&self.schema, &self.instance, &lowered.query)?.summary())
+    }
+
+    /// [`Self::describe`] rendered as one line.
+    pub fn explain(&self, sql: &str) -> Result<String, Error> {
+        Ok(self.describe(sql)?.to_string())
+    }
+}

@@ -1,0 +1,493 @@
+//! Sessions: budget-enforced, cache-backed, deterministic serving.
+//!
+//! A [`Session`] pins three things for its lifetime: the instance it answers
+//! over, a total ε budget (an [`Accountant`]), and a noise seed. Preparation
+//! ([`Session::prepare`]) computes the *pre-noise* half of an R2T run — the
+//! lineage profile and the τ-grid of truncation LP values — and caches it
+//! under the statement's normalized text. Answering replays the cached grid
+//! through [`R2T::run_cached`], which draws exactly the noise stream a full
+//! run would, so a prepared answer is bit-identical to a cold
+//! [`PrivateDatabase::query`] call in the sequential no-early-stop execution
+//! mode (and equal to solver tolerance in every other mode).
+//!
+//! **DP-safety of the cache.** Cached profiles, LP structures, and branch
+//! values are deterministic functions of the raw instance: pre-noise state,
+//! equivalent to the data itself. The cache lives inside the session, keyed
+//! by query text only — it must never be shared across instances or consulted
+//! to answer without a fresh noise draw, and every draw happens *after* the
+//! accountant has committed the charge.
+//!
+//! **Determinism.** The `i`-th successful charge of the session (ledger
+//! index `i`) draws its noise from [`substream_rng`]`(seed, i)`. Refused
+//! charges do not advance the ledger, so a refused query provably draws no
+//! noise — not as a discipline, but structurally: there is no RNG to draw
+//! from until a charge commits. Batch answering assigns the ledger indices
+//! at commit time and only then fans out, which makes
+//! [`Session::answer_all`] bit-identical for any worker count.
+
+use crate::{Error, PrivateDatabase};
+use r2t_core::truncation::{self, SweepCache};
+use r2t_core::{Accountant, BranchValues, R2TConfig, R2TReport, R2T};
+use r2t_engine::{exec, ProfileSummary, QueryProfile, Tuple};
+use r2t_sql::{normalize, parse_statement};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// The deterministic RNG for one charge: substream `index` of a session
+/// rooted at `seed`. A SplitMix64-style finalizer spreads adjacent indices
+/// across the seed space before the generator's own expansion.
+pub fn substream_rng(seed: u64, index: u64) -> StdRng {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
+
+/// One query in a [`Session::answer_all`] batch.
+#[derive(Debug, Clone)]
+pub struct QuerySpec {
+    /// Statement text (normalized internally).
+    pub sql: String,
+    /// ε to charge for this answer.
+    pub epsilon: f64,
+}
+
+impl QuerySpec {
+    /// Creates a batch entry.
+    pub fn new(sql: impl Into<String>, epsilon: f64) -> Self {
+        QuerySpec { sql: sql.into(), epsilon }
+    }
+}
+
+/// τ-race diagnostics carried on a receipt. All fields are post-noise,
+/// budget-covered quantities (the winning τ is a function of the released
+/// noisy estimates).
+#[derive(Debug, Clone)]
+pub struct RaceStats {
+    /// Number of race branches (`log₂ GS_Q`), summed over groups for a
+    /// grouped answer.
+    pub branches: usize,
+    /// τ of the winning branch; `None` when the no-noise floor `Q(I, 0)` won
+    /// (or for grouped answers, which race per group).
+    pub winner_tau: Option<f64>,
+    /// Wall-clock seconds spent answering (noise + max, not solving).
+    pub seconds: f64,
+}
+
+/// Accounting receipt returned with every answer.
+#[derive(Debug, Clone)]
+pub struct Receipt {
+    /// Normalized statement text (the cache key).
+    pub query: String,
+    /// ε charged for this answer.
+    pub epsilon: f64,
+    /// The charge's ledger index — also its noise substream index.
+    pub substream: u64,
+    /// Session ε spent after this charge.
+    pub spent: f64,
+    /// Session ε remaining after this charge.
+    pub remaining: f64,
+    /// τ-race diagnostics.
+    pub race: RaceStats,
+}
+
+/// An ε-DP answer plus its accounting receipt.
+#[derive(Debug, Clone)]
+pub struct Answer {
+    /// The privatized aggregate.
+    pub noisy: f64,
+    /// What it cost and how it was produced.
+    pub receipt: Receipt,
+}
+
+/// An ε-DP answer to a GROUP BY statement: one privatized aggregate per
+/// group key, under a single total charge split evenly across groups.
+#[derive(Debug, Clone)]
+pub struct GroupedAnswer {
+    /// (group key, privatized aggregate), in deterministic group order.
+    pub groups: Vec<(Tuple, f64)>,
+    /// What it cost and how it was produced.
+    pub receipt: Receipt,
+}
+
+/// The cached pre-noise state of one prepared statement.
+#[derive(Debug)]
+struct Prepared {
+    /// Normalized statement text (the cache key).
+    text: String,
+    /// Lineage shape, for diagnostics (`None` for grouped statements).
+    summary: Option<ProfileSummary>,
+    kind: PreparedKind,
+}
+
+#[derive(Debug)]
+enum PreparedKind {
+    Single {
+        /// The lineage profile — kept so diagnostics and future re-planning
+        /// need not re-execute the join.
+        #[allow(dead_code)]
+        profile: QueryProfile,
+        /// The lazily built LP presolve/sweep structure, shared with the
+        /// truncation that computed `values` (and any future one).
+        #[allow(dead_code)]
+        sweep: SweepCache,
+        /// `Q(I, 0)` and the τ-grid values — all `run_cached` needs.
+        values: BranchValues,
+    },
+    Grouped {
+        /// Per group: key, profile, and its τ-grid values.
+        groups: Vec<(Tuple, QueryProfile, BranchValues)>,
+    },
+}
+
+struct State {
+    accountant: Accountant,
+    cache: HashMap<String, Arc<Prepared>>,
+}
+
+/// A serving session over a [`PrivateDatabase`]: a total ε budget, a
+/// prepared-statement cache, and a deterministic noise-substream layout.
+/// Created by [`PrivateDatabase::open_session`]. All methods take `&self`;
+/// the session is safe to share across threads.
+pub struct Session<'db> {
+    db: &'db PrivateDatabase,
+    base: R2TConfig,
+    seed: u64,
+    state: Mutex<State>,
+}
+
+impl<'db> Session<'db> {
+    pub(crate) fn new(
+        db: &'db PrivateDatabase,
+        accountant: Accountant,
+        base: R2TConfig,
+        seed: u64,
+    ) -> Self {
+        Session { db, base, seed, state: Mutex::new(State { accountant, cache: HashMap::new() }) }
+    }
+
+    /// The database this session answers over.
+    pub fn database(&self) -> &'db PrivateDatabase {
+        self.db
+    }
+
+    /// The session's base mechanism configuration (per-answer ε overrides
+    /// [`R2TConfig::epsilon`]; everything else applies as-is).
+    pub fn base_config(&self) -> &R2TConfig {
+        &self.base
+    }
+
+    /// The session's noise seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Total session budget.
+    pub fn total(&self) -> f64 {
+        self.lock().accountant.total()
+    }
+
+    /// ε spent so far.
+    pub fn spent(&self) -> f64 {
+        self.lock().accountant.spent()
+    }
+
+    /// ε still available.
+    pub fn remaining(&self) -> f64 {
+        self.lock().accountant.remaining()
+    }
+
+    /// Number of successful charges so far (= the next substream index).
+    pub fn num_charges(&self) -> usize {
+        self.lock().accountant.num_charges()
+    }
+
+    /// The charge ledger: (normalized query, ε) per answer, in order.
+    pub fn ledger(&self) -> Vec<(String, f64)> {
+        self.lock().accountant.ledger().to_vec()
+    }
+
+    /// Number of distinct prepared statements in the cache.
+    pub fn cached_queries(&self) -> usize {
+        self.lock().cache.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().expect("session state poisoned")
+    }
+
+    /// Prepares a statement: normalizes the text, and — unless an entry for
+    /// the same normalized text is already cached — parses, plans, executes
+    /// the lineage join, and evaluates the τ-grid of truncation LP values.
+    /// Spends no budget and draws no noise; the expensive work happens at
+    /// most once per distinct statement.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedQuery<'_, 'db>, Error> {
+        let text = normalize(sql)?;
+        if let Some(p) = self.lock().cache.get(&text) {
+            return Ok(PreparedQuery { session: self, inner: Arc::clone(p) });
+        }
+        // Plan + execute outside the lock: preparation is read-only on the
+        // instance, and a concurrent duplicate costs time, not correctness
+        // (the loser's identical entry is discarded below).
+        let lowered = parse_statement(&text, self.db.schema())?;
+        let prepared = if lowered.group_by.is_empty() {
+            let profile = exec::profile(self.db.schema(), self.db.instance(), &lowered.query)?;
+            let sweep: SweepCache = Arc::new(OnceLock::new());
+            let trunc = truncation::for_profile_cached(&profile, self.base.event_every, &sweep);
+            let values = BranchValues::compute(
+                trunc.as_ref(),
+                self.base.num_branches(),
+                self.base.warm_sweep,
+            );
+            drop(trunc);
+            Prepared {
+                text: text.clone(),
+                summary: Some(profile.summary()),
+                kind: PreparedKind::Single { profile, sweep, values },
+            }
+        } else {
+            let groups = exec::profile_grouped(
+                self.db.schema(),
+                self.db.instance(),
+                &lowered.query,
+                &lowered.group_by,
+            )?;
+            let groups = groups
+                .into_iter()
+                .map(|(key, profile)| {
+                    let values = BranchValues::for_profile(&profile, &self.base);
+                    (key, profile, values)
+                })
+                .collect();
+            Prepared { text: text.clone(), summary: None, kind: PreparedKind::Grouped { groups } }
+        };
+        let mut st = self.lock();
+        let entry = st.cache.entry(text).or_insert_with(|| Arc::new(prepared));
+        Ok(PreparedQuery { session: self, inner: Arc::clone(entry) })
+    }
+
+    /// Prepares and answers in one call.
+    pub fn answer(&self, sql: &str, epsilon: f64) -> Result<Answer, Error> {
+        self.prepare(sql)?.answer(epsilon)
+    }
+
+    /// Answers a batch of statements under one *atomic* charge: either the
+    /// budget covers the whole batch (every query answered, each with its own
+    /// substream) or nothing is spent and nothing is drawn. Queries are
+    /// answered concurrently on up to [`std::thread::available_parallelism`]
+    /// workers; results are positionally matched to `specs` and bit-identical
+    /// for any worker count.
+    pub fn answer_all(&self, specs: &[QuerySpec]) -> Result<Vec<Answer>, Error> {
+        let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+        self.answer_all_with(specs, workers)
+    }
+
+    /// [`Self::answer_all`] with an explicit worker count (≥ 1).
+    pub fn answer_all_with(
+        &self,
+        specs: &[QuerySpec],
+        workers: usize,
+    ) -> Result<Vec<Answer>, Error> {
+        // Prepare everything (and surface errors) before any budget moves.
+        let mut jobs: Vec<(Arc<Prepared>, f64)> = Vec::with_capacity(specs.len());
+        for spec in specs {
+            check_epsilon(spec.epsilon)?;
+            let prepared = self.prepare(&spec.sql)?;
+            if prepared.is_grouped() {
+                return Err(Error::Unsupported(
+                    "answer_all serves scalar statements; answer GROUP BY via answer_grouped"
+                        .to_string(),
+                ));
+            }
+            jobs.push((prepared.inner, spec.epsilon));
+        }
+
+        // One atomic batch charge; ledger indices are fixed here, before any
+        // fan-out, which is what makes the results worker-count independent.
+        let (batch_start, spent_before, total) = {
+            let mut st = self.lock();
+            let charges: Vec<(&str, f64)> =
+                jobs.iter().map(|(p, eps)| (p.text.as_str(), *eps)).collect();
+            let start = st.accountant.num_charges();
+            let spent_before = st.accountant.spent();
+            st.accountant.charge_many(&charges)?;
+            (start, spent_before, st.accountant.total())
+        };
+
+        let mut results: Vec<Option<Answer>> = (0..jobs.len()).map(|_| None).collect();
+        let run_job = |i: usize| -> (usize, Answer) {
+            let (prepared, epsilon) = &jobs[i];
+            // Receipt totals reflect the ledger prefix up to this charge —
+            // deterministic, unlike a racing read of the live accountant.
+            let spent: f64 = spent_before + jobs[..=i].iter().map(|(_, e)| *e).sum::<f64>();
+            let index = (batch_start + i) as u64;
+            (i, self.answer_charged(prepared, *epsilon, index, spent, (total - spent).max(0.0)))
+        };
+        let workers = workers.max(1).min(jobs.len().max(1));
+        if workers <= 1 {
+            for i in 0..jobs.len() {
+                let (i, a) = run_job(i);
+                results[i] = Some(a);
+            }
+        } else {
+            let next = AtomicUsize::new(0);
+            let computed: Vec<(usize, Answer)> = std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for _ in 0..workers {
+                    let next = &next;
+                    let run_job = &run_job;
+                    let n = jobs.len();
+                    handles.push(scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            out.push(run_job(i));
+                        }
+                        out
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("answer worker panicked"))
+                    .collect()
+            });
+            for (i, a) in computed {
+                results[i] = Some(a);
+            }
+        }
+        Ok(results.into_iter().map(|a| a.expect("every job answered")).collect())
+    }
+
+    /// Runs the mechanism for an already-committed charge. No locking, no
+    /// budget checks: the ledger index and totals were fixed at charge time.
+    fn answer_charged(
+        &self,
+        prepared: &Prepared,
+        epsilon: f64,
+        substream: u64,
+        spent: f64,
+        remaining: f64,
+    ) -> Answer {
+        let PreparedKind::Single { values, .. } = &prepared.kind else {
+            unreachable!("answer_charged serves scalar statements only");
+        };
+        let mut rng = substream_rng(self.seed, substream);
+        let report = R2T::new(self.base.with_epsilon(epsilon)).run_cached(values, &mut rng);
+        Answer {
+            noisy: report.output,
+            receipt: Receipt {
+                query: prepared.text.clone(),
+                epsilon,
+                substream,
+                spent,
+                remaining,
+                race: race_stats(&report),
+            },
+        }
+    }
+}
+
+fn race_stats(report: &R2TReport) -> RaceStats {
+    RaceStats {
+        branches: report.branches.len(),
+        winner_tau: report.winner.map(|i| report.branches[i].tau),
+        seconds: report.seconds,
+    }
+}
+
+fn check_epsilon(epsilon: f64) -> Result<(), Error> {
+    if epsilon > 0.0 && epsilon.is_finite() {
+        Ok(())
+    } else {
+        Err(Error::Unsupported(format!("per-answer epsilon must be positive, got {epsilon}")))
+    }
+}
+
+/// A handle to a cached prepared statement, bound to its session. Cheap to
+/// clone-by-reprepare: [`Session::prepare`] with the same (normalized) text
+/// returns a handle to the same cache entry.
+pub struct PreparedQuery<'s, 'db> {
+    session: &'s Session<'db>,
+    inner: Arc<Prepared>,
+}
+
+impl PreparedQuery<'_, '_> {
+    /// The normalized statement text — the cache key and ledger label.
+    pub fn sql(&self) -> &str {
+        &self.inner.text
+    }
+
+    /// Lineage shape diagnostics (`None` for GROUP BY statements). Not DP.
+    pub fn summary(&self) -> Option<&ProfileSummary> {
+        self.inner.summary.as_ref()
+    }
+
+    /// Whether this is a GROUP BY statement (answer via
+    /// [`Self::answer_grouped`]).
+    pub fn is_grouped(&self) -> bool {
+        matches!(self.inner.kind, PreparedKind::Grouped { .. })
+    }
+
+    /// Answers the prepared statement, charging `epsilon` from the session
+    /// budget. The charge commits first; only then is noise drawn, from the
+    /// charge's own substream. A refused charge returns [`Error::Budget`]
+    /// having consumed nothing — no noise, no substream index.
+    pub fn answer(&self, epsilon: f64) -> Result<Answer, Error> {
+        check_epsilon(epsilon)?;
+        if self.is_grouped() {
+            return Err(Error::Unsupported("GROUP BY statement: use answer_grouped".to_string()));
+        }
+        let (substream, spent, remaining) = self.charge(epsilon)?;
+        Ok(self.session.answer_charged(&self.inner, epsilon, substream, spent, remaining))
+    }
+
+    /// Answers a prepared GROUP BY statement: one total charge of `epsilon`,
+    /// split evenly across the `k` groups (Section 11), each group racing at
+    /// `ε/k` on the shared substream. Bit-identical to the one-shot
+    /// [`PrivateDatabase::query_grouped`] in the sequential no-early-stop
+    /// mode, given the same RNG.
+    pub fn answer_grouped(&self, epsilon: f64) -> Result<GroupedAnswer, Error> {
+        check_epsilon(epsilon)?;
+        let PreparedKind::Grouped { groups } = &self.inner.kind else {
+            return Err(Error::Unsupported("scalar statement: use answer".to_string()));
+        };
+        let (substream, spent, remaining) = self.charge(epsilon)?;
+        let mut rng = substream_rng(self.session.seed, substream);
+        let per_group = self.session.base.with_epsilon(epsilon / groups.len().max(1) as f64);
+        let r2t = R2T::new(per_group);
+        let mut out = Vec::with_capacity(groups.len());
+        let mut branches = 0;
+        let mut seconds = 0.0;
+        for (key, _profile, values) in groups {
+            let report = r2t.run_cached(values, &mut rng);
+            branches += report.branches.len();
+            seconds += report.seconds;
+            out.push((key.clone(), report.output));
+        }
+        Ok(GroupedAnswer {
+            groups: out,
+            receipt: Receipt {
+                query: self.inner.text.clone(),
+                epsilon,
+                substream,
+                spent,
+                remaining,
+                race: RaceStats { branches, winner_tau: None, seconds },
+            },
+        })
+    }
+
+    /// Commits one charge and returns (substream index, spent, remaining).
+    fn charge(&self, epsilon: f64) -> Result<(u64, f64, f64), Error> {
+        let mut st = self.session.lock();
+        let index = st.accountant.num_charges() as u64;
+        st.accountant.charge(&self.inner.text, epsilon)?;
+        Ok((index, st.accountant.spent(), st.accountant.remaining()))
+    }
+}

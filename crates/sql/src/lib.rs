@@ -33,10 +33,12 @@
 
 mod lexer;
 mod lower;
+mod normalize;
 mod parser;
 
 pub use lexer::{tokenize, Token};
 pub use lower::{parse_query, parse_statement, LoweredQuery};
+pub use normalize::normalize;
 pub use parser::{parse, AggAst, ColRef, CondAst, ExprAst, SelectAst};
 
 /// Errors from parsing or lowering SQL.

@@ -1,0 +1,146 @@
+//! Canonical query text, used as the profile-cache key by the serving layer.
+//!
+//! Two spellings of the same statement — extra whitespace, lower-case
+//! keywords, `!=` for `<>` — must map to one cache entry, and the canonical
+//! text must itself parse back to the same statement (the serving layer
+//! executes what it caches). [`normalize`] therefore re-renders the token
+//! stream instead of rewriting the input string:
+//!
+//! * reserved words (`SELECT`, `FROM`, `AND`, …) are upper-cased; all other
+//!   identifiers keep their original spelling — relation names are matched
+//!   case-sensitively against the schema, so changing their case would
+//!   change meaning;
+//! * numeric literals are re-rendered in shortest round-trip decimal form
+//!   (`3.50` → `3.5`) and string literals re-quoted with `''` escaping;
+//! * one space between tokens, except around `.`, before `,` / `)`, after
+//!   `(`, and between an aggregate head (`COUNT` / `SUM`) and its `(`.
+//!
+//! Normalization is purely lexical: it never consults a schema and accepts
+//! any token stream the lexer does, so unparseable input still normalizes
+//! (and fails later, at parse time, with the real error).
+
+use crate::lexer::{tokenize, Token};
+use crate::SqlError;
+
+/// The reserved words of the SQL subset. An identifier spelled like one of
+/// these (in any case) is treated as the keyword everywhere, so relations
+/// cannot be named after them — the parser could not resolve such a query
+/// in the first place.
+const KEYWORDS: &[&str] = &[
+    "SELECT", "COUNT", "SUM", "DISTINCT", "FROM", "AS", "WHERE", "AND", "OR", "NOT", "GROUP", "BY",
+];
+
+fn keyword_of(ident: &str) -> Option<&'static str> {
+    KEYWORDS.iter().copied().find(|kw| ident.eq_ignore_ascii_case(kw))
+}
+
+/// Renders a float in a form the lexer accepts (`digits.digits`, never
+/// scientific notation) that parses back to the same `f64`.
+fn render_float(v: f64) -> String {
+    let s = format!("{v}");
+    if s.contains('.') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Normalizes a statement to canonical text. Idempotent:
+/// `normalize(normalize(s)?) == normalize(s)`.
+///
+/// ```
+/// let n = r2t_sql::normalize("select count( * ) from  orders o where o.x!=3.50").unwrap();
+/// assert_eq!(n, "SELECT COUNT(*) FROM orders o WHERE o.x <> 3.5");
+/// ```
+pub fn normalize(sql: &str) -> Result<String, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut out = String::with_capacity(sql.len());
+    let mut prev: Option<&Token> = None;
+    for t in &tokens {
+        let glue_left = match t {
+            Token::Sym("." | "," | ")") => true,
+            Token::Sym("(") => {
+                matches!(prev, Some(Token::Ident(s)) if s.eq_ignore_ascii_case("COUNT") || s.eq_ignore_ascii_case("SUM"))
+            }
+            _ => matches!(prev, Some(Token::Sym("(" | "."))),
+        };
+        if prev.is_some() && !glue_left {
+            out.push(' ');
+        }
+        match t {
+            Token::Ident(s) => match keyword_of(s) {
+                Some(kw) => out.push_str(kw),
+                None => out.push_str(s),
+            },
+            Token::Int(v) => out.push_str(&v.to_string()),
+            Token::Float(v) => out.push_str(&render_float(*v)),
+            Token::Str(s) => {
+                out.push('\'');
+                out.push_str(&s.replace('\'', "''"));
+                out.push('\'');
+            }
+            Token::Sym(s) => out.push_str(s),
+        }
+        prev = Some(t);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn whitespace_and_case_collapse() {
+        let a =
+            normalize("select  COUNT( * )\n from customer,orders WHERE orders.o_ck=customer.ck")
+                .unwrap();
+        let b = normalize("SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck")
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a, "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck");
+    }
+
+    #[test]
+    fn identifier_case_preserved() {
+        let n = normalize("select count(*) from Edge as E1 where E1.src < 3").unwrap();
+        assert_eq!(n, "SELECT COUNT(*) FROM Edge AS E1 WHERE E1.src < 3");
+    }
+
+    #[test]
+    fn operators_and_literals_canonicalized() {
+        let n =
+            normalize("select sum(x.a*2.50) from t x where x.b != 'it''s' and x.c>=010").unwrap();
+        assert_eq!(n, "SELECT SUM(x.a * 2.5) FROM t x WHERE x.b <> 'it''s' AND x.c >= 10");
+    }
+
+    #[test]
+    fn idempotent() {
+        for sql in [
+            "select count(*) from t",
+            "SELECT DISTINCT c.ck , c.nk FROM customer c WHERE ( c.x = 1 OR NOT c.y > 0.5 )",
+            "select sum(a - -3) from t group by t.g , h",
+        ] {
+            let once = normalize(sql).unwrap();
+            assert_eq!(normalize(&once).unwrap(), once, "not idempotent on {sql:?}");
+        }
+    }
+
+    #[test]
+    fn round_trips_through_the_parser() {
+        for sql in [
+            "select count(*) from Edge e1, Edge e2 where e1.dst = e2.src and e1.src<e2.dst",
+            "SELECT SUM(price * ( 1 - discount )) FROM lineitem WHERE shipmode = 'AIR'",
+            "select distinct c.ck from customer as c group by c.mktsegment",
+        ] {
+            let n = normalize(sql).unwrap();
+            assert_eq!(parse(&n).unwrap(), parse(sql).unwrap(), "AST changed for {sql:?}");
+        }
+    }
+
+    #[test]
+    fn lex_errors_propagate() {
+        assert!(matches!(normalize("select 'oops"), Err(SqlError::Lex { .. })));
+    }
+}

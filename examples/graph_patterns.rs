@@ -28,7 +28,7 @@ fn main() {
         let mut rng = StdRng::seed_from_u64(5);
         let rel = |v: f64| format!("{:.1}%", 100.0 * (v - truth).abs() / truth.max(1.0));
 
-        let r2t = R2T::new(R2TConfig { epsilon: eps, beta: 0.1, gs, ..Default::default() });
+        let r2t = R2T::new(R2TConfig::new(eps, 0.1, gs));
         let v = r2t.run(&profile, &mut rng).expect("runs");
         println!("  R2T                 : {v:>12.0}   err {}", rel(v));
 

@@ -1,12 +1,11 @@
 //! Group-by under DP (the paper's Section 11 extension): one SQL statement
-//! with GROUP BY, answered by splitting the privacy budget across groups.
+//! with GROUP BY, prepared once in a session and answered by splitting the
+//! charge across groups.
 //!
 //! Run with: `cargo run --release --example group_by_report`
 
 use r2t::core::R2TConfig;
 use r2t::system::PrivateDatabase;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 fn main() {
     let schema = r2t::tpch::tpch_schema(&["customer"]);
@@ -22,11 +21,11 @@ fn main() {
         db.explain(&sql.replace(" GROUP BY customer.mktsegment", "")).expect("explain")
     );
 
-    let cfg = R2TConfig { epsilon: 4.0, beta: 0.1, gs: 2048.0, ..Default::default() };
-    let mut rng = StdRng::seed_from_u64(2);
-    let answers = db.query_grouped(sql, &cfg, &mut rng).expect("grouped answers");
-    println!("orders per market segment (total eps = {}, split 5 ways):", cfg.epsilon);
-    for (key, noisy) in &answers {
+    let session = db.open_session(4.0, R2TConfig::new(4.0, 0.1, 2048.0), 2);
+    let prepared = session.prepare(sql).expect("prepare");
+    let result = prepared.answer_grouped(4.0).expect("grouped answers");
+    println!("orders per market segment (total eps = {}, split 5 ways):", result.receipt.epsilon);
+    for (key, noisy) in &result.groups {
         let exact = db
             .query_exact(&format!(
                 "SELECT COUNT(*) FROM customer, orders \
@@ -42,5 +41,10 @@ fn main() {
             100.0 * (noisy - exact).abs() / exact.max(1.0)
         );
     }
-    println!("\nEach group ran R2T at eps/5; the release is eps-DP by composition.");
+    println!(
+        "\nEach group ran R2T at eps/5; the release is eps-DP by composition. \
+         Session budget spent: {} of {}.",
+        session.spent(),
+        session.total()
+    );
 }

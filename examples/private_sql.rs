@@ -37,7 +37,7 @@ fn main() {
     );
 
     // Answer under 0.8-DP with R2T.
-    let r2t = R2T::new(R2TConfig { epsilon: 0.8, beta: 0.1, gs: 4096.0, ..Default::default() });
+    let r2t = R2T::new(R2TConfig::new(0.8, 0.1, 4096.0));
     let mut rng = StdRng::seed_from_u64(99);
     let out = r2t.run(&profile, &mut rng).expect("R2T runs on any SPJA query");
     println!("\nR2T (eps = 0.8): {out:.0}");

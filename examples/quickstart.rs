@@ -39,7 +39,7 @@ fn main() {
     let gs = 65536.0;
 
     // 4. R2T: instance-optimal truncation.
-    let r2t = R2T::new(R2TConfig { epsilon: 0.8, beta: 0.1, gs, ..R2TConfig::default() });
+    let r2t = R2T::new(R2TConfig::new(0.8, 0.1, gs));
     let mut rng = StdRng::seed_from_u64(42);
     let report = r2t.run_profile(&profile, &mut rng);
     println!("\nR2T estimate: {:.0}", report.output);

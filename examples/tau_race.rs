@@ -59,14 +59,8 @@ fn main() {
     }
 
     // The R2T race (Figure 1): every branch's shifted noisy estimate.
-    let r2t = R2T::new(R2TConfig {
-        epsilon: 1.0,
-        beta: 0.1,
-        gs: 256.0,
-        early_stop: false,
-        parallel: false,
-        ..Default::default()
-    });
+    let r2t =
+        R2T::new(R2TConfig::builder(1.0, 0.1, 256.0).early_stop(false).parallel(false).build());
     let mut rng = StdRng::seed_from_u64(2022);
     let report = r2t.run_with(&trunc, &mut rng);
     println!("\nrace (tau, Q(I,tau), shifted noisy estimate):");

@@ -1,137 +1,34 @@
-//! The end-to-end system of Figure 3 in the paper, as a single type: a
-//! database with a privacy policy that answers SQL under differential
-//! privacy with R2T.
+//! The end-to-end system of Figure 3 in the paper: a database with a privacy
+//! policy that answers SQL under differential privacy with R2T.
+//!
+//! The implementation lives in [`r2t_service`]; this module re-exports it
+//! under the facade's historical path. Open a [`Session`] for budgeted,
+//! prepared-query serving:
 //!
 //! ```
 //! use r2t::system::PrivateDatabase;
 //! use r2t::core::R2TConfig;
-//! use rand::{rngs::StdRng, SeedableRng};
 //!
+//! # fn main() -> Result<(), r2t::Error> {
 //! let schema = r2t::tpch::tpch_schema(&["customer"]);
-//! let db = PrivateDatabase::new(schema, r2t::tpch::generate(0.05, 0.3, 1)).unwrap();
-//! let cfg = R2TConfig { epsilon: 1.0, beta: 0.1, gs: 4096.0, ..Default::default() };
-//! let mut rng = StdRng::seed_from_u64(7);
-//! let noisy = db
-//!     .query("SELECT COUNT(*) FROM orders, lineitem WHERE lineitem.l_ok = orders.ok", &cfg, &mut rng)
-//!     .unwrap();
+//! let db = PrivateDatabase::new(schema, r2t::tpch::generate(0.05, 0.3, 1))?;
+//! let session = db.open_session(1.0, R2TConfig::builder(1.0, 0.1, 4096.0).build(), 7);
+//! let noisy = session
+//!     .answer("SELECT COUNT(*) FROM orders, lineitem WHERE lineitem.l_ok = orders.ok", 0.5)?
+//!     .noisy;
 //! assert!(noisy.is_finite());
+//! assert!((session.remaining() - 0.5).abs() < 1e-12);
+//! # Ok(())
+//! # }
 //! ```
 
-use r2t_core::groupby::GroupByR2T;
-use r2t_core::{R2TConfig, R2T};
-use r2t_engine::{exec, EngineError, Instance, Schema, Tuple};
-use r2t_sql::{parse_statement, SqlError};
-use rand::RngCore;
+pub use r2t_service::{
+    substream_rng, Answer, Error, GroupedAnswer, PreparedQuery, PrivateDatabase, QuerySpec,
+    RaceStats, Receipt, Session,
+};
 
-/// Errors from the end-to-end system.
-#[derive(Debug)]
-pub enum SystemError {
-    /// SQL parsing / lowering failed.
-    Sql(SqlError),
-    /// Query evaluation failed.
-    Engine(EngineError),
-}
-
-impl std::fmt::Display for SystemError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            SystemError::Sql(e) => write!(f, "{e}"),
-            SystemError::Engine(e) => write!(f, "{e}"),
-        }
-    }
-}
-
-impl std::error::Error for SystemError {}
-
-impl From<SqlError> for SystemError {
-    fn from(e: SqlError) -> Self {
-        SystemError::Sql(e)
-    }
-}
-
-impl From<EngineError> for SystemError {
-    fn from(e: EngineError) -> Self {
-        SystemError::Engine(e)
-    }
-}
-
-/// A validated database instance plus its privacy policy, answering SQL
-/// queries under ε-DP with R2T.
-#[derive(Debug, Clone)]
-pub struct PrivateDatabase {
-    schema: Schema,
-    instance: Instance,
-}
-
-impl PrivateDatabase {
-    /// Builds the system, validating referential integrity and the FK DAG.
-    pub fn new(schema: Schema, instance: Instance) -> Result<Self, SystemError> {
-        instance.validate(&schema)?;
-        Ok(PrivateDatabase { schema, instance })
-    }
-
-    /// The schema (including the privacy designation).
-    pub fn schema(&self) -> &Schema {
-        &self.schema
-    }
-
-    /// Answers a SQL query under ε-DP with R2T.
-    pub fn query(
-        &self,
-        sql: &str,
-        cfg: &R2TConfig,
-        rng: &mut dyn RngCore,
-    ) -> Result<f64, SystemError> {
-        let lowered = parse_statement(sql, &self.schema)?;
-        if !lowered.group_by.is_empty() {
-            return Err(SystemError::Sql(SqlError::Semantic(
-                "use query_grouped for GROUP BY".to_string(),
-            )));
-        }
-        let profile = exec::profile(&self.schema, &self.instance, &lowered.query)?;
-        Ok(R2T::new(cfg.clone()).run_profile(&profile, rng).output)
-    }
-
-    /// Answers a GROUP BY SQL query under a *total* budget of `cfg.epsilon`
-    /// split across the groups (Section 11). Returns (group key, answer).
-    pub fn query_grouped(
-        &self,
-        sql: &str,
-        cfg: &R2TConfig,
-        rng: &mut dyn RngCore,
-    ) -> Result<Vec<(Tuple, f64)>, SystemError> {
-        let lowered = parse_statement(sql, &self.schema)?;
-        if lowered.group_by.is_empty() {
-            return Err(SystemError::Sql(SqlError::Semantic(
-                "query_grouped requires GROUP BY".to_string(),
-            )));
-        }
-        let groups =
-            exec::profile_grouped(&self.schema, &self.instance, &lowered.query, &lowered.group_by)?;
-        let answers = GroupByR2T::new(cfg.clone()).run(&groups, rng);
-        Ok(answers.into_iter().map(|g| (g.key, g.answer)).collect())
-    }
-
-    /// Evaluates a query *without* privacy (for testing / utility studies).
-    pub fn query_exact(&self, sql: &str) -> Result<f64, SystemError> {
-        let lowered = parse_statement(sql, &self.schema)?;
-        Ok(exec::profile(&self.schema, &self.instance, &lowered.query)?.query_result())
-    }
-
-    /// Describes the lineage of a query without answering it: result count,
-    /// referenced private tuples, and the downward local sensitivity. (The
-    /// output is *not* DP — it is a planning/debugging aid.)
-    pub fn explain(&self, sql: &str) -> Result<String, SystemError> {
-        let lowered = parse_statement(sql, &self.schema)?;
-        let profile = exec::profile(&self.schema, &self.instance, &lowered.query)?;
-        Ok(format!(
-            "{} join results; {} referenced private tuples; Q(I) = {}; \
-             max tuple sensitivity = {}; projection: {}",
-            profile.results.len(),
-            profile.num_private,
-            profile.query_result(),
-            profile.max_sensitivity(),
-            profile.groups.is_some(),
-        ))
-    }
-}
+/// The pre-service error type, kept as an alias for downstream `match`-free
+/// code. New code should name [`r2t_service::Error`] (re-exported at the
+/// crate root as `r2t::Error`).
+#[deprecated(note = "renamed to r2t::Error")]
+pub type SystemError = Error;

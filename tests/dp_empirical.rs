@@ -43,14 +43,7 @@ fn r2t_outputs_are_epsilon_indistinguishable_on_neighbors() {
     let eps = 0.5;
     let p1 = star_profile(8);
     let p2 = p1.remove_private(3); // delete one leaf: a down-neighbour
-    let cfg = R2TConfig {
-        epsilon: eps,
-        beta: 0.1,
-        gs: 16.0,
-        early_stop: false,
-        parallel: false,
-        ..Default::default()
-    };
+    let cfg = R2TConfig::builder(eps, 0.1, 16.0).early_stop(false).parallel(false).build();
     let r2t = R2T::new(cfg);
     let bins = [0.0, 4.0, 8.0];
     let runs = 4000;

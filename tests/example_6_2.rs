@@ -61,14 +61,7 @@ fn lp_truncation_values_match_paper() {
 fn r2t_error_within_theorem_bound() {
     let g = example_graph();
     let profile = Pattern::Edge.profile(&g);
-    let cfg = R2TConfig {
-        epsilon: 1.0,
-        beta: 0.1,
-        gs: 256.0,
-        early_stop: true,
-        parallel: false,
-        ..Default::default()
-    };
+    let cfg = R2TConfig::builder(1.0, 0.1, 256.0).early_stop(true).parallel(false).build();
     let log_gs = cfg.num_branches() as f64;
     let tau_star = 32.0; // DS_Q(I): the 32-star's centre
     let bound = 4.0 * log_gs * (log_gs / cfg.beta).ln() * tau_star / cfg.epsilon;

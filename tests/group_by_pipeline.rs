@@ -26,14 +26,9 @@ fn grouped_sql_answers_every_group() {
     let total_true: f64 = groups.iter().map(|(_, p)| p.query_result()).sum();
     assert_eq!(total_true, inst.rows("orders").len() as f64);
 
-    let m = GroupByR2T::new(R2TConfig {
-        epsilon: 5.0,
-        beta: 0.1,
-        gs: 64.0,
-        early_stop: true,
-        parallel: false,
-        ..Default::default()
-    });
+    let m = GroupByR2T::new(
+        R2TConfig::builder(5.0, 0.1, 64.0).early_stop(true).parallel(false).build(),
+    );
     let mut rng = StdRng::seed_from_u64(17);
     let answers = m.run(&groups, &mut rng);
     assert_eq!(answers.len(), 5);

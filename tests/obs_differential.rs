@@ -47,21 +47,20 @@ fn pipeline(level: Level, parallel: bool) -> (QueryProfile, f64, f64) {
         let tq = queries::q3();
         let (profile, _) =
             profile_with_stats(&tq.schema, &inst, &tq.query, &exec_opts(parallel)).expect("q3");
-        let cfg = R2TConfig {
-            epsilon: 0.8,
-            beta: 0.1,
-            gs: 4096.0,
-            early_stop: true,
-            parallel,
-            ..Default::default()
-        };
+        let cfg = R2TConfig::builder(0.8, 0.1, 4096.0).early_stop(true).parallel(parallel).build();
         let out_early = {
             let mut rng = StdRng::seed_from_u64(99);
             R2T::new(cfg.clone()).run_profile(&profile, &mut rng).output
         };
         let out_plain = {
             let mut rng = StdRng::seed_from_u64(99);
-            R2T::new(R2TConfig { early_stop: false, ..cfg }).run_profile(&profile, &mut rng).output
+            R2T::new({
+                let mut c = cfg.clone();
+                c.early_stop = false;
+                c
+            })
+            .run_profile(&profile, &mut rng)
+            .output
         };
         (profile, out_early, out_plain)
     })
@@ -114,7 +113,7 @@ fn full_instrumentation_records_race_and_exec_telemetry() {
         let (profile, _) =
             profile_with_stats(&tq.schema, &inst, &tq.query, &exec_opts(true)).expect("q3");
         let mut rng = StdRng::seed_from_u64(7);
-        let cfg = R2TConfig { epsilon: 0.8, gs: 4096.0, ..Default::default() };
+        let cfg = R2TConfig::new(0.8, 0.1, 4096.0);
         let _ = R2T::new(cfg).run_profile(&profile, &mut rng);
         let report = r2t::obs::drain();
         r2t::obs::set_level(Level::Off);

@@ -1,0 +1,223 @@
+//! Integration tests for the session-based serving layer: prepared-query
+//! caching, budget enforcement under concurrency, and the determinism
+//! contract (prepared ≡ cold, worker-count independence, refusal draws no
+//! noise).
+
+use r2t::core::R2TConfig;
+use r2t::service::{substream_rng, QuerySpec};
+use r2t::system::PrivateDatabase;
+
+const ORDERS_SQL: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
+const ITEMS_SQL: &str = "SELECT COUNT(*) FROM orders, lineitem WHERE lineitem.l_ok = orders.ok";
+
+fn db() -> PrivateDatabase {
+    let schema = r2t::tpch::tpch_schema(&["customer"]);
+    PrivateDatabase::new(schema, r2t::tpch::generate(0.08, 0.3, 3)).expect("valid instance")
+}
+
+/// The fully deterministic execution mode: sequential, no early stop. In
+/// this mode a prepared answer is bit-identical to a cold `query` call.
+fn seq_cfg() -> R2TConfig {
+    R2TConfig::builder(1.0, 0.1, 4096.0).early_stop(false).parallel(false).build()
+}
+
+#[test]
+fn prepared_answer_is_bit_identical_to_cold_query() {
+    let db = db();
+    let seed = 42;
+    let eps = 0.5;
+    let session = db.open_session(2.0, seq_cfg(), seed);
+    let prepared = session.prepare(ORDERS_SQL).expect("prepare");
+    let warm = prepared.answer(eps).expect("prepared answer");
+
+    // Cold path: parse + profile + full LP race, same config, same substream
+    // (the session's first charge has ledger index 0).
+    #[allow(deprecated)]
+    let cold = db
+        .query(ORDERS_SQL, &seq_cfg().with_epsilon(eps), &mut substream_rng(seed, 0))
+        .expect("cold answer");
+    assert_eq!(warm.noisy.to_bits(), cold.to_bits(), "{} vs {cold}", warm.noisy);
+
+    // Receipt accounting.
+    assert_eq!(warm.receipt.substream, 0);
+    assert_eq!(warm.receipt.query, session.prepare(ORDERS_SQL).unwrap().sql());
+    assert!((warm.receipt.spent - eps).abs() < 1e-12);
+    assert!((warm.receipt.remaining - 1.5).abs() < 1e-12);
+    assert_eq!(warm.receipt.race.branches, 12); // log2(4096)
+}
+
+#[test]
+fn grouped_prepared_answer_matches_cold_query_grouped() {
+    let db = db();
+    let seed = 7;
+    let eps = 1.0;
+    let sql = format!("{ORDERS_SQL} GROUP BY customer.mktsegment");
+    let session = db.open_session(2.0, seq_cfg(), seed);
+    let prepared = session.prepare(&sql).expect("prepare");
+    assert!(prepared.is_grouped());
+    assert!(prepared.summary().is_none());
+    let warm = prepared.answer_grouped(eps).expect("grouped answer");
+
+    #[allow(deprecated)]
+    let cold = db
+        .query_grouped(&sql, &seq_cfg().with_epsilon(eps), &mut substream_rng(seed, 0))
+        .expect("cold grouped");
+    assert_eq!(warm.groups.len(), 5);
+    assert_eq!(cold.len(), 5);
+    for ((wk, wv), (ck, cv)) in warm.groups.iter().zip(&cold) {
+        assert_eq!(wk, ck);
+        assert_eq!(wv.to_bits(), cv.to_bits(), "group {wk:?}: {wv} vs {cv}");
+    }
+}
+
+#[test]
+fn answer_all_is_independent_of_worker_count() {
+    let specs: Vec<QuerySpec> = vec![
+        QuerySpec::new(ORDERS_SQL, 0.25),
+        QuerySpec::new(ITEMS_SQL, 0.25),
+        QuerySpec::new(ORDERS_SQL, 0.125), // same text, different charge
+        QuerySpec::new(ITEMS_SQL, 0.125),
+    ];
+    let db = db();
+    let mut outputs: Vec<Vec<u64>> = Vec::new();
+    for workers in [1, 2, 8] {
+        let session = db.open_session(1.0, seq_cfg(), 99);
+        let answers = session.answer_all_with(&specs, workers).expect("batch");
+        assert_eq!(answers.len(), specs.len());
+        for (i, a) in answers.iter().enumerate() {
+            assert_eq!(a.receipt.substream, i as u64, "batch indices are positional");
+        }
+        outputs.push(answers.iter().map(|a| a.noisy.to_bits()).collect());
+    }
+    assert_eq!(outputs[0], outputs[1], "1 vs 2 workers");
+    assert_eq!(outputs[0], outputs[2], "1 vs 8 workers");
+
+    // The batch is also bit-identical to answering one by one in order.
+    let session = db.open_session(1.0, seq_cfg(), 99);
+    let sequential: Vec<u64> = specs
+        .iter()
+        .map(|s| session.answer(&s.sql, s.epsilon).expect("answer").noisy.to_bits())
+        .collect();
+    assert_eq!(outputs[0], sequential, "batch vs one-by-one");
+}
+
+#[test]
+fn over_budget_batch_is_refused_atomically() {
+    let db = db();
+    let session = db.open_session(1.0, seq_cfg(), 5);
+    session.answer(ORDERS_SQL, 0.5).expect("fits");
+    let spent_before = session.spent();
+    let charges_before = session.num_charges();
+
+    // First two entries alone would fit; the batch does not.
+    let specs = vec![
+        QuerySpec::new(ORDERS_SQL, 0.2),
+        QuerySpec::new(ITEMS_SQL, 0.2),
+        QuerySpec::new(ORDERS_SQL, 0.2),
+    ];
+    let err = session.answer_all(&specs).expect_err("over budget");
+    assert!(matches!(err, r2t::Error::Budget(_)), "{err}");
+    assert_eq!(session.spent(), spent_before, "refused batch must not spend");
+    assert_eq!(session.num_charges(), charges_before, "refused batch must not advance the ledger");
+
+    // The budget is still fully usable afterwards.
+    let ok = session.answer_all(&specs[..2]).expect("fits now");
+    assert_eq!(ok.len(), 2);
+}
+
+#[test]
+fn refused_charge_draws_no_noise() {
+    let db = db();
+    // Session A: one answer, then a refused charge, then another answer.
+    let a = db.open_session(1.0, seq_cfg(), 13);
+    let a1 = a.answer(ORDERS_SQL, 0.5).expect("first");
+    assert!(matches!(a.answer(ITEMS_SQL, 0.75), Err(r2t::Error::Budget(_))));
+    let a2 = a.answer(ITEMS_SQL, 0.5).expect("second");
+
+    // Session B: the same two successful charges, no refusal in between.
+    let b = db.open_session(1.0, seq_cfg(), 13);
+    let b1 = b.answer(ORDERS_SQL, 0.5).expect("first");
+    let b2 = b.answer(ITEMS_SQL, 0.5).expect("second");
+
+    // If the refused charge had consumed a substream (or any randomness),
+    // a2 and b2 would diverge.
+    assert_eq!(a1.noisy.to_bits(), b1.noisy.to_bits());
+    assert_eq!(a2.noisy.to_bits(), b2.noisy.to_bits());
+    assert_eq!(a2.receipt.substream, 1);
+}
+
+#[test]
+fn concurrent_answers_charge_exactly() {
+    let db = db();
+    // Budget fits exactly 8 charges of 1/8 (both powers of two: float-exact).
+    let session = db.open_session(1.0, seq_cfg(), 21);
+    let prepared = session.prepare(ORDERS_SQL).expect("prepare");
+    let outcomes: Vec<bool> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            (0..16).map(|_| scope.spawn(|| prepared.answer(0.125).is_ok())).collect();
+        handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+    });
+    let successes = outcomes.iter().filter(|&&ok| ok).count();
+    assert_eq!(successes, 8, "exactly the budget's worth of answers");
+    assert_eq!(session.spent(), 1.0, "charges sum exactly");
+    assert_eq!(session.remaining(), 0.0);
+    assert_eq!(session.num_charges(), 8);
+    assert_eq!(session.ledger().len(), 8);
+}
+
+#[test]
+fn cache_is_keyed_by_normalized_text() {
+    let db = db();
+    let session = db.open_session(1.0, seq_cfg(), 1);
+    let p1 = session.prepare(ORDERS_SQL).expect("prepare");
+    let p2 = session
+        .prepare("select  count( * )\n from customer,orders where orders.o_ck=customer.ck")
+        .expect("prepare variant");
+    assert_eq!(session.cached_queries(), 1, "one cache entry for both spellings");
+    assert_eq!(p1.sql(), p2.sql());
+    let s = p1.summary().expect("scalar summary");
+    assert!(!s.is_projection);
+    assert!(s.results > 0);
+
+    session.prepare(ITEMS_SQL).expect("prepare second query");
+    assert_eq!(session.cached_queries(), 2);
+}
+
+#[test]
+fn per_answer_epsilon_is_validated() {
+    let db = db();
+    let session = db.open_session(1.0, seq_cfg(), 1);
+    let prepared = session.prepare(ORDERS_SQL).expect("prepare");
+    assert!(matches!(prepared.answer(0.0), Err(r2t::Error::Unsupported(_))));
+    assert!(matches!(prepared.answer(-1.0), Err(r2t::Error::Unsupported(_))));
+    assert!(matches!(prepared.answer(f64::INFINITY), Err(r2t::Error::Unsupported(_))));
+    assert_eq!(session.num_charges(), 0, "invalid epsilon never reaches the accountant");
+}
+
+#[test]
+fn grouped_statements_are_fenced_from_scalar_entry_points() {
+    let db = db();
+    let session = db.open_session(2.0, seq_cfg(), 3);
+    let grouped_sql = format!("{ORDERS_SQL} GROUP BY customer.mktsegment");
+    let g = session.prepare(&grouped_sql).expect("prepare grouped");
+    assert!(matches!(g.answer(0.5), Err(r2t::Error::Unsupported(_))));
+    let scalar = session.prepare(ORDERS_SQL).expect("prepare scalar");
+    assert!(matches!(scalar.answer_grouped(0.5), Err(r2t::Error::Unsupported(_))));
+    let specs = vec![QuerySpec::new(grouped_sql, 0.5)];
+    assert!(matches!(session.answer_all(&specs), Err(r2t::Error::Unsupported(_))));
+    assert_eq!(session.num_charges(), 0);
+}
+
+#[test]
+fn distinct_substreams_give_distinct_noise() {
+    let db = db();
+    // Large per-answer ε so the race is won by a noisy branch, not the
+    // noise-free floor Q(I, 0) — this is a determinism test, not a DP one.
+    let session = db.open_session(1000.0, seq_cfg(), 77);
+    let prepared = session.prepare(ORDERS_SQL).expect("prepare");
+    let a = prepared.answer(400.0).expect("a");
+    let b = prepared.answer(400.0).expect("b");
+    assert_eq!(a.receipt.substream, 0);
+    assert_eq!(b.receipt.substream, 1);
+    assert_ne!(a.noisy.to_bits(), b.noisy.to_bits(), "fresh noise per charge");
+}

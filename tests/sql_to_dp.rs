@@ -53,14 +53,7 @@ fn dp_answer_from_raw_sql() {
     let q = parse_query(EDGE_SQL, &schema).expect("parses");
     let profile = exec::profile(&schema, &inst, &q).expect("runs");
     let truth = profile.query_result();
-    let r2t = R2T::new(R2TConfig {
-        epsilon: 2.0,
-        beta: 0.1,
-        gs: 64.0,
-        early_stop: true,
-        parallel: false,
-        ..Default::default()
-    });
+    let r2t = R2T::new(R2TConfig::builder(2.0, 0.1, 64.0).early_stop(true).parallel(false).build());
     let mut rng = StdRng::seed_from_u64(14);
     let out = r2t.run(&profile, &mut rng).expect("runs");
     assert!(out.is_finite());

@@ -1,4 +1,9 @@
 //! Integration tests for the end-to-end `PrivateDatabase` facade.
+//!
+//! The one-shot `query`/`query_grouped` entry points are deprecated in
+//! favour of sessions (tested in `service_session.rs`) but must keep
+//! working for existing callers.
+#![allow(deprecated)]
 
 use r2t::core::R2TConfig;
 use r2t::system::PrivateDatabase;
@@ -11,14 +16,7 @@ fn db() -> PrivateDatabase {
 }
 
 fn cfg() -> R2TConfig {
-    R2TConfig {
-        epsilon: 1.0,
-        beta: 0.1,
-        gs: 4096.0,
-        early_stop: true,
-        parallel: false,
-        ..Default::default()
-    }
+    R2TConfig::builder(1.0, 0.1, 4096.0).early_stop(true).parallel(false).build()
 }
 
 const ORDERS_SQL: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";

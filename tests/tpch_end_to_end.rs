@@ -15,14 +15,8 @@ fn r2t_supports_every_query_and_underestimates() {
         let profile = exec::profile(&tq.schema, &inst, &tq.query).expect("query runs");
         let truth = profile.query_result();
         let gs = if tq.category == Category::Aggregation { 1 << 18 } else { 1 << 12 } as f64;
-        let r2t = R2T::new(R2TConfig {
-            epsilon: 0.8,
-            beta: 0.1,
-            gs,
-            early_stop: true,
-            parallel: false,
-            ..Default::default()
-        });
+        let r2t =
+            R2T::new(R2TConfig::builder(0.8, 0.1, gs).early_stop(true).parallel(false).build());
         let mut rng = StdRng::seed_from_u64(5);
         let out = r2t.run(&profile, &mut rng).expect("R2T supports all SPJA queries");
         assert!(out.is_finite(), "{}", tq.name);
