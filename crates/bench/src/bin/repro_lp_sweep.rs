@@ -5,10 +5,14 @@
 //! repetition: **cold** through the stateless truncation path (rebuild +
 //! presolve + cold simplex per branch — the pre-sweep code path) and
 //! **warm** through one `SweepSession` that chains optimal bases across
-//! branches. The JSON reports per-branch mean/p95 solve times, the simplex
-//! iterations saved by basis reuse, and the worst warm/cold divergence
-//! (which must stay ≤ 1e-6 relative — warm starts change runtime, never
-//! values).
+//! branches. Both sides are pinned to the revised-simplex backend
+//! (`simplex_sweep_session`) so this bench keeps measuring warm-start basis
+//! reuse even on workloads the dispatcher now routes to the combinatorial
+//! flow kernel (see `repro_flow_kernel` for that comparison). The JSON
+//! reports per-branch mean/p95 solve times, the primal iterations saved by
+//! basis reuse alongside the dual iterations the warm repair spends, and
+//! the worst warm/cold divergence (which must stay ≤ 1e-6 relative — warm
+//! starts change runtime, never values).
 //!
 //! Honours `R2T_REPS` (default 5).
 
@@ -29,7 +33,8 @@ struct WorkloadResult {
     json: String,
     cold_total: f64,
     warm_total: f64,
-    iterations_saved: i64,
+    primal_iterations_saved: i64,
+    dual_iterations_spent: usize,
     max_divergence: f64,
 }
 
@@ -62,7 +67,7 @@ fn run_workload(name: &str, profile: &QueryProfile, nb: u32, reps: usize) -> Wor
     let warm_race =
         |t: &dyn r2t_core::truncation::Truncation, times: &mut [Vec<f64>], values: &mut [f64]| {
             let (stats, total) = timed("bench.warm_race", || {
-                let mut session = t.sweep_session().expect("LP truncations support sweeps");
+                let mut session = t.simplex_sweep_session().expect("LP truncations support sweeps");
                 for (i, &tau) in taus.iter().enumerate() {
                     let (v, secs) = timed("branch", || session.value(tau));
                     values[i] = v;
@@ -101,11 +106,10 @@ fn run_workload(name: &str, profile: &QueryProfile, nb: u32, reps: usize) -> Wor
     // same reduced LPs the warm chain solves.
     let mut cold_iters = 0usize;
     for &tau in &taus {
-        let mut fresh = t.sweep_session().expect("LP truncations support sweeps");
+        let mut fresh = t.simplex_sweep_session().expect("LP truncations support sweeps");
         fresh.value(tau);
         cold_iters += fresh.stats().primal_iterations + fresh.stats().dual_iterations;
     }
-    let warm_iters = warm_stats.primal_iterations + warm_stats.dual_iterations;
 
     let mut max_div = 0.0f64;
     let mut branches_json = String::new();
@@ -137,12 +141,16 @@ fn run_workload(name: &str, profile: &QueryProfile, nb: u32, reps: usize) -> Wor
     }
     let cold_total = mean(&cold_totals);
     let warm_total = mean(&warm_totals);
-    let iterations_saved = cold_iters as i64 - warm_iters as i64;
+    // The warm chain trades primal pivots for (cheaper) dual repair pivots;
+    // a single net number hid a chain whose repair cost ate the savings, so
+    // the two directions are reported separately.
+    let primal_iterations_saved = cold_iters as i64 - warm_stats.primal_iterations as i64;
+    let dual_iterations_spent = warm_stats.dual_iterations;
 
     let mut json = String::new();
     write!(
         json,
-        "    {{\n      \"name\": \"{name}\",\n      \"num_results\": {},\n      \"num_branches\": {b},\n      \"branches\": [\n{branches_json}\n      ],\n      \"cold_total_mean_s\": {cold_total:.6},\n      \"warm_total_mean_s\": {warm_total:.6},\n      \"speedup\": {:.3},\n      \"cold_iterations\": {cold_iters},\n      \"warm_primal_iterations\": {},\n      \"warm_dual_iterations\": {},\n      \"iterations_saved\": {iterations_saved},\n      \"warm_attempts\": {},\n      \"warm_accepted\": {},\n      \"max_divergence\": {max_div:.3e}\n    }}",
+        "    {{\n      \"name\": \"{name}\",\n      \"num_results\": {},\n      \"num_branches\": {b},\n      \"branches\": [\n{branches_json}\n      ],\n      \"cold_total_mean_s\": {cold_total:.6},\n      \"warm_total_mean_s\": {warm_total:.6},\n      \"speedup\": {:.3},\n      \"cold_iterations\": {cold_iters},\n      \"warm_primal_iterations\": {},\n      \"warm_dual_iterations\": {},\n      \"primal_iterations_saved\": {primal_iterations_saved},\n      \"dual_iterations_spent\": {dual_iterations_spent},\n      \"warm_attempts\": {},\n      \"warm_accepted\": {},\n      \"max_divergence\": {max_div:.3e}\n    }}",
         profile.results.len(),
         cold_total / warm_total.max(1e-12),
         warm_stats.primal_iterations,
@@ -158,7 +166,8 @@ fn run_workload(name: &str, profile: &QueryProfile, nb: u32, reps: usize) -> Wor
         json,
         cold_total,
         warm_total,
-        iterations_saved,
+        primal_iterations_saved,
+        dual_iterations_spent,
         max_divergence: max_div,
     }
 }
@@ -187,13 +196,14 @@ fn main() {
 
     for w in &workloads {
         println!(
-            "{:<24} results={:<7} cold={:.4}s warm={:.4}s speedup={:.2}x iters_saved={} max_div={:.2e}",
+            "{:<24} results={:<7} cold={:.4}s warm={:.4}s speedup={:.2}x primal_saved={} dual_spent={} max_div={:.2e}",
             w.name,
             w.num_results,
             w.cold_total,
             w.warm_total,
             w.cold_total / w.warm_total.max(1e-12),
-            w.iterations_saved,
+            w.primal_iterations_saved,
+            w.dual_iterations_spent,
             w.max_divergence
         );
     }

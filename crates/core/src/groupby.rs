@@ -11,9 +11,11 @@
 //! queries (high-dimensional mean estimation); that refinement is future
 //! work in the paper as well.
 
+use crate::noise::substream_rng;
 use crate::r2t::{R2TConfig, R2T};
 use r2t_engine::{QueryProfile, Tuple};
 use rand::RngCore;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// One released group: key, privatized answer, and the branch diagnostics.
 #[derive(Debug, Clone)]
@@ -40,20 +42,80 @@ impl GroupByR2T {
     /// Answers one profile per group under a total budget of
     /// `config.epsilon` (each group gets `ε/k`). Returns one answer per
     /// input group, in input order.
+    ///
+    /// Groups are independent ε/k races, so they run concurrently — on up to
+    /// [`std::thread::available_parallelism`] workers when
+    /// [`R2TConfig::parallel`] is set, sequentially otherwise. One root draw
+    /// from `rng` seeds a positionally pinned noise substream per group
+    /// (group `i` always replays substream `i`), so answers are bit-identical
+    /// for any worker count.
     pub fn run(&self, groups: &[(Tuple, QueryProfile)], rng: &mut dyn RngCore) -> Vec<GroupAnswer> {
+        let workers = if self.config.parallel {
+            std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+        } else {
+            1
+        };
+        self.run_with_workers(groups, rng, workers)
+    }
+
+    /// [`Self::run`] with an explicit worker count (≥ 1). Results are
+    /// identical for every count.
+    pub fn run_with_workers(
+        &self,
+        groups: &[(Tuple, QueryProfile)],
+        rng: &mut dyn RngCore,
+        workers: usize,
+    ) -> Vec<GroupAnswer> {
         if groups.is_empty() {
             return Vec::new();
         }
-        let per_group =
-            R2TConfig { epsilon: self.config.epsilon / groups.len() as f64, ..self.config.clone() };
+        // The substream root is the only draw from the caller's stream; it
+        // is fixed before any fan-out, like a batch charge's ledger indices.
+        let root = rng.next_u64();
+        let workers = workers.max(1).min(groups.len());
+        let per_group = R2TConfig {
+            epsilon: self.config.epsilon / groups.len() as f64,
+            // Workers already saturate the machine when racing across
+            // groups; nested branch parallelism would only oversubscribe
+            // (per-branch results are worker-count independent either way).
+            parallel: self.config.parallel && workers == 1,
+            ..self.config.clone()
+        };
         let r2t = R2T::new(per_group);
-        groups
-            .iter()
-            .map(|(key, profile)| GroupAnswer {
-                key: key.clone(),
-                answer: r2t.run_profile(profile, rng).output,
-            })
-            .collect()
+        let run_group = |i: usize| -> GroupAnswer {
+            let (key, profile) = &groups[i];
+            let mut rng = substream_rng(root, i as u64);
+            GroupAnswer { key: key.clone(), answer: r2t.run_profile(profile, &mut rng).output }
+        };
+        if workers <= 1 {
+            return (0..groups.len()).map(run_group).collect();
+        }
+        let mut results: Vec<Option<GroupAnswer>> = (0..groups.len()).map(|_| None).collect();
+        let next = AtomicUsize::new(0);
+        let computed: Vec<(usize, GroupAnswer)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..workers {
+                let next = &next;
+                let run_group = &run_group;
+                let n = groups.len();
+                handles.push(scope.spawn(move || {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, run_group(i)));
+                    }
+                    out
+                }));
+            }
+            handles.into_iter().flat_map(|h| h.join().expect("group worker panicked")).collect()
+        });
+        for (i, a) in computed {
+            results[i] = Some(a);
+        }
+        results.into_iter().map(|a| a.expect("every group answered")).collect()
     }
 }
 
@@ -131,6 +193,52 @@ mod tests {
             err_many > err_single,
             "splitting the budget across 8 groups should cost accuracy: {err_many} vs {err_single}"
         );
+    }
+
+    #[test]
+    fn worker_count_does_not_change_answers() {
+        let groups: Vec<(Tuple, QueryProfile)> =
+            (0..7).map(|i| (vec![Value::Int(i)], group(30 + 10 * i as u64, 2))).collect();
+        let m = GroupByR2T::new(R2TConfig {
+            epsilon: 2.0,
+            beta: 0.1,
+            gs: 64.0,
+            early_stop: true,
+            parallel: false,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let sequential = m.run_with_workers(&groups, &mut rng, 1);
+        for workers in [2, 3, 8, 64] {
+            let mut rng = StdRng::seed_from_u64(5);
+            let parallel = m.run_with_workers(&groups, &mut rng, workers);
+            assert_eq!(parallel.len(), sequential.len());
+            for (p, s) in parallel.iter().zip(&sequential) {
+                assert_eq!(p.key, s.key);
+                assert_eq!(p.answer.to_bits(), s.answer.to_bits(), "workers={workers}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_config_matches_sequential_bitwise() {
+        let groups: Vec<(Tuple, QueryProfile)> =
+            (0..5).map(|i| (vec![Value::Int(i)], group(40, 3))).collect();
+        let base = R2TConfig {
+            epsilon: 1.5,
+            beta: 0.1,
+            gs: 64.0,
+            early_stop: true,
+            parallel: false,
+            ..Default::default()
+        };
+        let mut rng = StdRng::seed_from_u64(9);
+        let seq = GroupByR2T::new(base.clone()).run(&groups, &mut rng);
+        let mut rng = StdRng::seed_from_u64(9);
+        let par = GroupByR2T::new(R2TConfig { parallel: true, ..base }).run(&groups, &mut rng);
+        for (p, s) in par.iter().zip(&seq) {
+            assert_eq!(p.answer.to_bits(), s.answer.to_bits());
+        }
     }
 
     #[test]

@@ -31,5 +31,5 @@ pub use mechanism::Mechanism;
 pub use r2t::{BranchValues, R2TConfig, R2TConfigBuilder, R2TReport, R2T};
 pub use r2t_engine::QueryProfile;
 pub use truncation::{
-    LpTruncation, NaiveTruncation, ProjectedLpTruncation, SweepCache, Truncation,
+    KernelKind, LpTruncation, NaiveTruncation, ProjectedLpTruncation, SweepCache, Truncation,
 };

@@ -1,6 +1,22 @@
-//! Calibrated noise primitives.
+//! Calibrated noise primitives and deterministic substream derivation.
 
-use rand::RngCore;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The deterministic RNG for substream `index` of a noise stream rooted at
+/// `seed`. A SplitMix64-style finalizer spreads adjacent indices across the
+/// seed space before the generator's own expansion.
+///
+/// Positional substreams are what make fan-out deterministic: when a batch
+/// (queries in a session, groups in a GROUP BY) pins substream `i` to item
+/// `i` *before* any work is distributed, the answers are bit-identical for
+/// any worker count.
+pub fn substream_rng(seed: u64, index: u64) -> StdRng {
+    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    StdRng::seed_from_u64(z ^ (z >> 31))
+}
 
 /// A uniform draw in `[0, 1)` with 53 bits of precision, built directly on
 /// [`RngCore`] so it works through trait objects.

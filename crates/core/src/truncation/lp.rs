@@ -11,6 +11,7 @@
 //! from `r2t-lp`, which eliminates every constraint row whose total weight
 //! is already ≤ τ — the dominant case on sparse instances.
 
+use super::kernel::KernelWorker;
 use super::{SweepBranchSolver, SweepCache, Truncation};
 use r2t_engine::QueryProfile;
 use r2t_lp::presolve::presolve;
@@ -100,6 +101,22 @@ impl<'a> LpTruncation<'a> {
             other => unreachable!("truncation LP cannot be {other:?}"),
         }
     }
+
+    /// The shared sweep structure, built by the first caller.
+    fn sweep_problem(&self) -> Option<&SweepProblem> {
+        self.sweep
+            .get_or_init(|| {
+                if self.profile.results.is_empty() {
+                    return None;
+                }
+                // All rows are τ-parameterized; the placeholder bound is
+                // irrelevant (sweep rows are re-bounded per branch).
+                let lp = self.build_lp(f64::INFINITY);
+                let rows: Vec<usize> = (0..lp.num_rows()).collect();
+                SweepProblem::new(&lp, &rows).ok()
+            })
+            .as_ref()
+    }
 }
 
 impl Truncation for LpTruncation<'_> {
@@ -112,19 +129,15 @@ impl Truncation for LpTruncation<'_> {
     }
 
     fn sweep_session(&self) -> Option<Box<dyn SweepBranchSolver + '_>> {
-        let sp = self
-            .sweep
-            .get_or_init(|| {
-                if self.profile.results.is_empty() {
-                    return None;
-                }
-                // All rows are τ-parameterized; the placeholder bound is
-                // irrelevant (sweep rows are re-bounded per branch).
-                let lp = self.build_lp(f64::INFINITY);
-                let rows: Vec<usize> = (0..lp.num_rows()).collect();
-                SweepProblem::new(&lp, &rows).ok()
-            })
-            .as_ref()?;
+        let sp = self.sweep_problem()?;
+        match KernelWorker::try_new(sp, self.value(0.0)) {
+            Some(w) => Some(Box::new(w)),
+            None => self.simplex_sweep_session(),
+        }
+    }
+
+    fn simplex_sweep_session(&self) -> Option<Box<dyn SweepBranchSolver + '_>> {
+        let sp = self.sweep_problem()?;
         let solver = RevisedSimplex {
             options: SolveOptions { event_every: self.event_every, ..SolveOptions::default() },
         };

@@ -15,6 +15,7 @@
 //! * [`ProjectedLpTruncation`] — the extended LP of Section 7 for SPJA
 //!   queries with duplicate-removing projection.
 
+mod kernel;
 mod lp;
 mod naive;
 mod projected;
@@ -25,6 +26,20 @@ pub use projected::ProjectedLpTruncation;
 
 use r2t_engine::QueryProfile;
 use std::sync::{Arc, OnceLock};
+
+/// Which backend a [`SweepBranchSolver`] runs on. `r2t-lp` classifies the
+/// shared sweep structure once (see [`r2t_lp::KernelClass`]); this is the
+/// session-level view of where that classification landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Per-node closed form (every result references ≤ 1 private tuple).
+    ClosedForm,
+    /// Incremental max-flow on the bipartite double cover (≤ 2 unit
+    /// references per result).
+    Matching,
+    /// Warm-starting revised simplex (no special structure).
+    Simplex,
+}
 
 /// A shareable, lazily built τ-sweep LP structure (constraint skeleton,
 /// monotone presolve thresholds) for one profile. Truncations built with
@@ -55,8 +70,14 @@ pub trait SweepBranchSolver {
     ) -> Option<f64>;
 
     /// Cumulative solver counters (warm-start acceptance, iteration counts)
-    /// across every branch this session has solved.
+    /// across every branch this session has solved. Combinatorial kernels
+    /// report zeros — they never pivot.
     fn stats(&self) -> r2t_lp::SolveStats;
+
+    /// Which backend this session solves branches with.
+    fn kind(&self) -> KernelKind {
+        KernelKind::Simplex
+    }
 }
 
 /// Abstraction over truncation methods. Implementations borrow the profile
@@ -79,8 +100,21 @@ pub trait Truncation: Sync {
     /// LP structure, if the method supports one (`None` = callers fall back
     /// to the stateless entry points). The first call builds the shared
     /// sweep structure; subsequent calls (other workers) reuse it.
+    ///
+    /// Implementations dispatch on the structure: matching-shaped LPs get a
+    /// combinatorial max-flow kernel, single-reference LPs a closed form,
+    /// everything else the revised simplex (see [`KernelKind`]).
     fn sweep_session(&self) -> Option<Box<dyn SweepBranchSolver + '_>> {
         None
+    }
+
+    /// Like [`Self::sweep_session`], but pinned to the simplex backend even
+    /// when the structure admits a combinatorial kernel. This is the oracle
+    /// benchmarks and differential tests measure the kernel against; results
+    /// agree to solver tolerance. The default forwards to `sweep_session`
+    /// (methods without kernel dispatch have nothing to pin).
+    fn simplex_sweep_session(&self) -> Option<Box<dyn SweepBranchSolver + '_>> {
+        self.sweep_session()
     }
 
     /// The saturation threshold `τ*(I)` of this method on this profile.

@@ -11,6 +11,7 @@
 //! Lemma 7.3); the gap between `IS_Q(I)` and the true `DS_Q(I)` is the price
 //! of projection, which Theorem 7.2 proves unavoidable.
 
+use super::kernel::KernelWorker;
 use super::{SweepBranchSolver, SweepCache, Truncation};
 use r2t_engine::QueryProfile;
 use r2t_lp::presolve::presolve;
@@ -127,6 +128,23 @@ impl<'a> ProjectedLpTruncation<'a> {
             other => unreachable!("projected truncation LP cannot be {other:?}"),
         }
     }
+
+    /// The shared sweep structure, built by the first caller.
+    fn sweep_problem(&self) -> Option<&SweepProblem> {
+        self.sweep
+            .get_or_init(|| {
+                if self.profile.results.is_empty() {
+                    return None;
+                }
+                // Group rows (added first by build_lp) keep their ≤ 0 bound
+                // in every branch; only the per-tuple rows sweep with τ.
+                let lp = self.build_lp(f64::INFINITY);
+                let n_groups = self.profile.groups.as_ref().map_or(0, |g| g.len());
+                let rows: Vec<usize> = (n_groups..lp.num_rows()).collect();
+                SweepProblem::new(&lp, &rows).ok()
+            })
+            .as_ref()
+    }
 }
 
 impl Truncation for ProjectedLpTruncation<'_> {
@@ -139,20 +157,18 @@ impl Truncation for ProjectedLpTruncation<'_> {
     }
 
     fn sweep_session(&self) -> Option<Box<dyn SweepBranchSolver + '_>> {
-        let sp = self
-            .sweep
-            .get_or_init(|| {
-                if self.profile.results.is_empty() {
-                    return None;
-                }
-                // Group rows (added first by build_lp) keep their ≤ 0 bound
-                // in every branch; only the per-tuple rows sweep with τ.
-                let lp = self.build_lp(f64::INFINITY);
-                let n_groups = self.profile.groups.as_ref().map_or(0, |g| g.len());
-                let rows: Vec<usize> = (n_groups..lp.num_rows()).collect();
-                SweepProblem::new(&lp, &rows).ok()
-            })
-            .as_ref()?;
+        // With groups the v_l rows are static and the classifier falls back
+        // to the simplex; without groups the LP degenerates to the SJA form
+        // and graph-shaped profiles get the matching kernel.
+        let sp = self.sweep_problem()?;
+        match KernelWorker::try_new(sp, self.value(0.0)) {
+            Some(w) => Some(Box::new(w)),
+            None => self.simplex_sweep_session(),
+        }
+    }
+
+    fn simplex_sweep_session(&self) -> Option<Box<dyn SweepBranchSolver + '_>> {
+        let sp = self.sweep_problem()?;
         let solver = RevisedSimplex {
             options: SolveOptions { event_every: self.event_every, ..SolveOptions::default() },
         };

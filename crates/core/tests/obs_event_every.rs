@@ -14,7 +14,10 @@ use std::sync::Mutex;
 static SERIAL: Mutex<()> = Mutex::new(());
 
 /// Example 6.2's skewed instance: enough results that branch LPs run for
-/// multiple simplex iterations (so `event_every` granularities differ).
+/// multiple simplex iterations (so `event_every` granularities differ). A
+/// layer of 3-reference results keeps the profile off the flow kernel —
+/// `event_every` is a *simplex* granularity, so the test must exercise the
+/// simplex dispatch path.
 fn profile() -> QueryProfile {
     let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
     let mut next: u64 = 0;
@@ -35,6 +38,11 @@ fn profile() -> QueryProfile {
         for i in 1..=8 {
             b.add_result(1.0, [center, center + i]);
         }
+    }
+    for _ in 0..30 {
+        let base = next;
+        next += 3;
+        b.add_result(1.0, [base, base + 1, base + 2]);
     }
     b.build()
 }

@@ -1,0 +1,167 @@
+//! Differential property tests for the combinatorial flow kernel: on every
+//! matching-structured profile, the kernel session dispatched by
+//! [`Truncation::sweep_session`] must agree with the pinned revised-simplex
+//! oracle ([`Truncation::simplex_sweep_session`]) to 1e-6 relative on every
+//! branch of the τ-race — including τ = 0, fractional τ, and τ far past
+//! saturation.
+//!
+//! The generator covers the hostile shapes the kernel has to normalize:
+//! fractional ψ weights, zero-weight results, results with no private
+//! references (fixed mass), and private-tuple islands (disconnected flow
+//! components). Half-integrality and min-cut tightness are unit-tested at
+//! the `r2t-lp` layer where the flow internals are visible.
+
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use r2t_core::truncation::{LpTruncation, ProjectedLpTruncation, Truncation};
+use r2t_core::KernelKind;
+use r2t_engine::lineage::ProfileBuilder;
+use r2t_engine::QueryProfile;
+
+/// A random graph-shaped workload: islands of private tuples, each result
+/// referencing 0, 1, or 2 tuples *within one island* (so distinct islands
+/// are provably disconnected flow components).
+#[derive(Debug, Clone)]
+struct GraphProfile {
+    tuples_per_island: usize,
+    /// (weight, island, endpoints within the island — 0, 1, or 2 of them).
+    results: Vec<(f64, usize, Vec<usize>)>,
+}
+
+fn arb_graph() -> impl Strategy<Value = GraphProfile> {
+    (1..=3usize, 2..=8usize, 1..=50usize).prop_flat_map(|(islands, per, n)| {
+        let result = (0u8..10, 0.05f64..4.0, 0..islands, prop::collection::vec(0..per, 0..=2));
+        prop::collection::vec(result, n).prop_map(move |raw| GraphProfile {
+            tuples_per_island: per,
+            results: raw
+                .into_iter()
+                // Zero-weight results (~20% of draws) must be carried: they
+                // contribute nothing but still appear as LP columns.
+                .map(|(zero, w, island, ends)| (if zero < 2 { 0.0 } else { w }, island, ends))
+                .collect(),
+        })
+    })
+}
+
+fn build(g: &GraphProfile) -> QueryProfile {
+    let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+    for (w, island, ends) in &g.results {
+        let base = (island * g.tuples_per_island) as u64;
+        b.add_result(*w, ends.iter().map(|&e| base + e as u64));
+    }
+    b.build()
+}
+
+/// Race grid: descending powers of two, a fractional τ, τ = 0, and a τ far
+/// past every plausible saturation point.
+fn race_taus(p: &QueryProfile) -> Vec<f64> {
+    let mut taus: Vec<f64> = (1..=8u32).rev().map(|j| (1u64 << j) as f64).collect();
+    taus.push(2.0 * p.max_sensitivity() + 1024.0);
+    taus.push(1.5);
+    taus.push(0.25);
+    taus.push(0.0);
+    taus
+}
+
+fn assert_kernel_matches_simplex(
+    trunc: &dyn Truncation,
+    p: &QueryProfile,
+) -> Result<(), TestCaseError> {
+    let mut kernel = trunc.sweep_session().expect("LP truncations support sweeps");
+    prop_assert!(
+        kernel.kind() != KernelKind::Simplex,
+        "graph workloads must dispatch to a combinatorial kernel"
+    );
+    let mut simplex = trunc.simplex_sweep_session().expect("simplex oracle available");
+    prop_assert!(simplex.kind() == KernelKind::Simplex);
+    for tau in race_taus(p) {
+        let want = simplex.value(tau);
+        let got = kernel.value(tau);
+        prop_assert!(
+            (got - want).abs() <= 1e-6 * (1.0 + want.abs()),
+            "tau={tau}: kernel {got} vs simplex {want}"
+        );
+        // The racing entry point with a generous cutoff is the same number.
+        let raced = kernel.value_racing(tau, &mut |_| true);
+        prop_assert!(
+            raced.is_some_and(|r| (r - want).abs() <= 1e-6 * (1.0 + want.abs())),
+            "tau={tau}: raced {raced:?} vs simplex {want}"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matching_kernel_matches_simplex_on_graph_profiles(g in arb_graph()) {
+        let p = build(&g);
+        prop_assume!(!p.results.is_empty());
+        let t = LpTruncation::new(&p);
+        assert_kernel_matches_simplex(&t, &p)?;
+    }
+
+    /// Projection-free SPJA profiles fold to the SJA LP; the projected
+    /// truncation must reach the identical kernel values.
+    #[test]
+    fn projected_without_groups_matches_simplex(g in arb_graph()) {
+        let p = build(&g);
+        prop_assume!(!p.results.is_empty());
+        let t = ProjectedLpTruncation::new(&p);
+        assert_kernel_matches_simplex(&t, &p)?;
+    }
+
+    /// Single-reference workloads dispatch to the closed form; same oracle.
+    #[test]
+    fn closed_form_matches_simplex_on_star_profiles(
+        weights in prop::collection::vec(0.0f64..4.0, 1..40),
+        owners in prop::collection::vec(0..6usize, 40),
+    ) {
+        let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+        for (k, w) in weights.iter().enumerate() {
+            if k % 7 == 3 {
+                b.add_result(*w, []); // free result: fixed mass
+            } else {
+                b.add_result(*w, [owners[k] as u64]);
+            }
+        }
+        let p = b.build();
+        let t = LpTruncation::new(&p);
+        let mut kernel = t.sweep_session().expect("sweep available");
+        prop_assert!(kernel.kind() == KernelKind::ClosedForm);
+        let mut simplex = t.simplex_sweep_session().expect("oracle available");
+        for tau in race_taus(&p) {
+            let want = simplex.value(tau);
+            let got = kernel.value(tau);
+            prop_assert!(
+                (got - want).abs() <= 1e-6 * (1.0 + want.abs()),
+                "tau={tau}: closed form {got} vs simplex {want}"
+            );
+        }
+    }
+}
+
+/// A kernel session killed mid-race (cutoff refuses) must keep serving
+/// correct values afterwards — the race retries branches after a kill when
+/// the bar drops.
+#[test]
+fn killed_kernel_session_recovers() {
+    let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
+    for i in 0..40u64 {
+        b.add_result(1.0 + (i % 4) as f64 * 0.25, [i % 10, (i + 1) % 10]);
+    }
+    let p = b.build();
+    let t = LpTruncation::new(&p);
+    let mut kernel = t.sweep_session().unwrap();
+    assert!(kernel.value_racing(64.0, &mut |_| false).is_none(), "hopeless cutoff kills");
+    let mut simplex = t.simplex_sweep_session().unwrap();
+    for tau in [64.0, 16.0, 4.0, 1.0] {
+        let want = simplex.value(tau);
+        let got = kernel.value_racing(tau, &mut |_| true).unwrap();
+        assert!(
+            (got - want).abs() <= 1e-6 * (1.0 + want.abs()),
+            "tau={tau}: post-kill kernel {got} vs simplex {want}"
+        );
+    }
+}

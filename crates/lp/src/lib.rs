@@ -48,6 +48,7 @@
 pub mod certify;
 pub mod dense;
 pub mod dual_bound;
+pub mod flow;
 pub mod mps;
 pub mod presolve;
 pub mod problem;
@@ -57,6 +58,7 @@ pub mod sweep;
 
 pub use dense::DenseSimplex;
 pub use dual_bound::lagrangian_bound;
+pub use flow::{ClosedFormKernel, FallbackReason, FlowProblem, FlowSession, KernelClass, MinCut};
 pub use problem::{Problem, RowBounds, Sense, VarBounds};
 pub use revised::{
     RevisedSimplex, SolveOptions, SolveStats, SolverContext, SolverEvent, WarmStart,

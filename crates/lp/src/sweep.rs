@@ -37,6 +37,7 @@
 //! session owns the solver workspace and the chain of bases, and the race in
 //! `r2t-core` feeds it branches in descending-τ order.
 
+use crate::flow::{self, ClosedFormKernel, FlowProblem, FlowSession, KernelClass};
 use crate::problem::{Problem, Sense};
 use crate::revised::{
     RawLp, RevisedSimplex, SolveStats, SolverContext, SolverEvent, VarState, WarmStart,
@@ -83,6 +84,12 @@ pub struct SweepProblem {
     sorted_acts: Vec<f64>,
     /// Variable thresholds sorted descending, same purpose.
     sorted_thresholds: Vec<f64>,
+    /// Which solver backend the structure admits (see [`crate::flow`]).
+    kernel: KernelClass,
+    /// Double-cover flow network, built when the class is `Matching`.
+    flow: Option<FlowProblem>,
+    /// Per-node closed form, built when the class is `ClosedForm`.
+    closed: Option<ClosedFormKernel>,
 }
 
 /// Value a variable is fixed at when every row containing it is redundant
@@ -175,6 +182,11 @@ impl SweepProblem {
         let row_lower: Vec<f64> = (0..m).map(|i| problem.row_bounds(i).lower).collect();
         let row_upper: Vec<f64> = (0..m).map(|i| problem.row_bounds(i).upper).collect();
 
+        // Classify the structure once; when every column touches ≤ 2 sweep
+        // rows with unit data this also builds the combinatorial kernel.
+        // With no static rows, node k of the network is exactly row k.
+        let kernels = flow::build_kernels(&mat, n_static, &obj, &var_lower, &var_upper);
+
         Ok(SweepProblem {
             mat,
             is_sweep,
@@ -189,6 +201,9 @@ impl SweepProblem {
             n_static,
             sorted_acts,
             sorted_thresholds,
+            kernel: kernels.class,
+            flow: kernels.flow,
+            closed: kernels.closed,
         })
     }
 
@@ -217,6 +232,29 @@ impl SweepProblem {
     /// solver configuration.
     pub fn session(&self, solver: RevisedSimplex) -> SweepSession<'_> {
         SweepSession { problem: self, solver, ctx: SolverContext::new(), saved: None }
+    }
+
+    /// Which solver backend this structure admits.
+    pub fn kernel_class(&self) -> KernelClass {
+        self.kernel
+    }
+
+    /// The double-cover flow network, when the class is
+    /// [`KernelClass::Matching`].
+    pub fn flow_problem(&self) -> Option<&FlowProblem> {
+        self.flow.as_ref()
+    }
+
+    /// A worker-local max-flow session, when the class is
+    /// [`KernelClass::Matching`].
+    pub fn flow_session(&self) -> Option<FlowSession<'_>> {
+        self.flow.as_ref().map(FlowProblem::session)
+    }
+
+    /// The per-node closed form, when the class is
+    /// [`KernelClass::ClosedForm`].
+    pub fn closed_form(&self) -> Option<&ClosedFormKernel> {
+        self.closed.as_ref()
     }
 }
 

@@ -30,21 +30,12 @@ use r2t_core::truncation::{self, SweepCache};
 use r2t_core::{Accountant, BranchValues, R2TConfig, R2TReport, R2T};
 use r2t_engine::{exec, ProfileSummary, QueryProfile, Tuple};
 use r2t_sql::{normalize, parse_statement};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::RngCore;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// The deterministic RNG for one charge: substream `index` of a session
-/// rooted at `seed`. A SplitMix64-style finalizer spreads adjacent indices
-/// across the seed space before the generator's own expansion.
-pub fn substream_rng(seed: u64, index: u64) -> StdRng {
-    let mut z = seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    StdRng::seed_from_u64(z ^ (z >> 31))
-}
+pub use r2t_core::noise::substream_rng;
 
 /// One query in a [`Session::answer_all`] batch.
 #[derive(Debug, Clone)]
@@ -449,22 +440,25 @@ impl PreparedQuery<'_, '_> {
 
     /// Answers a prepared GROUP BY statement: one total charge of `epsilon`,
     /// split evenly across the `k` groups (Section 11), each group racing at
-    /// `ε/k` on the shared substream. Bit-identical to the one-shot
-    /// [`PrivateDatabase::query_grouped`] in the sequential no-early-stop
-    /// mode, given the same RNG.
+    /// `ε/k`. The charge's substream yields one root draw and group `i` then
+    /// replays [`substream_rng`]`(root, i)` — the same derivation as
+    /// [`r2t_core::groupby::GroupByR2T::run`], so the answers are
+    /// bit-identical to the one-shot [`PrivateDatabase::query_grouped`] given
+    /// the same RNG, for any worker count on either side.
     pub fn answer_grouped(&self, epsilon: f64) -> Result<GroupedAnswer, Error> {
         check_epsilon(epsilon)?;
         let PreparedKind::Grouped { groups } = &self.inner.kind else {
             return Err(Error::Unsupported("scalar statement: use answer".to_string()));
         };
         let (substream, spent, remaining) = self.charge(epsilon)?;
-        let mut rng = substream_rng(self.session.seed, substream);
+        let root = substream_rng(self.session.seed, substream).next_u64();
         let per_group = self.session.base.with_epsilon(epsilon / groups.len().max(1) as f64);
         let r2t = R2T::new(per_group);
         let mut out = Vec::with_capacity(groups.len());
         let mut branches = 0;
         let mut seconds = 0.0;
-        for (key, _profile, values) in groups {
+        for (i, (key, _profile, values)) in groups.iter().enumerate() {
+            let mut rng = substream_rng(root, i as u64);
             let report = r2t.run_cached(values, &mut rng);
             branches += report.branches.len();
             seconds += report.seconds;
