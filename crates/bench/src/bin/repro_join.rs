@@ -14,7 +14,7 @@
 //! graph sizes and the TPC-H scale factor).
 
 use r2t_bench::{mean, obs_init, reps, scale, timed};
-use r2t_engine::exec::{profile_reference, profile_with_stats, ExecOptions};
+use r2t_engine::exec::{profile_reference, profile_with_stats, ExecOptions, Strategy};
 use r2t_engine::schema::graph_schema_node_dp;
 use r2t_engine::{Instance, Query, Schema};
 use r2t_graph::generators::{erdos_renyi, preferential_attachment};
@@ -33,6 +33,8 @@ struct WorkloadResult {
     speedup: f64,
     old_peak_bindings: usize,
     new_peak_bindings: usize,
+    old_peak_resident_bytes: usize,
+    new_peak_resident_bytes: usize,
     identical: bool,
 }
 
@@ -43,7 +45,14 @@ fn run_workload(
     query: &Query,
     reps: usize,
 ) -> WorkloadResult {
-    let opts = ExecOptions { workers: r2t_bench::workers(), ..ExecOptions::default() };
+    // Pin the columnar strategy: this bench isolates reference-vs-columnar,
+    // so `Strategy::Auto` must not silently reroute the cyclic graph
+    // patterns to the WCOJ executor (BENCH_wcoj covers that comparison).
+    let opts = ExecOptions {
+        workers: r2t_bench::workers(),
+        strategy: Strategy::Columnar,
+        ..ExecOptions::default()
+    };
     // Warm-up + correctness check (untimed).
     let (old_profile, old_stats) = profile_reference(schema, inst, query).expect("reference");
     let (new_profile, new_stats) =
@@ -88,6 +97,8 @@ fn run_workload(
         speedup: old_mean_s / new_mean_s.max(1e-12),
         old_peak_bindings: old_stats.peak_bindings,
         new_peak_bindings: new_stats.peak_bindings,
+        old_peak_resident_bytes: old_stats.peak_resident_bytes,
+        new_peak_resident_bytes: new_stats.peak_resident_bytes,
         identical,
     }
 }
@@ -124,14 +135,16 @@ fn main() {
 
     for w in &workloads {
         println!(
-            "{:<28} results={:<8} old={:.4}s new={:.4}s speedup={:.2}x peak {} -> {}",
+            "{:<28} results={:<8} old={:.4}s new={:.4}s speedup={:.2}x peak {} -> {} resident {} -> {}",
             w.name,
             w.num_results,
             w.old_mean_s,
             w.new_mean_s,
             w.speedup,
             w.old_peak_bindings,
-            w.new_peak_bindings
+            w.new_peak_bindings,
+            w.old_peak_resident_bytes,
+            w.new_peak_resident_bytes
         );
     }
 
@@ -142,7 +155,7 @@ fn main() {
         }
         write!(
             body,
-            "    {{\"name\": \"{}\", \"num_results\": {}, \"old_mean_s\": {:.6}, \"new_mean_s\": {:.6}, \"speedup\": {:.3}, \"old_peak_bindings\": {}, \"new_peak_bindings\": {}, \"identical\": {}}}",
+            "    {{\"name\": \"{}\", \"num_results\": {}, \"old_mean_s\": {:.6}, \"new_mean_s\": {:.6}, \"speedup\": {:.3}, \"old_peak_bindings\": {}, \"new_peak_bindings\": {}, \"old_peak_resident_bytes\": {}, \"new_peak_resident_bytes\": {}, \"identical\": {}}}",
             w.name,
             w.num_results,
             w.old_mean_s,
@@ -150,6 +163,8 @@ fn main() {
             w.speedup,
             w.old_peak_bindings,
             w.new_peak_bindings,
+            w.old_peak_resident_bytes,
+            w.new_peak_resident_bytes,
             w.identical
         )
         .unwrap();

@@ -2,12 +2,12 @@
 //! records the trajectory into `results/BENCH_serving.json`.
 //!
 //! For each TPC-H-lite workload the same query is answered repeatedly three
-//! ways per repetition: **cold** through the deprecated
-//! `PrivateDatabase::query` (parse + lineage + LP race per call, both in the
-//! library's default race mode and in the aligned sequential mode), and
-//! **prepared** through a `Session` where `prepare` paid the parse, lineage
-//! and presolve once and each `answer` only charges the accountant and draws
-//! fresh noise. The bench asserts that prepared answers are bit-identical to
+//! ways per repetition: **cold** through the raw pipeline a one-shot caller
+//! would assemble (`parse_statement` → `exec::profile` → an `R2T` race per
+//! call, both in the library's default race mode and in the aligned
+//! sequential mode), and **prepared** through a `Session` where `prepare`
+//! paid the parse, lineage and presolve once and each `answer` only charges
+//! the accountant and draws fresh noise. The bench asserts that prepared answers are bit-identical to
 //! cold answers on the same noise substream (the serving layer changes
 //! latency, never values) and that the prepared path is at least 5x faster
 //! than the cold aligned path. A second phase drives `answer_all_with` across
@@ -16,8 +16,10 @@
 //! Honours `R2T_REPS` (default 5).
 
 use r2t_bench::{mean, obs_init, p95, reps, timed};
-use r2t_core::R2TConfig;
+use r2t_core::{R2TConfig, R2T};
+use r2t_engine::{exec, Instance, Schema};
 use r2t_service::{substream_rng, PrivateDatabase, QuerySpec};
+use r2t_sql::parse_statement;
 use std::fmt::Write as _;
 
 const ORDERS_SQL: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
@@ -48,23 +50,36 @@ struct WorkloadResult {
     cold_default: f64,
 }
 
-fn run_workload(name: &str, db: &PrivateDatabase, sql: &str, reps: usize) -> WorkloadResult {
+fn run_workload(
+    name: &str,
+    db: &PrivateDatabase,
+    schema: &Schema,
+    inst: &Instance,
+    sql: &str,
+    reps: usize,
+) -> WorkloadResult {
     let seed = 0xA11CE;
     let eps = 0.5;
 
+    // The cold oracle: the full pipeline a one-shot caller pays per query —
+    // parse, lineage profile, LP race — assembled from the public layers
+    // directly, with no serving-layer involvement.
+    let cold_raw = |cfg: &R2TConfig, root: u64, i: u64| -> f64 {
+        let lowered = parse_statement(sql, schema).expect("parse");
+        let profile = exec::profile(schema, inst, &lowered.query).expect("profile");
+        R2T::new(cfg.with_epsilon(eps)).run_profile(&profile, &mut substream_rng(root, i)).output
+    };
+
     // Equality gate first: the serving layer must change latency, never
     // values. A fresh session's charges get ledger indices 0, 1, 2, ... and
-    // each index pins the noise substream, so a cold call on the same
+    // each index pins the noise substream, so a cold run on the same
     // substream must reproduce the prepared answer bit for bit.
     let session = db.open_session(1e9, aligned_cfg(), seed);
     let prepared = session.prepare(sql).expect("prepare");
     for i in 0..4u64 {
         let warm = prepared.answer(eps).expect("prepared answer");
         assert_eq!(warm.receipt.substream, i);
-        #[allow(deprecated)]
-        let cold = db
-            .query(sql, &aligned_cfg().with_epsilon(eps), &mut substream_rng(seed, i))
-            .expect("cold answer");
+        let cold = cold_raw(&aligned_cfg(), seed, i);
         assert_eq!(
             warm.noisy.to_bits(),
             cold.to_bits(),
@@ -88,11 +103,8 @@ fn run_workload(name: &str, db: &PrivateDatabase, sql: &str, reps: usize) -> Wor
         secs / WARM_BLOCK as f64
     };
     let cold_one = |cfg: &R2TConfig, i: u64| {
-        #[allow(deprecated)]
-        let (out, secs) = timed("bench.cold_query", || {
-            db.query(sql, &cfg.with_epsilon(eps), &mut substream_rng(seed ^ 2, i))
-        });
-        out.expect("cold answer");
+        let (out, secs) = timed("bench.cold_query", || cold_raw(cfg, seed ^ 2, i));
+        assert!(out.is_finite());
         secs
     };
 
@@ -202,12 +214,12 @@ fn main() {
     println!("# BENCH serving — prepared sessions vs cold one-shot queries (reps = {reps})\n");
 
     let schema = r2t_tpch::tpch_schema(&["customer"]);
-    let db = PrivateDatabase::new(schema, r2t_tpch::generate(0.2, 0.3, 0xC0FFEE))
-        .expect("valid TPC-H-lite instance");
+    let inst = r2t_tpch::generate(0.2, 0.3, 0xC0FFEE);
+    let db = PrivateDatabase::new(schema.clone(), inst.clone()).expect("valid TPC-H-lite instance");
 
     let workloads = vec![
-        run_workload("orders_per_customer", &db, ORDERS_SQL, reps),
-        run_workload("items_per_order", &db, ITEMS_SQL, reps),
+        run_workload("orders_per_customer", &db, &schema, &inst, ORDERS_SQL, reps),
+        run_workload("items_per_order", &db, &schema, &inst, ITEMS_SQL, reps),
     ];
 
     for w in &workloads {

@@ -13,7 +13,7 @@
 //! variable in the result identifies the referenced tuple (Section 3.2:
 //! `q` references `t_P` iff `|t_P ⋈ q| = 1`).
 //!
-//! Two executors share these semantics:
+//! Three executors share these semantics:
 //!
 //! * The **columnar executor** ([`profile`], [`profile_grouped`]) interns
 //!   every joined value into a dense `u32` id once per relation, represents
@@ -24,10 +24,20 @@
 //!   are evaluated inside the probe loop — the full binding set is never
 //!   materialized), which are merged in deterministic chunk order: the
 //!   resulting [`QueryProfile`] is bit-identical regardless of worker count.
+//! * The **worst-case-optimal executor** ([`crate::wcoj`]) enumerates
+//!   bindings variable-at-a-time by leapfrog intersection of sorted trie
+//!   iterators, so cyclic patterns (triangles, rectangles, cliques) never
+//!   materialize the binary-join intermediate blowup. [`Strategy::Auto`]
+//!   routes α-cyclic join hypergraphs there and keeps acyclic ones (all of
+//!   TPC-H) on the columnar pipeline.
 //! * The **reference executor** ([`profile_reference`],
 //!   [`profile_grouped_reference`]) is the original single-threaded
 //!   row-at-a-time path over `Vec<Value>` bindings, kept as a differential
 //!   oracle and as the baseline for the `join_exec` benchmark.
+//!
+//! All three produce bit-identical [`QueryProfile`]s for the same query, a
+//! property the differential proptests (`prop_exec_differential.rs`,
+//! `prop_wcoj.rs`) pin down.
 
 use crate::complete::complete_query;
 use crate::instance::Instance;
@@ -46,6 +56,25 @@ use std::time::Instant;
 /// packs the interned equivalent via [`pack_private_key`].
 pub type PrivateKey = (u32, Value);
 
+/// Which join executor evaluates a query. Every strategy produces the same
+/// bit-identical [`QueryProfile`]; the choice only affects wall clock and
+/// peak memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Route by join-hypergraph shape ([`crate::query::join_is_acyclic`]):
+    /// α-acyclic queries (FK chains, paths, stars — all of TPC-H) stay on
+    /// the columnar binary-join pipeline, where the greedy order is already
+    /// near worst-case optimal; cyclic queries (triangles, rectangles,
+    /// cliques) run on the worst-case-optimal executor to avoid the
+    /// intermediate-result blowup.
+    #[default]
+    Auto,
+    /// Always the columnar binary-join pipeline.
+    Columnar,
+    /// Always the worst-case-optimal (generic join / leapfrog) executor.
+    Wcoj,
+}
+
 /// Tuning knobs for the columnar executor.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
@@ -56,11 +85,14 @@ pub struct ExecOptions {
     /// Minimum probe-side binding count before a stage fans out to threads;
     /// below it the stage runs inline (thread setup would dominate).
     pub parallel_threshold: usize,
+    /// Executor selection; [`Strategy::Auto`] routes on join-hypergraph
+    /// shape.
+    pub strategy: Strategy,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { workers: None, parallel_threshold: 4096 }
+        ExecOptions { workers: None, parallel_threshold: 4096, strategy: Strategy::Auto }
     }
 }
 
@@ -68,18 +100,27 @@ impl Default for ExecOptions {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExecStats {
     /// Largest number of partial bindings materialized at once (the final
-    /// stage streams into the profile, so it never counts here).
+    /// stage streams into the profile, so it never counts here). For the
+    /// WCOJ executor this is the buffered emission-record count, which is
+    /// proportional to the *output*, not to any intermediate join.
     pub peak_bindings: usize,
     /// Distinct values interned by the columnar executor (0 for the
     /// reference path).
     pub interned_values: usize,
     /// Join results that survived the predicate and nonzero-weight filters.
     pub surviving_results: usize,
+    /// Estimated peak bytes resident in binding storage: peak bindings ×
+    /// binding arity × element width (4 bytes for interned-id executors,
+    /// `size_of::<Value>()` for the reference path). Index/trie structures
+    /// are excluded on every path — they are proportional to the *input* —
+    /// so this is the number the output-proportional-memory claim of the
+    /// WCOJ executor is asserted on.
+    pub peak_resident_bytes: usize,
 }
 
 /// Private atoms of a *completed* query: (primary-private relation index,
 /// PK variable), sorted and deduplicated. Shared by every executor path.
-fn private_key_vars(schema: &Schema, q: &Query) -> Result<Vec<(u32, Var)>, EngineError> {
+pub(crate) fn private_key_vars(schema: &Schema, q: &Query) -> Result<Vec<(u32, Var)>, EngineError> {
     let mut private_vars: Vec<(u32, Var)> = Vec::new();
     for atom in &q.atoms {
         if let Some(pidx) = schema.primary_private().iter().position(|p| *p == atom.relation) {
@@ -121,6 +162,12 @@ pub fn profile_with_stats(
         return profile_reference(schema, instance, query);
     }
     let private_vars = private_key_vars(schema, &q)?;
+    if use_wcoj(&q, opts.strategy) {
+        return match crate::wcoj::run_flat(schema, instance, &q, private_vars, opts)? {
+            Some(out) => Ok(out),
+            None => Ok((QueryProfile::default(), ExecStats::default())),
+        };
+    }
     let Some(plan) = Plan::new(schema, instance, &q, private_vars, opts)? else {
         return Ok((QueryProfile::default(), ExecStats::default()));
     };
@@ -129,7 +176,22 @@ pub fn profile_with_stats(
     let EmitOut::Flat(builder) = out else {
         unreachable!("flat run produced grouped output");
     };
-    Ok((builder.build(), ExecStats { peak_bindings, interned_values, surviving_results }))
+    let stats = ExecStats {
+        peak_bindings,
+        interned_values,
+        surviving_results,
+        peak_resident_bytes: peak_bindings * plan.nvars * std::mem::size_of::<u32>(),
+    };
+    Ok((builder.build(), stats))
+}
+
+/// Whether the query should run on the worst-case-optimal executor.
+fn use_wcoj(q: &Query, strategy: Strategy) -> bool {
+    match strategy {
+        Strategy::Columnar => false,
+        Strategy::Wcoj => true,
+        Strategy::Auto => !crate::query::join_is_acyclic(&q.atoms),
+    }
 }
 
 /// Evaluates a *group-by* query: join results are partitioned by the values
@@ -171,6 +233,13 @@ pub fn profile_grouped_with_stats(
         return Ok((groups, ExecStats::default()));
     }
     let private_vars = private_key_vars(schema, &q)?;
+    if use_wcoj(&q, opts.strategy) {
+        return match crate::wcoj::run_grouped(schema, instance, &q, group_vars, private_vars, opts)?
+        {
+            Some(out) => Ok(out),
+            None => Ok((Vec::new(), ExecStats::default())),
+        };
+    }
     let Some(plan) = Plan::new(schema, instance, &q, private_vars, opts)? else {
         return Ok((Vec::new(), ExecStats::default()));
     };
@@ -179,16 +248,30 @@ pub fn profile_grouped_with_stats(
     let EmitOut::Grouped(acc) = out else {
         unreachable!("grouped run produced flat output");
     };
+    let groups = resolve_groups(acc, &plan.interner);
+    let stats = ExecStats {
+        peak_bindings,
+        interned_values,
+        surviving_results,
+        peak_resident_bytes: peak_bindings * plan.nvars * std::mem::size_of::<u32>(),
+    };
+    Ok((groups, stats))
+}
+
+/// Resolves a [`GroupedAcc`]'s interned group keys back to value tuples and
+/// sorts groups by the canonical key order. Shared by the columnar and WCOJ
+/// grouped paths so their outputs are constructed identically.
+pub(crate) fn resolve_groups(acc: GroupedAcc, interner: &Interner) -> Vec<(Tuple, QueryProfile)> {
     let mut groups: Vec<(Tuple, QueryProfile)> = acc
         .entries
         .into_iter()
         .map(|(key, b)| {
-            let tuple: Tuple = key.iter().map(|&id| plan.interner.resolve(id).clone()).collect();
+            let tuple: Tuple = key.iter().map(|&id| interner.resolve(id).clone()).collect();
             (tuple, b.build())
         })
         .collect();
     groups.sort_by(|(a, _), (b, _)| cmp_tuples(a, b));
-    Ok((groups, ExecStats { peak_bindings, interned_values, surviving_results }))
+    groups
 }
 
 /// Evaluates the query answer `Q(I)` directly.
@@ -199,6 +282,49 @@ pub fn evaluate(schema: &Schema, instance: &Instance, query: &Query) -> Result<f
 // ---------------------------------------------------------------------------
 // The columnar pipeline.
 // ---------------------------------------------------------------------------
+
+/// Interns every relation the query touches into columnar id tables, one
+/// table per *distinct* relation in first-appearance order (self-joins
+/// share). Shared by the columnar and WCOJ executors — identical interning
+/// order is what makes their interned-id spaces, and therefore their private
+/// reference keys, line up bit-for-bit.
+pub(crate) fn intern_tables(
+    schema: &Schema,
+    instance: &Instance,
+    q: &Query,
+) -> Result<(Interner, Vec<ColumnarTable>, Vec<usize>), EngineError> {
+    let mut interner = Interner::new();
+    let mut tables: Vec<ColumnarTable> = Vec::new();
+    let mut by_rel: HashMap<&str, usize> = HashMap::new();
+    let mut atom_table = Vec::with_capacity(q.atoms.len());
+    for atom in &q.atoms {
+        schema.relation(&atom.relation)?;
+        let idx = match by_rel.get(atom.relation.as_str()) {
+            Some(&i) => i,
+            None => {
+                let i = tables.len();
+                tables.push(instance.columnar(&atom.relation, &mut interner));
+                by_rel.insert(atom.relation.as_str(), i);
+                i
+            }
+        };
+        atom_table.push(idx);
+    }
+    Ok((interner, tables, atom_table))
+}
+
+/// Variables whose `Value` must be resolved per result: those read by the
+/// predicate or the weight expression. Sorted and deduplicated.
+pub(crate) fn needed_value_vars(q: &Query) -> Vec<Var> {
+    let mut needed_vars = Vec::new();
+    q.predicate.vars(&mut needed_vars);
+    if let Aggregate::Sum(e) = &q.aggregate {
+        e.vars(&mut needed_vars);
+    }
+    needed_vars.sort_unstable();
+    needed_vars.dedup();
+    needed_vars
+}
 
 /// Prepared columnar execution state: interned tables, join order, and the
 /// variable sets each emission needs.
@@ -235,32 +361,10 @@ impl<'q> Plan<'q> {
             return Ok(None);
         }
         let nvars = q.num_vars();
-        let mut interner = Interner::new();
-        let mut tables: Vec<ColumnarTable> = Vec::new();
-        let mut by_rel: HashMap<&str, usize> = HashMap::new();
-        let mut atom_table = Vec::with_capacity(q.atoms.len());
-        for atom in &q.atoms {
-            schema.relation(&atom.relation)?;
-            let idx = match by_rel.get(atom.relation.as_str()) {
-                Some(&i) => i,
-                None => {
-                    let i = tables.len();
-                    tables.push(instance.columnar(&atom.relation, &mut interner));
-                    by_rel.insert(atom.relation.as_str(), i);
-                    i
-                }
-            };
-            atom_table.push(idx);
-        }
+        let (interner, tables, atom_table) = intern_tables(schema, instance, q)?;
         let sizes: Vec<usize> = atom_table.iter().map(|&i| tables[i].nrows).collect();
         let order = greedy_order(q, &sizes, nvars);
-        let mut needed_vars = Vec::new();
-        q.predicate.vars(&mut needed_vars);
-        if let Aggregate::Sum(e) = &q.aggregate {
-            e.vars(&mut needed_vars);
-        }
-        needed_vars.sort_unstable();
-        needed_vars.dedup();
+        let needed_vars = needed_value_vars(q);
         let workers = opts
             .workers
             .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1));
@@ -518,8 +622,10 @@ impl<'q> Plan<'q> {
 }
 
 /// Greedy join order: smallest atom first, then maximize shared bound
-/// variables, tie-breaking towards smaller relations.
-fn greedy_order(q: &Query, sizes: &[usize], nvars: usize) -> Vec<usize> {
+/// variables, tie-breaking towards smaller relations. The WCOJ executor
+/// reuses this as its canonical *atom pipeline order* so its emission order
+/// reproduces the columnar executor's exactly.
+pub(crate) fn greedy_order(q: &Query, sizes: &[usize], nvars: usize) -> Vec<usize> {
     let natoms = q.atoms.len();
     let mut used = vec![false; natoms];
     let mut order = Vec::with_capacity(natoms);
@@ -549,13 +655,13 @@ fn greedy_order(q: &Query, sizes: &[usize], nvars: usize) -> Vec<usize> {
 
 /// Starts the per-worker timer when full-trace telemetry is active; the
 /// level check keeps `Instant::now` syscalls off the hot path otherwise.
-fn worker_clock() -> Option<Instant> {
+pub(crate) fn worker_clock() -> Option<Instant> {
     r2t_obs::enabled(r2t_obs::Level::Full).then(Instant::now)
 }
 
 /// Records one worker's chunk timing (skew shows up as spread across the
 /// `secs` values of a stage's workers). No-op unless [`worker_clock`] armed.
-fn record_worker(
+pub(crate) fn record_worker(
     t0: Option<Instant>,
     stage: usize,
     worker: usize,
@@ -684,13 +790,13 @@ impl KeyIndex {
 
 /// Per-worker emission target: one shard for flat queries, a keyed shard
 /// collection for group-by queries.
-enum EmitOut {
+pub(crate) enum EmitOut {
     Flat(IdProfileBuilder),
     Grouped(GroupedAcc),
 }
 
 impl EmitOut {
-    fn empty(grouped: bool) -> EmitOut {
+    pub(crate) fn empty(grouped: bool) -> EmitOut {
         if grouped {
             EmitOut::Grouped(GroupedAcc::default())
         } else {
@@ -702,13 +808,13 @@ impl EmitOut {
 /// Group-keyed shard collection preserving first-seen group order (so shard
 /// merges reproduce the sequential group discovery order).
 #[derive(Default)]
-struct GroupedAcc {
+pub(crate) struct GroupedAcc {
     ids: HashMap<Box<[u32]>, u32>,
-    entries: Vec<(Box<[u32]>, IdProfileBuilder)>,
+    pub(crate) entries: Vec<(Box<[u32]>, IdProfileBuilder)>,
 }
 
 impl GroupedAcc {
-    fn builder(&mut self, key: &[u32]) -> &mut IdProfileBuilder {
+    pub(crate) fn builder(&mut self, key: &[u32]) -> &mut IdProfileBuilder {
         if let Some(&i) = self.ids.get(key) {
             return &mut self.entries[i as usize].1;
         }
@@ -718,7 +824,7 @@ impl GroupedAcc {
         &mut self.entries.last_mut().expect("just pushed").1
     }
 
-    fn merge(&mut self, shard: GroupedAcc) -> Result<(), EngineError> {
+    pub(crate) fn merge(&mut self, shard: GroupedAcc) -> Result<(), EngineError> {
         for (key, b) in shard.entries {
             self.builder(&key).merge(b)?;
         }
@@ -765,7 +871,12 @@ pub fn profile_reference(
             }
         }
     }
-    let stats = ExecStats { peak_bindings, interned_values: 0, surviving_results: surviving };
+    let stats = ExecStats {
+        peak_bindings,
+        interned_values: 0,
+        surviving_results: surviving,
+        peak_resident_bytes: peak_bindings * nvars * std::mem::size_of::<Value>(),
+    };
     Ok((builder.build(), stats))
 }
 
@@ -1126,7 +1237,11 @@ mod tests {
         for q in fixture_queries() {
             let mut runs = Vec::new();
             for workers in [1, 2, 5] {
-                let opts = ExecOptions { workers: Some(workers), parallel_threshold: 1 };
+                let opts = ExecOptions {
+                    workers: Some(workers),
+                    parallel_threshold: 1,
+                    ..ExecOptions::default()
+                };
                 runs.push(profile_with_stats(&s, &inst, &q, &opts).unwrap().0);
             }
             assert_eq!(runs[0], runs[1], "{q:?}");
@@ -1240,7 +1355,8 @@ mod grouped_tests {
             let reference = profile_grouped_reference(&s, &inst, &q, &[0]).unwrap();
             let fast = profile_grouped(&s, &inst, &q, &[0]).unwrap();
             assert_eq!(fast, reference, "{q:?}");
-            let opts = ExecOptions { workers: Some(4), parallel_threshold: 1 };
+            let opts =
+                ExecOptions { workers: Some(4), parallel_threshold: 1, ..ExecOptions::default() };
             let forced = profile_grouped_with_stats(&s, &inst, &q, &[0], &opts).unwrap().0;
             assert_eq!(forced, reference, "{q:?}");
         }

@@ -17,6 +17,9 @@
 //!   relation is missing gets that relation joined in (Section 3.2).
 //! * [`exec`] — a multi-way hash-join executor that tracks *lineage*: for
 //!   every join result, the set of primary-private tuples it references.
+//! * [`wcoj`] — a worst-case-optimal (generic join / leapfrog triejoin)
+//!   executor for cyclic join patterns; [`exec::Strategy::Auto`] routes
+//!   cyclic queries here and acyclic ones to the columnar pipeline.
 //! * [`csv`] — CSV import for relation instances.
 //! * [`lineage`] — the [`lineage::QueryProfile`] artifact consumed by the DP
 //!   mechanisms: per-result weights `ψ(q_k)`, the reference sets `C_j(I)`,
@@ -31,8 +34,9 @@ pub mod lineage;
 pub mod query;
 pub mod schema;
 pub mod value;
+pub mod wcoj;
 
-pub use exec::{ExecOptions, ExecStats};
+pub use exec::{ExecOptions, ExecStats, Strategy};
 pub use instance::Instance;
 pub use interner::Interner;
 pub use lineage::{ProfileSummary, QueryProfile, ResultLine};

@@ -259,6 +259,73 @@ pub fn atom(relation: &str, vars: &[Var]) -> Atom {
     Atom { relation: relation.to_string(), vars: vars.to_vec() }
 }
 
+/// Whether the join hypergraph of `atoms` is α-acyclic, decided by GYO
+/// reduction: repeatedly remove *ear* variables (variables occurring in a
+/// single hyperedge) and hyperedges contained in another hyperedge. The
+/// hypergraph is acyclic iff everything reduces away.
+///
+/// The executor dispatch uses this to route queries: acyclic joins (FK
+/// chains, paths, stars — all of TPC-H) stay on the binary-join columnar
+/// pipeline, whose greedy order is already worst-case optimal for them,
+/// while cyclic joins (triangles, rectangles, cliques) go to the
+/// [`crate::wcoj`] executor to avoid the intermediate-result blowup.
+pub fn join_is_acyclic(atoms: &[Atom]) -> bool {
+    // Hyperedges are the atoms' deduplicated variable sets (kept sorted so
+    // subset tests are merges); duplicate edges reduce to one.
+    let mut edges: Vec<Vec<Var>> = atoms
+        .iter()
+        .map(|a| {
+            let mut vs = a.vars.clone();
+            vs.sort_unstable();
+            vs.dedup();
+            vs
+        })
+        .filter(|vs| !vs.is_empty())
+        .collect();
+    edges.sort();
+    edges.dedup();
+    loop {
+        let before: usize = edges.iter().map(Vec::len).sum::<usize>() + edges.len();
+        // Drop edges strictly contained in another edge (equal edges were
+        // deduplicated, so containment here is proper).
+        let snapshot = edges.clone();
+        edges.retain(|e| !snapshot.iter().any(|f| f.len() > e.len() && is_subset(e, f)));
+        // Remove ear variables: those occurring in exactly one edge.
+        let mut occurrences: std::collections::HashMap<Var, usize> =
+            std::collections::HashMap::new();
+        for e in &edges {
+            for &v in e {
+                *occurrences.entry(v).or_insert(0) += 1;
+            }
+        }
+        for e in &mut edges {
+            e.retain(|v| occurrences[v] > 1);
+        }
+        edges.retain(|e| !e.is_empty());
+        edges.sort();
+        edges.dedup();
+        let after: usize = edges.iter().map(Vec::len).sum::<usize>() + edges.len();
+        if after == before {
+            return edges.is_empty();
+        }
+    }
+}
+
+/// Whether sorted `a` is a subset of sorted `b`.
+fn is_subset(a: &[Var], b: &[Var]) -> bool {
+    let mut i = 0;
+    for &v in a {
+        while i < b.len() && b[i] < v {
+            i += 1;
+        }
+        if i == b.len() || b[i] != v {
+            return false;
+        }
+        i += 1;
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,168 @@
+//! Workload generators shared by the executor differential proptests
+//! (`prop_exec_differential.rs`, `prop_wcoj.rs`).
+
+use proptest::prelude::*;
+use r2t_engine::exec::ExecOptions;
+use r2t_engine::query::{atom, CmpOp, Expr, Predicate, Query, Var};
+use r2t_engine::schema::graph_schema_node_dp;
+use r2t_engine::{Instance, Schema, Value};
+
+/// A randomly selected workload: schema, instance, and a query valid for it.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    pub schema: Schema,
+    pub inst: Instance,
+    pub query: Query,
+    /// Group-by variables valid for the completed query (may be empty).
+    pub group_vars: Vec<Var>,
+}
+
+/// Edge-DP graph schema where `Edge(eid, src, dst)` is the primary private
+/// relation keyed by an explicit edge id (the paper's edge-DP needs a PK on
+/// the private relation for lineage).
+pub fn edge_dp_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("Node", &["id"], Some("id"), &[]).unwrap();
+    s.add_relation("Edge", &["eid", "src", "dst"], Some("eid"), &[]).unwrap();
+    s.set_primary_private(&["Edge"]).unwrap();
+    s
+}
+
+fn chain_schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_relation("customer", &["ck", "nation"], Some("ck"), &[]).unwrap();
+    s.add_relation("orders", &["ok", "ck"], Some("ok"), &[("ck", "customer")]).unwrap();
+    s.add_relation("lineitem", &["ok", "qty"], None, &[("ok", "orders")]).unwrap();
+    s.set_primary_private(&["customer"]).unwrap();
+    s
+}
+
+/// Random graph instance over `n` nodes with undirected edges. With
+/// `with_eid` each directed edge row carries a unique edge id (edge-DP).
+pub fn graph_instance(n: usize, pairs: Vec<(i64, i64)>, with_eid: bool) -> Instance {
+    let mut inst = Instance::new();
+    inst.insert_all("Node", (0..n as i64).map(|i| vec![Value::Int(i)]));
+    let mut seen = std::collections::HashSet::new();
+    let mut eid = 0i64;
+    for (a, b) in pairs {
+        let (a, b) = (a % n as i64, b % n as i64);
+        if a != b && seen.insert((a.min(b), a.max(b))) {
+            for (s, d) in [(a, b), (b, a)] {
+                let mut row = vec![Value::Int(s), Value::Int(d)];
+                if with_eid {
+                    row.insert(0, Value::Int(eid));
+                    eid += 1;
+                }
+                inst.insert("Edge", row);
+            }
+        }
+    }
+    inst
+}
+
+/// Graph workload: node-DP or edge-DP schema, 1–3-atom Edge query with a
+/// predicate, optionally a projection, and a valid group-by set. Under
+/// edge-DP each atom binds its edge id to a fresh variable.
+pub fn arb_graph_workload() -> impl Strategy<Value = Workload> {
+    (
+        2..10usize,
+        prop::collection::vec((0..64i64, 0..64i64), 0..24),
+        any::<bool>(), // edge-DP?
+        1..=3usize,    // atoms
+        0..4u32,       // predicate var a
+        0..4u32,       // predicate var b
+        0..3u8,        // predicate kind
+        0..3u8,        // projection kind
+        0..3u8,        // group-by kind
+    )
+        .prop_map(|(n, pairs, edge_dp, natoms, a, b, pred, proj, grp)| {
+            let schema = if edge_dp { edge_dp_schema() } else { graph_schema_node_dp() };
+            let inst = graph_instance(n, pairs, edge_dp);
+            let path: [[u32; 2]; 3] = [[0, 1], [1, 2], [2, 3]];
+            let atoms = (0..natoms)
+                .map(|i| {
+                    let [s, d] = path[i];
+                    if edge_dp {
+                        // Fresh eid variable per atom, after the node vars.
+                        atom("Edge", &[natoms as u32 + 1 + i as u32, s, d])
+                    } else {
+                        atom("Edge", &[s, d])
+                    }
+                })
+                .collect();
+            let max_var = natoms as u32;
+            let (a, b) = (a.min(max_var), b.min(max_var));
+            let mut q = Query::count(atoms);
+            q = match pred {
+                0 => q.with_predicate(Predicate::cmp_vars(a, CmpOp::Lt, b)),
+                1 => q.with_predicate(Predicate::cmp_vars(a, CmpOp::Ne, b)),
+                _ => q,
+            };
+            q = match proj {
+                0 => q.with_projection(vec![0]),
+                1 => q.with_projection(vec![0, max_var]),
+                _ => q,
+            };
+            let group_vars = match grp {
+                0 => vec![0],
+                1 => vec![max_var, 0],
+                _ => vec![],
+            };
+            Workload { schema, inst, query: q, group_vars }
+        })
+}
+
+/// FK-chain workload (customer -> orders -> lineitem): SUM or COUNT over the
+/// 3-way join, with optional selection on the customer's nation.
+pub fn arb_chain_workload() -> impl Strategy<Value = Workload> {
+    (
+        1..6usize,                                         // customers
+        prop::collection::vec(0..6i64, 0..10),             // orders (customer picks)
+        prop::collection::vec((0..12i64, 1..5i64), 0..20), // lineitems (order pick, qty)
+        any::<bool>(),                                     // sum qty?
+        any::<bool>(),                                     // nation filter?
+        any::<bool>(),                                     // group by nation?
+    )
+        .prop_map(|(nc, ords, lis, sum, filter, grp)| {
+            let schema = chain_schema();
+            let mut inst = Instance::new();
+            for c in 0..nc as i64 {
+                inst.insert("customer", vec![Value::Int(c), Value::Int(c % 2)]);
+            }
+            let nords = ords.len();
+            for (ok, ck) in ords.into_iter().enumerate() {
+                inst.insert("orders", vec![Value::Int(ok as i64), Value::Int(ck % nc as i64)]);
+            }
+            if nords > 0 {
+                for (ok, qty) in lis {
+                    inst.insert("lineitem", vec![Value::Int(ok % nords as i64), Value::Int(qty)]);
+                }
+            }
+            // customer(CK, Nation), orders(OK, CK), lineitem(OK, Qty)
+            // vars: 0=CK 1=Nation 2=OK 3=Qty
+            let mut q = Query::count(vec![
+                atom("customer", &[0, 1]),
+                atom("orders", &[2, 0]),
+                atom("lineitem", &[2, 3]),
+            ]);
+            if sum {
+                q = q.with_sum(Expr::Var(3));
+            }
+            if filter {
+                q = q.with_predicate(Predicate::cmp_const(1, CmpOp::Eq, Value::Int(0)));
+            }
+            let group_vars = if grp { vec![1] } else { vec![] };
+            Workload { schema, inst, query: q, group_vars }
+        })
+}
+
+/// Either workload family, chosen by an integer selector (the vendored
+/// proptest shim has no `prop_oneof!`).
+pub fn arb_workload() -> impl Strategy<Value = Workload> {
+    (any::<bool>(), arb_graph_workload(), arb_chain_workload())
+        .prop_map(|(pick, g, c)| if pick { g } else { c })
+}
+
+pub fn forced_parallel(workers: usize) -> ExecOptions {
+    ExecOptions { workers: Some(workers), parallel_threshold: 1, ..ExecOptions::default() }
+}

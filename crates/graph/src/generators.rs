@@ -59,6 +59,72 @@ pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
     Graph::from_edges(n, &edges)
 }
 
+/// Sparse Erdős–Rényi `G(n, p)` via geometric skip sampling
+/// (Batagelj–Brandes): instead of `C(n, 2)` Bernoulli draws, jump straight
+/// to the next present edge with a geometrically distributed skip, so the
+/// cost is `O(n + m)`. This is what makes ER graphs with hundreds of
+/// thousands of edges (the WCOJ benchmark scales) affordable as benchmark
+/// *setup*; [`erdos_renyi`] stays untouched so existing seeds keep producing
+/// byte-identical graphs (the two draw different random streams).
+pub fn erdos_renyi_sparse<R: Rng>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut edges = Vec::new();
+    if p > 0.0 && n > 1 {
+        let lq = (1.0 - p.min(1.0 - 1e-12)).ln();
+        // Walk the linear index over all pairs (b, a) with a < b.
+        let mut b = 1u64;
+        let mut a = -1i64;
+        let n = n as u64;
+        loop {
+            let r: f64 = rng.random::<f64>();
+            let skip = ((1.0 - r).ln() / lq).floor() as i64;
+            a += 1 + skip.max(0);
+            while a >= b as i64 && b < n {
+                a -= b as i64;
+                b += 1;
+            }
+            if b >= n {
+                break;
+            }
+            edges.push((a as u32, b as u32));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Planted-clique graph: a sparse ER background (`background_p`) plus
+/// `num_cliques` vertex subsets of size `clique_size` completed into
+/// cliques. Random sparse graphs at benchmark scale contain essentially no
+/// 4-cliques (the expected count `C(n,4)·p⁶` vanishes), so this is how the
+/// clique workloads of BENCH_wcoj get a nonzero, output-bounded result set
+/// whose size is controlled by `num_cliques · C(clique_size, 4)` rather than
+/// by luck. Deterministic given the RNG.
+pub fn planted_cliques<R: Rng>(
+    n: usize,
+    background_p: f64,
+    clique_size: usize,
+    num_cliques: usize,
+    rng: &mut R,
+) -> Graph {
+    assert!(clique_size >= 2 && n >= clique_size, "need n >= clique_size >= 2");
+    let mut g = erdos_renyi_sparse(n, background_p, rng);
+    let mut members: Vec<u32> = Vec::with_capacity(clique_size);
+    for _ in 0..num_cliques {
+        members.clear();
+        while members.len() < clique_size {
+            let v = rng.random_range(0..n) as u32;
+            if !members.contains(&v) {
+                members.push(v);
+            }
+        }
+        for i in 0..clique_size {
+            for j in (i + 1)..clique_size {
+                g.add_edge(members[i], members[j]);
+            }
+        }
+    }
+    g
+}
+
 /// A road-network-like graph: a `rows × cols` grid where each node connects
 /// to its right and down neighbours, plus random diagonal shortcuts with
 /// probability `diag_p`, and a fraction `drop_p` of grid edges removed.
@@ -151,6 +217,51 @@ mod tests {
         let g = erdos_renyi(300, 0.05, &mut rng);
         let expected = 0.05 * 300.0 * 299.0 / 2.0;
         assert!((g.num_edges() as f64 - expected).abs() < expected * 0.25);
+    }
+
+    #[test]
+    fn erdos_renyi_sparse_edge_count_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // ~200k edges: the WCOJ benchmark scale the O(n²) generator can't do.
+        let (n, p) = (70_000usize, 8.0 / 70_000.0);
+        let g = erdos_renyi_sparse(n, p, &mut rng);
+        let expected = p * (n as f64) * (n as f64 - 1.0) / 2.0;
+        assert!((g.num_edges() as f64 - expected).abs() < expected * 0.05, "{}", g.num_edges());
+        assert_eq!(g.num_vertices(), n);
+    }
+
+    #[test]
+    fn erdos_renyi_sparse_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(erdos_renyi_sparse(100, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(erdos_renyi_sparse(1, 0.5, &mut rng).num_edges(), 0);
+        // p = 1 yields the complete graph.
+        assert_eq!(erdos_renyi_sparse(20, 1.0, &mut rng).num_edges(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn planted_cliques_contain_their_cliques() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = planted_cliques(5_000, 2.0 / 5_000.0, 6, 10, &mut rng);
+        // Each planted 6-clique contributes C(6,3) = 20 triangles; overlaps
+        // and the sparse background can only add more.
+        let mut triangles = 0usize;
+        for u in 0..g.num_vertices() as u32 {
+            let nu = g.neighbors(u);
+            for (i, &v) in nu.iter().enumerate() {
+                if v <= u {
+                    continue;
+                }
+                for &w in &nu[i + 1..] {
+                    if g.has_edge(v, w) {
+                        triangles += 1;
+                    }
+                }
+            }
+        }
+        assert!(triangles >= 10 * 20 - 40, "triangles {triangles}");
+        let g2 = planted_cliques(5_000, 2.0 / 5_000.0, 6, 10, &mut StdRng::seed_from_u64(7));
+        assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
     }
 
     #[test]

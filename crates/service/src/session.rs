@@ -117,15 +117,10 @@ struct Prepared {
 #[derive(Debug)]
 enum PreparedKind {
     Single {
-        /// The lineage profile — kept so diagnostics and future re-planning
-        /// need not re-execute the join.
-        #[allow(dead_code)]
-        profile: QueryProfile,
-        /// The lazily built LP presolve/sweep structure, shared with the
-        /// truncation that computed `values` (and any future one).
-        #[allow(dead_code)]
-        sweep: SweepCache,
-        /// `Q(I, 0)` and the τ-grid values — all `run_cached` needs.
+        /// `Q(I, 0)` and the τ-grid values — all `run_cached` needs. The
+        /// lineage profile and the LP sweep structure that produced them are
+        /// dropped after preparation: answering only draws noise against
+        /// these precomputed branch values.
         values: BranchValues,
     },
     Grouped {
@@ -237,7 +232,7 @@ impl<'db> Session<'db> {
             Prepared {
                 text: text.clone(),
                 summary: Some(profile.summary()),
-                kind: PreparedKind::Single { profile, sweep, values },
+                kind: PreparedKind::Single { values },
             }
         } else {
             let groups = exec::profile_grouped(

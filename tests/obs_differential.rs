@@ -1,8 +1,9 @@
 //! Differential smoke test for the observability layer: a fully instrumented
 //! run (level `full`) must produce **bit-identical** results to an
 //! uninstrumented run (level `off`) — telemetry may never perturb the
-//! mechanism. Exercised over both join executors (sequential and
-//! forced-parallel columnar) and both R2T execution modes.
+//! mechanism. Exercised over the join executors (sequential and
+//! forced-parallel columnar, plus the worst-case-optimal path) and both R2T
+//! execution modes.
 //!
 //! The obs registry is process-global, so the tests in this binary serialize
 //! through a mutex; being an integration-test binary keeps them in their own
@@ -33,9 +34,9 @@ fn at_level<T>(level: Level, f: impl FnOnce() -> T) -> T {
 fn exec_opts(parallel: bool) -> ExecOptions {
     if parallel {
         // Force fan-out even on the small test instance.
-        ExecOptions { workers: Some(4), parallel_threshold: 1 }
+        ExecOptions { workers: Some(4), parallel_threshold: 1, ..ExecOptions::default() }
     } else {
-        ExecOptions { workers: Some(1), parallel_threshold: usize::MAX }
+        ExecOptions { workers: Some(1), parallel_threshold: usize::MAX, ..ExecOptions::default() }
     }
 }
 
@@ -82,6 +83,24 @@ fn instrumented_run_is_bit_identical_parallel() {
     assert_eq!(p_off, p_full, "parallel executor profile changed under instrumentation");
     assert_eq!(early_off.to_bits(), early_full.to_bits(), "early-stop R2T output changed");
     assert_eq!(plain_off.to_bits(), plain_full.to_bits(), "plain R2T output changed");
+}
+
+#[test]
+fn wcoj_executor_is_bit_identical_under_instrumentation() {
+    use r2t::engine::exec::Strategy;
+    use r2t::engine::schema::graph_schema_node_dp;
+    use r2t::graph::{generators::preferential_attachment, patterns::to_instance, Pattern};
+    let run = |level| {
+        at_level(level, || {
+            let mut rng = StdRng::seed_from_u64(11);
+            let g = preferential_attachment(600, 3, &mut rng);
+            let inst = to_instance(&g);
+            let q = Pattern::Triangle.to_query();
+            let opts = ExecOptions { strategy: Strategy::Wcoj, ..exec_opts(true) };
+            profile_with_stats(&graph_schema_node_dp(), &inst, &q, &opts).expect("triangle").0
+        })
+    };
+    assert_eq!(run(Level::Off), run(Level::Full), "WCOJ profile changed under instrumentation");
 }
 
 #[test]

@@ -3,8 +3,11 @@
 //! contract (prepared ≡ cold, worker-count independence, refusal draws no
 //! noise).
 
-use r2t::core::R2TConfig;
+use r2t::core::groupby::GroupByR2T;
+use r2t::core::{R2TConfig, R2T};
+use r2t::engine::{exec, Tuple};
 use r2t::service::{substream_rng, QuerySpec};
+use r2t::sql::parse_statement;
 use r2t::system::PrivateDatabase;
 
 const ORDERS_SQL: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
@@ -16,9 +19,36 @@ fn db() -> PrivateDatabase {
 }
 
 /// The fully deterministic execution mode: sequential, no early stop. In
-/// this mode a prepared answer is bit-identical to a cold `query` call.
+/// this mode a prepared answer is bit-identical to a cold run of the raw
+/// pipeline on the same noise substream.
 fn seq_cfg() -> R2TConfig {
     R2TConfig::builder(1.0, 0.1, 4096.0).early_stop(false).parallel(false).build()
+}
+
+/// Cold oracle: parse → profile → LP race assembled from the public layers
+/// directly (the same instance `db()` wraps, regenerated — the generator is
+/// deterministic), with no serving-layer involvement.
+fn cold_scalar(sql: &str, eps: f64, seed: u64) -> f64 {
+    let schema = r2t::tpch::tpch_schema(&["customer"]);
+    let inst = r2t::tpch::generate(0.08, 0.3, 3);
+    let lowered = parse_statement(sql, &schema).expect("parse");
+    let profile = exec::profile(&schema, &inst, &lowered.query).expect("profile");
+    R2T::new(seq_cfg().with_epsilon(eps)).run_profile(&profile, &mut substream_rng(seed, 0)).output
+}
+
+/// Grouped counterpart of [`cold_scalar`]: the per-group R2T race under a
+/// total budget of `eps`.
+fn cold_grouped(sql: &str, eps: f64, seed: u64) -> Vec<(Tuple, f64)> {
+    let schema = r2t::tpch::tpch_schema(&["customer"]);
+    let inst = r2t::tpch::generate(0.08, 0.3, 3);
+    let lowered = parse_statement(sql, &schema).expect("parse");
+    let groups = exec::profile_grouped(&schema, &inst, &lowered.query, &lowered.group_by)
+        .expect("grouped profile");
+    GroupByR2T::new(seq_cfg().with_epsilon(eps))
+        .run(&groups, &mut substream_rng(seed, 0))
+        .into_iter()
+        .map(|g| (g.key, g.answer))
+        .collect()
 }
 
 #[test]
@@ -32,10 +62,7 @@ fn prepared_answer_is_bit_identical_to_cold_query() {
 
     // Cold path: parse + profile + full LP race, same config, same substream
     // (the session's first charge has ledger index 0).
-    #[allow(deprecated)]
-    let cold = db
-        .query(ORDERS_SQL, &seq_cfg().with_epsilon(eps), &mut substream_rng(seed, 0))
-        .expect("cold answer");
+    let cold = cold_scalar(ORDERS_SQL, eps, seed);
     assert_eq!(warm.noisy.to_bits(), cold.to_bits(), "{} vs {cold}", warm.noisy);
 
     // Receipt accounting.
@@ -58,10 +85,7 @@ fn grouped_prepared_answer_matches_cold_query_grouped() {
     assert!(prepared.summary().is_none());
     let warm = prepared.answer_grouped(eps).expect("grouped answer");
 
-    #[allow(deprecated)]
-    let cold = db
-        .query_grouped(&sql, &seq_cfg().with_epsilon(eps), &mut substream_rng(seed, 0))
-        .expect("cold grouped");
+    let cold = cold_grouped(&sql, eps, seed);
     assert_eq!(warm.groups.len(), 5);
     assert_eq!(cold.len(), 5);
     for ((wk, wv), (ck, cv)) in warm.groups.iter().zip(&cold) {

@@ -77,3 +77,37 @@ fn scaling_preserves_query_support() {
         }
     }
 }
+
+#[test]
+fn benchmark_tpch_workloads_stay_on_the_columnar_path() {
+    // Perf guard for the executor dispatch: the BENCH_join TPC-H workloads
+    // are acyclic (pure foreign-key) joins, so `Strategy::Auto` must
+    // classify them acyclic and keep them on the columnar pipeline — the
+    // WCOJ executor is reserved for cyclic patterns. If one ever
+    // classified cyclic, BENCH_join's TPC-H latencies would silently
+    // change executor.
+    use r2t::engine::query::join_is_acyclic;
+    for tq in all_queries() {
+        let acyclic = join_is_acyclic(&tq.query.atoms);
+        match tq.name {
+            "Q3" | "Q7" | "Q10" | "Q18" => {
+                assert!(acyclic, "{} should classify acyclic (columnar dispatch)", tq.name);
+            }
+            // Q5 closes a genuine cycle (customer and supplier must share a
+            // nation), so Auto routes it to the WCOJ path — checked below.
+            "Q5" => assert!(!acyclic, "Q5's nation cycle should classify cyclic"),
+            _ => {}
+        }
+    }
+    // The one cyclic TPC-H query must produce a bit-identical profile
+    // whichever executor Auto picks.
+    use r2t::engine::exec::{ExecOptions, Strategy};
+    let inst = generate(0.08, 0.3, 21);
+    let tq = all_queries().into_iter().find(|q| q.name == "Q5").expect("Q5 exists");
+    let auto = exec::profile_with_stats(&tq.schema, &inst, &tq.query, &ExecOptions::default())
+        .expect("auto")
+        .0;
+    let pinned = ExecOptions { strategy: Strategy::Columnar, ..ExecOptions::default() };
+    let col = exec::profile_with_stats(&tq.schema, &inst, &tq.query, &pinned).expect("columnar").0;
+    assert_eq!(auto, col, "Q5 profile must not depend on the dispatched executor");
+}
