@@ -174,6 +174,7 @@ fn run_batch(db: &PrivateDatabase, reps: usize) -> String {
         .collect();
     let mut reference: Option<Vec<u64>> = None;
     let mut rows = Vec::new();
+    let mut rates = Vec::new();
     for &workers in &[1usize, 2, 4, 8] {
         let mut times = Vec::with_capacity(reps);
         for _ in 0..reps {
@@ -193,17 +194,34 @@ fn run_batch(db: &PrivateDatabase, reps: usize) -> String {
             }
         }
         let batch_mean = mean(&times);
+        let rate = specs.len() as f64 / batch_mean.max(1e-12);
+        rates.push((workers, rate));
         println!(
             "batch answer_all      workers={workers} batch={:.6}s throughput={:.0} answers/s",
-            batch_mean,
-            specs.len() as f64 / batch_mean.max(1e-12)
+            batch_mean, rate
         );
         rows.push(format!(
             "    {{\"workers\": {workers}, \"batch_size\": {}, \"batch_mean_s\": {batch_mean:.6}, \"batch_p95_s\": {:.6}, \"answers_per_s\": {:.0}}}",
             specs.len(),
             p95(&times),
-            specs.len() as f64 / batch_mean.max(1e-12)
+            rate
         ));
+    }
+
+    // The regression gate for the old per-batch thread-spawn collapse (455k
+    // answers/s at 1 worker falling to 62k at 8): with the persistent pool a
+    // tiny batch may not *gain* from extra workers, but it must never fall
+    // off a cliff. `R2T_SERVING_MIN_FRAC` overrides the floor fraction (CI
+    // smoke runs on noisy shared runners may need slack).
+    let min_frac: f64 =
+        std::env::var("R2T_SERVING_MIN_FRAC").ok().and_then(|v| v.parse().ok()).unwrap_or(0.3);
+    let base_rate = rates[0].1;
+    for &(workers, rate) in &rates[1..] {
+        assert!(
+            rate >= min_frac * base_rate,
+            "batch throughput collapsed: {rate:.0} answers/s at {workers} workers \
+             vs {base_rate:.0} at 1 (floor {min_frac} of baseline)"
+        );
     }
     rows.join(",\n")
 }

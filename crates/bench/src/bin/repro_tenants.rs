@@ -1,0 +1,242 @@
+//! Sustained multi-tenant serving throughput, recorded into
+//! `results/BENCH_tenants.json`.
+//!
+//! Drives a [`r2t_service::ServiceTier`] with many concurrent tenant
+//! sessions over one shared `PrivateDatabase` and asserts the three
+//! properties the serving tier promises, *in the bench itself* so the
+//! recorded numbers are vouched-for:
+//!
+//! 1. **Exact aggregate charging.** Every tenant's quota is `answers × ε`
+//!    with ε a power of two, so the lock-free budget cell must land on the
+//!    quota *bitwise* — any lost or doubled CAS would show up as an exact-
+//!    equality failure, not an epsilon-sized drift.
+//! 2. **Bitwise answer equality to the sequential oracle.** Each tenant's
+//!    concurrent answer stream is replayed on a fresh single-threaded
+//!    session with the same seed; every answer must match bit for bit.
+//! 3. **Refusals draw no noise.** A probe tenant whose quota covers only
+//!    half its contended attempts must produce exactly the answer *set* a
+//!    refusal-free sequential replay produces — a refusal that consumed a
+//!    substream index or an RNG draw would perturb some surviving answer.
+//!
+//! Environment knobs: `R2T_TENANTS` (default 64), `R2T_TENANTS_ANSWERS`
+//! (answers per tenant, default 2048), `R2T_TENANTS_MIN_RATE` (aggregate
+//! answers/s floor, default 1e6; set low for CI smoke on shared runners).
+
+use r2t_bench::{obs_init, timed};
+use r2t_core::R2TConfig;
+use r2t_service::{PrivateDatabase, ServiceTier};
+use std::fmt::Write as _;
+
+const SQL: &str = "SELECT COUNT(*) FROM orders, lineitem WHERE lineitem.l_ok = orders.ok";
+
+/// ε per answer: a power of two, so every partial sum of charges is exactly
+/// representable and the exactness assertions are bitwise, not approximate.
+const EPS: f64 = 1.0 / 4096.0;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// The fully deterministic race mode — required for the bitwise oracle.
+fn aligned_cfg() -> R2TConfig {
+    R2TConfig::builder(1.0, 0.1, 4096.0).early_stop(false).parallel(false).build()
+}
+
+fn main() {
+    let obs = obs_init("tenants");
+    let tenants = env_usize("R2T_TENANTS", 64);
+    let answers = env_usize("R2T_TENANTS_ANSWERS", 2048);
+    let min_rate = env_f64("R2T_TENANTS_MIN_RATE", 1e6);
+    let client_threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1).max(2);
+    assert!(tenants >= 1 && answers >= 2, "need at least 1 tenant and 2 answers");
+
+    println!(
+        "# BENCH tenants — {tenants} tenant sessions x {answers} answers on \
+         {client_threads} client threads (eps = 1/4096)\n"
+    );
+
+    let schema = r2t_tpch::tpch_schema(&["customer"]);
+    let inst = r2t_tpch::generate(0.1, 0.3, 0xC0FFEE);
+    let db = PrivateDatabase::new(schema, inst).expect("valid TPC-H-lite instance");
+    let tier = ServiceTier::new(db, aligned_cfg());
+
+    let quota = EPS * answers as f64;
+    for t in 0..tenants {
+        tier.register_tenant(&format!("tenant-{t}"), quota).expect("register");
+    }
+
+    // Open every session and prepare the statement up front: the first
+    // prepare pays parse + lineage + presolve once, the rest hit the shared
+    // snapshot cache. The timed region below is pure serving.
+    let (sessions, prepare_s) = timed("bench.prepare_all", || {
+        let sessions: Vec<_> = (0..tenants)
+            .map(|t| tier.open_session(&format!("tenant-{t}"), t as u64).expect("admitted"))
+            .collect();
+        for s in &sessions {
+            s.prepare(SQL).expect("prepare");
+        }
+        sessions
+    });
+    assert_eq!(tier.db().snapshot().cached_statements(), 1, "one shared cache entry");
+
+    // ---- Throughput phase -------------------------------------------------
+    // Block-interleaved ownership: client thread j drains tenants j, j+C,
+    // j+2C, ... sequentially. One thread per tenant means each tenant's
+    // substream indices are assigned in answer order, which is what lets the
+    // oracle replay compare per-index below. Threads still contend on the
+    // shared snapshot (reads) and the obs spine, which is the point.
+    let (noisy, elapsed) = timed("bench.serve_all", || {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..client_threads)
+                .map(|j| {
+                    let sessions = &sessions;
+                    scope.spawn(move || {
+                        let mut out: Vec<(usize, Vec<f64>)> = Vec::new();
+                        let mut t = j;
+                        while t < sessions.len() {
+                            let q = sessions[t].prepare(SQL).expect("cached");
+                            let mut vals = Vec::with_capacity(answers);
+                            for _ in 0..answers {
+                                vals.push(q.answer(EPS).expect("within quota").noisy);
+                            }
+                            out.push((t, vals));
+                            t += client_threads;
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut per_tenant: Vec<Vec<f64>> = vec![Vec::new(); tenants];
+            for h in handles {
+                for (t, vals) in h.join().expect("client thread panicked") {
+                    per_tenant[t] = vals;
+                }
+            }
+            per_tenant
+        })
+    });
+    let total_answers = tenants * answers;
+    let rate = total_answers as f64 / elapsed.max(1e-12);
+    println!(
+        "served {total_answers} answers in {elapsed:.4}s = {rate:.0} answers/s \
+         ({:.3} us/answer aggregate)",
+        elapsed / total_answers as f64 * 1e6
+    );
+
+    // ---- Assertion 1: exact aggregate charging ----------------------------
+    for t in 0..tenants {
+        let info = tier.tenant(&format!("tenant-{t}")).expect("registered");
+        assert_eq!(
+            info.spent.to_bits(),
+            quota.to_bits(),
+            "tenant-{t}: cell spent {} != quota {quota} (exactness violated)",
+            info.spent
+        );
+        assert_eq!(info.remaining, 0.0, "tenant-{t}: quota not exactly exhausted");
+        assert_eq!(sessions[t].num_charges(), answers);
+    }
+    let aggregate = tier.total_spent();
+    let expected_aggregate = quota * tenants as f64;
+    assert_eq!(
+        aggregate.to_bits(),
+        expected_aggregate.to_bits(),
+        "tier aggregate {aggregate} != {expected_aggregate}"
+    );
+    println!("charging exact: {tenants} cells each at {quota} eps, aggregate {aggregate}");
+
+    // ---- Assertion 2: bitwise equality to the sequential oracle -----------
+    // Replay each tenant on a fresh session over the same snapshot, same
+    // seed, single-threaded. Substream index i must give the same bits.
+    for (t, vals) in noisy.iter().enumerate() {
+        let oracle = tier.db().open_session(quota, aligned_cfg(), t as u64);
+        let q = oracle.prepare(SQL).expect("prepare");
+        for (i, v) in vals.iter().enumerate() {
+            let o = q.answer(EPS).expect("oracle answer");
+            assert_eq!(
+                v.to_bits(),
+                o.noisy.to_bits(),
+                "tenant-{t} answer {i}: concurrent {v} != oracle {}",
+                o.noisy
+            );
+        }
+    }
+    println!("bitwise equal to sequential oracle: {total_answers} answers verified");
+
+    // ---- Assertion 3: refusal probe — refusals draw no noise --------------
+    // A probe tenant's quota covers exactly half of 2 threads x `answers`
+    // attempts. Under contention some interleaving of charges wins; whatever
+    // it is, the surviving answers must be exactly the first-k oracle
+    // answers as a set (refusals must not consume indices or RNG draws).
+    let probe_quota = EPS * answers as f64;
+    tier.register_tenant("probe", probe_quota).expect("register probe");
+    let probe = tier.open_session("probe", 0xBEEF).expect("admitted");
+    probe.prepare(SQL).expect("prepare");
+    let (successes, refusals) = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let probe = &probe;
+                scope.spawn(move || {
+                    let mut ok = Vec::new();
+                    let mut refused = 0usize;
+                    for _ in 0..answers {
+                        match probe.answer(SQL, EPS) {
+                            Ok(a) => ok.push(a.noisy),
+                            Err(r2t_service::Error::Budget(_)) => refused += 1,
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    }
+                    (ok, refused)
+                })
+            })
+            .collect();
+        let mut ok = Vec::new();
+        let mut refused = 0;
+        for h in handles {
+            let (o, r) = h.join().expect("probe thread panicked");
+            ok.extend(o);
+            refused += r;
+        }
+        (ok, refused)
+    });
+    assert_eq!(successes.len(), answers, "exactly the quota's worth succeed");
+    assert_eq!(refusals, answers, "the other half is refused");
+    let probe_info = tier.tenant("probe").expect("registered");
+    assert_eq!(probe_info.spent.to_bits(), probe_quota.to_bits());
+    let oracle = tier.db().open_session(probe_quota, aligned_cfg(), 0xBEEF);
+    let q = oracle.prepare(SQL).expect("prepare");
+    let mut expected: Vec<u64> =
+        (0..answers).map(|_| q.answer(EPS).expect("oracle").noisy.to_bits()).collect();
+    let mut got: Vec<u64> = successes.iter().map(|v| v.to_bits()).collect();
+    expected.sort_unstable();
+    got.sort_unstable();
+    assert_eq!(got, expected, "a refusal perturbed the surviving answers");
+    println!(
+        "refusal probe: {} admitted / {refusals} refused, surviving answers oracle-exact",
+        successes.len()
+    );
+
+    // ---- Throughput floor -------------------------------------------------
+    assert!(
+        rate >= min_rate,
+        "aggregate throughput {rate:.0} answers/s below the {min_rate:.0} floor \
+         (override with R2T_TENANTS_MIN_RATE for smoke runs)"
+    );
+
+    let mut json = String::new();
+    write!(
+        json,
+        "{{\n  \"bench\": \"tenants\",\n  \"tenants\": {tenants},\n  \"answers_per_tenant\": {answers},\n  \"eps_per_answer\": {EPS:.9},\n  \"client_threads\": {client_threads},\n  \"prepare_s\": {prepare_s:.6},\n  \"serve_elapsed_s\": {elapsed:.6},\n  \"total_answers\": {total_answers},\n  \"answers_per_s\": {rate:.0},\n  \"us_per_answer\": {:.4},\n  \"min_rate_floor\": {min_rate:.0},\n  \"charging_bitwise_exact\": true,\n  \"bitwise_equal_to_oracle\": true,\n  \"refusal_probe\": {{\"attempts\": {}, \"admitted\": {}, \"refused\": {refusals}, \"drew_no_noise\": true}}\n}}\n",
+        elapsed / total_answers as f64 * 1e6,
+        2 * answers,
+        successes.len(),
+    )
+    .unwrap();
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_tenants.json", &json).expect("write BENCH_tenants.json");
+    println!("\nwrote results/BENCH_tenants.json");
+    obs.finish();
+}

@@ -7,6 +7,8 @@
 //! paper defers composition to "various DP composition theorems"; basic
 //! composition is the one valid for pure ε-DP).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// A pure ε-DP budget ledger under basic sequential composition.
 #[derive(Debug, Clone)]
 pub struct Accountant {
@@ -105,6 +107,148 @@ impl Accountant {
     }
 }
 
+/// A successful [`BudgetCell`] charge: what the budget looked like the
+/// instant this charge committed, plus how contended the commit was.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellCharge {
+    /// ε spent *before* this charge committed.
+    pub spent_before: f64,
+    /// ε spent *after* this charge committed (`spent_before + ε`, evaluated
+    /// in f64 exactly as the cell stored it).
+    pub spent_after: f64,
+    /// Number of compare-and-swap retries the commit needed. Zero in the
+    /// uncontended case; a serving layer surfaces the sum as a contention
+    /// counter.
+    pub retries: u64,
+}
+
+/// A *lock-free* ε-budget cell: the sharded counterpart of [`Accountant`].
+///
+/// The cell stores `spent` as an `f64` bit pattern in an [`AtomicU64`] and
+/// commits every charge with a single compare-and-swap, so concurrent
+/// charges never serialize on a lock — they serialize only on the cache line
+/// holding the budget, which is exactly the shared state the semantics
+/// require.
+///
+/// **Exact-charging invariant.** A successful CAS replaces `spent` with
+/// `spent + ε` computed in f64, so after any interleaving of concurrent
+/// charges the cell's `spent` is *exactly* the f64 left-fold of the
+/// successful charges in their commit order — every committed ε is
+/// accounted, none is lost or double-counted, and no refused charge moves
+/// the value. When the charged values sum exactly in f64 (e.g. equal
+/// power-of-two ε), `spent` equals their sum bit-for-bit in every
+/// interleaving; tests and the tenant benchmark pin this.
+///
+/// The cell deliberately carries *no* ledger and *no* substream counter:
+/// labels and noise-substream indices are session/tenant concerns layered on
+/// top (see `r2t-service`). A refused charge returns before any side effect,
+/// which is what lets a serving layer prove its refusal path draws no
+/// randomness.
+#[derive(Debug)]
+pub struct BudgetCell {
+    total: f64,
+    spent_bits: AtomicU64,
+    charges: AtomicU64,
+}
+
+impl BudgetCell {
+    /// Creates a cell with the given total ε budget.
+    pub fn new(total_epsilon: f64) -> Self {
+        assert!(total_epsilon >= 0.0, "budget must be non-negative");
+        BudgetCell {
+            total: total_epsilon,
+            spent_bits: AtomicU64::new(0f64.to_bits()),
+            charges: AtomicU64::new(0),
+        }
+    }
+
+    /// Total budget.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// ε spent so far (a racy-but-exact snapshot: some committed charge
+    /// produced exactly this value).
+    pub fn spent(&self) -> f64 {
+        f64::from_bits(self.spent_bits.load(Ordering::Acquire))
+    }
+
+    /// ε still available.
+    pub fn remaining(&self) -> f64 {
+        (self.total - self.spent()).max(0.0)
+    }
+
+    /// Number of successful charge *operations* so far (a batch counts once).
+    pub fn num_charges(&self) -> u64 {
+        self.charges.load(Ordering::Relaxed)
+    }
+
+    /// Attempts to reserve `epsilon`. Commits with one CAS; on refusal the
+    /// cell is untouched and nothing observable happened. Uses the same
+    /// `1e-12` slack as [`Accountant::charge`] so exact exhaustion is
+    /// admitted and the first over-budget charge is not.
+    pub fn try_charge(&self, epsilon: f64) -> Result<CellCharge, BudgetExceeded> {
+        self.try_charge_sum(epsilon, 1)
+    }
+
+    /// Atomically reserves a pre-summed batch of `n` charges totalling
+    /// `epsilon`: the whole amount commits in one CAS or none of it does.
+    /// `n` only feeds the charge-operation counter.
+    pub fn try_charge_sum(&self, epsilon: f64, n: u64) -> Result<CellCharge, BudgetExceeded> {
+        assert!(epsilon >= 0.0, "charges must be non-negative");
+        let mut retries = 0u64;
+        let mut cur = self.spent_bits.load(Ordering::Relaxed);
+        loop {
+            let spent_before = f64::from_bits(cur);
+            let spent_after = spent_before + epsilon;
+            if spent_after > self.total + 1e-12 {
+                return Err(BudgetExceeded {
+                    requested: epsilon,
+                    remaining: (self.total - spent_before).max(0.0),
+                });
+            }
+            match self.spent_bits.compare_exchange_weak(
+                cur,
+                spent_after.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.charges.fetch_add(n.max(1), Ordering::Relaxed);
+                    return Ok(CellCharge { spent_before, spent_after, retries });
+                }
+                Err(seen) => {
+                    retries += 1;
+                    cur = seen;
+                }
+            }
+        }
+    }
+
+    /// Returns `epsilon` to the cell (CAS-subtract, floored at zero spend).
+    /// For *reservation* flows only — e.g. admission control that reserves a
+    /// quota slice and hands back the unused part. Refunding ε that was
+    /// actually spent on a released answer would be a privacy violation; the
+    /// caller owns that discipline.
+    pub fn refund(&self, epsilon: f64) {
+        assert!(epsilon >= 0.0, "refunds must be non-negative");
+        let mut cur = self.spent_bits.load(Ordering::Relaxed);
+        loop {
+            let spent = f64::from_bits(cur);
+            let new = (spent - epsilon).max(0.0);
+            match self.spent_bits.compare_exchange_weak(
+                cur,
+                new.to_bits(),
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,5 +312,65 @@ mod tests {
         let mut a = Accountant::new(0.0);
         a.charge_many(&[]).expect("empty batch");
         assert_eq!(a.num_charges(), 0);
+    }
+
+    #[test]
+    fn cell_charges_and_refuses_like_the_accountant() {
+        let c = BudgetCell::new(1.0);
+        let first = c.try_charge(0.5).expect("fits");
+        assert_eq!(first.spent_before, 0.0);
+        assert_eq!(first.spent_after, 0.5);
+        assert_eq!(first.retries, 0);
+        c.try_charge(0.5).expect("exact exhaustion");
+        assert_eq!(c.spent(), 1.0);
+        assert_eq!(c.remaining(), 0.0);
+        let err = c.try_charge(1e-6).expect_err("over budget");
+        assert_eq!(err.requested, 1e-6);
+        assert_eq!(c.spent(), 1.0, "refused charge must not move the cell");
+        assert_eq!(c.num_charges(), 2, "refused charge must not count");
+    }
+
+    #[test]
+    fn cell_batch_charge_is_all_or_nothing() {
+        let c = BudgetCell::new(1.0);
+        c.try_charge_sum(0.75, 3).expect("fits");
+        assert!(c.try_charge_sum(0.5, 2).is_err(), "batch over budget");
+        assert_eq!(c.spent(), 0.75);
+        assert_eq!(c.num_charges(), 3);
+    }
+
+    #[test]
+    fn cell_refund_returns_reserved_budget() {
+        let c = BudgetCell::new(1.0);
+        c.try_charge(1.0).expect("reserve all");
+        c.refund(0.25);
+        assert_eq!(c.spent(), 0.75);
+        c.try_charge(0.25).expect("refunded budget is usable");
+        c.refund(5.0);
+        assert_eq!(c.spent(), 0.0, "refund floors at zero spend");
+    }
+
+    #[test]
+    fn cell_concurrent_charges_are_exact() {
+        use std::sync::Arc;
+        // 16 threads race 64 charges of 1/128 each against a budget that
+        // fits exactly half of them. Power-of-two ε: every partial sum is
+        // exact in f64, so the invariant is bitwise, not approximate.
+        let cell = Arc::new(BudgetCell::new(0.5));
+        let eps = 1.0 / 128.0;
+        let successes: usize = std::thread::scope(|scope| {
+            (0..16)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    scope.spawn(move || (0..64).filter(|_| cell.try_charge(eps).is_ok()).count())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .sum()
+        });
+        assert_eq!(successes, 64, "exactly the budget's worth of charges");
+        assert_eq!(cell.spent(), 0.5, "spent is the exact sum of successes");
+        assert_eq!(cell.num_charges(), 64);
     }
 }

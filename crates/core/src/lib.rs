@@ -26,7 +26,7 @@ pub mod noise;
 pub mod r2t;
 pub mod truncation;
 
-pub use accountant::{Accountant, BudgetExceeded};
+pub use accountant::{Accountant, BudgetCell, BudgetExceeded, CellCharge};
 pub use mechanism::Mechanism;
 pub use r2t::{BranchValues, R2TConfig, R2TConfigBuilder, R2TReport, R2T};
 pub use r2t_engine::QueryProfile;

@@ -1,31 +1,49 @@
 //! The database facade: a validated instance plus its privacy policy.
 
 use crate::session::Session;
+use crate::snapshot::Snapshot;
 use crate::Error;
 use r2t_core::groupby::GroupByR2T;
-use r2t_core::{Accountant, R2TConfig, R2T};
+use r2t_core::{Accountant, BudgetCell, R2TConfig, R2T};
 use r2t_engine::{exec, Instance, ProfileSummary, Schema, Tuple};
 use r2t_sql::parse_statement;
 use rand::RngCore;
+use std::sync::{Arc, RwLock};
 
 /// A validated database instance plus its privacy policy, answering SQL
 /// queries under ε-DP with R2T.
+///
+/// The instance data lives in an immutable [`Snapshot`] behind an
+/// atomically swapped `Arc`: [`Self::reload`] validates and installs a new
+/// snapshot without stalling concurrent readers, and every open [`Session`]
+/// keeps answering on the snapshot it pinned at open time. The schema (and
+/// with it the privacy designation) is fixed for the database's lifetime —
+/// changing it would invalidate every cached profile and every sensitivity
+/// bound at once, so that is a new database, not a reload.
 ///
 /// One-shot entry points ([`Self::query`], [`Self::query_grouped`]) are
 /// deprecated: they spend `cfg.epsilon` per call with no cross-query
 /// bookkeeping. Open a [`Session`] instead — it enforces a total budget
 /// across everything the analyst asks and amortizes query preparation.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PrivateDatabase {
     schema: Schema,
-    instance: Instance,
+    data: RwLock<Arc<Snapshot>>,
+}
+
+impl Clone for PrivateDatabase {
+    /// The clone shares the current (immutable) snapshot — including its
+    /// prepared cache — but swaps independently from the original.
+    fn clone(&self) -> Self {
+        PrivateDatabase { schema: self.schema.clone(), data: RwLock::new(self.snapshot()) }
+    }
 }
 
 impl PrivateDatabase {
     /// Builds the system, validating referential integrity and the FK DAG.
     pub fn new(schema: Schema, instance: Instance) -> Result<Self, Error> {
         instance.validate(&schema)?;
-        Ok(PrivateDatabase { schema, instance })
+        Ok(PrivateDatabase { schema, data: RwLock::new(Arc::new(Snapshot::new(instance, 0))) })
     }
 
     /// The schema (including the privacy designation).
@@ -33,19 +51,38 @@ impl PrivateDatabase {
         &self.schema
     }
 
-    /// The validated instance. Raw private data — for the engine and the
-    /// serving layer, not for release.
-    pub(crate) fn instance(&self) -> &Instance {
-        &self.instance
+    /// The current data snapshot. Cheap (one `Arc` clone under a read lock
+    /// held for nanoseconds); the returned snapshot is immutable and stays
+    /// valid — and answerable — however many reloads happen after.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.data.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Validates `instance` against the (fixed) schema and atomically
+    /// installs it as the new current snapshot, returning the new snapshot
+    /// version. Readers are never stalled: open sessions keep their pinned
+    /// snapshot untouched (bit-identical answers before and after), and only
+    /// sessions opened after the swap see the new data. The new snapshot
+    /// starts with an empty prepared cache — cached profiles are
+    /// instance-derived state and must die with their instance.
+    pub fn reload(&self, instance: Instance) -> Result<u64, Error> {
+        instance.validate(&self.schema)?;
+        let mut data = self.data.write().expect("snapshot lock poisoned");
+        let version = data.version() + 1;
+        *data = Arc::new(Snapshot::new(instance, version));
+        r2t_obs::counter_add("service.reloads", 1);
+        Ok(version)
     }
 
     /// Opens a serving session with a total ε budget. `base` fixes the
     /// mechanism parameters (β, `GS_Q`, execution strategy) for every answer
     /// in the session; each charge picks its own ε. `seed` roots the
     /// session's deterministic noise substreams: the `i`-th successful charge
-    /// draws from [`crate::substream_rng`]`(seed, i)`.
+    /// draws from [`crate::substream_rng`]`(seed, i)`. The session pins the
+    /// current snapshot: a concurrent [`Self::reload`] never changes its
+    /// answers.
     pub fn open_session(&self, total_epsilon: f64, base: R2TConfig, seed: u64) -> Session<'_> {
-        Session::new(self, Accountant::new(total_epsilon), base, seed)
+        Session::new(self, Arc::new(BudgetCell::new(total_epsilon)), base, seed)
     }
 
     /// Answers a SQL query under ε-DP with R2T, spending `cfg.epsilon` from a
@@ -58,7 +95,8 @@ impl PrivateDatabase {
         if !lowered.group_by.is_empty() {
             return Err(Error::Unsupported("use query_grouped for GROUP BY".to_string()));
         }
-        let profile = exec::profile(&self.schema, &self.instance, &lowered.query)?;
+        let snap = self.snapshot();
+        let profile = exec::profile(&self.schema, snap.instance(), &lowered.query)?;
         // Even the one-shot path goes through an accountant: the charge is
         // committed before the mechanism touches the data, so no answering
         // path in the crate can release without a recorded charge.
@@ -82,25 +120,33 @@ impl PrivateDatabase {
         if lowered.group_by.is_empty() {
             return Err(Error::Unsupported("query_grouped requires GROUP BY".to_string()));
         }
-        let groups =
-            exec::profile_grouped(&self.schema, &self.instance, &lowered.query, &lowered.group_by)?;
+        let snap = self.snapshot();
+        let groups = exec::profile_grouped(
+            &self.schema,
+            snap.instance(),
+            &lowered.query,
+            &lowered.group_by,
+        )?;
         let mut accountant = Accountant::new(cfg.epsilon);
         accountant.charge(sql, cfg.epsilon)?;
         let answers = GroupByR2T::new(cfg.clone()).run(&groups, rng);
         Ok(answers.into_iter().map(|g| (g.key, g.answer)).collect())
     }
 
-    /// Evaluates a query *without* privacy (for testing / utility studies).
+    /// Evaluates a query *without* privacy (for testing / utility studies),
+    /// against the current snapshot.
     pub fn query_exact(&self, sql: &str) -> Result<f64, Error> {
         let lowered = parse_statement(sql, &self.schema)?;
-        Ok(exec::profile(&self.schema, &self.instance, &lowered.query)?.query_result())
+        let snap = self.snapshot();
+        Ok(exec::profile(&self.schema, snap.instance(), &lowered.query)?.query_result())
     }
 
     /// The lineage shape of a query without answering it. The output is
     /// *not* DP — it is a planning/debugging aid.
     pub fn describe(&self, sql: &str) -> Result<ProfileSummary, Error> {
         let lowered = parse_statement(sql, &self.schema)?;
-        Ok(exec::profile(&self.schema, &self.instance, &lowered.query)?.summary())
+        let snap = self.snapshot();
+        Ok(exec::profile(&self.schema, snap.instance(), &lowered.query)?.summary())
     }
 
     /// [`Self::describe`] rendered as one line.

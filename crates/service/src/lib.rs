@@ -36,12 +36,17 @@
 //! bit-identical regardless of how many worker threads served them.
 
 mod db;
+mod pool;
 mod session;
+mod snapshot;
+mod tier;
 
 pub use db::PrivateDatabase;
 pub use session::{
     substream_rng, Answer, GroupedAnswer, PreparedQuery, QuerySpec, RaceStats, Receipt, Session,
 };
+pub use snapshot::Snapshot;
+pub use tier::{ServiceTier, TenantInfo};
 
 use r2t_core::BudgetExceeded;
 use r2t_engine::EngineError;
@@ -61,6 +66,10 @@ pub enum Error {
     /// The statement is valid but not supported by the entry point used
     /// (e.g. a GROUP BY statement passed to [`PreparedQuery::answer`]).
     Unsupported(String),
+    /// The serving tier refused the request at the door: unknown tenant,
+    /// exhausted quota, or an invalid registration. Like a refused charge,
+    /// a refused admission consumes no budget and draws no randomness.
+    Admission(String),
 }
 
 impl std::fmt::Display for Error {
@@ -70,6 +79,7 @@ impl std::fmt::Display for Error {
             Error::Engine(e) => write!(f, "{e}"),
             Error::Budget(e) => write!(f, "{e}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
+            Error::Admission(m) => write!(f, "admission denied: {m}"),
         }
     }
 }
@@ -80,7 +90,7 @@ impl std::error::Error for Error {
             Error::Sql(e) => Some(e),
             Error::Engine(e) => Some(e),
             Error::Budget(e) => Some(e),
-            Error::Unsupported(_) => None,
+            Error::Unsupported(_) | Error::Admission(_) => None,
         }
     }
 }

@@ -1,0 +1,274 @@
+//! A persistent worker pool for batch answering.
+//!
+//! The previous serving layer fanned every `answer_all` batch out with
+//! `std::thread::scope`, paying a thread spawn + join per worker *per batch*
+//! — tens of microseconds of overhead around microsecond-scale jobs, which
+//! is exactly the 1→8-worker throughput collapse `BENCH_serving.json` used
+//! to show. This pool spawns workers once (lazily, growing to the largest
+//! concurrency any batch asks for) and parks them on a condvar between
+//! batches.
+//!
+//! # Design
+//!
+//! * A [`Batch`] is a fixed set of `n` index-addressed jobs behind one shared
+//!   closure. Workers *claim* indices with a `fetch_add` cursor — the same
+//!   deterministic-claiming discipline the old scoped fan-out used, so which
+//!   thread runs a job never affects its output (substreams are pinned to
+//!   indices before submission).
+//! * The submitting thread always *helps*: it pushes the batch, wakes one
+//!   worker, and then claims jobs itself until the cursor drains. For small
+//!   batches the submitter typically finishes everything before a worker
+//!   wakes — batch latency degrades gracefully to the sequential time
+//!   instead of collapsing under spawn overhead.
+//! * A batch carries `tickets = workers − 1` claims for pool workers, which
+//!   preserves the public `answer_all_with(specs, workers)` contract: at most
+//!   `workers` threads (pool workers + the submitter) ever touch the batch.
+//! * Workers that claim a ticket and see work remaining wake one more worker
+//!   (wake chaining), so a large batch recruits helpers proportionally while
+//!   a tiny one wakes at most one thread.
+//!
+//! Completion is edge-triggered: the thread that finishes the last job flips
+//! a flag under the batch's completion mutex and signals. Job panics are
+//! caught in workers (a pool thread must survive any batch) and re-raised on
+//! the submitting thread.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, LazyLock, Mutex};
+
+/// Hard cap on pool threads; far above any sane `workers` argument, it only
+/// bounds the damage of a pathological caller.
+const MAX_WORKERS: usize = 256;
+
+/// A one-shot batch of `n` jobs, executed as `run(0) … run(n-1)` by whichever
+/// threads claim the indices first.
+pub(crate) struct Batch {
+    run: Box<dyn Fn(usize) + Send + Sync>,
+    n: usize,
+    next: AtomicUsize,
+    done: AtomicUsize,
+    tickets: AtomicIsize,
+    panicked: AtomicBool,
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+impl Batch {
+    pub(crate) fn new(n: usize, workers: usize, run: Box<dyn Fn(usize) + Send + Sync>) -> Batch {
+        Batch {
+            run,
+            n,
+            next: AtomicUsize::new(0),
+            done: AtomicUsize::new(0),
+            tickets: AtomicIsize::new(workers.saturating_sub(1).min(n) as isize),
+            panicked: AtomicBool::new(false),
+            finished: Mutex::new(n == 0),
+            finished_cv: Condvar::new(),
+        }
+    }
+
+    fn has_work(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.n
+    }
+
+    fn tickets_left(&self) -> bool {
+        self.tickets.load(Ordering::Relaxed) > 0
+    }
+
+    fn take_ticket(&self) -> bool {
+        self.tickets.fetch_sub(1, Ordering::Relaxed) > 0
+    }
+
+    /// Claims and runs one job; `false` once the cursor is past the end.
+    fn run_one(&self) -> bool {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        if i >= self.n {
+            return false;
+        }
+        if catch_unwind(AssertUnwindSafe(|| (self.run)(i))).is_err() {
+            self.panicked.store(true, Ordering::Release);
+        }
+        if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.n {
+            *self.finished.lock().expect("batch completion poisoned") = true;
+            self.finished_cv.notify_all();
+        }
+        true
+    }
+
+    /// Submitter side: drain the cursor, then block until the last claimed
+    /// job (possibly on another thread) reports done.
+    fn help_and_wait(&self) {
+        while self.run_one() {}
+        let mut finished = self.finished.lock().expect("batch completion poisoned");
+        while !*finished {
+            finished = self.finished_cv.wait(finished).expect("batch completion poisoned");
+        }
+        if self.panicked.load(Ordering::Acquire) {
+            panic!("answer worker panicked");
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    work_cv: Condvar,
+    spawned: AtomicUsize,
+}
+
+/// The process-wide serving pool. Threads are spawned on first use, grow to
+/// the largest `workers` any batch requests, and persist (parked) for the
+/// process lifetime — sessions, tenants, and databases all share them.
+pub(crate) struct WorkerPool {
+    shared: Arc<Shared>,
+}
+
+static POOL: LazyLock<WorkerPool> = LazyLock::new(|| WorkerPool {
+    shared: Arc::new(Shared {
+        queue: Mutex::new(VecDeque::new()),
+        work_cv: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    }),
+});
+
+impl WorkerPool {
+    pub(crate) fn global() -> &'static WorkerPool {
+        &POOL
+    }
+
+    /// Number of pool threads currently spawned (for tests/telemetry).
+    #[cfg(test)]
+    pub(crate) fn workers_spawned(&self) -> usize {
+        self.shared.spawned.load(Ordering::Relaxed)
+    }
+
+    /// Runs the batch to completion with at most `workers` threads touching
+    /// it (the calling thread plus up to `workers − 1` pool workers). With
+    /// `workers <= 1` the pool is bypassed entirely — the batch runs inline
+    /// on the caller.
+    pub(crate) fn run(&self, n: usize, workers: usize, run: Box<dyn Fn(usize) + Send + Sync>) {
+        let batch = Batch::new(n, workers, run);
+        if workers <= 1 || n <= 1 {
+            batch.help_and_wait();
+            return;
+        }
+        self.ensure_workers(workers - 1);
+        let batch = Arc::new(batch);
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            q.push_back(Arc::clone(&batch));
+            r2t_obs::gauge_max("service.pool.queue_depth", q.len() as u64);
+        }
+        r2t_obs::counter_add("service.pool.batches", 1);
+        self.shared.work_cv.notify_one();
+        batch.help_and_wait();
+    }
+
+    fn ensure_workers(&self, want: usize) {
+        let want = want.min(MAX_WORKERS);
+        loop {
+            let cur = self.shared.spawned.load(Ordering::Relaxed);
+            if cur >= want {
+                return;
+            }
+            if self
+                .shared
+                .spawned
+                .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                let shared = Arc::clone(&self.shared);
+                std::thread::Builder::new()
+                    .name(format!("r2t-serve-{cur}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn pool worker");
+                r2t_obs::gauge_max("service.pool.workers", (cur + 1) as u64);
+            }
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    loop {
+        let batch: Arc<Batch> = {
+            let mut q = shared.queue.lock().expect("pool queue poisoned");
+            loop {
+                // Drop finished batches off the front, then claim the first
+                // batch that still has work *and* a free ticket.
+                while q.front().is_some_and(|b| !b.has_work()) {
+                    q.pop_front();
+                }
+                let claimed = q.iter().find(|b| b.has_work() && b.take_ticket()).map(Arc::clone);
+                match claimed {
+                    Some(b) => break b,
+                    None => q = shared.work_cv.wait(q).expect("pool queue poisoned"),
+                }
+            }
+        };
+        // Wake chaining: recruit one more worker while capacity remains.
+        if batch.has_work() && batch.tickets_left() {
+            shared.work_cv.notify_one();
+        }
+        while batch.run_one() {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn batch_runs_every_job_exactly_once() {
+        let hits: Arc<Vec<AtomicU64>> = Arc::new((0..100).map(|_| AtomicU64::new(0)).collect());
+        for workers in [1usize, 2, 4] {
+            let h = Arc::clone(&hits);
+            WorkerPool::global().run(
+                100,
+                workers,
+                Box::new(move |i| {
+                    h[i].fetch_add(1, Ordering::Relaxed);
+                }),
+            );
+        }
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 3, "job {i} ran once per batch");
+        }
+    }
+
+    #[test]
+    fn empty_batch_completes() {
+        WorkerPool::global().run(0, 8, Box::new(|_| unreachable!("no jobs")));
+    }
+
+    #[test]
+    fn workers_persist_across_batches() {
+        WorkerPool::global().run(4, 3, Box::new(|_| {}));
+        let after_first = WorkerPool::global().workers_spawned();
+        assert!(after_first >= 2, "pool spawned helpers: {after_first}");
+        WorkerPool::global().run(4, 3, Box::new(|_| {}));
+        assert_eq!(
+            WorkerPool::global().workers_spawned(),
+            after_first,
+            "second batch reuses the pool"
+        );
+    }
+
+    #[test]
+    fn job_panic_propagates_to_submitter() {
+        let result = std::panic::catch_unwind(|| {
+            WorkerPool::global().run(
+                8,
+                1, // inline path: the panic crosses run_one's catch_unwind
+                Box::new(|i| {
+                    if i == 3 {
+                        panic!("boom");
+                    }
+                }),
+            );
+        });
+        assert!(result.is_err(), "submitter observes the job panic");
+        // The pool is still usable afterwards.
+        WorkerPool::global().run(4, 2, Box::new(|_| {}));
+    }
+}

@@ -1,39 +1,50 @@
 //! Sessions: budget-enforced, cache-backed, deterministic serving.
 //!
-//! A [`Session`] pins three things for its lifetime: the instance it answers
-//! over, a total ε budget (an [`Accountant`]), and a noise seed. Preparation
-//! ([`Session::prepare`]) computes the *pre-noise* half of an R2T run — the
-//! lineage profile and the τ-grid of truncation LP values — and caches it
-//! under the statement's normalized text. Answering replays the cached grid
-//! through [`R2T::run_cached`], which draws exactly the noise stream a full
-//! run would, so a prepared answer is bit-identical to a cold
-//! [`PrivateDatabase::query`] call in the sequential no-early-stop execution
-//! mode (and equal to solver tolerance in every other mode).
+//! A [`Session`] pins three things for its lifetime: a data [`Snapshot`] of
+//! the database it answers over, an ε budget (a lock-free
+//! [`BudgetCell`], possibly shared with other sessions of the same tenant),
+//! and a noise seed. Preparation ([`Session::prepare`]) computes the
+//! *pre-noise* half of an R2T run — the lineage profile and the τ-grid of
+//! truncation LP values — and caches it in the snapshot's shared prepared
+//! cache under the statement's normalized text. Answering replays the cached
+//! grid through [`R2T::run_cached`], which draws exactly the noise stream a
+//! full run would, so a prepared answer is bit-identical to a cold run of
+//! the raw pipeline in the sequential no-early-stop execution mode (and
+//! equal to solver tolerance in every other mode).
+//!
+//! **Concurrency layout.** The session serializes on *nothing* in the answer
+//! hot path: the budget is a CAS cell, the substream counter is a
+//! `fetch_add`, the prepared cache is behind an `RwLock` whose read path
+//! never blocks on (or takes) the budget state, and only the receipt ledger
+//! appends under a short mutex, after the charge has already committed.
+//! Cache lookups and concurrent answers therefore never contend.
 //!
 //! **DP-safety of the cache.** Cached profiles, LP structures, and branch
 //! values are deterministic functions of the raw instance: pre-noise state,
-//! equivalent to the data itself. The cache lives inside the session, keyed
-//! by query text only — it must never be shared across instances or consulted
-//! to answer without a fresh noise draw, and every draw happens *after* the
-//! accountant has committed the charge.
+//! equivalent to the data itself. The cache lives inside the snapshot, keyed
+//! by query text and grid shape only — it must never be consulted to answer
+//! without a fresh noise draw, and every draw happens *after* the budget
+//! cell has committed the charge.
 //!
-//! **Determinism.** The `i`-th successful charge of the session (ledger
-//! index `i`) draws its noise from [`substream_rng`]`(seed, i)`. Refused
-//! charges do not advance the ledger, so a refused query provably draws no
-//! noise — not as a discipline, but structurally: there is no RNG to draw
-//! from until a charge commits. Batch answering assigns the ledger indices
-//! at commit time and only then fans out, which makes
-//! [`Session::answer_all`] bit-identical for any worker count.
+//! **Determinism.** The `i`-th successful charge of the session (substream
+//! index `i`) draws its noise from [`substream_rng`]`(seed, i)`. A refused
+//! charge provably draws no noise — not as a discipline, but structurally:
+//! the substream counter only advances *after* the budget CAS commits, and
+//! there is no RNG to draw from until an index exists. Batch answering
+//! reserves its whole ε in one CAS and assigns the batch's index range
+//! before any fan-out, which makes [`Session::answer_all`] bit-identical for
+//! any worker count.
 
+use crate::pool::WorkerPool;
+use crate::snapshot::{Prepared, PreparedKind, Snapshot};
 use crate::{Error, PrivateDatabase};
-use r2t_core::truncation::{self, SweepCache};
-use r2t_core::{Accountant, BranchValues, R2TConfig, R2TReport, R2T};
-use r2t_engine::{exec, ProfileSummary, QueryProfile, Tuple};
-use r2t_sql::{normalize, parse_statement};
+use r2t_core::{BudgetCell, R2TConfig, R2TReport, R2T};
+use r2t_engine::{ProfileSummary, Tuple};
+use r2t_sql::normalize;
 use rand::RngCore;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 pub use r2t_core::noise::substream_rng;
 
@@ -75,11 +86,12 @@ pub struct Receipt {
     pub query: String,
     /// ε charged for this answer.
     pub epsilon: f64,
-    /// The charge's ledger index — also its noise substream index.
+    /// The charge's substream index within its session.
     pub substream: u64,
-    /// Session ε spent after this charge.
+    /// Budget ε spent after this charge (the session's cell — tenant-wide
+    /// when the session was opened through a service tier).
     pub spent: f64,
-    /// Session ε remaining after this charge.
+    /// Budget ε remaining after this charge.
     pub remaining: f64,
     /// τ-race diagnostics.
     pub race: RaceStats,
@@ -104,60 +116,60 @@ pub struct GroupedAnswer {
     pub receipt: Receipt,
 }
 
-/// The cached pre-noise state of one prepared statement.
-#[derive(Debug)]
-struct Prepared {
-    /// Normalized statement text (the cache key).
-    text: String,
-    /// Lineage shape, for diagnostics (`None` for grouped statements).
-    summary: Option<ProfileSummary>,
-    kind: PreparedKind,
-}
-
-#[derive(Debug)]
-enum PreparedKind {
-    Single {
-        /// `Q(I, 0)` and the τ-grid values — all `run_cached` needs. The
-        /// lineage profile and the LP sweep structure that produced them are
-        /// dropped after preparation: answering only draws noise against
-        /// these precomputed branch values.
-        values: BranchValues,
-    },
-    Grouped {
-        /// Per group: key, profile, and its τ-grid values.
-        groups: Vec<(Tuple, QueryProfile, BranchValues)>,
-    },
-}
-
-struct State {
-    accountant: Accountant,
-    cache: HashMap<String, Arc<Prepared>>,
-}
-
-/// A serving session over a [`PrivateDatabase`]: a total ε budget, a
-/// prepared-statement cache, and a deterministic noise-substream layout.
-/// Created by [`PrivateDatabase::open_session`]. All methods take `&self`;
-/// the session is safe to share across threads.
+/// A serving session over a [`PrivateDatabase`]: an ε budget cell, a pinned
+/// data snapshot with its prepared-statement cache, and a deterministic
+/// noise-substream layout. Created by [`PrivateDatabase::open_session`]
+/// (private budget) or [`crate::ServiceTier::open_session`] (budget shared
+/// tenant-wide). All methods take `&self`; the session is safe to share
+/// across threads and none of its hot paths serialize on a common lock.
 pub struct Session<'db> {
     db: &'db PrivateDatabase,
+    snapshot: Arc<Snapshot>,
     base: R2TConfig,
     seed: u64,
-    state: Mutex<State>,
+    budget: Arc<BudgetCell>,
+    /// The next substream index == number of successful charges so far.
+    /// Advanced only after a budget commit; a refused charge never touches
+    /// it, which is what makes "refusals draw no randomness" structural.
+    next_substream: AtomicU64,
+    /// (normalized query, ε) per successful charge. Appended *after* the
+    /// commit; under concurrent answering the append order may differ from
+    /// substream order (the ledger is a receipt log, not the commit point).
+    ledger: Mutex<Vec<(String, f64)>>,
+    /// Statements this session has prepared: a session-local view into the
+    /// snapshot's shared cache. Reads take only the read lock.
+    prepared: RwLock<HashMap<String, Arc<Prepared>>>,
 }
 
 impl<'db> Session<'db> {
     pub(crate) fn new(
         db: &'db PrivateDatabase,
-        accountant: Accountant,
+        budget: Arc<BudgetCell>,
         base: R2TConfig,
         seed: u64,
     ) -> Self {
-        Session { db, base, seed, state: Mutex::new(State { accountant, cache: HashMap::new() }) }
+        r2t_obs::counter_add("service.sessions.opened", 1);
+        Session {
+            db,
+            snapshot: db.snapshot(),
+            base,
+            seed,
+            budget,
+            next_substream: AtomicU64::new(0),
+            ledger: Mutex::new(Vec::new()),
+            prepared: RwLock::new(HashMap::new()),
+        }
     }
 
     /// The database this session answers over.
     pub fn database(&self) -> &'db PrivateDatabase {
         self.db
+    }
+
+    /// The data snapshot this session pinned at open time. Reloads of the
+    /// database never change it.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.snapshot
     }
 
     /// The session's base mechanism configuration (per-answer ε overrides
@@ -171,87 +183,53 @@ impl<'db> Session<'db> {
         self.seed
     }
 
-    /// Total session budget.
+    /// Total budget of the session's cell.
     pub fn total(&self) -> f64 {
-        self.lock().accountant.total()
+        self.budget.total()
     }
 
-    /// ε spent so far.
+    /// ε spent so far from the session's cell (tenant-wide for tier
+    /// sessions).
     pub fn spent(&self) -> f64 {
-        self.lock().accountant.spent()
+        self.budget.spent()
     }
 
-    /// ε still available.
+    /// ε still available in the session's cell.
     pub fn remaining(&self) -> f64 {
-        self.lock().accountant.remaining()
+        self.budget.remaining()
     }
 
-    /// Number of successful charges so far (= the next substream index).
+    /// Number of successful charges of *this session* (= the next substream
+    /// index).
     pub fn num_charges(&self) -> usize {
-        self.lock().accountant.num_charges()
+        self.next_substream.load(Ordering::Acquire) as usize
     }
 
-    /// The charge ledger: (normalized query, ε) per answer, in order.
+    /// The charge ledger: (normalized query, ε) per answer of this session.
     pub fn ledger(&self) -> Vec<(String, f64)> {
-        self.lock().accountant.ledger().to_vec()
+        self.ledger.lock().expect("ledger poisoned").clone()
     }
 
-    /// Number of distinct prepared statements in the cache.
+    /// Number of distinct prepared statements this session has seen.
     pub fn cached_queries(&self) -> usize {
-        self.lock().cache.len()
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
-        self.state.lock().expect("session state poisoned")
+        self.prepared.read().expect("prepared view poisoned").len()
     }
 
     /// Prepares a statement: normalizes the text, and — unless an entry for
-    /// the same normalized text is already cached — parses, plans, executes
-    /// the lineage join, and evaluates the τ-grid of truncation LP values.
-    /// Spends no budget and draws no noise; the expensive work happens at
-    /// most once per distinct statement.
+    /// the same normalized text is already cached in the snapshot — parses,
+    /// plans, executes the lineage join, and evaluates the τ-grid of
+    /// truncation LP values. Spends no budget and draws no noise; the
+    /// expensive work happens at most once per distinct statement *per
+    /// snapshot*, shared across every session (and tenant) on it. The lookup
+    /// takes no budget lock, so preparation never blocks concurrent answers.
     pub fn prepare(&self, sql: &str) -> Result<PreparedQuery<'_, 'db>, Error> {
         let text = normalize(sql)?;
-        if let Some(p) = self.lock().cache.get(&text) {
+        if let Some(p) = self.prepared.read().expect("prepared view poisoned").get(&text) {
             return Ok(PreparedQuery { session: self, inner: Arc::clone(p) });
         }
-        // Plan + execute outside the lock: preparation is read-only on the
-        // instance, and a concurrent duplicate costs time, not correctness
-        // (the loser's identical entry is discarded below).
-        let lowered = parse_statement(&text, self.db.schema())?;
-        let prepared = if lowered.group_by.is_empty() {
-            let profile = exec::profile(self.db.schema(), self.db.instance(), &lowered.query)?;
-            let sweep: SweepCache = Arc::new(OnceLock::new());
-            let trunc = truncation::for_profile_cached(&profile, self.base.event_every, &sweep);
-            let values = BranchValues::compute(
-                trunc.as_ref(),
-                self.base.num_branches(),
-                self.base.warm_sweep,
-            );
-            drop(trunc);
-            Prepared {
-                text: text.clone(),
-                summary: Some(profile.summary()),
-                kind: PreparedKind::Single { values },
-            }
-        } else {
-            let groups = exec::profile_grouped(
-                self.db.schema(),
-                self.db.instance(),
-                &lowered.query,
-                &lowered.group_by,
-            )?;
-            let groups = groups
-                .into_iter()
-                .map(|(key, profile)| {
-                    let values = BranchValues::for_profile(&profile, &self.base);
-                    (key, profile, values)
-                })
-                .collect();
-            Prepared { text: text.clone(), summary: None, kind: PreparedKind::Grouped { groups } }
-        };
-        let mut st = self.lock();
-        let entry = st.cache.entry(text).or_insert_with(|| Arc::new(prepared));
+        let built = self.snapshot.get_or_prepare(self.db.schema(), &text, &self.base)?;
+        let mut view = self.prepared.write().expect("prepared view poisoned");
+        let entry = view.entry(text).or_insert(built);
         Ok(PreparedQuery { session: self, inner: Arc::clone(entry) })
     }
 
@@ -264,14 +242,15 @@ impl<'db> Session<'db> {
     /// budget covers the whole batch (every query answered, each with its own
     /// substream) or nothing is spent and nothing is drawn. Queries are
     /// answered concurrently on up to [`std::thread::available_parallelism`]
-    /// workers; results are positionally matched to `specs` and bit-identical
-    /// for any worker count.
+    /// workers from the persistent serving pool; results are positionally
+    /// matched to `specs` and bit-identical for any worker count.
     pub fn answer_all(&self, specs: &[QuerySpec]) -> Result<Vec<Answer>, Error> {
         let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
         self.answer_all_with(specs, workers)
     }
 
-    /// [`Self::answer_all`] with an explicit worker count (≥ 1).
+    /// [`Self::answer_all`] with an explicit worker count (≥ 1): the calling
+    /// thread plus up to `workers − 1` pool workers.
     pub fn answer_all_with(
         &self,
         specs: &[QuerySpec],
@@ -290,92 +269,108 @@ impl<'db> Session<'db> {
             }
             jobs.push((prepared.inner, spec.epsilon));
         }
+        let n = jobs.len();
 
-        // One atomic batch charge; ledger indices are fixed here, before any
-        // fan-out, which is what makes the results worker-count independent.
-        let (batch_start, spent_before, total) = {
-            let mut st = self.lock();
-            let charges: Vec<(&str, f64)> =
-                jobs.iter().map(|(p, eps)| (p.text.as_str(), *eps)).collect();
-            let start = st.accountant.num_charges();
-            let spent_before = st.accountant.spent();
-            st.accountant.charge_many(&charges)?;
-            (start, spent_before, st.accountant.total())
-        };
-
-        let mut results: Vec<Option<Answer>> = (0..jobs.len()).map(|_| None).collect();
-        let run_job = |i: usize| -> (usize, Answer) {
-            let (prepared, epsilon) = &jobs[i];
-            // Receipt totals reflect the ledger prefix up to this charge —
-            // deterministic, unlike a racing read of the live accountant.
-            let spent: f64 = spent_before + jobs[..=i].iter().map(|(_, e)| *e).sum::<f64>();
-            let index = (batch_start + i) as u64;
-            (i, self.answer_charged(prepared, *epsilon, index, spent, (total - spent).max(0.0)))
-        };
-        let workers = workers.max(1).min(jobs.len().max(1));
-        if workers <= 1 {
-            for i in 0..jobs.len() {
-                let (i, a) = run_job(i);
-                results[i] = Some(a);
+        // One atomic batch reservation (a single CAS), then the substream
+        // index range — fixed here, before any fan-out, which is what makes
+        // the results worker-count independent.
+        let batch_eps: f64 = jobs.iter().map(|(_, e)| *e).sum();
+        let charge = match self.budget.try_charge_sum(batch_eps, n as u64) {
+            Ok(c) => c,
+            Err(e) => {
+                r2t_obs::counter_add("service.refusals.budget", 1);
+                return Err(Error::Budget(e));
             }
-        } else {
-            let next = AtomicUsize::new(0);
-            let computed: Vec<(usize, Answer)> = std::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for _ in 0..workers {
-                    let next = &next;
-                    let run_job = &run_job;
-                    let n = jobs.len();
-                    handles.push(scope.spawn(move || {
-                        let mut out = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            out.push(run_job(i));
-                        }
-                        out
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("answer worker panicked"))
-                    .collect()
-            });
-            for (i, a) in computed {
-                results[i] = Some(a);
-            }
+        };
+        r2t_obs::counter_add("service.charges", n as u64);
+        r2t_obs::counter_add("service.charge.contention", charge.retries);
+        let batch_start = self.next_substream.fetch_add(n as u64, Ordering::AcqRel);
+        {
+            let mut ledger = self.ledger.lock().expect("ledger poisoned");
+            ledger.extend(jobs.iter().map(|(p, e)| (p.text.clone(), *e)));
         }
-        Ok(results.into_iter().map(|a| a.expect("every job answered")).collect())
+
+        // Receipt totals reflect the ledger prefix up to each charge —
+        // deterministic, unlike a racing read of the live cell.
+        let total = self.budget.total();
+        let mut spent_prefix = Vec::with_capacity(n);
+        let mut acc = charge.spent_before;
+        for (_, e) in &jobs {
+            acc += e;
+            spent_prefix.push(acc);
+        }
+
+        // Owned job set: the pool's worker threads are 'static, so the
+        // runner captures everything by value (Arcs and scalars only).
+        let results: Arc<Vec<OnceLock<Answer>>> =
+            Arc::new((0..n).map(|_| OnceLock::new()).collect());
+        let run = {
+            let results = Arc::clone(&results);
+            let base = self.base.clone();
+            let seed = self.seed;
+            Box::new(move |i: usize| {
+                let (prepared, epsilon) = &jobs[i];
+                let spent = spent_prefix[i];
+                let answer = answer_charged(
+                    &base,
+                    seed,
+                    prepared,
+                    *epsilon,
+                    batch_start + i as u64,
+                    spent,
+                    (total - spent).max(0.0),
+                );
+                assert!(results[i].set(answer).is_ok(), "each job claimed once");
+            })
+        };
+        WorkerPool::global().run(n, workers.max(1), run);
+        r2t_obs::counter_add("service.answers", n as u64);
+        Ok(results.iter().map(|slot| slot.get().expect("every job answered").clone()).collect())
     }
 
-    /// Runs the mechanism for an already-committed charge. No locking, no
-    /// budget checks: the ledger index and totals were fixed at charge time.
-    fn answer_charged(
-        &self,
-        prepared: &Prepared,
-        epsilon: f64,
-        substream: u64,
-        spent: f64,
-        remaining: f64,
-    ) -> Answer {
-        let PreparedKind::Single { values, .. } = &prepared.kind else {
-            unreachable!("answer_charged serves scalar statements only");
+    /// Commits one charge and returns (substream index, spent, remaining).
+    fn charge_one(&self, text: &str, epsilon: f64) -> Result<(u64, f64, f64), Error> {
+        let charge = match self.budget.try_charge(epsilon) {
+            Ok(c) => c,
+            Err(e) => {
+                r2t_obs::counter_add("service.refusals.budget", 1);
+                return Err(Error::Budget(e));
+            }
         };
-        let mut rng = substream_rng(self.seed, substream);
-        let report = R2T::new(self.base.with_epsilon(epsilon)).run_cached(values, &mut rng);
-        Answer {
-            noisy: report.output,
-            receipt: Receipt {
-                query: prepared.text.clone(),
-                epsilon,
-                substream,
-                spent,
-                remaining,
-                race: race_stats(&report),
-            },
-        }
+        r2t_obs::counter_add("service.charges", 1);
+        r2t_obs::counter_add("service.charge.contention", charge.retries);
+        let index = self.next_substream.fetch_add(1, Ordering::AcqRel);
+        self.ledger.lock().expect("ledger poisoned").push((text.to_string(), epsilon));
+        Ok((index, charge.spent_after, (self.budget.total() - charge.spent_after).max(0.0)))
+    }
+}
+
+/// Runs the mechanism for an already-committed charge. No locking, no budget
+/// checks: the substream index and totals were fixed at charge time.
+fn answer_charged(
+    base: &R2TConfig,
+    seed: u64,
+    prepared: &Prepared,
+    epsilon: f64,
+    substream: u64,
+    spent: f64,
+    remaining: f64,
+) -> Answer {
+    let PreparedKind::Single { values, .. } = &prepared.kind else {
+        unreachable!("answer_charged serves scalar statements only");
+    };
+    let mut rng = substream_rng(seed, substream);
+    let report = R2T::new(base.with_epsilon(epsilon)).run_cached(values, &mut rng);
+    Answer {
+        noisy: report.output,
+        receipt: Receipt {
+            query: prepared.text.clone(),
+            epsilon,
+            substream,
+            spent,
+            remaining,
+            race: race_stats(&report),
+        },
     }
 }
 
@@ -420,17 +415,26 @@ impl PreparedQuery<'_, '_> {
         matches!(self.inner.kind, PreparedKind::Grouped { .. })
     }
 
-    /// Answers the prepared statement, charging `epsilon` from the session
-    /// budget. The charge commits first; only then is noise drawn, from the
-    /// charge's own substream. A refused charge returns [`Error::Budget`]
+    /// Answers the prepared statement, charging `epsilon` from the session's
+    /// budget cell. The charge commits first; only then is noise drawn, from
+    /// the charge's own substream. A refused charge returns [`Error::Budget`]
     /// having consumed nothing — no noise, no substream index.
     pub fn answer(&self, epsilon: f64) -> Result<Answer, Error> {
         check_epsilon(epsilon)?;
         if self.is_grouped() {
             return Err(Error::Unsupported("GROUP BY statement: use answer_grouped".to_string()));
         }
-        let (substream, spent, remaining) = self.charge(epsilon)?;
-        Ok(self.session.answer_charged(&self.inner, epsilon, substream, spent, remaining))
+        let (substream, spent, remaining) = self.session.charge_one(&self.inner.text, epsilon)?;
+        r2t_obs::counter_add("service.answers", 1);
+        Ok(answer_charged(
+            &self.session.base,
+            self.session.seed,
+            &self.inner,
+            epsilon,
+            substream,
+            spent,
+            remaining,
+        ))
     }
 
     /// Answers a prepared GROUP BY statement: one total charge of `epsilon`,
@@ -438,14 +442,15 @@ impl PreparedQuery<'_, '_> {
     /// `ε/k`. The charge's substream yields one root draw and group `i` then
     /// replays [`substream_rng`]`(root, i)` — the same derivation as
     /// [`r2t_core::groupby::GroupByR2T::run`], so the answers are
-    /// bit-identical to the one-shot [`PrivateDatabase::query_grouped`] given
-    /// the same RNG, for any worker count on either side.
+    /// bit-identical to the one-shot grouped race given the same RNG, for
+    /// any worker count on either side.
     pub fn answer_grouped(&self, epsilon: f64) -> Result<GroupedAnswer, Error> {
         check_epsilon(epsilon)?;
         let PreparedKind::Grouped { groups } = &self.inner.kind else {
             return Err(Error::Unsupported("scalar statement: use answer".to_string()));
         };
-        let (substream, spent, remaining) = self.charge(epsilon)?;
+        let (substream, spent, remaining) = self.session.charge_one(&self.inner.text, epsilon)?;
+        r2t_obs::counter_add("service.answers", 1);
         let root = substream_rng(self.session.seed, substream).next_u64();
         let per_group = self.session.base.with_epsilon(epsilon / groups.len().max(1) as f64);
         let r2t = R2T::new(per_group);
@@ -470,13 +475,5 @@ impl PreparedQuery<'_, '_> {
                 race: RaceStats { branches, winner_tau: None, seconds },
             },
         })
-    }
-
-    /// Commits one charge and returns (substream index, spent, remaining).
-    fn charge(&self, epsilon: f64) -> Result<(u64, f64, f64), Error> {
-        let mut st = self.session.lock();
-        let index = st.accountant.num_charges() as u64;
-        st.accountant.charge(&self.inner.text, epsilon)?;
-        Ok((index, st.accountant.spent(), st.accountant.remaining()))
     }
 }

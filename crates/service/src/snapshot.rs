@@ -1,0 +1,175 @@
+//! Immutable database snapshots and the snapshot-scoped prepared cache.
+//!
+//! A [`Snapshot`] is one validated, *frozen* version of the instance data
+//! plus everything deterministically derived from it: the prepared-statement
+//! cache of lineage profiles and τ-grid branch values. Sessions pin an
+//! `Arc<Snapshot>` when they open and answer against it for their whole
+//! lifetime, so a concurrent [`crate::PrivateDatabase::reload`] never stalls
+//! a reader and never changes an answer mid-session — new data is only
+//! visible to sessions opened after the swap.
+//!
+//! **DP-safety.** Everything in a snapshot is pre-noise state, equivalent to
+//! the raw instance: it must never leave the process un-noised, and a cache
+//! entry is only meaningful for the snapshot that built it. Scoping the
+//! cache *inside* the snapshot makes the second rule structural — a reload
+//! installs a fresh snapshot with a fresh, empty cache, and the old cache
+//! dies with the last session pinning it.
+//!
+//! The cache is shared across every session on the snapshot (all tenants):
+//! the profile and branch values are deterministic functions of (instance,
+//! normalized text, grid parameters), so two tenants preparing the same
+//! statement under the same grid share one entry and one planning cost. The
+//! read path takes only a `RwLock` read lock — concurrent answers never
+//! contend with it, and budget state lives elsewhere entirely.
+
+use crate::Error;
+use r2t_core::truncation::{self, SweepCache};
+use r2t_core::{BranchValues, R2TConfig};
+use r2t_engine::{exec, Instance, ProfileSummary, QueryProfile, Schema, Tuple};
+use r2t_sql::parse_statement;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The part of a prepared-cache key that is *not* the statement text: the
+/// τ-grid shape the branch values were evaluated on. Two sessions whose base
+/// configs agree on these knobs can share entries; ε and β never enter —
+/// they only scale noise at answer time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct GridKey {
+    branches: u32,
+    warm_sweep: bool,
+    event_every: usize,
+}
+
+impl GridKey {
+    pub(crate) fn of(base: &R2TConfig) -> Self {
+        GridKey {
+            branches: base.num_branches(),
+            warm_sweep: base.warm_sweep,
+            event_every: base.event_every,
+        }
+    }
+}
+
+/// The cached pre-noise state of one prepared statement.
+#[derive(Debug)]
+pub(crate) struct Prepared {
+    /// Normalized statement text (the cache key).
+    pub(crate) text: String,
+    /// Lineage shape, for diagnostics (`None` for grouped statements).
+    pub(crate) summary: Option<ProfileSummary>,
+    pub(crate) kind: PreparedKind,
+}
+
+#[derive(Debug)]
+pub(crate) enum PreparedKind {
+    Single {
+        /// `Q(I, 0)` and the τ-grid values — all `run_cached` needs. The
+        /// lineage profile and the LP sweep structure that produced them are
+        /// dropped after preparation: answering only draws noise against
+        /// these precomputed branch values.
+        values: BranchValues,
+    },
+    Grouped {
+        /// Per group: key, profile, and its τ-grid values.
+        groups: Vec<(Tuple, QueryProfile, BranchValues)>,
+    },
+}
+
+/// One immutable version of the instance plus its derived prepared cache.
+/// Created by [`crate::PrivateDatabase::new`] / [`crate::PrivateDatabase::reload`].
+#[derive(Debug)]
+pub struct Snapshot {
+    instance: Instance,
+    version: u64,
+    prepared: RwLock<HashMap<(String, GridKey), Arc<Prepared>>>,
+}
+
+impl Snapshot {
+    pub(crate) fn new(instance: Instance, version: u64) -> Self {
+        Snapshot { instance, version, prepared: RwLock::new(HashMap::new()) }
+    }
+
+    /// The raw instance data this snapshot froze. Pre-noise — for the engine
+    /// and the serving layer, not for release.
+    pub(crate) fn instance(&self) -> &Instance {
+        &self.instance
+    }
+
+    /// Monotone version number: 0 for the instance the database was opened
+    /// with, +1 per [`crate::PrivateDatabase::reload`].
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of distinct (statement, grid) entries in the shared cache.
+    pub fn cached_statements(&self) -> usize {
+        self.prepared.read().expect("prepared cache poisoned").len()
+    }
+
+    /// Looks up `text` (already normalized) under `base`'s grid, preparing
+    /// and inserting it on a miss. The expensive work — parse, lineage join,
+    /// LP presolve, the τ-grid sweep — runs *outside* both locks; a
+    /// concurrent duplicate costs time, not correctness (the loser's
+    /// identical entry is discarded).
+    pub(crate) fn get_or_prepare(
+        &self,
+        schema: &Schema,
+        text: &str,
+        base: &R2TConfig,
+    ) -> Result<Arc<Prepared>, Error> {
+        let grid = GridKey::of(base);
+        if let Some(p) = self
+            .prepared
+            .read()
+            .expect("prepared cache poisoned")
+            .get(&(text.to_string(), grid.clone()))
+        {
+            r2t_obs::counter_add("service.cache.hits", 1);
+            return Ok(Arc::clone(p));
+        }
+        r2t_obs::counter_add("service.cache.misses", 1);
+        let built = Arc::new(self.prepare_uncached(schema, text, base)?);
+        let mut cache = self.prepared.write().expect("prepared cache poisoned");
+        let entry = Arc::clone(cache.entry((text.to_string(), grid)).or_insert(built));
+        r2t_obs::gauge_max("service.cache.entries", cache.len() as u64);
+        Ok(entry)
+    }
+
+    fn prepare_uncached(
+        &self,
+        schema: &Schema,
+        text: &str,
+        base: &R2TConfig,
+    ) -> Result<Prepared, Error> {
+        let lowered = parse_statement(text, schema)?;
+        if lowered.group_by.is_empty() {
+            let profile = exec::profile(schema, &self.instance, &lowered.query)?;
+            let sweep: SweepCache = Arc::new(OnceLock::new());
+            let trunc = truncation::for_profile_cached(&profile, base.event_every, &sweep);
+            let values =
+                BranchValues::compute(trunc.as_ref(), base.num_branches(), base.warm_sweep);
+            drop(trunc);
+            Ok(Prepared {
+                text: text.to_string(),
+                summary: Some(profile.summary()),
+                kind: PreparedKind::Single { values },
+            })
+        } else {
+            let groups =
+                exec::profile_grouped(schema, &self.instance, &lowered.query, &lowered.group_by)?;
+            let groups = groups
+                .into_iter()
+                .map(|(key, profile)| {
+                    let values = BranchValues::for_profile(&profile, base);
+                    (key, profile, values)
+                })
+                .collect();
+            Ok(Prepared {
+                text: text.to_string(),
+                summary: None,
+                kind: PreparedKind::Grouped { groups },
+            })
+        }
+    }
+}

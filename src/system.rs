@@ -24,7 +24,7 @@
 
 pub use r2t_service::{
     substream_rng, Answer, Error, GroupedAnswer, PreparedQuery, PrivateDatabase, QuerySpec,
-    RaceStats, Receipt, Session,
+    RaceStats, Receipt, ServiceTier, Session, Snapshot, TenantInfo,
 };
 
 /// The pre-service error type, kept as an alias for downstream `match`-free
