@@ -1,0 +1,338 @@
+//! `obs-check` — schema validator for every observability artifact the
+//! repro binaries and the snapshot exporter write.
+//!
+//! One tool, one schema: CI used to sanity-check each `results/OBS_*.json`
+//! with ad-hoc `python3 -m json.tool` calls, which verifies only "it is
+//! JSON", not "it is a RunReport". This binary parses each artifact with
+//! [`r2t_obs::json`] and checks it field by field against the shared shape
+//! the writers in `r2t-obs` promise:
+//!
+//! * `OBS_*.json` — a [`r2t_obs::RunReport`] object: `obs_level` ∈
+//!   {off, counters, spans, full}, `compiled` bool, `wall_secs` ≥ 0,
+//!   `counters`/`gauges` maps of non-negative integers, `values`/`spans`
+//!   maps of `{count, sum, min, max}` aggregates with `min ≤ max` whenever
+//!   `count > 0`, and `events` an array of `{t, path, …attrs}` objects with
+//!   non-decreasing timestamps.
+//! * `*.jsonl` — exporter snapshot lines ([`r2t_obs::Snapshot::to_json`]):
+//!   per line `seq`/`unix_ms`/`counters`/`gauges`/`polled`/`hists`, each
+//!   histogram `{count, sum, p50, p90, p99, p999, max, buckets}` with
+//!   ordered quantiles and `count` equal to the bucket total; *across*
+//!   lines, `seq` strictly increases and every counter and histogram count
+//!   is non-decreasing (the live plane never resets).
+//!
+//! Usage: `obs_check [FILE...]`. With no arguments it validates every
+//! `results/OBS_*.json` present (and succeeds vacuously when none exist, so
+//! it can run before any bench). Files ending in `.jsonl` are validated as
+//! snapshot streams, everything else as RunReports. Exits non-zero with one
+//! line per failure.
+
+use r2t_obs::json::{self, Value};
+use std::path::{Path, PathBuf};
+
+const LEVELS: [&str; 4] = ["off", "counters", "spans", "full"];
+
+fn main() {
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
+    let files = if args.is_empty() { default_files() } else { args };
+
+    let mut failures = 0usize;
+    for path in &files {
+        let errs = check_file(path);
+        if errs.is_empty() {
+            println!("obs-check: {} ok", path.display());
+        } else {
+            failures += errs.len();
+            for e in errs {
+                eprintln!("obs-check: {}: {e}", path.display());
+            }
+        }
+    }
+    println!("obs-check: {} file(s), {} error(s)", files.len(), failures);
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}
+
+/// All `results/OBS_*.json` artifacts, in stable order.
+fn default_files() -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = std::fs::read_dir("results")
+        .into_iter()
+        .flatten()
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("OBS_") && n.ends_with(".json"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+fn check_file(path: &Path) -> Vec<String> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => return vec![format!("unreadable: {e}")],
+    };
+    if path.extension().is_some_and(|e| e == "jsonl") {
+        check_snapshot_jsonl(&text)
+    } else {
+        check_run_report(&text)
+    }
+}
+
+// ---------------------------------------------------------------- RunReport
+
+fn check_run_report(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    let v = match json::parse(text) {
+        Ok(v) => v,
+        Err(e) => return vec![e.to_string()],
+    };
+    let Some(_) = v.as_object() else {
+        return vec!["RunReport: top level is not an object".into()];
+    };
+
+    match v.get("obs_level").and_then(Value::as_str) {
+        Some(l) if LEVELS.contains(&l) => {}
+        Some(l) => errs.push(format!("obs_level: unknown level {l:?}")),
+        None => errs.push("obs_level: missing or not a string".into()),
+    }
+    if v.get("compiled").and_then(as_bool).is_none() {
+        errs.push("compiled: missing or not a bool".into());
+    }
+    match v.get("wall_secs").and_then(Value::as_f64) {
+        Some(s) if s >= 0.0 => {}
+        Some(s) => errs.push(format!("wall_secs: negative ({s})")),
+        None => errs.push("wall_secs: missing or not a number".into()),
+    }
+    check_u64_map(&v, "counters", &mut errs);
+    check_u64_map(&v, "gauges", &mut errs);
+    check_stats_map(&v, "values", &mut errs);
+    check_stats_map(&v, "spans", &mut errs);
+
+    match v.get("events").and_then(Value::as_array) {
+        None => errs.push("events: missing or not an array".into()),
+        Some(events) => {
+            let mut last_t = 0.0f64;
+            for (i, ev) in events.iter().enumerate() {
+                match ev.get("t").and_then(Value::as_f64) {
+                    Some(t) if t >= last_t => last_t = t,
+                    Some(t) => {
+                        errs.push(format!("events[{i}].t: {t} < previous {last_t} (not sorted)"))
+                    }
+                    None => errs.push(format!("events[{i}].t: missing or not a number")),
+                }
+                if ev.get("path").and_then(Value::as_str).is_none() {
+                    errs.push(format!("events[{i}].path: missing or not a string"));
+                }
+            }
+        }
+    }
+    errs
+}
+
+/// `key` must be an object of name → non-negative integer. `at` prefixes
+/// every error (the JSONL checker passes the line number, reports pass "").
+fn check_u64_map_at(v: &Value, key: &str, at: &str, errs: &mut Vec<String>) {
+    match v.get(key).and_then(Value::as_object) {
+        None => errs.push(format!("{at}{key}: missing or not an object")),
+        Some(m) => {
+            for (name, val) in m {
+                if val.as_u64().is_none() {
+                    errs.push(format!("{at}{key}[{name:?}]: not a non-negative integer"));
+                }
+            }
+        }
+    }
+}
+
+fn check_u64_map(v: &Value, key: &str, errs: &mut Vec<String>) {
+    check_u64_map_at(v, key, "", errs);
+}
+
+/// `key` must be an object of name → `{count, sum, min, max}`.
+fn check_stats_map(v: &Value, key: &str, errs: &mut Vec<String>) {
+    match v.get(key).and_then(Value::as_object) {
+        None => errs.push(format!("{key}: missing or not an object")),
+        Some(m) => {
+            for (name, s) in m {
+                let Some(count) = s.get("count").and_then(Value::as_u64) else {
+                    errs.push(format!("{key}[{name:?}].count: missing or not an integer"));
+                    continue;
+                };
+                let sum = s.get("sum").and_then(Value::as_f64);
+                let min = s.get("min").and_then(Value::as_f64);
+                let max = s.get("max").and_then(Value::as_f64);
+                if sum.is_none() || min.is_none() || max.is_none() {
+                    errs.push(format!("{key}[{name:?}]: needs numeric sum/min/max"));
+                    continue;
+                }
+                if count > 0 && min.unwrap() > max.unwrap() {
+                    errs.push(format!(
+                        "{key}[{name:?}]: min {} > max {}",
+                        min.unwrap(),
+                        max.unwrap()
+                    ));
+                }
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------- snapshot JSONL
+
+fn check_snapshot_jsonl(text: &str) -> Vec<String> {
+    let mut errs = Vec::new();
+    let mut last_seq: Option<u64> = None;
+    let mut last_ms: u64 = 0;
+    let mut last_counters: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut last_hist_counts: std::collections::BTreeMap<String, u64> = Default::default();
+    let mut lines = 0usize;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        let n = lineno + 1;
+        let v = match json::parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                errs.push(format!("line {n}: {e}"));
+                continue;
+            }
+        };
+        match v.get("seq").and_then(Value::as_u64) {
+            Some(seq) => {
+                if let Some(prev) = last_seq {
+                    if seq <= prev {
+                        errs.push(format!("line {n}: seq {seq} <= previous {prev}"));
+                    }
+                }
+                last_seq = Some(seq);
+            }
+            None => errs.push(format!("line {n}: seq missing or not an integer")),
+        }
+        match v.get("unix_ms").and_then(Value::as_u64) {
+            Some(ms) => {
+                if ms < last_ms {
+                    errs.push(format!("line {n}: unix_ms {ms} went backwards"));
+                }
+                last_ms = ms;
+            }
+            None => errs.push(format!("line {n}: unix_ms missing or not an integer")),
+        }
+        let at = format!("line {n}: ");
+        check_u64_map_at(&v, "counters", &at, &mut errs);
+        check_u64_map_at(&v, "gauges", &at, &mut errs);
+        // Counters are cumulative: a decrease means the live plane reset.
+        if let Some(m) = v.get("counters").and_then(Value::as_object) {
+            for (name, val) in m {
+                if let Some(cur) = val.as_u64() {
+                    if let Some(&prev) = last_counters.get(name) {
+                        if cur < prev {
+                            errs.push(format!(
+                                "line {n}: counter {name:?} decreased ({prev} -> {cur})"
+                            ));
+                        }
+                    }
+                    last_counters.insert(name.clone(), cur);
+                }
+            }
+        }
+        match v.get("polled").and_then(Value::as_object) {
+            None => errs.push(format!("line {n}: polled missing or not an object")),
+            Some(polled) => {
+                for (name, rows) in polled {
+                    match rows.as_object() {
+                        None => errs.push(format!("line {n}: polled[{name:?}] not an object")),
+                        Some(rows) => {
+                            for (label, value) in rows {
+                                if value.as_f64().is_none() && *value != Value::Null {
+                                    errs.push(format!(
+                                        "line {n}: polled[{name:?}][{label:?}] not a number"
+                                    ));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        match v.get("hists").and_then(Value::as_object) {
+            None => errs.push(format!("line {n}: hists missing or not an object")),
+            Some(hists) => {
+                for (name, h) in hists {
+                    check_hist(n, name, h, &mut last_hist_counts, &mut errs);
+                }
+            }
+        }
+    }
+    if lines == 0 {
+        errs.push("empty: no snapshot lines".into());
+    }
+    errs
+}
+
+fn check_hist(
+    n: usize,
+    name: &str,
+    h: &Value,
+    last_counts: &mut std::collections::BTreeMap<String, u64>,
+    errs: &mut Vec<String>,
+) {
+    let Some(count) = h.get("count").and_then(Value::as_u64) else {
+        errs.push(format!("line {n}: hists[{name:?}].count missing or not an integer"));
+        return;
+    };
+    if let Some(&prev) = last_counts.get(name) {
+        if count < prev {
+            errs.push(format!("line {n}: hists[{name:?}].count decreased ({prev} -> {count})"));
+        }
+    }
+    last_counts.insert(name.to_string(), count);
+    if h.get("sum").and_then(Value::as_u64).is_none() {
+        errs.push(format!("line {n}: hists[{name:?}].sum missing or not an integer"));
+    }
+    let q: Vec<Option<u64>> = ["p50", "p90", "p99", "p999", "max"]
+        .iter()
+        .map(|k| h.get(k).and_then(Value::as_u64))
+        .collect();
+    if q.iter().any(Option::is_none) {
+        errs.push(format!("line {n}: hists[{name:?}]: p50/p90/p99/p999/max must be integers"));
+    } else {
+        let q: Vec<u64> = q.into_iter().flatten().collect();
+        if !(q[0] <= q[1] && q[1] <= q[2] && q[2] <= q[3]) {
+            errs.push(format!("line {n}: hists[{name:?}]: quantiles not ordered ({q:?})"));
+        }
+    }
+    match h.get("buckets").and_then(Value::as_array) {
+        None => errs.push(format!("line {n}: hists[{name:?}].buckets missing or not an array")),
+        Some(buckets) => {
+            let mut total = 0u64;
+            for (i, b) in buckets.iter().enumerate() {
+                match b.as_array() {
+                    Some([idx, cnt]) if idx.as_u64().is_some() && cnt.as_u64().is_some() => {
+                        total += cnt.as_u64().unwrap();
+                    }
+                    _ => errs.push(format!(
+                        "line {n}: hists[{name:?}].buckets[{i}]: expected [index, count]"
+                    )),
+                }
+            }
+            if total != count {
+                errs.push(format!(
+                    "line {n}: hists[{name:?}]: bucket total {total} != count {count}"
+                ));
+            }
+        }
+    }
+}
+
+fn as_bool(v: &Value) -> Option<bool> {
+    match v {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}

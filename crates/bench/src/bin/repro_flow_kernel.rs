@@ -35,7 +35,7 @@ fn random_graph(nodes: u64, edges: usize, seed: u64) -> QueryProfile {
     let mut state = seed;
     let mut next = move || {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        (state >> 33) as u64
+        state >> 33
     };
     let mut b: ProfileBuilder<u64> = ProfileBuilder::new();
     for _ in 0..edges {

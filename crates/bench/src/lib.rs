@@ -62,6 +62,11 @@ pub fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> (T, f64) {
 /// `results/OBS_<bench>.json` at the end. An explicit `R2T_OBS=` env value
 /// always wins over both defaults. `--obs-pretty` additionally prints the
 /// human-readable trace.
+///
+/// The live-plane exporter also starts here when configured through the
+/// environment (`R2T_OBS_LISTEN` / `R2T_OBS_JSONL` / `R2T_OBS_INTERVAL_MS`,
+/// see [`r2t_obs::exporter::spawn_from_env`]) and is shut down — with a
+/// final snapshot flush — by [`ObsRun::finish`].
 pub fn obs_init(bench: &'static str) -> ObsRun {
     let write = std::env::args().any(|a| a == "--obs" || a == "--obs-pretty");
     let pretty = std::env::args().any(|a| a == "--obs-pretty");
@@ -73,8 +78,12 @@ pub fn obs_init(bench: &'static str) -> ObsRun {
              rerun with `--features obs` to get a populated results/OBS_{bench}.json"
         );
     }
+    let exporter = r2t_obs::exporter::spawn_from_env();
+    if let Some(addr) = exporter.as_ref().and_then(|e| e.local_addr()) {
+        println!("# obs exporter serving Prometheus text on http://{addr}/metrics");
+    }
     let _ = r2t_obs::drain(); // reset the epoch so t=0 is "after obs_init"
-    ObsRun { bench, write, pretty }
+    ObsRun { bench, write, pretty, exporter }
 }
 
 /// Token returned by [`obs_init`]; finishing it drains the registry and
@@ -84,13 +93,18 @@ pub struct ObsRun {
     bench: &'static str,
     write: bool,
     pretty: bool,
+    exporter: Option<r2t_obs::exporter::ExporterHandle>,
 }
 
 impl ObsRun {
     /// Drains the obs registry; when `--obs` was passed, writes
     /// `results/OBS_<bench>.json` (and prints the pretty trace under
-    /// `--obs-pretty`).
-    pub fn finish(self) {
+    /// `--obs-pretty`). Shuts down the env-configured exporter, if any,
+    /// flushing one final snapshot to its JSONL sink.
+    pub fn finish(mut self) {
+        if let Some(mut exporter) = self.exporter.take() {
+            exporter.shutdown();
+        }
         let report = r2t_obs::drain();
         if !self.write {
             return;

@@ -215,6 +215,17 @@ impl BudgetCell {
             ) {
                 Ok(_) => {
                     self.charges.fetch_add(n.max(1), Ordering::Relaxed);
+                    // Contention telemetry: how many CAS rounds this commit
+                    // needed. DP-safe — retries depend on thread timing, not
+                    // on any tuple value.
+                    // Record only contended commits: on the uncontended fast
+                    // path (retries == 0, the overwhelmingly common case) the
+                    // record itself would be the most expensive step of the
+                    // charge. Uncontended commits are countable as
+                    // `service.charges` minus this histogram's count.
+                    if retries > 0 {
+                        r2t_obs::hist_record("core.budget.cas_retries", retries);
+                    }
                     return Ok(CellCharge { spent_before, spent_after, retries });
                 }
                 Err(seen) => {

@@ -208,18 +208,24 @@ impl R2T {
         let nb = cfg.num_branches().max(1) as usize;
         let penalty_unit = log_gs * (log_gs / cfg.beta).ln() / cfg.epsilon;
 
-        // All attributes here are public mechanism parameters.
-        r2t_obs::event(
-            "r2t.race.start",
-            &[
-                ("branches", r2t_obs::Attr::U64(nb as u64)),
-                ("epsilon", r2t_obs::Attr::F64(cfg.epsilon)),
-                ("gs", r2t_obs::Attr::F64(cfg.gs)),
-                ("early_stop", r2t_obs::Attr::Bool(cfg.early_stop)),
-                ("parallel", r2t_obs::Attr::Bool(cfg.parallel)),
-                ("warm_sweep", r2t_obs::Attr::Bool(cfg.warm_sweep)),
-            ],
-        );
+        // All attributes here are public mechanism parameters. Per-release
+        // lifecycle events are Full-tier: at serving throughput (~1M
+        // releases/s) even a counter bump per release is measurable, and the
+        // Counters tier's aggregate view of the same information is the
+        // answer/latency histograms.
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::event(
+                "r2t.race.start",
+                &[
+                    ("branches", r2t_obs::Attr::U64(nb as u64)),
+                    ("epsilon", r2t_obs::Attr::F64(cfg.epsilon)),
+                    ("gs", r2t_obs::Attr::F64(cfg.gs)),
+                    ("early_stop", r2t_obs::Attr::Bool(cfg.early_stop)),
+                    ("parallel", r2t_obs::Attr::Bool(cfg.parallel)),
+                    ("warm_sweep", r2t_obs::Attr::Bool(cfg.warm_sweep)),
+                ],
+            );
+        }
 
         // Pre-draw all noise so early stop cannot leak through the noise
         // stream (and so with/without early stop are comparable). Only the
@@ -380,17 +386,19 @@ impl R2T {
         }
 
         let (output, winner) = pick_winner(&reports, base);
-        r2t_obs::event(
-            "r2t.race.done",
-            &[
-                // `output` is the released ε-DP answer; the winning τ is a
-                // function of the released per-branch noisy estimates — both
-                // already covered by the privacy budget.
-                ("output", r2t_obs::Attr::F64(output)),
-                ("winner_tau", r2t_obs::Attr::F64(winner.map_or(0.0, |i| reports[i].tau))),
-                ("base_won", r2t_obs::Attr::Bool(winner.is_none())),
-            ],
-        );
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::event(
+                "r2t.race.done",
+                &[
+                    // `output` is the released ε-DP answer; the winning τ is
+                    // a function of the released per-branch noisy estimates —
+                    // both already covered by the privacy budget.
+                    ("output", r2t_obs::Attr::F64(output)),
+                    ("winner_tau", r2t_obs::Attr::F64(winner.map_or(0.0, |i| reports[i].tau))),
+                    ("base_won", r2t_obs::Attr::Bool(winner.is_none())),
+                ],
+            );
+        }
         R2TReport { output, branches: reports, winner, seconds: start.elapsed().as_secs_f64() }
     }
 
@@ -421,15 +429,19 @@ impl R2T {
             values.values.len(),
         );
         let penalty_unit = log_gs * (log_gs / cfg.beta).ln() / cfg.epsilon;
-        r2t_obs::event(
-            "r2t.race.start",
-            &[
-                ("branches", r2t_obs::Attr::U64(nb as u64)),
-                ("epsilon", r2t_obs::Attr::F64(cfg.epsilon)),
-                ("gs", r2t_obs::Attr::F64(cfg.gs)),
-                ("cached", r2t_obs::Attr::Bool(true)),
-            ],
-        );
+        // Full-tier, as in `run_with`: this is the serving fast path, where
+        // per-release event bumps are a measurable throughput tax.
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::event(
+                "r2t.race.start",
+                &[
+                    ("branches", r2t_obs::Attr::U64(nb as u64)),
+                    ("epsilon", r2t_obs::Attr::F64(cfg.epsilon)),
+                    ("gs", r2t_obs::Attr::F64(cfg.gs)),
+                    ("cached", r2t_obs::Attr::Bool(true)),
+                ],
+            );
+        }
         // The exact noise stream of `run_with`: one draw per branch in
         // ascending-τ order, shifted down by the branch's own noise scale.
         let reports: Vec<BranchReport> = (1..=nb)
@@ -440,16 +452,23 @@ impl R2T {
                 BranchReport { tau, lp_value: Some(v), shifted: Some(v + shift), seconds: 0.0 }
             })
             .collect();
-        r2t_obs::counter_add("r2t.noise.draws", nb as u64);
+        // Full-tier on this path only: the cached race is the serving fast
+        // path, and its draw count is structurally `answers × branches`
+        // (every release draws every branch — early stop never skips draws).
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::counter_add("r2t.noise.draws", nb as u64);
+        }
         let (output, winner) = pick_winner(&reports, values.base);
-        r2t_obs::event(
-            "r2t.race.done",
-            &[
-                ("output", r2t_obs::Attr::F64(output)),
-                ("winner_tau", r2t_obs::Attr::F64(winner.map_or(0.0, |i| reports[i].tau))),
-                ("base_won", r2t_obs::Attr::Bool(winner.is_none())),
-            ],
-        );
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::event(
+                "r2t.race.done",
+                &[
+                    ("output", r2t_obs::Attr::F64(output)),
+                    ("winner_tau", r2t_obs::Attr::F64(winner.map_or(0.0, |i| reports[i].tau))),
+                    ("base_won", r2t_obs::Attr::Bool(winner.is_none())),
+                ],
+            );
+        }
         R2TReport { output, branches: reports, winner, seconds: start.elapsed().as_secs_f64() }
     }
 }
@@ -508,6 +527,12 @@ impl BranchValues {
 /// estimate (released, budget-covered), and the wall time — never the raw
 /// pre-noise `lp_value`, which is not DP-protected.
 fn record_branch(report: &BranchReport, warm_sweep: bool) {
+    // Full-tier only: a race is ~10 branches per release, so per-branch
+    // events on the serving fast path would cost more than the release
+    // itself. The Counters-tier aggregate is the latency histograms.
+    if !r2t_obs::enabled(r2t_obs::Level::Full) {
+        return;
+    }
     match report.shifted {
         Some(shifted) => r2t_obs::event(
             "r2t.branch.completed",

@@ -53,8 +53,14 @@ impl SweepBranchSolver for KernelWorker<'_> {
         if tau <= 0.0 {
             return self.zero;
         }
+        // Only the flow kernel is worth timing: a closed-form evaluation is
+        // a handful of arithmetic ops, cheaper than the timer itself, and a
+        // race runs ~10 of them per released answer.
         match &mut self.backend {
-            Backend::Flow(s) => s.solve(tau),
+            Backend::Flow(s) => {
+                let _solve_ns = r2t_obs::hist_time("trunc.kernel.solve.ns");
+                s.solve(tau)
+            }
             Backend::Closed(k) => k.value(tau),
         }
     }
@@ -69,8 +75,12 @@ impl SweepBranchSolver for KernelWorker<'_> {
             return Some(self.zero);
         }
         match &mut self.backend {
-            Backend::Flow(s) => s.solve_racing(tau, should_continue),
-            // The closed form is instantaneous — no point offering a cutoff.
+            Backend::Flow(s) => {
+                let _solve_ns = r2t_obs::hist_time("trunc.kernel.solve.ns");
+                s.solve_racing(tau, should_continue)
+            }
+            // The closed form is instantaneous — no point offering a cutoff
+            // (nor paying a timer; see `value`).
             Backend::Closed(k) => Some(k.value(tau)),
         }
     }

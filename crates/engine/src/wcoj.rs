@@ -681,6 +681,8 @@ impl<'q> WcojPlan<'q> {
         r2t_obs::counter_add("exec.rows.emitted", emitted as u64);
         r2t_obs::gauge_max("exec.wcoj.depth", harvest.max_depth);
         r2t_obs::gauge_max("exec.peak_bindings", nrec as u64);
+        // Per-run seek-depth distribution (the gauge only keeps the max).
+        r2t_obs::hist_record("exec.wcoj.seek.depth", harvest.max_depth);
         let stats = ExecStats {
             peak_bindings: nrec,
             interned_values: self.interner.len(),

@@ -403,11 +403,14 @@ impl<'a> SweepSession<'a> {
                 ],
             );
         }
-        let sol = self.solver.solve_raw(&raw, warm.as_ref(), Some(&mut self.ctx), |mut ev| {
-            ev.primal_objective += fixed;
-            ev.dual_bound += fixed;
-            cb(ev)
-        })?;
+        let sol = {
+            let _solve_ns = r2t_obs::hist_time("lp.solve.ns");
+            self.solver.solve_raw(&raw, warm.as_ref(), Some(&mut self.ctx), |mut ev| {
+                ev.primal_objective += fixed;
+                ev.dual_bound += fixed;
+                cb(ev)
+            })?
+        };
         if let Some(ws) = self.ctx.take_basis() {
             self.saved = Some(SavedBasis { ws, kept_vars, kept_rows });
         }

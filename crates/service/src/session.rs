@@ -256,6 +256,8 @@ impl<'db> Session<'db> {
         specs: &[QuerySpec],
         workers: usize,
     ) -> Result<Vec<Answer>, Error> {
+        let _batch_ns = r2t_obs::hist_time("service.batch.ns");
+        let _batch_span = r2t_obs::span("service.batch");
         // Prepare everything (and surface errors) before any budget moves.
         let mut jobs: Vec<(Arc<Prepared>, f64)> = Vec::with_capacity(specs.len());
         for spec in specs {
@@ -282,8 +284,15 @@ impl<'db> Session<'db> {
                 return Err(Error::Budget(e));
             }
         };
-        r2t_obs::counter_add("service.charges", n as u64);
-        r2t_obs::counter_add("service.charge.contention", charge.retries);
+        // Full-tier: on success `charges` always equals `answers` (and the
+        // answer-latency histogram's count), so the Counters tier keeps only
+        // the latter — the serving fast path has a ~100 ns telemetry budget.
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::counter_add("service.charges", n as u64);
+        }
+        if charge.retries > 0 {
+            r2t_obs::counter_add("service.charge.contention", charge.retries);
+        }
         let batch_start = self.next_substream.fetch_add(n as u64, Ordering::AcqRel);
         {
             let mut ledger = self.ledger.lock().expect("ledger poisoned");
@@ -311,6 +320,9 @@ impl<'db> Session<'db> {
             Box::new(move |i: usize| {
                 let (prepared, epsilon) = &jobs[i];
                 let spent = spent_prefix[i];
+                // Per-answer latency inside the batch, on whichever pool
+                // worker runs the job (same histogram as single answers).
+                let _answer_ns = r2t_obs::hist_time("service.answer.ns");
                 let answer = answer_charged(
                     &base,
                     seed,
@@ -324,7 +336,11 @@ impl<'db> Session<'db> {
             })
         };
         WorkerPool::global().run(n, workers.max(1), run);
-        r2t_obs::counter_add("service.answers", n as u64);
+        // Full-tier: at Counters the answer count is already exported as the
+        // latency histogram's `_count` (every answer records one sample).
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::counter_add("service.answers", n as u64);
+        }
         Ok(results.iter().map(|slot| slot.get().expect("every job answered").clone()).collect())
     }
 
@@ -337,8 +353,15 @@ impl<'db> Session<'db> {
                 return Err(Error::Budget(e));
             }
         };
-        r2t_obs::counter_add("service.charges", 1);
-        r2t_obs::counter_add("service.charge.contention", charge.retries);
+        // Full-tier: success charges equal answers (see the batch path).
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::counter_add("service.charges", 1);
+        }
+        // Uncontended charges (the fast path) skip the zero record — the
+        // counter tracks contention, not charges.
+        if charge.retries > 0 {
+            r2t_obs::counter_add("service.charge.contention", charge.retries);
+        }
         let index = self.next_substream.fetch_add(1, Ordering::AcqRel);
         self.ledger.lock().expect("ledger poisoned").push((text.to_string(), epsilon));
         Ok((index, charge.spent_after, (self.budget.total() - charge.spent_after).max(0.0)))
@@ -424,8 +447,15 @@ impl PreparedQuery<'_, '_> {
         if self.is_grouped() {
             return Err(Error::Unsupported("GROUP BY statement: use answer_grouped".to_string()));
         }
+        // End-to-end prepared-answer latency (charge + noise + max), into
+        // the live histogram; the span is 1-in-N sampled at `spans` level.
+        let _answer_ns = r2t_obs::hist_time("service.answer.ns");
+        let _answer_span = r2t_obs::span("service.answer");
         let (substream, spent, remaining) = self.session.charge_one(&self.inner.text, epsilon)?;
-        r2t_obs::counter_add("service.answers", 1);
+        // Full-tier: the histogram's count carries this at Counters.
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::counter_add("service.answers", 1);
+        }
         Ok(answer_charged(
             &self.session.base,
             self.session.seed,
@@ -449,8 +479,12 @@ impl PreparedQuery<'_, '_> {
         let PreparedKind::Grouped { groups } = &self.inner.kind else {
             return Err(Error::Unsupported("scalar statement: use answer".to_string()));
         };
+        let _answer_ns = r2t_obs::hist_time("service.answer.ns");
+        let _answer_span = r2t_obs::span("service.answer");
         let (substream, spent, remaining) = self.session.charge_one(&self.inner.text, epsilon)?;
-        r2t_obs::counter_add("service.answers", 1);
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::counter_add("service.answers", 1);
+        }
         let root = substream_rng(self.session.seed, substream).next_u64();
         let per_group = self.session.base.with_epsilon(epsilon / groups.len().max(1) as f64);
         let r2t = R2T::new(per_group);

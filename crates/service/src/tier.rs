@@ -29,7 +29,7 @@ use r2t_core::{BudgetCell, R2TConfig};
 use std::collections::HashMap;
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, RwLock, Weak};
 
 /// Number of independent directory shards. A power of two well above any
 /// realistic core count keeps the probability of two hot tenants sharing a
@@ -57,40 +57,91 @@ pub struct TenantInfo {
     pub sessions: u64,
 }
 
-/// A multi-tenant, high-QPS serving front end over one [`PrivateDatabase`].
-pub struct ServiceTier {
+/// The tier's shared state. Behind an `Arc` so the live-telemetry gauge
+/// provider (see [`ServiceTier::new`]) can hold a `Weak` reference and pull
+/// per-tenant budget state at every snapshot without tying the exporter's
+/// lifetime to the tier's.
+struct TierInner {
     db: PrivateDatabase,
     base: R2TConfig,
     stripes: Vec<RwLock<HashMap<String, Arc<Tenant>>>>,
+}
+
+impl TierInner {
+    fn stripe(&self, name: &str) -> &RwLock<HashMap<String, Arc<Tenant>>> {
+        let mut h = DefaultHasher::new();
+        name.hash(&mut h);
+        &self.stripes[(h.finish() as usize) % STRIPES]
+    }
+
+    /// Emits every tenant's ε accounting and session count into a live
+    /// snapshot. Takes only stripe read locks — the same locks a directory
+    /// lookup takes, never held across a recording call — so snapshotting
+    /// cannot deadlock against serving (register_tenant drops its write
+    /// lock before it records, and no recorder calls back into snapshots).
+    fn emit_tenant_gauges(&self, emit: &mut dyn FnMut(&'static str, &str, f64)) {
+        for stripe in &self.stripes {
+            let stripe = stripe.read().expect("tenant stripe poisoned");
+            for (name, t) in stripe.iter() {
+                emit("service.tenant.eps.quota", name, t.cell.total());
+                emit("service.tenant.eps.spent", name, t.cell.spent());
+                emit("service.tenant.eps.remaining", name, t.cell.remaining());
+                emit(
+                    "service.tenant.sessions",
+                    name,
+                    t.sessions_opened.load(Ordering::Relaxed) as f64,
+                );
+            }
+        }
+    }
+}
+
+/// A multi-tenant, high-QPS serving front end over one [`PrivateDatabase`].
+pub struct ServiceTier {
+    inner: Arc<TierInner>,
+    /// Unregisters the per-tenant gauge provider when the tier drops.
+    _gauges: r2t_obs::ProviderGuard,
 }
 
 impl ServiceTier {
     /// Builds a tier over `db`. `base` fixes the mechanism parameters for
     /// every session the tier opens (per-answer ε still overrides
     /// [`R2TConfig::epsilon`]).
+    ///
+    /// Construction registers a pull-gauge provider with the live telemetry
+    /// plane: every [`r2t_obs::snapshot`] carries each tenant's quota,
+    /// spent, and remaining ε plus its session count, labelled by tenant
+    /// name. ε budgets and their consumption are deployment-public operator
+    /// state (released quantities by definition), and tenant names are
+    /// operator-chosen identifiers — never tuple data.
     pub fn new(db: PrivateDatabase, base: R2TConfig) -> Self {
-        ServiceTier {
+        let inner = Arc::new(TierInner {
             db,
             base,
             stripes: (0..STRIPES).map(|_| RwLock::new(HashMap::new())).collect(),
-        }
+        });
+        let weak: Weak<TierInner> = Arc::downgrade(&inner);
+        let _gauges = r2t_obs::register_gauge_provider(Box::new(move |emit| {
+            if let Some(tier) = weak.upgrade() {
+                tier.emit_tenant_gauges(emit);
+            }
+        }));
+        ServiceTier { inner, _gauges }
     }
 
     /// The fronted database (e.g. for [`PrivateDatabase::reload`] — already
     /// admitted sessions keep their pinned snapshot).
     pub fn db(&self) -> &PrivateDatabase {
-        &self.db
+        &self.inner.db
     }
 
     /// The tier's base mechanism configuration.
     pub fn base_config(&self) -> &R2TConfig {
-        &self.base
+        &self.inner.base
     }
 
     fn stripe(&self, name: &str) -> &RwLock<HashMap<String, Arc<Tenant>>> {
-        let mut h = DefaultHasher::new();
-        name.hash(&mut h);
-        &self.stripes[(h.finish() as usize) % STRIPES]
+        self.inner.stripe(name)
     }
 
     /// Registers a tenant with a total ε quota. Every session the tenant
@@ -122,7 +173,7 @@ impl ServiceTier {
 
     /// Number of registered tenants.
     pub fn tenants(&self) -> usize {
-        self.stripes.iter().map(|s| s.read().expect("tenant stripe poisoned").len()).sum()
+        self.inner.stripes.iter().map(|s| s.read().expect("tenant stripe poisoned").len()).sum()
     }
 
     /// The tenant's current accounting, or `None` if unknown.
@@ -141,7 +192,8 @@ impl ServiceTier {
     /// whenever the per-charge ε values sum exactly in f64, e.g. equal
     /// powers of two).
     pub fn total_spent(&self) -> f64 {
-        self.stripes
+        self.inner
+            .stripes
             .iter()
             .map(|s| {
                 s.read()
@@ -168,12 +220,17 @@ impl ServiceTier {
             let stripe = self.stripe(tenant).read().expect("tenant stripe poisoned");
             match stripe.get(tenant) {
                 None => {
+                    // Refusals are counted in aggregate AND split by kind,
+                    // so dashboards separate misconfiguration (unknown)
+                    // from budget exhaustion.
                     r2t_obs::counter_add("service.refusals.admission", 1);
+                    r2t_obs::counter_add("service.refusals.admission.unknown", 1);
                     return Err(Error::Admission(format!("unknown tenant {tenant:?}")));
                 }
                 Some(t) => {
                     if t.cell.remaining() <= 0.0 {
                         r2t_obs::counter_add("service.refusals.admission", 1);
+                        r2t_obs::counter_add("service.refusals.admission.exhausted", 1);
                         return Err(Error::Admission(format!(
                             "tenant {tenant:?} has exhausted its quota ({} of {} spent)",
                             t.cell.spent(),
@@ -186,6 +243,6 @@ impl ServiceTier {
             }
         };
         r2t_obs::counter_add("service.admissions", 1);
-        Ok(Session::new(&self.db, cell, self.base.clone(), seed))
+        Ok(Session::new(&self.inner.db, cell, self.inner.base.clone(), seed))
     }
 }

@@ -4,6 +4,13 @@
 //! database without disturbing sessions already in flight.
 //!
 //! Run with: `cargo run --release --example tenants`
+//!
+//! With the `obs` feature the example doubles as the monitoring quickstart:
+//! `R2T_OBS=counters R2T_OBS_LISTEN=127.0.0.1:0` starts the snapshot
+//! exporter (the chosen port is printed), and `R2T_OBS_HOLD_SECS=n` keeps
+//! the process alive for `n` seconds after the walkthrough so an external
+//! scraper — CI, or `curl http://<addr>/metrics` — can pull the per-tenant
+//! ε gauges and serving histograms this run produced.
 
 use r2t::core::R2TConfig;
 use r2t::system::{PrivateDatabase, ServiceTier};
@@ -11,6 +18,10 @@ use r2t::system::{PrivateDatabase, ServiceTier};
 const ORDERS: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
 
 fn main() -> Result<(), r2t::Error> {
+    let mut exporter = r2t::obs::exporter::spawn_from_env();
+    if let Some(addr) = exporter.as_ref().and_then(|e| e.local_addr()) {
+        println!("obs exporter serving Prometheus text on http://{addr}/metrics\n");
+    }
     let schema = r2t::tpch::tpch_schema(&["customer"]);
     let db = PrivateDatabase::new(schema, r2t::tpch::generate(0.2, 0.3, 42))?;
     let tier = ServiceTier::new(db, R2TConfig::new(1.0, 0.1, 4096.0));
@@ -84,5 +95,17 @@ fn main() -> Result<(), r2t::Error> {
         before.noisy, after.noisy
     );
     println!("while a fresh session pins v{}.", fresh.snapshot().version());
+
+    // Hold for scrapers: keep the tier (and its gauge provider) alive while
+    // the exporter serves the metrics this walkthrough generated.
+    let hold =
+        std::env::var("R2T_OBS_HOLD_SECS").ok().and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
+    if hold > 0 {
+        println!("\nholding {hold}s for metric scrapes...");
+        std::thread::sleep(std::time::Duration::from_secs(hold));
+    }
+    if let Some(e) = exporter.as_mut() {
+        e.shutdown();
+    }
     Ok(())
 }

@@ -118,6 +118,91 @@ fn grouped_executor_is_bit_identical_under_instrumentation() {
     assert_eq!(run(Level::Off), run(Level::Full), "grouped profiles changed");
 }
 
+/// The *live* plane under full load: serving-tier answers with histograms
+/// recording and the background exporter running (JSONL + TCP scrapes
+/// mid-run) must release answers bit-identical to a completely
+/// uninstrumented run. The exporter only reads atomics — it can never touch
+/// a noise stream or a budget commit.
+#[test]
+fn serving_with_exporter_and_histograms_is_bit_identical() {
+    use r2t::core::R2TConfig;
+    use r2t::system::{PrivateDatabase, QuerySpec, ServiceTier};
+
+    const SQL: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
+
+    // One serving pass: register tenants, answer singles and a batch, and
+    // return every released bit pattern in a deterministic order.
+    let serve = || -> Vec<u64> {
+        let schema = r2t::tpch::tpch_schema(&["customer"]);
+        let db = PrivateDatabase::new(schema, generate(0.08, 0.3, 77)).expect("db");
+        let tier = ServiceTier::new(db, R2TConfig::new(1.0, 0.1, 4096.0));
+        tier.register_tenant("alpha", 2.0).expect("register");
+        let session = tier.open_session("alpha", 4242).expect("admit");
+        let prepared = session.prepare(SQL).expect("prepare");
+        let mut bits = Vec::new();
+        for _ in 0..8 {
+            bits.push(prepared.answer(0.05).expect("answer").noisy.to_bits());
+        }
+        let specs: Vec<QuerySpec> = (0..8).map(|_| QuerySpec::new(SQL, 0.05)).collect();
+        for a in session.answer_all_with(&specs, 4).expect("batch") {
+            bits.push(a.noisy.to_bits());
+        }
+        bits
+    };
+
+    let baseline = at_level(Level::Off, serve);
+
+    let instrumented = at_level(Level::Full, || {
+        let jsonl =
+            std::env::temp_dir().join(format!("r2t_obs_differential_{}.jsonl", std::process::id()));
+        let mut exporter = r2t::obs::exporter::spawn(r2t::obs::exporter::ExporterConfig {
+            interval: std::time::Duration::from_millis(5),
+            jsonl_path: Some(jsonl.clone()),
+            listen: Some("127.0.0.1:0".parse().expect("loopback")),
+        })
+        .expect("exporter spawns");
+        let addr = exporter.local_addr().expect("bound");
+
+        // Scrape concurrently while the serving pass runs, so the exporter
+        // is provably *active* during answering, not just configured.
+        let stop = std::sync::atomic::AtomicBool::new(false);
+        let bits = std::thread::scope(|scope| {
+            let scraper = scope.spawn(|| {
+                use std::io::{Read, Write};
+                let mut scrapes = 0u32;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let mut conn = std::net::TcpStream::connect(addr).expect("connect");
+                    conn.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").expect("request");
+                    let mut body = String::new();
+                    conn.read_to_string(&mut body).expect("scrape");
+                    assert!(body.starts_with("HTTP/1.0 200 OK"), "{body:.40}");
+                    scrapes += 1;
+                }
+                scrapes
+            });
+            let bits = serve();
+            stop.store(true, std::sync::atomic::Ordering::Relaxed);
+            assert!(scraper.join().expect("scraper") >= 1, "endpoint scraped mid-run");
+            bits
+        });
+
+        // Histogram activity must actually have happened on the live plane.
+        if r2t::obs::COMPILED {
+            let snap = r2t::obs::snapshot();
+            let h = snap.hists.get("service.answer.ns").expect("answer latency histogram");
+            assert!(h.count >= 16, "every answer recorded a latency sample");
+        }
+        exporter.shutdown();
+        let _ = std::fs::remove_file(&jsonl);
+        bits
+    });
+
+    assert_eq!(
+        baseline, instrumented,
+        "exporter/histogram activity perturbed a released answer bit"
+    );
+}
+
 #[test]
 fn full_instrumentation_records_race_and_exec_telemetry() {
     if !r2t::obs::COMPILED {
