@@ -1,0 +1,325 @@
+//! Measures the typed write path: a small `WriteBatch` applied through
+//! `PrivateDatabase::apply` — integrity check in O(batch), delta-join
+//! propagation into the prepared-statement cache, branch-value refresh —
+//! against the full replace-and-re-prepare the pre-incremental system paid
+//! for the same logical change. Records `results/BENCH_incremental.json`.
+//!
+//! Both sides end in the same serving state (a new snapshot whose cached
+//! entry answers the workload), so the ratio isolates what incrementality
+//! saves: revalidating O(delta) instead of re-deriving O(data).
+//!
+//! The bench asserts bit-identity before it times anything: the patched
+//! lineage profile must equal a from-scratch `exec::profile` of the mutated
+//! instance, and sessions on the patched database must answer bitwise
+//! exactly like sessions on a twin database built from the mutated instance
+//! directly — for a scalar and a grouped statement, with a mixed
+//! insert + delete batch.
+//!
+//! Honours `R2T_REPS` (default 5), `R2T_SCALE` (default 1.0) and
+//! `R2T_INCR_MIN_SPEEDUP` (the speedup floor enforced at the 1% delta
+//! point, default 10; CI smoke on shared runners relaxes it).
+
+use r2t_bench::{mean, obs_init, p95, reps, scale, timed};
+use r2t_core::R2TConfig;
+use r2t_engine::{exec, IncrementalView, Instance, Schema, Value, WriteBatch};
+use r2t_service::{PrivateDatabase, SessionOptions};
+use r2t_sql::parse_statement;
+use std::fmt::Write as _;
+
+const ORDERS_SQL: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
+const CHEAP_ITEMS_SQL: &str = "SELECT COUNT(*) FROM orders, lineitem \
+                               WHERE lineitem.l_ok = orders.ok AND lineitem.quantity < 3";
+
+/// Fresh primary keys for inserted orders start here: far above anything the
+/// generator assigns, so every batch is collision-free by construction.
+const KEY_BASE: i64 = 1 << 40;
+
+/// The fully deterministic race mode (sequential, no early stop): prepared
+/// answers are bit-identical replays, so two databases in the same logical
+/// state must produce identical bits on the same seed.
+fn aligned_cfg() -> R2TConfig {
+    R2TConfig::builder(1.0, 0.1, 4096.0).early_stop(false).parallel(false).build()
+}
+
+fn opts(seed: u64) -> SessionOptions {
+    SessionOptions::new().total_epsilon(1e9).base(aligned_cfg()).seed(seed)
+}
+
+/// An FK-valid growth batch: `n_orders` new orders for existing customers,
+/// each with two lineitems (one cheap, one bulky — so both workloads see the
+/// delta). Primary keys are fresh from `key_base` upward.
+fn grow_batch(base: &Instance, n_orders: usize, key_base: i64) -> WriteBatch {
+    let customers = base.rows("customer");
+    let part = base.rows("part")[0][0].clone();
+    let supplier = base.rows("supplier")[0][0].clone();
+    let mut batch = WriteBatch::new();
+    for i in 0..n_orders {
+        let ok = key_base + i as i64;
+        let ck = customers[i % customers.len()][0].clone();
+        batch.insert("orders", vec![Value::Int(ok), ck, Value::Int(7)]);
+        for quantity in [1i64, 40] {
+            batch.insert(
+                "lineitem",
+                vec![
+                    Value::Int(ok),
+                    part.clone(),
+                    supplier.clone(),
+                    Value::Int(quantity),
+                    Value::Float(quantity as f64 * 10.0),
+                    Value::Float(0.05),
+                    Value::Int(30),
+                    Value::Int(60),
+                    Value::Int(45),
+                    Value::str("AIR"),
+                    Value::str("N"),
+                ],
+            );
+        }
+    }
+    batch
+}
+
+/// The correctness gate, checked before any timing: a mixed insert + delete
+/// batch must leave (a) the engine's delta-maintained view equal to a
+/// from-scratch profile of the mutated instance and (b) the service
+/// answering bitwise like a twin database built from that instance.
+fn assert_bit_identity(schema: &Schema, base: &Instance, sql: &str) {
+    let mut batch = grow_batch(base, 8, KEY_BASE);
+    batch.delete_all("lineitem", base.rows("lineitem").iter().take(4).cloned());
+
+    let lowered = parse_statement(sql, schema).expect("parse");
+    let resolved = batch.clone().resolve(schema, base).expect("resolve");
+    let next = resolved.apply_to(base);
+
+    // Engine level: patched lineage == rebuilt lineage, structurally.
+    let mut view = IncrementalView::new(schema, base, &lowered.query, None)
+        .expect("view builds")
+        .expect("acyclic plan");
+    view.apply(resolved.deltas()).expect("delta applies");
+    let patched = view.profile().expect("patched profile");
+    let rebuilt = exec::profile(schema, &next, &lowered.query).expect("rebuilt profile");
+    assert_eq!(patched, rebuilt, "patched profile diverged from a from-scratch rebuild");
+
+    // Service level: answers after `apply` are bitwise those of a twin.
+    let db = PrivateDatabase::new(schema.clone(), base.clone()).expect("valid instance");
+    let warm = db.session(opts(31)).expect("session opens");
+    warm.prepare(sql).expect("prepare"); // the entry `apply` must revalidate
+    db.apply(batch).expect("apply");
+    let twin = PrivateDatabase::new(schema.clone(), next).expect("valid instance");
+    let exact = db.query_exact(sql).expect("exact");
+    let twin_exact = twin.query_exact(sql).expect("twin exact");
+    assert_eq!(exact.to_bits(), twin_exact.to_bits(), "exact counts diverged");
+    let sa = db.session(opts(97)).expect("session opens");
+    let sb = twin.session(opts(97)).expect("session opens");
+    let a = sa.answer(sql, 0.5).expect("patched answer");
+    let b = sb.answer(sql, 0.5).expect("twin answer");
+    assert_eq!(
+        a.noisy.to_bits(),
+        b.noisy.to_bits(),
+        "patched database diverged from twin on {sql}: {} vs {}",
+        a.noisy,
+        b.noisy
+    );
+}
+
+/// Grouped coverage of the same gate, at the service level.
+fn assert_bit_identity_grouped(schema: &Schema, base: &Instance) {
+    let sql = format!("{ORDERS_SQL} GROUP BY customer.mktsegment");
+    let batch = grow_batch(base, 8, KEY_BASE);
+    let next = batch.clone().resolve(schema, base).expect("resolve").apply_to(base);
+
+    let db = PrivateDatabase::new(schema.clone(), base.clone()).expect("valid instance");
+    let warm = db.session(opts(31)).expect("session opens");
+    warm.prepare(&sql).expect("prepare");
+    db.apply(batch).expect("apply");
+    let twin = PrivateDatabase::new(schema.clone(), next).expect("valid instance");
+    let sa = db.session(opts(98)).expect("session opens");
+    let sb = twin.session(opts(98)).expect("session opens");
+    let a = sa.prepare(&sql).expect("prepare").answer_grouped(0.5).expect("patched");
+    let b = sb.prepare(&sql).expect("prepare").answer_grouped(0.5).expect("twin");
+    assert_eq!(a.groups.len(), b.groups.len());
+    for ((ka, va), (kb, vb)) in a.groups.iter().zip(&b.groups) {
+        assert_eq!(ka, kb, "group keys diverged");
+        assert_eq!(va.to_bits(), vb.to_bits(), "group {ka:?} diverged: {va} vs {vb}");
+    }
+}
+
+struct Point {
+    frac: f64,
+    delta_rows: usize,
+    apply_mean: f64,
+    apply_p95: f64,
+    replace_mean: f64,
+    replace_p95: f64,
+    speedup: f64,
+}
+
+/// Times one workload across delta sizes. Both databases start from `base`
+/// with the statement prepared; each repetition stages the same logical
+/// growth batch on both sides, applying it as a delta on one and as a full
+/// replace + cold re-prepare on the other.
+fn run_workload(
+    name: &str,
+    schema: &Schema,
+    base: &Instance,
+    sql: &str,
+    reps: usize,
+    fracs: &[f64],
+    min_speedup: f64,
+) -> (String, Vec<Point>) {
+    let mut points = Vec::new();
+    for &frac in fracs {
+        // Each batch row triple (one order, two lineitems) counts 3 tuples.
+        let n_orders = ((frac * base.total_tuples() as f64 / 3.0) as usize).max(1);
+        let delta_rows = 3 * n_orders;
+
+        let db_incr = PrivateDatabase::new(schema.clone(), base.clone()).expect("valid instance");
+        let s = db_incr.session(opts(1)).expect("session opens");
+        s.prepare(sql).expect("prepare");
+        let db_repl = PrivateDatabase::new(schema.clone(), base.clone()).expect("valid instance");
+        let s = db_repl.session(opts(1)).expect("session opens");
+        s.prepare(sql).expect("prepare");
+
+        // Shadow of the evolving logical state, for the replace side's next
+        // instance. Built outside the timers on both sides: the measured
+        // sections are what the serving process itself pays.
+        let mut shadow = base.clone();
+
+        // One warm-up delta outside the timers: the first apply on a fresh
+        // database additionally builds the FK integrity index — an O(data)
+        // cost paid once per database lifetime and amortized across every
+        // later write, not a per-write cost this bench is after. The same
+        // state lands on the replace side so the two chains stay aligned.
+        let warm = grow_batch(base, 1, KEY_BASE - 16);
+        warm.clone().resolve(schema, &shadow).expect("resolve").apply_mut(&mut shadow);
+        db_incr.apply(warm).expect("warm-up delta applies");
+        db_repl.apply(WriteBatch::replace(shadow.clone())).expect("warm-up replace applies");
+        let mut apply_times = Vec::with_capacity(reps);
+        let mut replace_times = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let batch = grow_batch(base, n_orders, KEY_BASE + (rep * n_orders) as i64 * 4);
+            let staged = batch.clone().resolve(schema, &shadow).expect("resolve");
+            staged.apply_mut(&mut shadow);
+            let next = shadow.clone();
+
+            let (_, apply_s) =
+                timed("bench.apply", || db_incr.apply(batch).expect("delta applies"));
+            apply_times.push(apply_s);
+
+            let (_, replace_s) = timed("bench.replace", || {
+                db_repl.apply(WriteBatch::replace(next)).expect("replace applies");
+                let s = db_repl.session(opts(2)).expect("session opens");
+                s.prepare(sql).expect("cold re-prepare");
+            });
+            replace_times.push(replace_s);
+        }
+
+        // Same logical state on both sides: the delta chain and the replace
+        // chain must have converged to identical exact counts.
+        let a = db_incr.query_exact(sql).expect("exact");
+        let b = db_repl.query_exact(sql).expect("exact");
+        assert_eq!(a.to_bits(), b.to_bits(), "{name}: delta and replace chains diverged");
+
+        let apply_mean = mean(&apply_times);
+        let replace_mean = mean(&replace_times);
+        let speedup = replace_mean / apply_mean.max(1e-12);
+        println!(
+            "{name:<22} frac={frac:<6} delta={delta_rows:>7} rows  \
+             apply={:>9.1}us  replace={:>9.1}us  speedup={speedup:>7.1}x",
+            apply_mean * 1e6,
+            replace_mean * 1e6,
+        );
+        if (frac - 0.01).abs() < 1e-12 {
+            assert!(
+                speedup >= min_speedup,
+                "{name}: a 1% delta must apply >= {min_speedup}x faster than a full \
+                 re-prepare (apply {apply_mean:.6}s vs replace {replace_mean:.6}s = \
+                 {speedup:.1}x)"
+            );
+        }
+        points.push(Point {
+            frac,
+            delta_rows,
+            apply_mean,
+            apply_p95: p95(&apply_times),
+            replace_mean,
+            replace_p95: p95(&replace_times),
+            speedup,
+        });
+    }
+
+    let rows: Vec<String> = points
+        .iter()
+        .map(|p| {
+            format!(
+                "        {{\"delta_frac\": {}, \"delta_rows\": {}, \"apply_mean_s\": {:.9}, \
+                 \"apply_p95_s\": {:.9}, \"replace_mean_s\": {:.9}, \"replace_p95_s\": {:.9}, \
+                 \"speedup\": {:.1}}}",
+                p.frac,
+                p.delta_rows,
+                p.apply_mean,
+                p.apply_p95,
+                p.replace_mean,
+                p.replace_p95,
+                p.speedup
+            )
+        })
+        .collect();
+    let mut json = String::new();
+    write!(
+        json,
+        "    {{\n      \"name\": \"{name}\",\n      \"base_rows\": {},\n      \
+         \"bitwise_identical\": true,\n      \"points\": [\n{}\n      ]\n    }}",
+        base.total_tuples(),
+        rows.join(",\n")
+    )
+    .unwrap();
+    (json, points)
+}
+
+fn main() {
+    let obs = obs_init("incremental");
+    let reps = reps();
+    let min_speedup: f64 =
+        std::env::var("R2T_INCR_MIN_SPEEDUP").ok().and_then(|v| v.parse().ok()).unwrap_or(10.0);
+    println!(
+        "# BENCH incremental — delta apply vs full replace + re-prepare \
+         (reps = {reps}, gate = {min_speedup}x at 1%)\n"
+    );
+
+    let schema = r2t_tpch::tpch_schema(&["customer"]);
+    let base = r2t_tpch::generate(0.3 * scale(), 0.3, 0xC0FFEE);
+    println!("base instance: {} tuples\n", base.total_tuples());
+
+    // Correctness before speed: bit-identity of the patched state.
+    assert_bit_identity(&schema, &base, ORDERS_SQL);
+    assert_bit_identity(&schema, &base, CHEAP_ITEMS_SQL);
+    assert_bit_identity_grouped(&schema, &base);
+    println!("bit-identity: patched profile == rebuild; patched answers == twin (ok)\n");
+
+    let fracs = [0.001, 0.01, 0.1];
+    let workloads = [
+        run_workload("orders_per_customer", &schema, &base, ORDERS_SQL, reps, &fracs, min_speedup),
+        run_workload(
+            "cheap_items_per_order",
+            &schema,
+            &base,
+            CHEAP_ITEMS_SQL,
+            reps,
+            &fracs,
+            min_speedup,
+        ),
+    ];
+
+    let body: Vec<&str> = workloads.iter().map(|(json, _)| json.as_str()).collect();
+    let json = format!(
+        "{{\n  \"bench\": \"incremental\",\n  \"reps\": {reps},\n  \"scale\": {},\n  \
+         \"min_speedup_at_1pct\": {min_speedup},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        scale(),
+        body.join(",\n")
+    );
+    std::fs::create_dir_all("results").expect("results dir");
+    std::fs::write("results/BENCH_incremental.json", &json).expect("write BENCH_incremental.json");
+    println!("\nwrote results/BENCH_incremental.json");
+    obs.finish();
+}

@@ -18,7 +18,7 @@
 use r2t_bench::{mean, obs_init, p95, reps, timed};
 use r2t_core::{R2TConfig, R2T};
 use r2t_engine::{exec, Instance, Schema};
-use r2t_service::{substream_rng, PrivateDatabase, QuerySpec};
+use r2t_service::{substream_rng, PrivateDatabase, QuerySpec, SessionOptions};
 use r2t_sql::parse_statement;
 use std::fmt::Write as _;
 
@@ -74,7 +74,9 @@ fn run_workload(
     // values. A fresh session's charges get ledger indices 0, 1, 2, ... and
     // each index pins the noise substream, so a cold run on the same
     // substream must reproduce the prepared answer bit for bit.
-    let session = db.open_session(1e9, aligned_cfg(), seed);
+    let session = db
+        .session(SessionOptions::new().total_epsilon(1e9).base(aligned_cfg()).seed(seed))
+        .expect("session opens");
     let prepared = session.prepare(sql).expect("prepare");
     for i in 0..4u64 {
         let warm = prepared.answer(eps).expect("prepared answer");
@@ -90,7 +92,9 @@ fn run_workload(
 
     // One-time preparation cost on a fresh session (parse + lineage +
     // presolve + branch values), then the timed phases reuse that session.
-    let session = db.open_session(1e9, aligned_cfg(), seed ^ 1);
+    let session = db
+        .session(SessionOptions::new().total_epsilon(1e9).base(aligned_cfg()).seed(seed ^ 1))
+        .expect("session opens");
     let (prepared, prepare_s) = timed("bench.prepare", || session.prepare(sql).expect("prepare"));
 
     let warm_block = || {
@@ -178,7 +182,9 @@ fn run_batch(db: &PrivateDatabase, reps: usize) -> String {
     for &workers in &[1usize, 2, 4, 8] {
         let mut times = Vec::with_capacity(reps);
         for _ in 0..reps {
-            let session = db.open_session(1e9, aligned_cfg(), 0xBA7C4);
+            let session = db
+                .session(SessionOptions::new().total_epsilon(1e9).base(aligned_cfg()).seed(0xBA7C4))
+                .expect("session opens");
             // Prepare both texts up front so the timed section is pure
             // serving: charge + noise draws fanned across `workers` threads.
             session.prepare(ORDERS_SQL).expect("prepare");

@@ -32,7 +32,7 @@
 
 use r2t_bench::{obs_init, timed};
 use r2t_core::R2TConfig;
-use r2t_service::{PrivateDatabase, ServiceTier, Session};
+use r2t_service::{PrivateDatabase, ServiceTier, Session, SessionOptions};
 use std::fmt::Write as _;
 
 const SQL: &str = "SELECT COUNT(*) FROM orders, lineitem WHERE lineitem.l_ok = orders.ok";
@@ -144,7 +144,12 @@ fn main() {
     let ((off_sessions, on_sessions), prepare_s) = timed("bench.prepare_all", || {
         let open_set = |prefix: &str| -> Vec<Session<'_>> {
             (0..tenants)
-                .map(|t| tier.open_session(&format!("{prefix}-{t}"), t as u64).expect("admitted"))
+                .map(|t| {
+                    tier.session(
+                        SessionOptions::new().tenant(format!("{prefix}-{t}")).seed(t as u64),
+                    )
+                    .expect("admitted")
+                })
                 .collect()
         };
         let off = open_set("off");
@@ -159,7 +164,10 @@ fn main() {
     // Untimed warmup: spin up the worker pool, fault in the shared cache,
     // and let the allocator settle so the first timed phase isn't penalized.
     let warm_sessions: Vec<Session<'_>> = (0..client_threads)
-        .map(|w| tier.open_session(&format!("warm-{w}"), 0xAAAA + w as u64).expect("admitted"))
+        .map(|w| {
+            tier.session(SessionOptions::new().tenant(format!("warm-{w}")).seed(0xAAAA + w as u64))
+                .expect("admitted")
+        })
         .collect();
     serve(&warm_sessions, warm_answers, client_threads);
 
@@ -256,7 +264,10 @@ fn main() {
     // Replay each tenant on a fresh session over the same snapshot, same
     // seed, single-threaded. Substream index i must give the same bits.
     for (t, vals) in noisy_on.iter().enumerate() {
-        let oracle = tier.db().open_session(quota, aligned_cfg(), t as u64);
+        let oracle = tier
+            .db()
+            .session(SessionOptions::new().total_epsilon(quota).base(aligned_cfg()).seed(t as u64))
+            .expect("session opens");
         let q = oracle.prepare(SQL).expect("prepare");
         for (i, v) in vals.iter().enumerate() {
             let o = q.answer(EPS).expect("oracle answer");
@@ -317,7 +328,7 @@ fn main() {
     // answers as a set (refusals must not consume indices or RNG draws).
     let probe_quota = EPS * answers as f64;
     tier.register_tenant("probe", probe_quota).expect("register probe");
-    let probe = tier.open_session("probe", 0xBEEF).expect("admitted");
+    let probe = tier.session(SessionOptions::new().tenant("probe").seed(0xBEEF)).expect("admitted");
     probe.prepare(SQL).expect("prepare");
     let (successes, refusals) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..2)
@@ -350,7 +361,10 @@ fn main() {
     assert_eq!(refusals, answers, "the other half is refused");
     let probe_info = tier.tenant("probe").expect("registered");
     assert_eq!(probe_info.spent.to_bits(), probe_quota.to_bits());
-    let oracle = tier.db().open_session(probe_quota, aligned_cfg(), 0xBEEF);
+    let oracle = tier
+        .db()
+        .session(SessionOptions::new().total_epsilon(probe_quota).base(aligned_cfg()).seed(0xBEEF))
+        .expect("session opens");
     let q = oracle.prepare(SQL).expect("prepare");
     let mut expected: Vec<u64> =
         (0..answers).map(|_| q.answer(EPS).expect("oracle").noisy.to_bits()).collect();

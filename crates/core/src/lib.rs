@@ -20,6 +20,7 @@
 
 pub mod accountant;
 pub mod baselines;
+pub mod branch_patch;
 pub mod groupby;
 pub mod mechanism;
 pub mod noise;
@@ -27,6 +28,7 @@ pub mod r2t;
 pub mod truncation;
 
 pub use accountant::{Accountant, BudgetCell, BudgetExceeded, CellCharge};
+pub use branch_patch::BranchPatcher;
 pub use mechanism::Mechanism;
 pub use r2t::{BranchValues, R2TConfig, R2TConfigBuilder, R2TReport, R2T};
 pub use r2t_engine::QueryProfile;

@@ -518,8 +518,24 @@ impl BranchValues {
     /// the way [`R2T::run_profile`] picks it, honouring the config's grid
     /// depth, warm-sweep setting, and cutoff cadence.
     pub fn for_profile(profile: &QueryProfile, cfg: &R2TConfig) -> Self {
-        let trunc = truncation::for_profile_with(profile, cfg.event_every);
-        Self::compute(trunc.as_ref(), cfg.num_branches(), cfg.warm_sweep)
+        Self::for_profile_grid(profile, cfg.num_branches(), cfg.warm_sweep, cfg.event_every)
+    }
+
+    /// [`Self::for_profile`] with the grid parameters spelled out instead of
+    /// taken from an [`R2TConfig`]. The computation is deterministic in
+    /// `(profile, branches, warm_sweep)`: recomputing over a profile that
+    /// compares equal yields bitwise-equal values, which is what lets a
+    /// prepared-query cache revalidate entries after a data mutation — an
+    /// incrementally patched profile that matches the from-scratch rebuild
+    /// reproduces exactly the branch values a rebuild would have produced.
+    pub fn for_profile_grid(
+        profile: &QueryProfile,
+        branches: u32,
+        warm_sweep: bool,
+        event_every: usize,
+    ) -> Self {
+        let trunc = truncation::for_profile_with(profile, event_every);
+        Self::compute(trunc.as_ref(), branches, warm_sweep)
     }
 }
 

@@ -3,8 +3,11 @@
 //! Values are parsed as `Int` when they look like integers, `Float` when
 //! they parse as floats, and strings otherwise. Quoting follows RFC 4180
 //! (double quotes, doubled to escape). This is how external datasets are
-//! imported into the engine without a database server.
+//! imported into the engine without a database server. Import produces a
+//! [`WriteBatch`] ([`csv_batch`]) so CSV data flows through the same typed,
+//! schema-validated mutation surface as every other write.
 
+use crate::delta::WriteBatch;
 use crate::instance::Instance;
 use crate::schema::Schema;
 use crate::value::Value;
@@ -52,17 +55,19 @@ pub fn parse_value(field: &str) -> Value {
     Value::str(t)
 }
 
-/// Loads CSV rows into `relation` of `instance`. The file's column count
-/// must match the relation's arity; a `header` row is skipped when `true`.
-pub fn load_csv<R: Read>(
-    instance: &mut Instance,
+/// Reads CSV rows for `relation` into an insert-only [`WriteBatch`]. The
+/// file's column count must match the relation's arity; a `header` row is
+/// skipped when `true`. Apply the batch through the owning database (or
+/// [`WriteBatch::resolve`] + [`crate::delta::ResolvedWrite::apply_mut`]) to
+/// get integrity checking and incremental view propagation.
+pub fn csv_batch<R: Read>(
     schema: &Schema,
     relation: &str,
     reader: R,
     header: bool,
-) -> Result<usize, EngineError> {
+) -> Result<WriteBatch, EngineError> {
     let rel = schema.relation(relation)?;
-    let mut n = 0usize;
+    let mut batch = WriteBatch::new();
     for (idx, line) in BufReader::new(reader).lines().enumerate() {
         let line = line.map_err(|e| EngineError::MalformedQuery(e.to_string()))?;
         if line.trim().is_empty() || (header && idx == 0) {
@@ -76,9 +81,27 @@ pub fn load_csv<R: Read>(
                 got: fields.len(),
             });
         }
-        instance.insert(relation, fields.iter().map(|f| parse_value(f)).collect());
-        n += 1;
+        batch.insert(relation, fields.iter().map(|f| parse_value(f)).collect());
     }
+    Ok(batch)
+}
+
+/// Loads CSV rows into `relation` of `instance`, returning how many were
+/// inserted.
+#[deprecated(note = "build a WriteBatch with csv_batch and apply it through \
+                     the database write path")]
+pub fn load_csv<R: Read>(
+    instance: &mut Instance,
+    schema: &Schema,
+    relation: &str,
+    reader: R,
+    header: bool,
+) -> Result<usize, EngineError> {
+    let batch = csv_batch(schema, relation, reader, header)?;
+    // Insert-only batches never look at existing rows while resolving.
+    let resolved = batch.resolve(schema, instance)?;
+    let n = resolved.deltas().iter().map(|d| d.inserts().len()).sum();
+    resolved.apply_mut(instance);
     Ok(n)
 }
 
@@ -88,6 +111,27 @@ mod tests {
     use crate::schema::graph_schema_node_dp;
 
     #[test]
+    fn batch_loads_typed_values() {
+        let schema = graph_schema_node_dp();
+        let batch =
+            csv_batch(&schema, "Edge", "src,dst\n1,2\n2,3\n".as_bytes(), true).expect("parses");
+        let inst =
+            batch.resolve(&schema, &Instance::new()).expect("resolves").apply_to(&Instance::new());
+        assert_eq!(inst.rows("Edge").len(), 2);
+        assert_eq!(inst.rows("Edge")[0], vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn batch_rejects_unknown_relation() {
+        let schema = graph_schema_node_dp();
+        assert!(matches!(
+            csv_batch(&schema, "Nope", "1\n".as_bytes(), false),
+            Err(EngineError::UnknownRelation(r)) if r == "Nope"
+        ));
+    }
+
+    #[test]
+    #[allow(deprecated)]
     fn loads_typed_values() {
         let schema = graph_schema_node_dp();
         let mut inst = Instance::new();
@@ -111,12 +155,12 @@ mod tests {
     #[test]
     fn arity_mismatch_rejected() {
         let schema = graph_schema_node_dp();
-        let mut inst = Instance::new();
-        let r = load_csv(&mut inst, &schema, "Edge", "1,2,3\n".as_bytes(), false);
+        let r = csv_batch(&schema, "Edge", "1,2,3\n".as_bytes(), false);
         assert!(matches!(r, Err(EngineError::ArityMismatch { .. })));
     }
 
     #[test]
+    #[allow(deprecated)]
     fn blank_lines_skipped() {
         let schema = graph_schema_node_dp();
         let mut inst = Instance::new();

@@ -18,15 +18,46 @@ impl Instance {
         Instance::default()
     }
 
-    /// Inserts a tuple into `relation` (no validation; call
-    /// [`Instance::validate`] when done).
+    /// Inserts a tuple into `relation` with no validation at all — the
+    /// relation is created on the fly if absent. [`Instance::validate`]
+    /// rejects tables a schema does not know, so stray names surface there
+    /// (and immediately in any schema-checked write path); for an insert
+    /// that errors eagerly use [`Instance::try_insert`] or stage a
+    /// [`crate::delta::WriteBatch`].
     pub fn insert(&mut self, relation: &str, tuple: Tuple) {
         self.tables.entry(relation.to_string()).or_default().push(tuple);
     }
 
-    /// Bulk-inserts tuples.
+    /// Bulk-inserts tuples (unvalidated, like [`Instance::insert`]).
     pub fn insert_all<I: IntoIterator<Item = Tuple>>(&mut self, relation: &str, tuples: I) {
         self.tables.entry(relation.to_string()).or_default().extend(tuples);
+    }
+
+    /// Inserts a tuple after checking `relation` exists in `schema` and the
+    /// tuple has the right arity, instead of silently creating an unknown
+    /// table the way [`Instance::insert`] does.
+    pub fn try_insert(
+        &mut self,
+        schema: &Schema,
+        relation: &str,
+        tuple: Tuple,
+    ) -> Result<(), EngineError> {
+        let rel = schema.relation(relation)?;
+        if tuple.len() != rel.arity() {
+            return Err(EngineError::ArityMismatch {
+                relation: relation.to_string(),
+                expected: rel.arity(),
+                got: tuple.len(),
+            });
+        }
+        self.insert(relation, tuple);
+        Ok(())
+    }
+
+    /// Mutable access to a relation's row vector (created if absent), for
+    /// the delta-application machinery.
+    pub(crate) fn table_mut(&mut self, relation: &str) -> &mut Vec<Tuple> {
+        self.tables.entry(relation.to_string()).or_default()
     }
 
     /// The rows of `relation` (empty slice if absent).
@@ -51,9 +82,15 @@ impl Instance {
         crate::interner::ColumnarTable::from_rows(self.rows(relation), interner)
     }
 
-    /// Validates against a schema: arities, PK uniqueness, FK integrity.
+    /// Validates against a schema: every table is a schema relation, plus
+    /// arities, PK uniqueness, and FK integrity.
     pub fn validate(&self, schema: &Schema) -> Result<(), EngineError> {
         schema.validate()?;
+        // Tables the schema does not know: typically the silent fallout of
+        // an unchecked `insert` with a misspelt relation name.
+        for name in self.tables.keys() {
+            schema.relation(name)?;
+        }
         // PK indexes for FK checking.
         let mut pk_index: HashMap<&str, HashSet<&Value>> = HashMap::new();
         for rel in schema.relations() {
@@ -228,6 +265,33 @@ mod tests {
         let mut inst = triangle_instance();
         inst.insert("Node", node(0));
         assert!(matches!(inst.validate(&s), Err(EngineError::DuplicateKey { .. })));
+    }
+
+    #[test]
+    fn unknown_table_detected() {
+        let s = graph_schema_node_dp();
+        let mut inst = triangle_instance();
+        inst.insert("Nodes", node(9)); // typo: silently created...
+        assert!(matches!(
+            inst.validate(&s), // ...but caught here.
+            Err(EngineError::UnknownRelation(r)) if r == "Nodes"
+        ));
+    }
+
+    #[test]
+    fn try_insert_checks_schema() {
+        let s = graph_schema_node_dp();
+        let mut inst = triangle_instance();
+        assert!(matches!(
+            inst.try_insert(&s, "Nodes", node(9)),
+            Err(EngineError::UnknownRelation(r)) if r == "Nodes"
+        ));
+        assert!(matches!(
+            inst.try_insert(&s, "Node", edge(1, 2)),
+            Err(EngineError::ArityMismatch { .. })
+        ));
+        inst.try_insert(&s, "Node", node(9)).unwrap();
+        assert_eq!(inst.rows("Node").len(), 4);
     }
 
     #[test]

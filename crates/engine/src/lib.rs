@@ -20,13 +20,18 @@
 //! * [`wcoj`] — a worst-case-optimal (generic join / leapfrog triejoin)
 //!   executor for cyclic join patterns; [`exec::Strategy::Auto`] routes
 //!   cyclic queries here and acyclic ones to the columnar pipeline.
-//! * [`csv`] — CSV import for relation instances.
+//! * [`delta`] — the typed mutation surface ([`delta::WriteBatch`]) and
+//!   incrementally maintained lineage views ([`delta::IncrementalView`]):
+//!   writes propagate as per-relation deltas instead of instance rebuilds,
+//!   with replayed profiles bit-identical to a from-scratch run.
+//! * [`csv`] — CSV import for relation instances (as [`delta::WriteBatch`]es).
 //! * [`lineage`] — the [`lineage::QueryProfile`] artifact consumed by the DP
 //!   mechanisms: per-result weights `ψ(q_k)`, the reference sets `C_j(I)`,
 //!   and (for projection queries) the duplicate groups `D_l(I)`.
 
 pub mod complete;
 pub mod csv;
+pub mod delta;
 pub mod exec;
 pub mod instance;
 pub mod interner;
@@ -36,6 +41,9 @@ pub mod schema;
 pub mod value;
 pub mod wcoj;
 
+pub use delta::{
+    IncrementalView, IntegrityIndex, ProfileChanges, ResolvedDelta, ResolvedWrite, WriteBatch,
+};
 pub use exec::{ExecOptions, ExecStats, Strategy};
 pub use instance::Instance;
 pub use interner::Interner;
@@ -57,6 +65,8 @@ pub enum EngineError {
     BrokenForeignKey { relation: String, column: String, value: String },
     /// A primary key value occurred twice.
     DuplicateKey { relation: String, value: String },
+    /// A [`delta::WriteBatch`] delete did not match any live tuple.
+    MissingDeleteTarget { relation: String, tuple: String },
     /// The query referenced a relation or variable inconsistently.
     MalformedQuery(String),
     /// The FK graph contained a cycle (it must be a DAG).
@@ -87,6 +97,9 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::DuplicateKey { relation, value } => {
                 write!(f, "duplicate primary key {value} in {relation}")
+            }
+            EngineError::MissingDeleteTarget { relation, tuple } => {
+                write!(f, "delete target not found in {relation}: {tuple}")
             }
             EngineError::MalformedQuery(msg) => write!(f, "malformed query: {msg}"),
             EngineError::CyclicForeignKeys => write!(f, "foreign-key graph contains a cycle"),

@@ -1,25 +1,33 @@
 //! The database facade: a validated instance plus its privacy policy.
 
-use crate::session::Session;
+use crate::session::{Session, SessionOptions};
 use crate::snapshot::Snapshot;
 use crate::Error;
 use r2t_core::groupby::GroupByR2T;
 use r2t_core::{Accountant, BudgetCell, R2TConfig, R2T};
-use r2t_engine::{exec, Instance, ProfileSummary, Schema, Tuple};
+use r2t_engine::{exec, Instance, IntegrityIndex, ProfileSummary, Schema, Tuple, WriteBatch};
 use r2t_sql::parse_statement;
 use rand::RngCore;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// A validated database instance plus its privacy policy, answering SQL
 /// queries under ε-DP with R2T.
 ///
 /// The instance data lives in an immutable [`Snapshot`] behind an
-/// atomically swapped `Arc`: [`Self::reload`] validates and installs a new
-/// snapshot without stalling concurrent readers, and every open [`Session`]
-/// keeps answering on the snapshot it pinned at open time. The schema (and
-/// with it the privacy designation) is fixed for the database's lifetime —
-/// changing it would invalidate every cached profile and every sensitivity
-/// bound at once, so that is a new database, not a reload.
+/// atomically swapped `Arc`. Writes go through [`Self::apply`]: a typed
+/// [`WriteBatch`] of per-relation inserts and deletes is validated against
+/// the schema, checked for integrity in O(batch) against an incrementally
+/// maintained index, and installed as a new snapshot *without* rebuilding —
+/// the new version defers its row data (parent + delta, folded on first
+/// read) and carries the parent's prepared-statement cache forward, patched
+/// through each entry's incremental view. Concurrent readers are never
+/// stalled, and every open [`Session`] keeps answering bit-identically on
+/// the snapshot it pinned at open time.
+///
+/// The schema (and with it the privacy designation) is fixed for the
+/// database's lifetime — changing it would invalidate every cached profile
+/// and every sensitivity bound at once, so that is a new database, not a
+/// write.
 ///
 /// One-shot entry points ([`Self::query`], [`Self::query_grouped`]) are
 /// deprecated: they spend `cfg.epsilon` per call with no cross-query
@@ -29,13 +37,21 @@ use std::sync::{Arc, RwLock};
 pub struct PrivateDatabase {
     schema: Schema,
     data: RwLock<Arc<Snapshot>>,
+    /// Serializes writers and holds the incrementally maintained integrity
+    /// index for the *current* snapshot (built lazily on the first delta
+    /// apply, reset by a replace). Readers never take this lock.
+    write_gate: Mutex<Option<IntegrityIndex>>,
 }
 
 impl Clone for PrivateDatabase {
     /// The clone shares the current (immutable) snapshot — including its
     /// prepared cache — but swaps independently from the original.
     fn clone(&self) -> Self {
-        PrivateDatabase { schema: self.schema.clone(), data: RwLock::new(self.snapshot()) }
+        PrivateDatabase {
+            schema: self.schema.clone(),
+            data: RwLock::new(self.snapshot()),
+            write_gate: Mutex::new(None),
+        }
     }
 }
 
@@ -43,7 +59,11 @@ impl PrivateDatabase {
     /// Builds the system, validating referential integrity and the FK DAG.
     pub fn new(schema: Schema, instance: Instance) -> Result<Self, Error> {
         instance.validate(&schema)?;
-        Ok(PrivateDatabase { schema, data: RwLock::new(Arc::new(Snapshot::new(instance, 0))) })
+        Ok(PrivateDatabase {
+            schema,
+            data: RwLock::new(Arc::new(Snapshot::new(instance, 0))),
+            write_gate: Mutex::new(None),
+        })
     }
 
     /// The schema (including the privacy designation).
@@ -53,34 +73,135 @@ impl PrivateDatabase {
 
     /// The current data snapshot. Cheap (one `Arc` clone under a read lock
     /// held for nanoseconds); the returned snapshot is immutable and stays
-    /// valid — and answerable — however many reloads happen after.
+    /// valid — and answerable — however many writes happen after.
     pub fn snapshot(&self) -> Arc<Snapshot> {
         Arc::clone(&self.data.read().expect("snapshot lock poisoned"))
     }
 
-    /// Validates `instance` against the (fixed) schema and atomically
-    /// installs it as the new current snapshot, returning the new snapshot
-    /// version. Readers are never stalled: open sessions keep their pinned
-    /// snapshot untouched (bit-identical answers before and after), and only
-    /// sessions opened after the swap see the new data. The new snapshot
-    /// starts with an empty prepared cache — cached profiles are
-    /// instance-derived state and must die with their instance.
-    pub fn reload(&self, instance: Instance) -> Result<u64, Error> {
-        instance.validate(&self.schema)?;
-        let mut data = self.data.write().expect("snapshot lock poisoned");
-        let version = data.version() + 1;
-        *data = Arc::new(Snapshot::new(instance, version));
-        r2t_obs::counter_add("service.reloads", 1);
+    /// Applies a typed write batch and returns the new snapshot version.
+    ///
+    /// **Delta batches** (staged via [`WriteBatch::insert`] /
+    /// [`WriteBatch::delete`]) are validated against the schema, resolved to
+    /// concrete rows, and integrity-checked in O(batch) against an
+    /// incrementally maintained PK/FK index — a rejected batch changes
+    /// nothing and reports [`Error::Mutation`]. An accepted batch installs a
+    /// new snapshot whose row data is *deferred* (parent + delta, folded on
+    /// first read) and whose prepared cache is revalidated from the parent:
+    /// entries whose relations the write did not touch are shared, touched
+    /// entries are patched through their incremental view (bit-identical to
+    /// a from-scratch re-prepare), and the per-outcome counts land on the
+    /// `service.apply.entries.*` counters. An empty batch still installs a
+    /// (fully shared) new version.
+    ///
+    /// **Replace batches** ([`WriteBatch::replace`]) validate the new
+    /// instance from scratch and install it with an empty cache, exactly
+    /// like the deprecated [`Self::reload`]; failures report
+    /// [`Error::Engine`].
+    ///
+    /// Writers serialize on the write gate; readers are never stalled, and
+    /// open sessions keep their pinned snapshot untouched (bit-identical
+    /// answers before and after).
+    pub fn apply(&self, batch: WriteBatch) -> Result<u64, Error> {
+        let _apply_ns = r2t_obs::hist_time("service.apply.ns");
+        let mut gate = self.write_gate.lock().expect("write gate poisoned");
+        let parent = self.snapshot();
+        if batch.is_replace() {
+            // Resolve never reads the instance for a replace batch, so an
+            // unmaterialized parent chain stays unmaterialized.
+            let instance = batch
+                .resolve(&self.schema, &Instance::new())?
+                .into_replace()
+                .expect("replace batch resolves to a replace write");
+            instance.validate(&self.schema)?;
+            // The index describes rows that are being discarded wholesale.
+            *gate = None;
+            let version = parent.version() + 1;
+            let mut data = self.data.write().expect("snapshot lock poisoned");
+            *data = Arc::new(Snapshot::new(instance, version));
+            drop(data);
+            r2t_obs::counter_add("service.reloads", 1);
+            return Ok(version);
+        }
+        // Insert-only batches never consult existing rows while resolving,
+        // so they keep a chain of unread snapshots unmaterialized.
+        let resolved = if batch.has_deletes() {
+            batch.resolve(&self.schema, parent.instance())
+        } else {
+            batch.resolve(&self.schema, &Instance::new())
+        }
+        .map_err(Error::Mutation)?;
+        let index = match gate.as_mut() {
+            Some(i) => i,
+            None => gate.insert(IntegrityIndex::build(&self.schema, parent.instance())),
+        };
+        index.check(&self.schema, resolved.deltas()).map_err(Error::Mutation)?;
+        let write = Arc::new(resolved);
+        let version = parent.version() + 1;
+        let (snap, stats) = Snapshot::revalidate_from(&parent, &write, &self.schema, version);
+        index.commit(&self.schema, write.deltas());
+        {
+            let mut data = self.data.write().expect("snapshot lock poisoned");
+            *data = Arc::new(snap);
+        }
+        r2t_obs::counter_add("service.applies", 1);
+        r2t_obs::counter_add("service.apply.entries.shared", stats.shared);
+        r2t_obs::counter_add("service.apply.entries.patched", stats.patched);
+        r2t_obs::counter_add("service.apply.entries.patched_fast", stats.patched_fast);
+        r2t_obs::counter_add("service.apply.entries.patched_unchanged", stats.patched_unchanged);
+        r2t_obs::counter_add("service.apply.entries.rebuilt", stats.rebuilt);
+        r2t_obs::counter_add("service.apply.entries.dropped", stats.dropped);
         Ok(version)
     }
 
-    /// Opens a serving session with a total ε budget. `base` fixes the
-    /// mechanism parameters (β, `GS_Q`, execution strategy) for every answer
-    /// in the session; each charge picks its own ε. `seed` roots the
-    /// session's deterministic noise substreams: the `i`-th successful charge
-    /// draws from [`crate::substream_rng`]`(seed, i)`. The session pins the
-    /// current snapshot: a concurrent [`Self::reload`] never changes its
-    /// answers.
+    /// Validates `instance` against the (fixed) schema and atomically
+    /// installs it as the new current snapshot, returning the new snapshot
+    /// version.
+    #[deprecated(
+        note = "stage the instance as WriteBatch::replace (or a delta batch) and apply it"
+    )]
+    pub fn reload(&self, instance: Instance) -> Result<u64, Error> {
+        self.apply(WriteBatch::replace(instance))
+    }
+
+    /// Opens a serving session described by `opts`: requires
+    /// [`SessionOptions::total_epsilon`] (the session's private budget) and
+    /// [`SessionOptions::base`] (the mechanism parameters — β, `GS_Q`,
+    /// execution strategy — for every answer; each charge picks its own ε).
+    /// [`SessionOptions::tenant`] is refused here — tenant sessions draw a
+    /// shared quota and are opened through a [`crate::ServiceTier`].
+    ///
+    /// [`SessionOptions::seed`] roots the session's deterministic noise
+    /// substreams: the `i`-th successful charge draws from
+    /// [`crate::substream_rng`]`(seed, i)`. The session pins the current
+    /// snapshot: a concurrent [`Self::apply`] never changes its answers.
+    pub fn session(&self, opts: SessionOptions) -> Result<Session<'_>, Error> {
+        if let Some(tenant) = opts.tenant.as_deref() {
+            return Err(Error::Admission(format!(
+                "tenant {tenant:?} sessions are opened through a ServiceTier, \
+                 not the bare database"
+            )));
+        }
+        let Some(total) = opts.total_epsilon else {
+            return Err(Error::Admission(
+                "a database session needs a total ε budget (SessionOptions::total_epsilon)"
+                    .to_string(),
+            ));
+        };
+        if !(total >= 0.0 && total.is_finite()) {
+            return Err(Error::Admission(format!(
+                "total ε budget must be a non-negative finite epsilon, got {total}"
+            )));
+        }
+        let Some(base) = opts.base else {
+            return Err(Error::Admission(
+                "a database session needs mechanism parameters (SessionOptions::base)".to_string(),
+            ));
+        };
+        Ok(Session::new(self, Arc::new(BudgetCell::new(total)), base, opts.seed))
+    }
+
+    /// Opens a serving session with a total ε budget.
+    #[deprecated(note = "use session(SessionOptions::new().total_epsilon(..).base(..).seed(..))")]
     pub fn open_session(&self, total_epsilon: f64, base: R2TConfig, seed: u64) -> Session<'_> {
         Session::new(self, Arc::new(BudgetCell::new(total_epsilon)), base, seed)
     }
@@ -88,7 +209,7 @@ impl PrivateDatabase {
     /// Answers a SQL query under ε-DP with R2T, spending `cfg.epsilon` from a
     /// fresh single-query budget.
     #[deprecated(
-        note = "spends cfg.epsilon with no cross-query budget: use open_session + prepare/answer"
+        note = "spends cfg.epsilon with no cross-query budget: use session + prepare/answer"
     )]
     pub fn query(&self, sql: &str, cfg: &R2TConfig, rng: &mut dyn RngCore) -> Result<f64, Error> {
         let lowered = parse_statement(sql, &self.schema)?;
@@ -108,7 +229,7 @@ impl PrivateDatabase {
     /// Answers a GROUP BY SQL query under a *total* budget of `cfg.epsilon`
     /// split across the groups (Section 11). Returns (group key, answer).
     #[deprecated(
-        note = "spends cfg.epsilon with no cross-query budget: use open_session + prepare/answer_grouped"
+        note = "spends cfg.epsilon with no cross-query budget: use session + prepare/answer_grouped"
     )]
     pub fn query_grouped(
         &self,

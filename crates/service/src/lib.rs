@@ -10,13 +10,18 @@
 //! budgeted ε-DP release that only draws noise.
 //!
 //! ```
-//! use r2t_service::PrivateDatabase;
+//! use r2t_service::{PrivateDatabase, SessionOptions, WriteBatch};
 //! use r2t_core::R2TConfig;
 //!
 //! # fn main() -> Result<(), r2t_service::Error> {
 //! let schema = r2t_tpch::tpch_schema(&["customer"]);
 //! let db = PrivateDatabase::new(schema, r2t_tpch::generate(0.05, 0.3, 1))?;
-//! let session = db.open_session(1.0, R2TConfig::builder(1.0, 0.1, 4096.0).build(), 7);
+//! let session = db.session(
+//!     SessionOptions::new()
+//!         .total_epsilon(1.0)
+//!         .base(R2TConfig::builder(1.0, 0.1, 4096.0).build())
+//!         .seed(7),
+//! )?;
 //! let q = session.prepare(
 //!     "SELECT COUNT(*) FROM orders, lineitem WHERE lineitem.l_ok = orders.ok",
 //! )?;
@@ -26,6 +31,13 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Writes go through the same typed surface as everything else: stage a
+//! [`WriteBatch`] of per-relation inserts/deletes and
+//! [`PrivateDatabase::apply`] it. The batch is schema-validated and
+//! integrity-checked in O(batch); the new snapshot version patches the
+//! prepared-statement cache incrementally instead of rebuilding it, and
+//! sessions pinned to older versions keep answering bit-identically.
 //!
 //! Budget enforcement is structural: the session's [`r2t_core::Accountant`]
 //! is charged *before* any noise is drawn, a refused charge draws nothing,
@@ -42,8 +54,10 @@ mod snapshot;
 mod tier;
 
 pub use db::PrivateDatabase;
+pub use r2t_engine::WriteBatch;
 pub use session::{
     substream_rng, Answer, GroupedAnswer, PreparedQuery, QuerySpec, RaceStats, Receipt, Session,
+    SessionOptions,
 };
 pub use snapshot::Snapshot;
 pub use tier::{ServiceTier, TenantInfo};
@@ -61,6 +75,11 @@ pub enum Error {
     Sql(SqlError),
     /// Query evaluation (or instance validation) failed.
     Engine(EngineError),
+    /// A typed write batch was rejected: unknown relation, arity mismatch,
+    /// a delete whose target row does not exist, or an integrity violation
+    /// the batch would have introduced (duplicate primary key, broken
+    /// foreign key). Nothing was applied.
+    Mutation(EngineError),
     /// The session's privacy budget cannot cover the requested charge.
     Budget(BudgetExceeded),
     /// The statement is valid but not supported by the entry point used
@@ -77,6 +96,7 @@ impl std::fmt::Display for Error {
         match self {
             Error::Sql(e) => write!(f, "{e}"),
             Error::Engine(e) => write!(f, "{e}"),
+            Error::Mutation(e) => write!(f, "mutation rejected: {e}"),
             Error::Budget(e) => write!(f, "{e}"),
             Error::Unsupported(m) => write!(f, "unsupported: {m}"),
             Error::Admission(m) => write!(f, "admission denied: {m}"),
@@ -89,6 +109,7 @@ impl std::error::Error for Error {
         match self {
             Error::Sql(e) => Some(e),
             Error::Engine(e) => Some(e),
+            Error::Mutation(e) => Some(e),
             Error::Budget(e) => Some(e),
             Error::Unsupported(_) | Error::Admission(_) => None,
         }
@@ -125,6 +146,9 @@ mod tests {
         let e = Error::from(BudgetExceeded { requested: 1.0, remaining: 0.25 });
         assert!(e.to_string().contains("budget"));
         assert!(e.source().is_some());
+        let e = Error::Mutation(EngineError::UnknownRelation("Nope".into()));
+        assert!(e.to_string().starts_with("mutation rejected: "));
+        assert!(e.source().unwrap().to_string().contains("Nope"));
         assert!(Error::Unsupported("x".into()).source().is_none());
     }
 }

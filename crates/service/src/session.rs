@@ -48,6 +48,71 @@ use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 pub use r2t_core::noise::substream_rng;
 
+/// How to open a [`Session`]: one builder for both entry points.
+///
+/// - [`PrivateDatabase::session`] wants [`Self::total_epsilon`] (the
+///   session's private budget) and [`Self::base`] (mechanism parameters),
+///   and refuses [`Self::tenant`].
+/// - [`crate::ServiceTier::session`] wants [`Self::tenant`] (the budget is
+///   the tenant's shared quota, the base config defaults to the tier's),
+///   and refuses [`Self::total_epsilon`].
+///
+/// [`Self::seed`] (default 0) roots the session's deterministic noise
+/// substreams in both cases; the caller owns seed hygiene — two sessions
+/// must not share a seed, or they would replay each other's noise.
+///
+/// ```
+/// use r2t_service::SessionOptions;
+/// # use r2t_core::R2TConfig;
+/// let opts = SessionOptions::new()
+///     .total_epsilon(1.0)
+///     .base(R2TConfig::builder(1.0, 0.1, 4096.0).build())
+///     .seed(7);
+/// # let _ = opts;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SessionOptions {
+    pub(crate) seed: u64,
+    pub(crate) tenant: Option<String>,
+    pub(crate) total_epsilon: Option<f64>,
+    pub(crate) base: Option<R2TConfig>,
+}
+
+impl SessionOptions {
+    /// Starts an empty option set (seed 0, no tenant, no budget, no base).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Roots the session's noise substreams (the `i`-th successful charge
+    /// draws from [`substream_rng`]`(seed, i)`).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Opens the session against a registered tenant's shared quota
+    /// (tier sessions only).
+    pub fn tenant(mut self, name: impl Into<String>) -> Self {
+        self.tenant = Some(name.into());
+        self
+    }
+
+    /// Total ε budget for a private (database) session.
+    pub fn total_epsilon(mut self, epsilon: f64) -> Self {
+        self.total_epsilon = Some(epsilon);
+        self
+    }
+
+    /// Mechanism parameters (β, `GS_Q`, execution strategy) for every
+    /// answer; each charge still picks its own ε. Required for database
+    /// sessions; overrides the tier default for tier sessions.
+    pub fn base(mut self, base: R2TConfig) -> Self {
+        self.base = Some(base);
+        self
+    }
+}
+
 /// One query in a [`Session::answer_all`] batch.
 #[derive(Debug, Clone)]
 pub struct QuerySpec {
@@ -118,9 +183,10 @@ pub struct GroupedAnswer {
 
 /// A serving session over a [`PrivateDatabase`]: an ε budget cell, a pinned
 /// data snapshot with its prepared-statement cache, and a deterministic
-/// noise-substream layout. Created by [`PrivateDatabase::open_session`]
-/// (private budget) or [`crate::ServiceTier::open_session`] (budget shared
-/// tenant-wide). All methods take `&self`; the session is safe to share
+/// noise-substream layout. Created by [`PrivateDatabase::session`]
+/// (private budget) or [`crate::ServiceTier::session`] (budget shared
+/// tenant-wide), both driven by one [`SessionOptions`] builder. All methods
+/// take `&self`; the session is safe to share
 /// across threads and none of its hot paths serialize on a common lock.
 pub struct Session<'db> {
     db: &'db PrivateDatabase,
@@ -166,8 +232,8 @@ impl<'db> Session<'db> {
         self.db
     }
 
-    /// The data snapshot this session pinned at open time. Reloads of the
-    /// database never change it.
+    /// The data snapshot this session pinned at open time. Writes applied
+    /// to the database never change it.
     pub fn snapshot(&self) -> &Arc<Snapshot> {
         &self.snapshot
     }

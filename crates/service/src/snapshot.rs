@@ -1,34 +1,58 @@
-//! Immutable database snapshots and the snapshot-scoped prepared cache.
+//! Immutable database snapshots, the snapshot-scoped prepared cache, and
+//! the revalidation machinery that carries that cache across writes.
 //!
 //! A [`Snapshot`] is one validated, *frozen* version of the instance data
 //! plus everything deterministically derived from it: the prepared-statement
 //! cache of lineage profiles and τ-grid branch values. Sessions pin an
 //! `Arc<Snapshot>` when they open and answer against it for their whole
-//! lifetime, so a concurrent [`crate::PrivateDatabase::reload`] never stalls
+//! lifetime, so a concurrent [`crate::PrivateDatabase::apply`] never stalls
 //! a reader and never changes an answer mid-session — new data is only
 //! visible to sessions opened after the swap.
 //!
+//! **Deferred materialization.** A snapshot produced by a *delta* apply does
+//! not copy the instance eagerly: it holds an `Arc` link to its parent plus
+//! the [`ResolvedWrite`] that separates them, and materializes its own row
+//! vectors only when a reader first asks ([`Snapshot::instance`] walks the
+//! pending chain iteratively and folds the writes forward). A burst of
+//! insert-only applies therefore costs O(batch) each, not O(data), and the
+//! intermediate versions that no session ever pinned are reclaimed without
+//! ever having been built.
+//!
+//! **Revalidation.** Rather than starting every new version with an empty
+//! cache, [`Snapshot::revalidate_from`] carries the parent's prepared
+//! entries forward. Each entry knows which relations its join reads
+//! ([`Prepared::relations`]): entries untouched by the write share the same
+//! `Arc` (their profile is a function of rows the write did not move), and
+//! touched entries are *patched* — the entry's [`IncrementalView`] absorbs
+//! the delta and replays a profile bit-identical to a from-scratch rebuild,
+//! so the refreshed branch values equal what a cold prepare on the new data
+//! would compute. Entries with no incremental plan (cyclic joins served by
+//! the WCOJ executor, zero-variable queries) fall back to a full re-prepare
+//! against the new instance.
+//!
 //! **DP-safety.** Everything in a snapshot is pre-noise state, equivalent to
 //! the raw instance: it must never leave the process un-noised, and a cache
-//! entry is only meaningful for the snapshot that built it. Scoping the
-//! cache *inside* the snapshot makes the second rule structural — a reload
-//! installs a fresh snapshot with a fresh, empty cache, and the old cache
-//! dies with the last session pinning it.
+//! entry is only meaningful for the snapshot holding it. Revalidation
+//! preserves that scoping: a shared entry is shared precisely because the
+//! two snapshots agree on every row its query reads, and a patched entry is
+//! re-derived (bit-identically) from the new snapshot's data before any
+//! session can answer over it. The cache stays a deterministic function of
+//! (instance, normalized text, grid parameters) — pre-noise state only, so
+//! carrying it across versions releases nothing.
 //!
 //! The cache is shared across every session on the snapshot (all tenants):
-//! the profile and branch values are deterministic functions of (instance,
-//! normalized text, grid parameters), so two tenants preparing the same
-//! statement under the same grid share one entry and one planning cost. The
-//! read path takes only a `RwLock` read lock — concurrent answers never
-//! contend with it, and budget state lives elsewhere entirely.
+//! two tenants preparing the same statement under the same grid share one
+//! entry and one planning cost. The read path takes only a `RwLock` read
+//! lock — concurrent answers never contend with it, and budget state lives
+//! elsewhere entirely.
 
 use crate::Error;
-use r2t_core::truncation::{self, SweepCache};
-use r2t_core::{BranchValues, R2TConfig};
+use r2t_core::{BranchPatcher, BranchValues, R2TConfig};
+use r2t_engine::delta::{self, IncrementalView, ResolvedWrite};
 use r2t_engine::{exec, Instance, ProfileSummary, QueryProfile, Schema, Tuple};
 use r2t_sql::parse_statement;
-use std::collections::HashMap;
-use std::sync::{Arc, OnceLock, RwLock};
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 /// The part of a prepared-cache key that is *not* the statement text: the
 /// τ-grid shape the branch values were evaluated on. Two sessions whose base
@@ -51,6 +75,13 @@ impl GridKey {
     }
 }
 
+/// Branch values for a profile under a grid — the one evaluation path every
+/// prepare *and* every revalidation goes through, so a patched entry whose
+/// profile changed is bitwise-equal to a cold re-prepare by construction.
+fn branch_values(profile: &QueryProfile, grid: &GridKey) -> BranchValues {
+    BranchValues::for_profile_grid(profile, grid.branches, grid.warm_sweep, grid.event_every)
+}
+
 /// The cached pre-noise state of one prepared statement.
 #[derive(Debug)]
 pub(crate) struct Prepared {
@@ -58,16 +89,21 @@ pub(crate) struct Prepared {
     pub(crate) text: String,
     /// Lineage shape, for diagnostics (`None` for grouped statements).
     pub(crate) summary: Option<ProfileSummary>,
+    /// Relations the statement's completed join reads — the revalidation
+    /// scope. A write touching none of them cannot change the profile, so
+    /// the entry is shared with the successor snapshot as-is.
+    pub(crate) relations: Vec<String>,
     pub(crate) kind: PreparedKind,
+    /// Incremental-maintenance state, consumed (moved into the successor's
+    /// entry) when a write touches this statement's relations.
+    pub(crate) incr: Mutex<IncrState>,
 }
 
 #[derive(Debug)]
 pub(crate) enum PreparedKind {
     Single {
-        /// `Q(I, 0)` and the τ-grid values — all `run_cached` needs. The
-        /// lineage profile and the LP sweep structure that produced them are
-        /// dropped after preparation: answering only draws noise against
-        /// these precomputed branch values.
+        /// `Q(I, 0)` and the τ-grid values — all `run_cached` needs at
+        /// answer time. Answering only draws noise against these.
         values: BranchValues,
     },
     Grouped {
@@ -76,28 +112,131 @@ pub(crate) enum PreparedKind {
     },
 }
 
+/// How a prepared entry is maintained across writes.
+#[derive(Debug)]
+pub(crate) enum IncrState {
+    /// No incremental plan: cyclic joins (served by the WCOJ executor) and
+    /// zero-variable statements. A touching write re-prepares from scratch
+    /// against the new instance.
+    None,
+    /// Scalar statement: the materialized join, the profile it last
+    /// *replayed* (kept to detect writes that left the profile unchanged;
+    /// `None` while the closed-form patcher carries the entry — the profile
+    /// is then implicit in the view and replayed only if the patcher
+    /// disengages), and the armed patcher itself when the profile sits in
+    /// the exact closed-form regime.
+    Single { view: IncrementalView, profile: Option<QueryProfile>, patcher: Option<BranchPatcher> },
+    /// Grouped statement: the materialized join; per-group profiles live in
+    /// [`PreparedKind::Grouped`] alongside their values.
+    Grouped { view: IncrementalView },
+    /// Already moved into a successor snapshot by revalidation.
+    Taken,
+}
+
+/// Per-outcome entry accounting for one revalidation pass (exported onto
+/// the `service.apply.entries.*` counters by [`crate::PrivateDatabase::apply`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct RevalStats {
+    /// Entries whose relations the write did not touch: `Arc`-shared.
+    pub(crate) shared: u64,
+    /// Touched entries patched through their view, profile changed.
+    pub(crate) patched: u64,
+    /// Touched entries whose branch values were patched in `O(delta)` by
+    /// the closed-form [`BranchPatcher`] — no profile replay, no LP sweep.
+    pub(crate) patched_fast: u64,
+    /// Touched entries patched through their view, profile (and therefore
+    /// branch values) provably unchanged — the LP sweep was skipped.
+    pub(crate) patched_unchanged: u64,
+    /// Touched entries with no incremental plan, fully re-prepared.
+    pub(crate) rebuilt: u64,
+    /// Entries dropped (patch or re-prepare failed); re-prepared on demand.
+    pub(crate) dropped: u64,
+}
+
 /// One immutable version of the instance plus its derived prepared cache.
-/// Created by [`crate::PrivateDatabase::new`] / [`crate::PrivateDatabase::reload`].
+/// Created by [`crate::PrivateDatabase::new`] /
+/// [`crate::PrivateDatabase::apply`].
 #[derive(Debug)]
 pub struct Snapshot {
-    instance: Instance,
+    /// The materialized row data. Set at construction for root (full)
+    /// snapshots; deferred for delta snapshots until a reader asks.
+    state: OnceLock<Instance>,
+    /// For a not-yet-materialized delta snapshot: the parent it derives
+    /// from and the write separating them. Cleared once `state` is set so
+    /// the ancestor chain can be reclaimed.
+    pending: Mutex<Option<(Arc<Snapshot>, Arc<ResolvedWrite>)>>,
     version: u64,
     prepared: RwLock<HashMap<(String, GridKey), Arc<Prepared>>>,
 }
 
 impl Snapshot {
     pub(crate) fn new(instance: Instance, version: u64) -> Self {
-        Snapshot { instance, version, prepared: RwLock::new(HashMap::new()) }
+        let state = OnceLock::new();
+        let _ = state.set(instance);
+        Snapshot {
+            state,
+            pending: Mutex::new(None),
+            version,
+            prepared: RwLock::new(HashMap::new()),
+        }
     }
 
-    /// The raw instance data this snapshot froze. Pre-noise — for the engine
-    /// and the serving layer, not for release.
+    /// The raw instance data this snapshot froze, materializing it on first
+    /// use. Pre-noise — for the engine and the serving layer, not for
+    /// release.
     pub(crate) fn instance(&self) -> &Instance {
-        &self.instance
+        if let Some(inst) = self.state.get() {
+            return inst;
+        }
+        let built = self.materialize();
+        // A lost set race just drops the duplicate; either way the pending
+        // link can go, releasing the parent chain.
+        let _ = self.state.set(built);
+        *self.pending.lock().expect("pending write poisoned") = None;
+        self.state.get().expect("state was just set")
+    }
+
+    /// Walks the pending chain to the nearest materialized ancestor and
+    /// folds the writes forward. Iterative on purpose: a long run of
+    /// unread applies must not recurse chain-deep.
+    fn materialize(&self) -> Instance {
+        let link = self.pending.lock().expect("pending write poisoned").clone();
+        let Some((first_parent, first_write)) = link else {
+            // Raced: another thread materialized and cleared the link after
+            // our `state` miss. Its `state.set` happened before its clear,
+            // and the mutex ordered that clear before our read.
+            return self.state.get().expect("cleared pending implies materialized state").clone();
+        };
+        let mut writes: Vec<Arc<ResolvedWrite>> = vec![first_write];
+        let mut cur = first_parent;
+        let mut inst = loop {
+            if let Some(i) = cur.state.get() {
+                break i.clone();
+            }
+            let link = cur.pending.lock().expect("pending write poisoned").clone();
+            match link {
+                Some((parent, w)) => {
+                    writes.push(w);
+                    cur = parent;
+                }
+                None => {
+                    break cur
+                        .state
+                        .get()
+                        .expect("cleared pending implies materialized state")
+                        .clone()
+                }
+            }
+        };
+        for w in writes.iter().rev() {
+            w.apply_mut(&mut inst);
+        }
+        r2t_obs::counter_add("service.snapshot.materializations", 1);
+        inst
     }
 
     /// Monotone version number: 0 for the instance the database was opened
-    /// with, +1 per [`crate::PrivateDatabase::reload`].
+    /// with, +1 per [`crate::PrivateDatabase::apply`].
     pub fn version(&self) -> u64 {
         self.version
     }
@@ -129,47 +268,289 @@ impl Snapshot {
             return Ok(Arc::clone(p));
         }
         r2t_obs::counter_add("service.cache.misses", 1);
-        let built = Arc::new(self.prepare_uncached(schema, text, base)?);
+        let built = Arc::new(prepare_with_grid(schema, self.instance(), text, &grid)?);
         let mut cache = self.prepared.write().expect("prepared cache poisoned");
         let entry = Arc::clone(cache.entry((text.to_string(), grid)).or_insert(built));
         r2t_obs::gauge_max("service.cache.entries", cache.len() as u64);
         Ok(entry)
     }
 
-    fn prepare_uncached(
-        &self,
+    /// Builds the successor snapshot for a delta write: the instance is
+    /// deferred (parent + write, folded on first read) and the parent's
+    /// prepared cache is carried forward entry by entry — shared when the
+    /// write touches none of the entry's relations, patched through the
+    /// entry's incremental view otherwise, fully re-prepared when there is
+    /// no incremental plan. A patched entry's profile is bit-identical to a
+    /// from-scratch rebuild (the engine's differential suites hold that
+    /// bar), so when it compares equal to the old profile the old branch
+    /// values are reused verbatim and the LP sweep is skipped.
+    pub(crate) fn revalidate_from(
+        parent: &Arc<Snapshot>,
+        write: &Arc<ResolvedWrite>,
         schema: &Schema,
-        text: &str,
-        base: &R2TConfig,
-    ) -> Result<Prepared, Error> {
-        let lowered = parse_statement(text, schema)?;
-        if lowered.group_by.is_empty() {
-            let profile = exec::profile(schema, &self.instance, &lowered.query)?;
-            let sweep: SweepCache = Arc::new(OnceLock::new());
-            let trunc = truncation::for_profile_cached(&profile, base.event_every, &sweep);
-            let values =
-                BranchValues::compute(trunc.as_ref(), base.num_branches(), base.warm_sweep);
-            drop(trunc);
-            Ok(Prepared {
-                text: text.to_string(),
-                summary: Some(profile.summary()),
-                kind: PreparedKind::Single { values },
-            })
-        } else {
-            let groups =
-                exec::profile_grouped(schema, &self.instance, &lowered.query, &lowered.group_by)?;
-            let groups = groups
-                .into_iter()
-                .map(|(key, profile)| {
-                    let values = BranchValues::for_profile(&profile, base);
-                    (key, profile, values)
-                })
-                .collect();
-            Ok(Prepared {
-                text: text.to_string(),
-                summary: None,
-                kind: PreparedKind::Grouped { groups },
-            })
+        version: u64,
+    ) -> (Snapshot, RevalStats) {
+        let touched: HashSet<&str> = write.touched().into_iter().collect();
+        let mut stats = RevalStats::default();
+        let mut cache: HashMap<(String, GridKey), Arc<Prepared>> = HashMap::new();
+        // Built only if a touched entry needs a full re-prepare.
+        let mut child_inst: Option<Instance> = None;
+        let parent_cache = parent.prepared.read().expect("prepared cache poisoned");
+        for (key, entry) in parent_cache.iter() {
+            if entry.relations.iter().all(|r| !touched.contains(r.as_str())) {
+                stats.shared += 1;
+                cache.insert(key.clone(), Arc::clone(entry));
+                continue;
+            }
+            let grid = &key.1;
+            let state = std::mem::replace(
+                &mut *entry.incr.lock().expect("incremental state poisoned"),
+                IncrState::Taken,
+            );
+            match state {
+                IncrState::Single { mut view, profile: old_profile, patcher } => {
+                    let PreparedKind::Single { values: old_values } = &entry.kind else {
+                        unreachable!("Single incr state on a grouped entry")
+                    };
+                    match view.apply_reporting(write.deltas()) {
+                        // Not a single result line changed: values, summary,
+                        // profile, and patcher all carry over untouched.
+                        Ok(changes) if changes.is_noop() => {
+                            stats.patched_unchanged += 1;
+                            cache.insert(
+                                key.clone(),
+                                Arc::new(Prepared {
+                                    text: entry.text.clone(),
+                                    summary: entry.summary.clone(),
+                                    relations: entry.relations.clone(),
+                                    kind: PreparedKind::Single { values: old_values.clone() },
+                                    incr: Mutex::new(IncrState::Single {
+                                        view,
+                                        profile: old_profile,
+                                        patcher,
+                                    }),
+                                }),
+                            );
+                        }
+                        Ok(changes) => {
+                            // Fast path: feed the line delta to the armed
+                            // closed-form patcher — O(delta), no profile
+                            // replay, no LP sweep, bitwise-equal values. A
+                            // wholesale rebuild or a failed patch poisons
+                            // the patcher; fall through and re-arm below.
+                            let fast = match (changes.rebuilt, patcher) {
+                                (false, Some(mut p)) => {
+                                    p.patch(&changes.removed, &changes.added).then_some(p)
+                                }
+                                _ => None,
+                            };
+                            if let Some(p) = fast {
+                                stats.patched_fast += 1;
+                                let values = p.values();
+                                let (results, num_private, query_result, max_sensitivity) =
+                                    p.summary_parts();
+                                let summary = ProfileSummary {
+                                    results,
+                                    num_private,
+                                    query_result,
+                                    max_sensitivity,
+                                    is_projection: false,
+                                    max_refs: usize::from(num_private > 0),
+                                    unit_refs: true,
+                                };
+                                cache.insert(
+                                    key.clone(),
+                                    Arc::new(Prepared {
+                                        text: entry.text.clone(),
+                                        summary: Some(summary),
+                                        relations: entry.relations.clone(),
+                                        kind: PreparedKind::Single { values },
+                                        incr: Mutex::new(IncrState::Single {
+                                            view,
+                                            profile: None,
+                                            patcher: Some(p),
+                                        }),
+                                    }),
+                                );
+                                continue;
+                            }
+                            match view.profile() {
+                                Ok(profile) => {
+                                    let values = if old_profile.as_ref() == Some(&profile) {
+                                        stats.patched_unchanged += 1;
+                                        old_values.clone()
+                                    } else {
+                                        stats.patched += 1;
+                                        branch_values(&profile, grid)
+                                    };
+                                    let patcher = arm_patcher(&view, &profile, &values, grid);
+                                    cache.insert(
+                                        key.clone(),
+                                        Arc::new(Prepared {
+                                            text: entry.text.clone(),
+                                            summary: Some(profile.summary()),
+                                            relations: entry.relations.clone(),
+                                            kind: PreparedKind::Single { values },
+                                            incr: Mutex::new(IncrState::Single {
+                                                view,
+                                                profile: Some(profile),
+                                                patcher,
+                                            }),
+                                        }),
+                                    );
+                                }
+                                Err(_) => stats.dropped += 1,
+                            }
+                        }
+                        Err(_) => stats.dropped += 1,
+                    }
+                }
+                IncrState::Grouped { mut view } => {
+                    match view.apply(write.deltas()).and_then(|()| view.profile_grouped()) {
+                        Ok(new_groups) => {
+                            let PreparedKind::Grouped { groups: old } = &entry.kind else {
+                                unreachable!("Grouped incr state on a scalar entry")
+                            };
+                            let old_by_key: HashMap<&Tuple, (&QueryProfile, &BranchValues)> =
+                                old.iter().map(|(k, p, v)| (k, (p, v))).collect();
+                            let mut any_changed = false;
+                            let groups: Vec<(Tuple, QueryProfile, BranchValues)> = new_groups
+                                .into_iter()
+                                .map(|(gk, profile)| {
+                                    let values = match old_by_key.get(&gk) {
+                                        Some((op, ov)) if **op == profile => (*ov).clone(),
+                                        _ => {
+                                            any_changed = true;
+                                            branch_values(&profile, grid)
+                                        }
+                                    };
+                                    (gk, profile, values)
+                                })
+                                .collect();
+                            if any_changed {
+                                stats.patched += 1;
+                            } else {
+                                stats.patched_unchanged += 1;
+                            }
+                            cache.insert(
+                                key.clone(),
+                                Arc::new(Prepared {
+                                    text: entry.text.clone(),
+                                    summary: None,
+                                    relations: entry.relations.clone(),
+                                    kind: PreparedKind::Grouped { groups },
+                                    incr: Mutex::new(IncrState::Grouped { view }),
+                                }),
+                            );
+                        }
+                        Err(_) => stats.dropped += 1,
+                    }
+                }
+                IncrState::None => {
+                    let inst = child_inst.get_or_insert_with(|| write.apply_to(parent.instance()));
+                    match prepare_with_grid(schema, inst, &entry.text, grid) {
+                        Ok(p) => {
+                            stats.rebuilt += 1;
+                            cache.insert(key.clone(), Arc::new(p));
+                        }
+                        Err(_) => stats.dropped += 1,
+                    }
+                }
+                IncrState::Taken => stats.dropped += 1,
+            }
         }
+        drop(parent_cache);
+        let snap = Snapshot {
+            state: OnceLock::new(),
+            pending: Mutex::new(Some((Arc::clone(parent), Arc::clone(write)))),
+            version,
+            prepared: RwLock::new(cache),
+        };
+        (snap, stats)
+    }
+}
+
+/// Arms a closed-form branch patcher over a freshly (re)computed scalar
+/// entry, when the profile sits in the exact regime: flat (no projection
+/// groups), every line referencing at most one private tuple with small
+/// nonnegative integral weight, and a warm-sweep grid. Out-of-regime
+/// profiles — or any bitwise mismatch between the mirror and `values` —
+/// yield `None` and the entry stays on the replay-and-recompute path.
+fn arm_patcher(
+    view: &IncrementalView,
+    profile: &QueryProfile,
+    values: &BranchValues,
+    grid: &GridKey,
+) -> Option<BranchPatcher> {
+    if profile.groups.is_some() {
+        return None;
+    }
+    BranchPatcher::try_new(view.raw_lines(), values, grid.branches, grid.warm_sweep)
+}
+
+/// Prepares one statement against `instance` under a grid. The incremental
+/// view is built first and the profile is *replayed from it* — the view's
+/// initial build is the lineage join (bit-identical to `exec::profile`,
+/// asserted by the engine's differential suites), so maintenance state
+/// costs no second join. Statements the view cannot maintain (cyclic joins,
+/// zero variables) fall back to the executor with [`IncrState::None`].
+fn prepare_with_grid(
+    schema: &Schema,
+    instance: &Instance,
+    text: &str,
+    grid: &GridKey,
+) -> Result<Prepared, Error> {
+    let lowered = parse_statement(text, schema)?;
+    let relations = delta::query_relations(schema, &lowered.query)?;
+    if lowered.group_by.is_empty() {
+        let (profile, view) = match IncrementalView::new(schema, instance, &lowered.query, None)? {
+            Some(view) => (view.profile()?, Some(view)),
+            None => (exec::profile(schema, instance, &lowered.query)?, None),
+        };
+        let values = branch_values(&profile, grid);
+        let incr = match view {
+            Some(view) => {
+                let patcher = arm_patcher(&view, &profile, &values, grid);
+                IncrState::Single { view, profile: Some(profile.clone()), patcher }
+            }
+            None => IncrState::None,
+        };
+        Ok(Prepared {
+            text: text.to_string(),
+            summary: Some(profile.summary()),
+            relations,
+            kind: PreparedKind::Single { values },
+            incr: Mutex::new(incr),
+        })
+    } else {
+        let (groups, incr) = match IncrementalView::new(
+            schema,
+            instance,
+            &lowered.query,
+            Some(&lowered.group_by),
+        )? {
+            Some(view) => {
+                let groups = view.profile_grouped()?;
+                (groups, IncrState::Grouped { view })
+            }
+            None => (
+                exec::profile_grouped(schema, instance, &lowered.query, &lowered.group_by)?,
+                IncrState::None,
+            ),
+        };
+        let groups = groups
+            .into_iter()
+            .map(|(key, profile)| {
+                let values = branch_values(&profile, grid);
+                (key, profile, values)
+            })
+            .collect();
+        Ok(Prepared {
+            text: text.to_string(),
+            summary: None,
+            relations,
+            kind: PreparedKind::Grouped { groups },
+            incr: Mutex::new(incr),
+        })
     }
 }

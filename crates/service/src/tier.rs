@@ -11,7 +11,7 @@
 //! tenant serialize only on that tenant's own cache line — the sharded
 //! accountant of DESIGN.md §3.7.
 //!
-//! **Admission control.** [`ServiceTier::open_session`] refuses unknown
+//! **Admission control.** [`ServiceTier::session`] refuses unknown
 //! tenants and tenants with an exhausted quota; a refused admission — like a
 //! refused charge — happens strictly before any substream index exists, so
 //! it provably draws no randomness. Refusals and admissions are counted on
@@ -23,7 +23,7 @@
 //! [`BudgetCell`] guarantees the quota is never over-committed under any
 //! interleaving.
 
-use crate::session::Session;
+use crate::session::{Session, SessionOptions};
 use crate::{Error, PrivateDatabase};
 use r2t_core::{BudgetCell, R2TConfig};
 use std::collections::HashMap;
@@ -129,7 +129,7 @@ impl ServiceTier {
         ServiceTier { inner, _gauges }
     }
 
-    /// The fronted database (e.g. for [`PrivateDatabase::reload`] — already
+    /// The fronted database (e.g. for [`PrivateDatabase::apply`] — already
     /// admitted sessions keep their pinned snapshot).
     pub fn db(&self) -> &PrivateDatabase {
         &self.inner.db
@@ -205,17 +205,32 @@ impl ServiceTier {
             .sum()
     }
 
-    /// Admits a tenant session: looks the tenant up in its stripe (a shared
-    /// read lock — admissions of different tenants never serialize), refuses
-    /// unknown tenants and exhausted quotas, and otherwise opens a
-    /// [`Session`] whose budget cell *is* the tenant's quota. `seed` roots
-    /// the session's noise substreams; the caller owns seed hygiene (two
-    /// sessions of one tenant must not share a seed, or they would replay
-    /// each other's noise).
+    /// Admits a tenant session described by `opts`: requires
+    /// [`SessionOptions::tenant`], looks the tenant up in its stripe (a
+    /// shared read lock — admissions of different tenants never serialize),
+    /// refuses unknown tenants and exhausted quotas, and otherwise opens a
+    /// [`Session`] whose budget cell *is* the tenant's quota.
+    /// [`SessionOptions::total_epsilon`] is refused — the budget comes from
+    /// [`Self::register_tenant`], never from the caller.
+    /// [`SessionOptions::base`] overrides the tier's base config;
+    /// [`SessionOptions::seed`] roots the session's noise substreams (the
+    /// caller owns seed hygiene: two sessions of one tenant must not share
+    /// a seed, or they would replay each other's noise).
     ///
     /// A refused admission draws no randomness, structurally: the refusal
     /// happens before a session — and with it any substream index — exists.
-    pub fn open_session(&self, tenant: &str, seed: u64) -> Result<Session<'_>, Error> {
+    pub fn session(&self, opts: SessionOptions) -> Result<Session<'_>, Error> {
+        if let Some(eps) = opts.total_epsilon {
+            return Err(Error::Admission(format!(
+                "tier sessions draw the tenant's registered quota; \
+                 remove total_epsilon({eps})"
+            )));
+        }
+        let Some(tenant) = opts.tenant.as_deref() else {
+            return Err(Error::Admission(
+                "a tier session needs a tenant (SessionOptions::tenant)".to_string(),
+            ));
+        };
         let cell = {
             let stripe = self.stripe(tenant).read().expect("tenant stripe poisoned");
             match stripe.get(tenant) {
@@ -243,6 +258,13 @@ impl ServiceTier {
             }
         };
         r2t_obs::counter_add("service.admissions", 1);
-        Ok(Session::new(&self.inner.db, cell, self.inner.base.clone(), seed))
+        let base = opts.base.unwrap_or_else(|| self.inner.base.clone());
+        Ok(Session::new(&self.inner.db, cell, base, opts.seed))
+    }
+
+    /// Admits a tenant session.
+    #[deprecated(note = "use session(SessionOptions::new().tenant(..).seed(..))")]
+    pub fn open_session(&self, tenant: &str, seed: u64) -> Result<Session<'_>, Error> {
+        self.session(SessionOptions::new().tenant(tenant).seed(seed))
     }
 }

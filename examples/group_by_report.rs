@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example group_by_report`
 
 use r2t::core::R2TConfig;
-use r2t::system::PrivateDatabase;
+use r2t::system::{PrivateDatabase, SessionOptions};
 
 fn main() {
     let schema = r2t::tpch::tpch_schema(&["customer"]);
@@ -21,7 +21,11 @@ fn main() {
         db.explain(&sql.replace(" GROUP BY customer.mktsegment", "")).expect("explain")
     );
 
-    let session = db.open_session(4.0, R2TConfig::new(4.0, 0.1, 2048.0), 2);
+    let session = db
+        .session(
+            SessionOptions::new().total_epsilon(4.0).base(R2TConfig::new(4.0, 0.1, 2048.0)).seed(2),
+        )
+        .expect("session opens");
     let prepared = session.prepare(sql).expect("prepare");
     let result = prepared.answer_grouped(4.0).expect("grouped answers");
     println!("orders per market segment (total eps = {}, split 5 ways):", result.receipt.epsilon);

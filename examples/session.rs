@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example session`
 
 use r2t::core::R2TConfig;
-use r2t::system::{PrivateDatabase, QuerySpec};
+use r2t::system::{PrivateDatabase, QuerySpec, SessionOptions};
 
 fn main() -> Result<(), r2t::Error> {
     let schema = r2t::tpch::tpch_schema(&["customer"]);
@@ -17,7 +17,9 @@ fn main() -> Result<(), r2t::Error> {
 
     // A session owns the total ε budget. Every answer must charge it before
     // a single noise draw; when it runs out, answers are refused.
-    let session = db.open_session(1.0, R2TConfig::new(1.0, 0.1, 65536.0), 7);
+    let session = db.session(
+        SessionOptions::new().total_epsilon(1.0).base(R2TConfig::new(1.0, 0.1, 65536.0)).seed(7),
+    )?;
     println!("session budget: {} (seed 7)\n", session.total());
 
     // prepare() pays parse + lineage join + LP presolve + the race's branch

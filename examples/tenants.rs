@@ -1,7 +1,7 @@
 //! The multi-tenant serving tier: register tenants with ε quotas, open
 //! concurrent sessions that draw down one shared quota exactly, watch
-//! admission control refuse unknown and exhausted tenants, and reload the
-//! database without disturbing sessions already in flight.
+//! admission control refuse unknown and exhausted tenants, and apply a
+//! typed write batch without disturbing sessions already in flight.
 //!
 //! Run with: `cargo run --release --example tenants`
 //!
@@ -13,7 +13,8 @@
 //! ε gauges and serving histograms this run produced.
 
 use r2t::core::R2TConfig;
-use r2t::system::{PrivateDatabase, ServiceTier};
+use r2t::engine::Value;
+use r2t::system::{PrivateDatabase, ServiceTier, SessionOptions, WriteBatch};
 
 const ORDERS: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
 
@@ -23,7 +24,11 @@ fn main() -> Result<(), r2t::Error> {
         println!("obs exporter serving Prometheus text on http://{addr}/metrics\n");
     }
     let schema = r2t::tpch::tpch_schema(&["customer"]);
-    let db = PrivateDatabase::new(schema, r2t::tpch::generate(0.2, 0.3, 42))?;
+    let data = r2t::tpch::generate(0.2, 0.3, 42);
+    // Keep one foreign key around: the write batch below inserts orders that
+    // must point at a customer that actually exists.
+    let a_customer = data.rows("customer")[0][0].clone();
+    let db = PrivateDatabase::new(schema, data)?;
     let tier = ServiceTier::new(db, R2TConfig::new(1.0, 0.1, 4096.0));
 
     // Each tenant holds a total ε quota against the same private instance.
@@ -36,8 +41,8 @@ fn main() -> Result<(), r2t::Error> {
     // and exactly 16 succeed — the cell's spent lands on 1.0 bitwise, no
     // matter the interleaving (powers of two sum exactly in f64).
     let eps = 1.0 / 16.0;
-    let a = tier.open_session("marketing", 1)?;
-    let b = tier.open_session("marketing", 2)?;
+    let a = tier.session(SessionOptions::new().tenant("marketing").seed(1))?;
+    let b = tier.session(SessionOptions::new().tenant("marketing").seed(2))?;
     a.prepare(ORDERS)?;
     let (ok, refused) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..16)
@@ -70,26 +75,35 @@ fn main() -> Result<(), r2t::Error> {
 
     // Admission control: unknown tenants and exhausted quotas are refused
     // at the door, before a session — hence any randomness — exists.
-    match tier.open_session("nobody", 3) {
+    match tier.session(SessionOptions::new().tenant("nobody").seed(3)) {
         Err(r2t::Error::Admission(m)) => println!("refused: {m}"),
         other => panic!("expected an admission refusal, got {:?}", other.map(|_| ())),
     }
-    match tier.open_session("marketing", 4) {
+    match tier.session(SessionOptions::new().tenant("marketing").seed(4)) {
         Err(r2t::Error::Admission(m)) => println!("refused: {m}"),
         other => panic!("expected an admission refusal, got {:?}", other.map(|_| ())),
     }
 
-    // Reload swaps the snapshot atomically: the fraud session opened before
-    // the reload keeps answering on its pinned version; a session opened
-    // after sees the new data. Neither ever blocks on the other.
-    let fraud = tier.open_session("fraud", 5)?;
+    // Writes go through the typed mutation surface: stage a WriteBatch of
+    // per-relation inserts (and deletes), then apply it. The batch is
+    // schema-validated and integrity-checked in O(batch), and the new
+    // snapshot patches the prepared-statement cache incrementally instead of
+    // replanning. The fraud session opened before the write keeps answering
+    // on its pinned version; a session opened after sees the new data.
+    // Neither ever blocks on the other.
+    let fraud = tier.session(SessionOptions::new().tenant("fraud").seed(5))?;
     let exact_v0 = tier.db().query_exact(ORDERS)?;
     let before = fraud.answer(ORDERS, 0.25)?;
-    let v = tier.db().reload(r2t::tpch::generate(0.4, 0.3, 43))?;
+    let mut batch = WriteBatch::new();
+    batch.insert_all(
+        "orders",
+        (0..1_000).map(|i| vec![Value::Int(10_000_000 + i), a_customer.clone(), Value::Int(0)]),
+    );
+    let v = tier.db().apply(batch)?;
     let exact_v1 = tier.db().query_exact(ORDERS)?;
     let after = fraud.answer(ORDERS, 0.25)?;
-    let fresh = tier.open_session("fraud", 6)?;
-    println!("\nreload installed snapshot v{v}: exact count {exact_v0:.0} -> {exact_v1:.0};");
+    let fresh = tier.session(SessionOptions::new().tenant("fraud").seed(6))?;
+    println!("\napplied 1000 orders as snapshot v{v}: exact count {exact_v0:.0} -> {exact_v1:.0};");
     println!(
         "the pinned session still answers against v0 ({:.0} then {:.0}),",
         before.noisy, after.noisy

@@ -17,8 +17,10 @@
 //!
 //! [`system::PrivateDatabase`] ties everything together: SQL in, ε-DP
 //! answers out (the paper's Figure 3 system as one type); its
-//! [`system::PrivateDatabase::open_session`] is the intended entry point for
-//! answering more than one query.
+//! [`system::PrivateDatabase::session`] is the intended entry point for
+//! answering more than one query, and [`system::PrivateDatabase::apply`]
+//! is the typed write path ([`system::WriteBatch`] in, incrementally
+//! revalidated snapshot out).
 //!
 //! See `DESIGN.md` for the full system inventory and `EXPERIMENTS.md` for the
 //! reproduction of every table and figure in the paper.

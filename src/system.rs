@@ -6,13 +6,18 @@
 //! prepared-query serving:
 //!
 //! ```
-//! use r2t::system::PrivateDatabase;
+//! use r2t::system::{PrivateDatabase, SessionOptions};
 //! use r2t::core::R2TConfig;
 //!
 //! # fn main() -> Result<(), r2t::Error> {
 //! let schema = r2t::tpch::tpch_schema(&["customer"]);
 //! let db = PrivateDatabase::new(schema, r2t::tpch::generate(0.05, 0.3, 1))?;
-//! let session = db.open_session(1.0, R2TConfig::builder(1.0, 0.1, 4096.0).build(), 7);
+//! let session = db.session(
+//!     SessionOptions::new()
+//!         .total_epsilon(1.0)
+//!         .base(R2TConfig::builder(1.0, 0.1, 4096.0).build())
+//!         .seed(7),
+//! )?;
 //! let noisy = session
 //!     .answer("SELECT COUNT(*) FROM orders, lineitem WHERE lineitem.l_ok = orders.ok", 0.5)?
 //!     .noisy;
@@ -24,7 +29,7 @@
 
 pub use r2t_service::{
     substream_rng, Answer, Error, GroupedAnswer, PreparedQuery, PrivateDatabase, QuerySpec,
-    RaceStats, Receipt, ServiceTier, Session, Snapshot, TenantInfo,
+    RaceStats, Receipt, ServiceTier, Session, SessionOptions, Snapshot, TenantInfo, WriteBatch,
 };
 
 /// The pre-service error type, kept as an alias for downstream `match`-free

@@ -126,7 +126,7 @@ fn grouped_executor_is_bit_identical_under_instrumentation() {
 #[test]
 fn serving_with_exporter_and_histograms_is_bit_identical() {
     use r2t::core::R2TConfig;
-    use r2t::system::{PrivateDatabase, QuerySpec, ServiceTier};
+    use r2t::system::{PrivateDatabase, QuerySpec, ServiceTier, SessionOptions};
 
     const SQL: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
 
@@ -137,7 +137,8 @@ fn serving_with_exporter_and_histograms_is_bit_identical() {
         let db = PrivateDatabase::new(schema, generate(0.08, 0.3, 77)).expect("db");
         let tier = ServiceTier::new(db, R2TConfig::new(1.0, 0.1, 4096.0));
         tier.register_tenant("alpha", 2.0).expect("register");
-        let session = tier.open_session("alpha", 4242).expect("admit");
+        let session =
+            tier.session(SessionOptions::new().tenant("alpha").seed(4242)).expect("admit");
         let prepared = session.prepare(SQL).expect("prepare");
         let mut bits = Vec::new();
         for _ in 0..8 {

@@ -6,9 +6,9 @@
 use r2t::core::groupby::GroupByR2T;
 use r2t::core::{R2TConfig, R2T};
 use r2t::engine::{exec, Tuple};
-use r2t::service::{substream_rng, QuerySpec};
+use r2t::service::{substream_rng, QuerySpec, Session};
 use r2t::sql::parse_statement;
-use r2t::system::PrivateDatabase;
+use r2t::system::{PrivateDatabase, SessionOptions};
 
 const ORDERS_SQL: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
 const ITEMS_SQL: &str = "SELECT COUNT(*) FROM orders, lineitem WHERE lineitem.l_ok = orders.ok";
@@ -23,6 +23,12 @@ fn db() -> PrivateDatabase {
 /// pipeline on the same noise substream.
 fn seq_cfg() -> R2TConfig {
     R2TConfig::builder(1.0, 0.1, 4096.0).early_stop(false).parallel(false).build()
+}
+
+/// Opens a session through the one [`SessionOptions`] entry point.
+fn open(db: &PrivateDatabase, total_epsilon: f64, seed: u64) -> Session<'_> {
+    db.session(SessionOptions::new().total_epsilon(total_epsilon).base(seq_cfg()).seed(seed))
+        .expect("session opens")
 }
 
 /// Cold oracle: parse → profile → LP race assembled from the public layers
@@ -56,7 +62,7 @@ fn prepared_answer_is_bit_identical_to_cold_query() {
     let db = db();
     let seed = 42;
     let eps = 0.5;
-    let session = db.open_session(2.0, seq_cfg(), seed);
+    let session = open(&db, 2.0, seed);
     let prepared = session.prepare(ORDERS_SQL).expect("prepare");
     let warm = prepared.answer(eps).expect("prepared answer");
 
@@ -79,7 +85,7 @@ fn grouped_prepared_answer_matches_cold_query_grouped() {
     let seed = 7;
     let eps = 1.0;
     let sql = format!("{ORDERS_SQL} GROUP BY customer.mktsegment");
-    let session = db.open_session(2.0, seq_cfg(), seed);
+    let session = open(&db, 2.0, seed);
     let prepared = session.prepare(&sql).expect("prepare");
     assert!(prepared.is_grouped());
     assert!(prepared.summary().is_none());
@@ -105,7 +111,7 @@ fn answer_all_is_independent_of_worker_count() {
     let db = db();
     let mut outputs: Vec<Vec<u64>> = Vec::new();
     for workers in [1, 2, 8] {
-        let session = db.open_session(1.0, seq_cfg(), 99);
+        let session = open(&db, 1.0, 99);
         let answers = session.answer_all_with(&specs, workers).expect("batch");
         assert_eq!(answers.len(), specs.len());
         for (i, a) in answers.iter().enumerate() {
@@ -117,7 +123,7 @@ fn answer_all_is_independent_of_worker_count() {
     assert_eq!(outputs[0], outputs[2], "1 vs 8 workers");
 
     // The batch is also bit-identical to answering one by one in order.
-    let session = db.open_session(1.0, seq_cfg(), 99);
+    let session = open(&db, 1.0, 99);
     let sequential: Vec<u64> = specs
         .iter()
         .map(|s| session.answer(&s.sql, s.epsilon).expect("answer").noisy.to_bits())
@@ -128,7 +134,7 @@ fn answer_all_is_independent_of_worker_count() {
 #[test]
 fn over_budget_batch_is_refused_atomically() {
     let db = db();
-    let session = db.open_session(1.0, seq_cfg(), 5);
+    let session = open(&db, 1.0, 5);
     session.answer(ORDERS_SQL, 0.5).expect("fits");
     let spent_before = session.spent();
     let charges_before = session.num_charges();
@@ -153,13 +159,13 @@ fn over_budget_batch_is_refused_atomically() {
 fn refused_charge_draws_no_noise() {
     let db = db();
     // Session A: one answer, then a refused charge, then another answer.
-    let a = db.open_session(1.0, seq_cfg(), 13);
+    let a = open(&db, 1.0, 13);
     let a1 = a.answer(ORDERS_SQL, 0.5).expect("first");
     assert!(matches!(a.answer(ITEMS_SQL, 0.75), Err(r2t::Error::Budget(_))));
     let a2 = a.answer(ITEMS_SQL, 0.5).expect("second");
 
     // Session B: the same two successful charges, no refusal in between.
-    let b = db.open_session(1.0, seq_cfg(), 13);
+    let b = open(&db, 1.0, 13);
     let b1 = b.answer(ORDERS_SQL, 0.5).expect("first");
     let b2 = b.answer(ITEMS_SQL, 0.5).expect("second");
 
@@ -174,7 +180,7 @@ fn refused_charge_draws_no_noise() {
 fn concurrent_answers_charge_exactly() {
     let db = db();
     // Budget fits exactly 8 charges of 1/8 (both powers of two: float-exact).
-    let session = db.open_session(1.0, seq_cfg(), 21);
+    let session = open(&db, 1.0, 21);
     let prepared = session.prepare(ORDERS_SQL).expect("prepare");
     let outcomes: Vec<bool> = std::thread::scope(|scope| {
         let handles: Vec<_> =
@@ -192,7 +198,7 @@ fn concurrent_answers_charge_exactly() {
 #[test]
 fn cache_is_keyed_by_normalized_text() {
     let db = db();
-    let session = db.open_session(1.0, seq_cfg(), 1);
+    let session = open(&db, 1.0, 1);
     let p1 = session.prepare(ORDERS_SQL).expect("prepare");
     let p2 = session
         .prepare("select  count( * )\n from customer,orders where orders.o_ck=customer.ck")
@@ -210,7 +216,7 @@ fn cache_is_keyed_by_normalized_text() {
 #[test]
 fn per_answer_epsilon_is_validated() {
     let db = db();
-    let session = db.open_session(1.0, seq_cfg(), 1);
+    let session = open(&db, 1.0, 1);
     let prepared = session.prepare(ORDERS_SQL).expect("prepare");
     assert!(matches!(prepared.answer(0.0), Err(r2t::Error::Unsupported(_))));
     assert!(matches!(prepared.answer(-1.0), Err(r2t::Error::Unsupported(_))));
@@ -221,7 +227,7 @@ fn per_answer_epsilon_is_validated() {
 #[test]
 fn grouped_statements_are_fenced_from_scalar_entry_points() {
     let db = db();
-    let session = db.open_session(2.0, seq_cfg(), 3);
+    let session = open(&db, 2.0, 3);
     let grouped_sql = format!("{ORDERS_SQL} GROUP BY customer.mktsegment");
     let g = session.prepare(&grouped_sql).expect("prepare grouped");
     assert!(matches!(g.answer(0.5), Err(r2t::Error::Unsupported(_))));
@@ -237,7 +243,7 @@ fn distinct_substreams_give_distinct_noise() {
     let db = db();
     // Large per-answer ε so the race is won by a noisy branch, not the
     // noise-free floor Q(I, 0) — this is a determinism test, not a DP one.
-    let session = db.open_session(1000.0, seq_cfg(), 77);
+    let session = open(&db, 1000.0, 77);
     let prepared = session.prepare(ORDERS_SQL).expect("prepare");
     let a = prepared.answer(400.0).expect("a");
     let b = prepared.answer(400.0).expect("b");

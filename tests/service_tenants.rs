@@ -1,9 +1,10 @@
 //! Integration tests for the multi-tenant serving tier: striped per-tenant
 //! budget cells under contention, admission control, snapshot isolation
-//! across reloads, and the shared prepared cache.
+//! across writes, and the shared prepared cache.
 
 use r2t::core::R2TConfig;
-use r2t::system::{PrivateDatabase, ServiceTier};
+use r2t::service::Session;
+use r2t::system::{PrivateDatabase, ServiceTier, SessionOptions, WriteBatch};
 
 const ORDERS_SQL: &str = "SELECT COUNT(*) FROM customer, orders WHERE orders.o_ck = customer.ck";
 const ITEMS_SQL: &str = "SELECT COUNT(*) FROM orders, lineitem WHERE lineitem.l_ok = orders.ok";
@@ -18,13 +19,24 @@ fn seq_cfg() -> R2TConfig {
     R2TConfig::builder(1.0, 0.1, 4096.0).early_stop(false).parallel(false).build()
 }
 
+/// Tier admission through the one [`SessionOptions`] entry point.
+fn admit<'t>(tier: &'t ServiceTier, tenant: &str, seed: u64) -> Result<Session<'t>, r2t::Error> {
+    tier.session(SessionOptions::new().tenant(tenant).seed(seed))
+}
+
+/// Private-database session through the same builder.
+fn open(db: &PrivateDatabase, total_epsilon: f64, seed: u64) -> Session<'_> {
+    db.session(SessionOptions::new().total_epsilon(total_epsilon).base(seq_cfg()).seed(seed))
+        .expect("session opens")
+}
+
 #[test]
 fn admission_control_refuses_before_any_randomness_exists() {
     let tier = ServiceTier::new(db(), seq_cfg());
     tier.register_tenant("acme", 1.0).expect("register");
 
     // Unknown tenant: refused at the door.
-    assert!(matches!(tier.open_session("ghost", 1), Err(r2t::Error::Admission(_))));
+    assert!(matches!(admit(&tier, "ghost", 1), Err(r2t::Error::Admission(_))));
 
     // Duplicate registration and invalid quotas: refused.
     assert!(matches!(tier.register_tenant("acme", 2.0), Err(r2t::Error::Admission(_))));
@@ -32,15 +44,15 @@ fn admission_control_refuses_before_any_randomness_exists() {
     assert!(matches!(tier.register_tenant("bad", f64::NAN), Err(r2t::Error::Admission(_))));
 
     // Exhaust the quota, then admission itself is refused.
-    let s = tier.open_session("acme", 7).expect("admitted");
+    let s = admit(&tier, "acme", 7).expect("admitted");
     s.answer(ORDERS_SQL, 1.0).expect("spends the whole quota");
-    assert!(matches!(tier.open_session("acme", 8), Err(r2t::Error::Admission(_))));
+    assert!(matches!(admit(&tier, "acme", 8), Err(r2t::Error::Admission(_))));
 
     // The refusals changed nothing: a parallel tier driven identically but
     // without the refused calls produces bit-identical answers.
     let tier2 = ServiceTier::new(db(), seq_cfg());
     tier2.register_tenant("acme", 1.0).expect("register");
-    let s2 = tier2.open_session("acme", 7).expect("admitted");
+    let s2 = admit(&tier2, "acme", 7).expect("admitted");
     let a2 = s2.answer(ORDERS_SQL, 1.0).expect("answer");
     let info = tier.tenant("acme").expect("registered");
     assert_eq!(info.spent, 1.0);
@@ -49,7 +61,7 @@ fn admission_control_refuses_before_any_randomness_exists() {
     // Cross-check determinism of the admitted path.
     let again = ServiceTier::new(db(), seq_cfg());
     again.register_tenant("acme", 1.0).unwrap();
-    let s3 = again.open_session("acme", 7).unwrap();
+    let s3 = admit(&again, "acme", 7).unwrap();
     assert_eq!(
         s3.answer(ORDERS_SQL, 1.0).unwrap().noisy.to_bits(),
         a2.noisy.to_bits(),
@@ -79,9 +91,8 @@ fn contended_tenants_charge_exactly_and_refusals_draw_no_noise() {
     }
 
     // One session per tenant, all threads of a tenant hammering that session.
-    let sessions: Vec<_> = (0..TENANTS)
-        .map(|t| tier.open_session(&format!("tenant-{t}"), t as u64).unwrap())
-        .collect();
+    let sessions: Vec<_> =
+        (0..TENANTS).map(|t| admit(&tier, &format!("tenant-{t}"), t as u64).unwrap()).collect();
     for s in &sessions {
         s.prepare(ORDERS_SQL).expect("prepare");
     }
@@ -134,7 +145,7 @@ fn contended_tenants_charge_exactly_and_refusals_draw_no_noise() {
         // consumed randomness or an index, some output would diverge.
         let replay_tier = ServiceTier::new(db(), seq_cfg());
         replay_tier.register_tenant(&name, quota).unwrap();
-        let replay = replay_tier.open_session(&name, t as u64).unwrap();
+        let replay = admit(&replay_tier, &name, t as u64).unwrap();
         let mut expected: Vec<u64> = (0..expected_successes)
             .map(|_| replay.answer(ORDERS_SQL, eps).expect("replay").noisy.to_bits())
             .collect();
@@ -152,8 +163,8 @@ fn contended_tenants_charge_exactly_and_refusals_draw_no_noise() {
 fn sessions_share_one_tenant_quota() {
     let tier = ServiceTier::new(db(), seq_cfg());
     tier.register_tenant("shared", 1.0).expect("register");
-    let a = tier.open_session("shared", 1).expect("admitted");
-    let b = tier.open_session("shared", 2).expect("admitted");
+    let a = admit(&tier, "shared", 1).expect("admitted");
+    let b = admit(&tier, "shared", 2).expect("admitted");
     a.answer(ORDERS_SQL, 0.5).expect("a spends");
     b.answer(ITEMS_SQL, 0.5).expect("b spends the rest");
     assert!(matches!(a.answer(ORDERS_SQL, 0.25), Err(r2t::Error::Budget(_))));
@@ -166,33 +177,35 @@ fn sessions_share_one_tenant_quota() {
 }
 
 #[test]
-fn reload_swaps_snapshots_without_stalling_open_sessions() {
+fn replace_swaps_snapshots_without_stalling_open_sessions() {
     let database = db();
-    let session = database.open_session(10.0, seq_cfg(), 5);
+    let session = open(&database, 10.0, 5);
     let prepared = session.prepare(ORDERS_SQL).expect("prepare");
     let before = prepared.answer(0.5).expect("answer on v0");
     let exact_before = database.query_exact(ORDERS_SQL).expect("exact");
     assert_eq!(session.snapshot().version(), 0);
 
-    // Reload with a larger instance. The open session is pinned: answers
+    // Replace with a larger instance. The open session is pinned: answers
     // keep coming from the old snapshot, bit-identical to what the same
     // substream produced before.
-    let v = database.reload(r2t::tpch::generate(0.16, 0.3, 9)).expect("reload");
+    let v = database
+        .apply(WriteBatch::replace(r2t::tpch::generate(0.16, 0.3, 9)))
+        .expect("replace applies");
     assert_eq!(v, 1);
     let after = session.prepare(ORDERS_SQL).unwrap().answer(0.5).expect("answer on pinned v0");
     let replay_db = db();
-    let replay = replay_db.open_session(10.0, seq_cfg(), 5);
+    let replay = open(&replay_db, 10.0, 5);
     let r0 = replay.answer(ORDERS_SQL, 0.5).unwrap();
     let r1 = replay.answer(ORDERS_SQL, 0.5).unwrap();
     assert_eq!(before.noisy.to_bits(), r0.noisy.to_bits());
     assert_eq!(
         after.noisy.to_bits(),
         r1.noisy.to_bits(),
-        "reload must not perturb a pinned session"
+        "a replace must not perturb a pinned session"
     );
 
     // New sessions (and exact queries) see the new data.
-    let fresh = database.open_session(10.0, seq_cfg(), 5);
+    let fresh = open(&database, 10.0, 5);
     assert_eq!(fresh.snapshot().version(), 1);
     let exact_after = database.query_exact(ORDERS_SQL).expect("exact");
     assert!(exact_after > exact_before, "bigger instance: {exact_after} vs {exact_before}");
@@ -208,15 +221,18 @@ fn reload_swaps_snapshots_without_stalling_open_sessions() {
             r2t::engine::Value::Int(0),
         ],
     );
-    assert!(database.reload(broken).is_err(), "validation failure refuses the swap");
-    assert_eq!(database.snapshot().version(), 1, "failed reload leaves the snapshot untouched");
+    assert!(
+        database.apply(WriteBatch::replace(broken)).is_err(),
+        "validation failure refuses the swap"
+    );
+    assert_eq!(database.snapshot().version(), 1, "failed replace leaves the snapshot untouched");
 }
 
 #[test]
 fn prepared_cache_is_shared_across_sessions_on_one_snapshot() {
     let database = db();
-    let s1 = database.open_session(1.0, seq_cfg(), 1);
-    let s2 = database.open_session(1.0, seq_cfg(), 2);
+    let s1 = open(&database, 1.0, 1);
+    let s2 = open(&database, 1.0, 2);
     s1.prepare(ORDERS_SQL).expect("prepare in s1");
     assert_eq!(database.snapshot().cached_statements(), 1);
     s2.prepare(ORDERS_SQL).expect("prepare in s2 is a hit");
@@ -226,7 +242,14 @@ fn prepared_cache_is_shared_across_sessions_on_one_snapshot() {
         "same text + same grid: one shared entry"
     );
     // A different grid shape is a different entry (different τ ladder).
-    let s3 = database.open_session(1.0, R2TConfig::builder(1.0, 0.1, 65536.0).build(), 3);
+    let s3 = database
+        .session(
+            SessionOptions::new()
+                .total_epsilon(1.0)
+                .base(R2TConfig::builder(1.0, 0.1, 65536.0).build())
+                .seed(3),
+        )
+        .expect("session opens");
     s3.prepare(ORDERS_SQL).expect("prepare under a deeper grid");
     assert_eq!(database.snapshot().cached_statements(), 2);
     // Session-local views count per-session statements.
@@ -244,7 +267,7 @@ fn tier_batches_run_on_the_pool_and_stay_deterministic() {
         .collect();
     let mut outputs: Vec<Vec<u64>> = Vec::new();
     for workers in [1usize, 3, 8] {
-        let session = tier.open_session("batcher", 42).expect("admitted");
+        let session = admit(&tier, "batcher", 42).expect("admitted");
         let answers = session.answer_all_with(&specs, workers).expect("batch");
         outputs.push(answers.iter().map(|a| a.noisy.to_bits()).collect());
     }
