@@ -242,8 +242,9 @@ fn main() {
     }
 
     let body: Vec<&str> = workloads.iter().map(|w| w.json.as_str()).collect();
+    let peak_rss = r2t_bench::peak_rss_bytes();
     let json = format!(
-        "{{\n  \"bench\": \"flow_kernel\",\n  \"reps\": {reps},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"flow_kernel\",\n  \"reps\": {reps},\n  \"peak_rss_bytes\": {peak_rss},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         body.join(",\n")
     );
     std::fs::create_dir_all("results").expect("results dir");

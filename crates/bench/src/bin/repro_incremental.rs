@@ -312,8 +312,9 @@ fn main() {
     ];
 
     let body: Vec<&str> = workloads.iter().map(|(json, _)| json.as_str()).collect();
+    let peak_rss = r2t_bench::peak_rss_bytes();
     let json = format!(
-        "{{\n  \"bench\": \"incremental\",\n  \"reps\": {reps},\n  \"scale\": {},\n  \
+        "{{\n  \"bench\": \"incremental\",\n  \"reps\": {reps},\n  \"peak_rss_bytes\": {peak_rss},\n  \"scale\": {},\n  \
          \"min_speedup_at_1pct\": {min_speedup},\n  \"workloads\": [\n{}\n  ]\n}}\n",
         scale(),
         body.join(",\n")

@@ -265,8 +265,9 @@ fn main() {
     let batch_json = run_batch(&db, reps);
 
     let body: Vec<&str> = workloads.iter().map(|w| w.json.as_str()).collect();
+    let peak_rss = r2t_bench::peak_rss_bytes();
     let json = format!(
-        "{{\n  \"bench\": \"serving\",\n  \"reps\": {reps},\n  \"workloads\": [\n{}\n  ],\n  \"batch\": [\n{batch_json}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"serving\",\n  \"reps\": {reps},\n  \"peak_rss_bytes\": {peak_rss},\n  \"workloads\": [\n{}\n  ],\n  \"batch\": [\n{batch_json}\n  ]\n}}\n",
         body.join(",\n")
     );
     std::fs::create_dir_all("results").expect("results dir");

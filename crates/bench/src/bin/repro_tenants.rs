@@ -416,10 +416,11 @@ fn main() {
          (override with R2T_TENANTS_MIN_RATE for smoke runs)"
     );
 
+    let peak_rss = r2t_bench::peak_rss_bytes();
     let mut json = String::new();
     write!(
         json,
-        "{{\n  \"bench\": \"tenants\",\n  \"tenants\": {tenants},\n  \"answers_per_tenant\": {answers},\n  \"eps_per_answer\": {EPS:.9},\n  \"client_threads\": {client_threads},\n  \"prepare_s\": {prepare_s:.6},\n  \"serve_off_s\": {elapsed_off:.6},\n  \"serve_elapsed_s\": {elapsed_on:.6},\n  \"total_answers\": {total_answers},\n  \"answers_per_s_off\": {rate_off:.0},\n  \"answers_per_s\": {rate_on:.0},\n  \"us_per_answer\": {:.4},\n  \"min_rate_floor\": {min_rate:.0},\n  \"obs\": {{\"compiled\": {}, \"level\": \"{}\", \"on_frac_of_off\": {frac:.4}, \"min_frac\": {min_frac:.2}, \"answer_ns_p50\": {p50}, \"answer_ns_p99\": {p99}, \"answer_ns_p999\": {p999}, \"bit_identical_to_off\": true}},\n  \"charging_bitwise_exact\": true,\n  \"bitwise_equal_to_oracle\": true,\n  \"refusal_probe\": {{\"attempts\": {}, \"admitted\": {}, \"refused\": {refusals}, \"drew_no_noise\": true}}\n}}\n",
+        "{{\n  \"bench\": \"tenants\",\n  \"peak_rss_bytes\": {peak_rss},\n  \"tenants\": {tenants},\n  \"answers_per_tenant\": {answers},\n  \"eps_per_answer\": {EPS:.9},\n  \"client_threads\": {client_threads},\n  \"prepare_s\": {prepare_s:.6},\n  \"serve_off_s\": {elapsed_off:.6},\n  \"serve_elapsed_s\": {elapsed_on:.6},\n  \"total_answers\": {total_answers},\n  \"answers_per_s_off\": {rate_off:.0},\n  \"answers_per_s\": {rate_on:.0},\n  \"us_per_answer\": {:.4},\n  \"min_rate_floor\": {min_rate:.0},\n  \"obs\": {{\"compiled\": {}, \"level\": \"{}\", \"on_frac_of_off\": {frac:.4}, \"min_frac\": {min_frac:.2}, \"answer_ns_p50\": {p50}, \"answer_ns_p99\": {p99}, \"answer_ns_p999\": {p999}, \"bit_identical_to_off\": true}},\n  \"charging_bitwise_exact\": true,\n  \"bitwise_equal_to_oracle\": true,\n  \"refusal_probe\": {{\"attempts\": {}, \"admitted\": {}, \"refused\": {refusals}, \"drew_no_noise\": true}}\n}}\n",
         elapsed_on / total_answers as f64 * 1e6,
         r2t_obs::COMPILED,
         on_level.as_str(),

@@ -232,8 +232,9 @@ fn main() {
         )
         .unwrap();
     }
+    let peak_rss = r2t_bench::peak_rss_bytes();
     let json = format!(
-        "{{\n  \"bench\": \"wcoj\",\n  \"reps\": {reps},\n  \"scale\": {scale},\n  \"workloads\": [\n{body}\n  ]\n}}\n"
+        "{{\n  \"bench\": \"wcoj\",\n  \"reps\": {reps},\n  \"peak_rss_bytes\": {peak_rss},\n  \"scale\": {scale},\n  \"workloads\": [\n{body}\n  ]\n}}\n"
     );
     std::fs::create_dir_all("results").expect("results dir");
     std::fs::write("results/BENCH_wcoj.json", &json).expect("write BENCH_wcoj.json");

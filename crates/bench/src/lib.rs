@@ -33,6 +33,18 @@ pub fn workers() -> Option<usize> {
     std::env::var("R2T_WORKERS").ok().and_then(|v| v.parse().ok())
 }
 
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), 0 where procfs is unavailable.
+///
+/// `VmHWM` is a process-lifetime high-water mark: it only ever goes up, so
+/// reading it at the end of a run reports the *largest* footprint any phase
+/// reached. Benches that need per-phase peaks (e.g. `repro_scale` comparing
+/// streamed vs in-memory execution) re-exec themselves and run each phase
+/// in a child process.
+pub fn peak_rss_bytes() -> u64 {
+    r2t_obs::peak_rss_bytes()
+}
+
 /// Plain mean of a sample vector.
 pub fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len() as f64

@@ -45,11 +45,32 @@ use crate::interner::{ColumnarTable, Interner, UNBOUND};
 use crate::lineage::{pack_private_key, IdProfileBuilder, ProfileBuilder, QueryProfile};
 use crate::query::{Aggregate, Atom, Query, Var};
 use crate::schema::Schema;
+use crate::storage::Archive;
 use crate::value::{cmp_tuples, Tuple, Value};
 use crate::EngineError;
 use r2t_obs::Attr;
 use std::collections::HashMap;
+use std::ops::Range;
 use std::time::Instant;
+
+/// Where a query reads its tuples from.
+///
+/// [`Source::Rows`] is the classic heap path: the instance's rows are
+/// interned into a fresh per-query id space. [`Source::Archive`] reads an
+/// opened on-disk archive instead: columns are zero-copy memory-mapped views
+/// and the archive's global interner is borrowed, so no per-query interning
+/// happens at all. Both sources produce **bit-identical profiles**: dense
+/// private ids, projection groups, and group keys depend only on the
+/// *emission order* of results and on value *equality* — never on the raw
+/// interned id values — and the pipeline enumerates bindings in the same
+/// row order for both sources.
+#[derive(Clone, Copy)]
+pub enum Source<'a> {
+    /// Heap-resident rows; interned per query.
+    Rows(&'a Instance),
+    /// A memory-mapped archive (see [`crate::storage`]).
+    Archive(&'a Archive),
+}
 
 /// A reference key for a private tuple: (primary-private relation index,
 /// primary-key value). Used by the reference executor; the columnar path
@@ -88,11 +109,26 @@ pub struct ExecOptions {
     /// Executor selection; [`Strategy::Auto`] routes on join-hypergraph
     /// shape.
     pub strategy: Strategy,
+    /// Streamed-execution block size for the columnar pipeline: the maximum
+    /// number of seed-stage rows processed per partition. `None` (the
+    /// default) runs the whole seed in one partition. `Some(n)` splits the
+    /// seed into ascending contiguous blocks of at most `n` rows, runs the
+    /// full pipeline per block with a bounded binding arena, and merges the
+    /// per-partition profile shards in block order — the profile is
+    /// bit-identical to the unpartitioned run for any block size (same
+    /// deterministic merge the worker shards use). Ignored by the WCOJ
+    /// executor, whose buffered state is already output-proportional.
+    pub stream_block: Option<usize>,
 }
 
 impl Default for ExecOptions {
     fn default() -> Self {
-        ExecOptions { workers: None, parallel_threshold: 4096, strategy: Strategy::Auto }
+        ExecOptions {
+            workers: None,
+            parallel_threshold: 4096,
+            strategy: Strategy::Auto,
+            stream_block: None,
+        }
     }
 }
 
@@ -148,6 +184,15 @@ pub fn profile(
     Ok(profile_with_stats(schema, instance, query, &ExecOptions::default())?.0)
 }
 
+/// [`profile`] reading from an arbitrary [`Source`].
+pub fn profile_src(
+    schema: &Schema,
+    source: Source<'_>,
+    query: &Query,
+) -> Result<QueryProfile, EngineError> {
+    Ok(profile_with_stats_src(schema, source, query, &ExecOptions::default())?.0)
+}
+
 /// [`profile`] with explicit options and execution statistics.
 pub fn profile_with_stats(
     schema: &Schema,
@@ -155,20 +200,33 @@ pub fn profile_with_stats(
     query: &Query,
     opts: &ExecOptions,
 ) -> Result<(QueryProfile, ExecStats), EngineError> {
+    profile_with_stats_src(schema, Source::Rows(instance), query, opts)
+}
+
+/// [`profile_with_stats`] reading from an arbitrary [`Source`].
+pub fn profile_with_stats_src(
+    schema: &Schema,
+    source: Source<'_>,
+    query: &Query,
+    opts: &ExecOptions,
+) -> Result<(QueryProfile, ExecStats), EngineError> {
     let q = complete_query(schema, query)?;
     if q.num_vars() == 0 {
         // Degenerate zero-variable queries (relations without columns) are
         // not worth a columnar path.
-        return profile_reference(schema, instance, query);
+        return match source {
+            Source::Rows(instance) => profile_reference(schema, instance, query),
+            Source::Archive(a) => profile_reference(schema, &a.materialize(), query),
+        };
     }
     let private_vars = private_key_vars(schema, &q)?;
     if use_wcoj(&q, opts.strategy) {
-        return match crate::wcoj::run_flat(schema, instance, &q, private_vars, opts)? {
+        return match crate::wcoj::run_flat(schema, source, &q, private_vars, opts)? {
             Some(out) => Ok(out),
             None => Ok((QueryProfile::default(), ExecStats::default())),
         };
     }
-    let Some(plan) = Plan::new(schema, instance, &q, private_vars, opts)? else {
+    let Some(plan) = Plan::new(schema, source, &q, private_vars, opts)? else {
         return Ok((QueryProfile::default(), ExecStats::default()));
     };
     let interned_values = plan.interner.len();
@@ -211,10 +269,32 @@ pub fn profile_grouped(
     Ok(profile_grouped_with_stats(schema, instance, query, group_vars, &ExecOptions::default())?.0)
 }
 
+/// [`profile_grouped`] reading from an arbitrary [`Source`].
+pub fn profile_grouped_src(
+    schema: &Schema,
+    source: Source<'_>,
+    query: &Query,
+    group_vars: &[Var],
+) -> Result<Vec<(Tuple, QueryProfile)>, EngineError> {
+    Ok(profile_grouped_with_stats_src(schema, source, query, group_vars, &ExecOptions::default())?
+        .0)
+}
+
 /// [`profile_grouped`] with explicit options and execution statistics.
 pub fn profile_grouped_with_stats(
     schema: &Schema,
     instance: &Instance,
+    query: &Query,
+    group_vars: &[Var],
+    opts: &ExecOptions,
+) -> Result<(Vec<(Tuple, QueryProfile)>, ExecStats), EngineError> {
+    profile_grouped_with_stats_src(schema, Source::Rows(instance), query, group_vars, opts)
+}
+
+/// [`profile_grouped_with_stats`] reading from an arbitrary [`Source`].
+pub fn profile_grouped_with_stats_src(
+    schema: &Schema,
+    source: Source<'_>,
     query: &Query,
     group_vars: &[Var],
     opts: &ExecOptions,
@@ -229,18 +309,24 @@ pub fn profile_grouped_with_stats(
         }
     }
     if nvars == 0 {
-        let groups = profile_grouped_reference(schema, instance, query, group_vars)?;
+        let groups = match source {
+            Source::Rows(instance) => {
+                profile_grouped_reference(schema, instance, query, group_vars)?
+            }
+            Source::Archive(a) => {
+                profile_grouped_reference(schema, &a.materialize(), query, group_vars)?
+            }
+        };
         return Ok((groups, ExecStats::default()));
     }
     let private_vars = private_key_vars(schema, &q)?;
     if use_wcoj(&q, opts.strategy) {
-        return match crate::wcoj::run_grouped(schema, instance, &q, group_vars, private_vars, opts)?
-        {
+        return match crate::wcoj::run_grouped(schema, source, &q, group_vars, private_vars, opts)? {
             Some(out) => Ok(out),
             None => Ok((Vec::new(), ExecStats::default())),
         };
     }
-    let Some(plan) = Plan::new(schema, instance, &q, private_vars, opts)? else {
+    let Some(plan) = Plan::new(schema, source, &q, private_vars, opts)? else {
         return Ok((Vec::new(), ExecStats::default()));
     };
     let interned_values = plan.interner.len();
@@ -283,33 +369,73 @@ pub fn evaluate(schema: &Schema, instance: &Instance, query: &Query) -> Result<f
 // The columnar pipeline.
 // ---------------------------------------------------------------------------
 
-/// Interns every relation the query touches into columnar id tables, one
-/// table per *distinct* relation in first-appearance order (self-joins
-/// share). Shared by the columnar and WCOJ executors — identical interning
-/// order is what makes their interned-id spaces, and therefore their private
-/// reference keys, line up bit-for-bit.
-pub(crate) fn intern_tables(
+/// The interner a plan reads ids from: owned when built per-query from heap
+/// rows, borrowed when the source is an archive (whose database-wide
+/// interner is shared by every query — cloning it would cost O(values)).
+pub(crate) enum PlanInterner<'a> {
+    Owned(Interner),
+    Borrowed(&'a Interner),
+}
+
+impl std::ops::Deref for PlanInterner<'_> {
+    type Target = Interner;
+
+    #[inline]
+    fn deref(&self) -> &Interner {
+        match self {
+            PlanInterner::Owned(i) => i,
+            PlanInterner::Borrowed(i) => i,
+        }
+    }
+}
+
+/// Resolves the columnar id tables a query joins over, one table per
+/// *distinct* relation in first-appearance order (self-joins share). Shared
+/// by the columnar and WCOJ executors — identical table order is what makes
+/// their interned-id spaces, and therefore their private reference keys,
+/// line up bit-for-bit.
+///
+/// For [`Source::Rows`] every touched relation is interned into a fresh
+/// per-query id space; for [`Source::Archive`] the archive's mapped tables
+/// are reused as-is (a cheap `Arc` clone per column) along with its global
+/// interner. The two id spaces differ in raw values but agree on equality
+/// and row order, which is all profile construction depends on.
+pub(crate) fn intern_tables<'a>(
     schema: &Schema,
-    instance: &Instance,
+    source: Source<'a>,
     q: &Query,
-) -> Result<(Interner, Vec<ColumnarTable>, Vec<usize>), EngineError> {
-    let mut interner = Interner::new();
+) -> Result<(PlanInterner<'a>, Vec<ColumnarTable>, Vec<usize>), EngineError> {
     let mut tables: Vec<ColumnarTable> = Vec::new();
     let mut by_rel: HashMap<&str, usize> = HashMap::new();
     let mut atom_table = Vec::with_capacity(q.atoms.len());
+    let mut interner = match source {
+        Source::Rows(_) => Interner::new(),
+        Source::Archive(_) => Interner::default(), // unused; archive interner is borrowed
+    };
     for atom in &q.atoms {
         schema.relation(&atom.relation)?;
         let idx = match by_rel.get(atom.relation.as_str()) {
             Some(&i) => i,
             None => {
                 let i = tables.len();
-                tables.push(instance.columnar(&atom.relation, &mut interner));
+                let table = match source {
+                    Source::Rows(instance) => instance.columnar(&atom.relation, &mut interner),
+                    Source::Archive(a) => a
+                        .table(&atom.relation)
+                        .cloned()
+                        .unwrap_or(ColumnarTable { cols: Vec::new(), nrows: 0 }),
+                };
+                tables.push(table);
                 by_rel.insert(atom.relation.as_str(), i);
                 i
             }
         };
         atom_table.push(idx);
     }
+    let interner = match source {
+        Source::Rows(_) => PlanInterner::Owned(interner),
+        Source::Archive(a) => PlanInterner::Borrowed(a.interner()),
+    };
     Ok((interner, tables, atom_table))
 }
 
@@ -328,10 +454,10 @@ pub(crate) fn needed_value_vars(q: &Query) -> Vec<Var> {
 
 /// Prepared columnar execution state: interned tables, join order, and the
 /// variable sets each emission needs.
-struct Plan<'q> {
-    q: &'q Query,
+struct Plan<'a> {
+    q: &'a Query,
     nvars: usize,
-    interner: Interner,
+    interner: PlanInterner<'a>,
     /// Interned tables, one per *distinct* relation (self-joins share).
     tables: Vec<ColumnarTable>,
     /// Atom index -> index into `tables`.
@@ -345,23 +471,25 @@ struct Plan<'q> {
     needed_vars: Vec<Var>,
     workers: usize,
     threshold: usize,
+    /// Streamed-execution block size (seed rows per partition); 0 disables.
+    stream_block: usize,
 }
 
-impl<'q> Plan<'q> {
-    /// Interns the instance and plans the join; `None` when the query has no
-    /// atoms (empty profile).
+impl<'a> Plan<'a> {
+    /// Resolves the source tables and plans the join; `None` when the query
+    /// has no atoms (empty profile).
     fn new(
         schema: &Schema,
-        instance: &Instance,
-        q: &'q Query,
+        source: Source<'a>,
+        q: &'a Query,
         private_vars: Vec<(u32, Var)>,
         opts: &ExecOptions,
-    ) -> Result<Option<Plan<'q>>, EngineError> {
+    ) -> Result<Option<Plan<'a>>, EngineError> {
         if q.atoms.is_empty() {
             return Ok(None);
         }
         let nvars = q.num_vars();
-        let (interner, tables, atom_table) = intern_tables(schema, instance, q)?;
+        let (interner, tables, atom_table) = intern_tables(schema, source, q)?;
         let sizes: Vec<usize> = atom_table.iter().map(|&i| tables[i].nrows).collect();
         let order = greedy_order(q, &sizes, nvars);
         let needed_vars = needed_value_vars(q);
@@ -380,6 +508,7 @@ impl<'q> Plan<'q> {
             needed_vars,
             workers: workers.max(1),
             threshold: opts.parallel_threshold,
+            stream_block: opts.stream_block.unwrap_or(0),
         }))
     }
 
@@ -395,39 +524,122 @@ impl<'q> Plan<'q> {
     /// Runs the pipeline: every stage but the last extends the binding
     /// arena; the last streams into profile shards. Returns the emitted
     /// output, the peak binding count, and the surviving-result count.
+    ///
+    /// With a `stream_block` the seed stage is split into ascending
+    /// contiguous row blocks, the pipeline runs once per block, and the
+    /// per-partition shards are merged in block order. Because the
+    /// unpartitioned run enumerates bindings in seed-row order, the
+    /// concatenation of the partitions' emission streams is exactly the
+    /// unpartitioned emission stream — so the deterministic shard merge
+    /// yields a bit-identical profile while the binding arena stays bounded
+    /// by a block's output instead of the whole join's.
     fn run(&self, group_vars: Option<&[Var]>) -> Result<(EmitOut, usize, usize), EngineError> {
         let _run_span = r2t_obs::span("exec.run");
+        // Per-stage key indexes depend only on the bound-variable
+        // progression, never on binding contents, so they are built once and
+        // shared by every partition.
+        let mut bound = vec![false; self.nvars];
+        let mut indexes = Vec::with_capacity(self.order.len());
+        for &ai in &self.order {
+            let atom = &self.q.atoms[ai];
+            let table = &self.tables[self.atom_table[ai]];
+            indexes.push(KeyIndex::build(table, &atom.vars, &bound));
+            for &v in &atom.vars {
+                bound[v as usize] = true;
+            }
+        }
+        let seed_rows = self.tables[self.atom_table[self.order[0]]].nrows;
+        let out = if self.stream_block == 0 || seed_rows <= self.stream_block {
+            self.run_partition(&indexes, None, group_vars)?
+        } else {
+            self.run_streamed(&indexes, seed_rows, group_vars)?
+        };
+        r2t_obs::gauge_max("exec.peak_bindings", out.1 as u64);
+        r2t_obs::gauge_max("proc.peak_rss_bytes", r2t_obs::peak_rss_bytes());
+        Ok(out)
+    }
+
+    /// The streamed driver: one pipeline pass per contiguous seed block,
+    /// shards merged in block order.
+    fn run_streamed(
+        &self,
+        indexes: &[KeyIndex],
+        seed_rows: usize,
+        group_vars: Option<&[Var]>,
+    ) -> Result<(EmitOut, usize, usize), EngineError> {
+        let block = self.stream_block;
+        let mut acc = EmitOut::empty(group_vars.is_some());
+        let mut peak = 0usize;
+        let mut emitted = 0usize;
+        let mut partitions = 0u64;
+        let mut start = 0usize;
+        while start < seed_rows {
+            let end = (start + block).min(seed_rows);
+            let (out, p, n) = self.run_partition(indexes, Some(start..end), group_vars)?;
+            peak = peak.max(p);
+            emitted += n;
+            partitions += 1;
+            match (&mut acc, out) {
+                (EmitOut::Flat(a), EmitOut::Flat(b)) => a.merge(b)?,
+                (EmitOut::Grouped(a), EmitOut::Grouped(b)) => a.merge(b)?,
+                _ => unreachable!("partitions agree on grouping"),
+            }
+            start = end;
+        }
+        r2t_obs::counter_add("exec.partition.count", partitions);
+        r2t_obs::counter_add("exec.partition.seed_rows", seed_rows as u64);
+        r2t_obs::gauge_max("exec.partition.peak_bindings", peak as u64);
+        if r2t_obs::enabled(r2t_obs::Level::Full) {
+            r2t_obs::event(
+                "exec.partitioned_run",
+                &[
+                    ("partitions", Attr::U64(partitions)),
+                    ("block", Attr::U64(block as u64)),
+                    ("seed_rows", Attr::U64(seed_rows as u64)),
+                    ("emitted", Attr::U64(emitted as u64)),
+                ],
+            );
+        }
+        Ok((acc, peak, emitted))
+    }
+
+    /// One pipeline pass over `seed` rows of the seed stage (all rows when
+    /// `None`), with per-stage indexes prebuilt by the caller.
+    fn run_partition(
+        &self,
+        indexes: &[KeyIndex],
+        seed: Option<Range<usize>>,
+        group_vars: Option<&[Var]>,
+    ) -> Result<(EmitOut, usize, usize), EngineError> {
         let nvars = self.nvars;
-        let mut bound = vec![false; nvars];
         // The seed is one fully-unbound partial: probing it against the
         // first atom's index (which has no bound key columns, i.e. matches
-        // every row) is exactly the seeding scan.
+        // every row of the seed range) is exactly the seeding scan.
+        let seed_index = seed.map(|r| KeyIndex::All((r.start as u32..r.end as u32).collect()));
         let mut partials: Vec<u32> = vec![UNBOUND; nvars];
         let mut peak = 1usize;
         for (s, &ai) in self.order.iter().enumerate() {
             let atom = &self.q.atoms[ai];
             let table = &self.tables[self.atom_table[ai]];
-            let index = KeyIndex::build(table, &atom.vars, &bound);
+            let index = match (&seed_index, s) {
+                (Some(si), 0) => si,
+                _ => &indexes[s],
+            };
             let rows_in = partials.len() / nvars;
             if s + 1 == self.order.len() {
                 let (out, emitted) =
-                    self.emit_stage(&partials, s, atom, table, &index, group_vars)?;
+                    self.emit_stage(&partials, s, atom, table, index, group_vars)?;
                 r2t_obs::counter_add("exec.rows.emitted", emitted as u64);
-                r2t_obs::gauge_max("exec.peak_bindings", peak as u64);
                 self.record_stage(s, "emit", rows_in, emitted, table.nrows);
                 return Ok((out, peak, emitted));
             }
-            partials = self.extend_stage(&partials, s, atom, table, &index);
+            partials = self.extend_stage(&partials, s, atom, table, index);
             peak = peak.max(partials.len() / nvars);
             self.record_stage(s, "extend", rows_in, partials.len() / nvars, table.nrows);
-            for &v in &atom.vars {
-                bound[v as usize] = true;
-            }
             if partials.is_empty() {
                 break;
             }
         }
-        r2t_obs::gauge_max("exec.peak_bindings", peak as u64);
         Ok((EmitOut::empty(group_vars.is_some()), peak, 0))
     }
 
@@ -727,6 +939,11 @@ enum KeyIndex {
 
 impl KeyIndex {
     fn build(table: &ColumnarTable, vars: &[Var], bound: &[bool]) -> KeyIndex {
+        if table.nrows == 0 {
+            // An empty relation has no column vectors to index (its arity is
+            // unknowable from zero rows); no candidate ever matches.
+            return KeyIndex::All(Vec::new());
+        }
         let mut key_cols: Vec<(usize, Var)> = Vec::new();
         let mut seen: Vec<Var> = Vec::new();
         for (col, &v) in vars.iter().enumerate() {

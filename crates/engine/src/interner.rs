@@ -13,6 +13,8 @@
 
 use crate::value::{Tuple, Value};
 use std::collections::HashMap;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Id reserved as the "unbound variable" sentinel in partial bindings; the
 /// interner never hands it out.
@@ -58,14 +60,77 @@ impl Interner {
     pub fn is_empty(&self) -> bool {
         self.values.is_empty()
     }
+
+    /// Rebuilds an interner from its dense side table (archive reopen).
+    ///
+    /// The forward map is reconstructed so the interner behaves identically
+    /// to the one that produced `values`: re-interning any archived value
+    /// returns its original id. Returns `None` if `values` contains a
+    /// duplicate (a well-formed archive never does).
+    pub fn from_values(values: Vec<Value>) -> Option<Interner> {
+        let ids = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect::<HashMap<_, _>>();
+        if ids.len() != values.len() {
+            return None;
+        }
+        Some(Interner { ids, values })
+    }
+
+    /// The dense side table, id-ordered (archive serialization).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+/// Backing store for one interned column: either an owned heap vector (the
+/// in-memory path) or a zero-copy window into a memory-mapped archive.
+///
+/// Both deref to `&[u32]`, so every probe-loop read site (`cols[c][r]`,
+/// `.iter()`, slicing) is identical for heap and mapped tables.
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Owned ids produced by [`ColumnarTable::from_rows`].
+    Heap(Vec<u32>),
+    /// A `len`-element window starting `off` *elements* (not bytes) into a
+    /// memory-mapped archive's u32 payload.
+    Mapped {
+        /// Keeps the mapping alive for as long as any column views it.
+        map: Arc<crate::storage::Mapping>,
+        /// Element offset of this column's first id.
+        off: usize,
+        /// Number of ids in this column (one per row).
+        len: usize,
+    },
+}
+
+impl Deref for ColumnData {
+    type Target = [u32];
+
+    #[inline]
+    fn deref(&self) -> &[u32] {
+        match self {
+            ColumnData::Heap(v) => v,
+            ColumnData::Mapped { map, off, len } => &map.as_u32s()[*off..*off + *len],
+        }
+    }
+}
+
+impl From<Vec<u32>> for ColumnData {
+    fn from(v: Vec<u32>) -> ColumnData {
+        ColumnData::Heap(v)
+    }
 }
 
 /// One relation's rows interned column-major: `cols[c][r]` is the id of the
-/// value in column `c` of row `r`.
-#[derive(Debug)]
+/// value in column `c` of row `r`. Cloning a mapped table is cheap (an `Arc`
+/// bump per column); cloning a heap table copies its id vectors.
+#[derive(Debug, Clone)]
 pub struct ColumnarTable {
-    /// Column-major interned ids.
-    pub cols: Vec<Vec<u32>>,
+    /// Column-major interned ids (heap-owned or archive-mapped).
+    pub cols: Vec<ColumnData>,
     /// Number of rows.
     pub nrows: usize,
 }
@@ -80,7 +145,7 @@ impl ColumnarTable {
                 cols[c].push(interner.intern(v));
             }
         }
-        ColumnarTable { cols, nrows: rows.len() }
+        ColumnarTable { cols: cols.into_iter().map(ColumnData::Heap).collect(), nrows: rows.len() }
     }
 }
 

@@ -25,6 +25,10 @@
 //!   writes propagate as per-relation deltas instead of instance rebuilds,
 //!   with replayed profiles bit-identical to a from-scratch run.
 //! * [`csv`] — CSV import for relation instances (as [`delta::WriteBatch`]es).
+//! * [`storage`] — an on-disk columnar archive: interned tables serialized
+//!   into a page-aligned, checksummed file that reopens as zero-copy
+//!   memory-mapped `&[u32]` column views, so cold start is mmap + validate
+//!   instead of re-interning every row.
 //! * [`lineage`] — the [`lineage::QueryProfile`] artifact consumed by the DP
 //!   mechanisms: per-result weights `ψ(q_k)`, the reference sets `C_j(I)`,
 //!   and (for projection queries) the duplicate groups `D_l(I)`.
@@ -38,18 +42,20 @@ pub mod interner;
 pub mod lineage;
 pub mod query;
 pub mod schema;
+pub mod storage;
 pub mod value;
 pub mod wcoj;
 
 pub use delta::{
     IncrementalView, IntegrityIndex, ProfileChanges, ResolvedDelta, ResolvedWrite, WriteBatch,
 };
-pub use exec::{ExecOptions, ExecStats, Strategy};
+pub use exec::{ExecOptions, ExecStats, Source, Strategy};
 pub use instance::Instance;
 pub use interner::Interner;
 pub use lineage::{ProfileSummary, QueryProfile, ResultLine};
 pub use query::{Aggregate, Atom, CmpOp, Expr, Predicate, Query};
 pub use schema::{Relation, Schema};
+pub use storage::Archive;
 pub use value::{Tuple, Value};
 
 /// Errors raised by the engine.
@@ -71,6 +77,9 @@ pub enum EngineError {
     MalformedQuery(String),
     /// The FK graph contained a cycle (it must be a DAG).
     CyclicForeignKeys,
+    /// An on-disk archive could not be written, opened, or validated
+    /// (I/O failure, bad magic, checksum mismatch, schema drift, …).
+    Storage(String),
     /// Two members of one projected-result group reported different group
     /// weights: the projected weight must depend only on the projected
     /// attributes (Section 7's `ψ(p_l)`).
@@ -103,6 +112,7 @@ impl std::fmt::Display for EngineError {
             }
             EngineError::MalformedQuery(msg) => write!(f, "malformed query: {msg}"),
             EngineError::CyclicForeignKeys => write!(f, "foreign-key graph contains a cycle"),
+            EngineError::Storage(msg) => write!(f, "storage: {msg}"),
             EngineError::InconsistentGroupWeight { expected, got } => write!(
                 f,
                 "projected-group weight depends on non-projected attributes \

@@ -47,9 +47,8 @@
 
 use crate::exec::{
     greedy_order, intern_tables, needed_value_vars, record_worker, resolve_groups, worker_clock,
-    EmitOut, ExecOptions, ExecStats,
+    EmitOut, ExecOptions, ExecStats, PlanInterner, Source,
 };
-use crate::instance::Instance;
 use crate::interner::{ColumnarTable, Interner, UNBOUND};
 use crate::lineage::{pack_private_key, QueryProfile};
 use crate::query::{CmpOp, Expr, Predicate, Query, Var};
@@ -72,12 +71,12 @@ type TrieShape = (usize, Vec<usize>, Vec<(usize, usize)>);
 /// no atoms (empty profile).
 pub(crate) fn run_flat(
     schema: &Schema,
-    instance: &Instance,
+    source: Source<'_>,
     q: &Query,
     private_vars: Vec<(u32, Var)>,
     opts: &ExecOptions,
 ) -> Result<Option<(QueryProfile, ExecStats)>, EngineError> {
-    let Some(plan) = WcojPlan::new(schema, instance, q, private_vars, opts)? else {
+    let Some(plan) = WcojPlan::new(schema, source, q, private_vars, opts)? else {
         return Ok(None);
     };
     let (out, stats) = plan.run(None)?;
@@ -90,13 +89,13 @@ pub(crate) fn run_flat(
 /// Group-by entry point used by [`crate::exec::profile_grouped_with_stats`].
 pub(crate) fn run_grouped(
     schema: &Schema,
-    instance: &Instance,
+    source: Source<'_>,
     q: &Query,
     group_vars: &[Var],
     private_vars: Vec<(u32, Var)>,
     opts: &ExecOptions,
 ) -> Result<Option<(GroupedProfiles, ExecStats)>, EngineError> {
-    let Some(plan) = WcojPlan::new(schema, instance, q, private_vars, opts)? else {
+    let Some(plan) = WcojPlan::new(schema, source, q, private_vars, opts)? else {
         return Ok(None);
     };
     let (out, stats) = plan.run(Some(group_vars))?;
@@ -282,7 +281,7 @@ pub(crate) struct WcojPlan<'q> {
     q: &'q Query,
     nvars: usize,
     natoms: usize,
-    pub(crate) interner: Interner,
+    pub(crate) interner: PlanInterner<'q>,
     /// Canonical atom order for emission row vectors — the columnar
     /// executor's pipeline order, so the post-sort emission sequence is
     /// bit-identical to its output.
@@ -495,11 +494,11 @@ fn variable_order(q: &Query, nvars: usize) -> Vec<Var> {
 }
 
 impl<'q> WcojPlan<'q> {
-    /// Interns the instance, plans the variable order, and builds the tries;
-    /// `None` when the query has no atoms.
+    /// Resolves the source tables, plans the variable order, and builds the
+    /// tries; `None` when the query has no atoms.
     pub(crate) fn new(
         schema: &Schema,
-        instance: &Instance,
+        source: Source<'q>,
         q: &'q Query,
         private_vars: Vec<(u32, Var)>,
         opts: &ExecOptions,
@@ -509,7 +508,7 @@ impl<'q> WcojPlan<'q> {
         }
         let nvars = q.num_vars();
         let natoms = q.atoms.len();
-        let (interner, tables, atom_table) = intern_tables(schema, instance, q)?;
+        let (interner, tables, atom_table) = intern_tables(schema, source, q)?;
         let sizes: Vec<usize> = atom_table.iter().map(|&i| tables[i].nrows).collect();
         let pipeline = greedy_order(q, &sizes, nvars);
         let var_order = variable_order(q, nvars);
@@ -1332,6 +1331,7 @@ mod tests {
     use crate::exec::{
         profile_grouped_with_stats, profile_reference, profile_with_stats, Strategy,
     };
+    use crate::instance::Instance;
     use crate::query::{atom, CmpOp, Expr, Predicate};
     use crate::schema::graph_schema_node_dp;
 
@@ -1409,6 +1409,7 @@ mod tests {
                     workers: Some(workers),
                     parallel_threshold: 1,
                     strategy: Strategy::Wcoj,
+                    ..ExecOptions::default()
                 };
                 let par = profile_with_stats(&s, &inst, &q, &opts).unwrap().0;
                 assert_eq!(seq, par, "workers={workers} {q:?}");

@@ -199,6 +199,25 @@ pub fn gauge_max(_name: &'static str, _value: u64) {
     }
 }
 
+/// The process's peak resident set size in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where procfs is unavailable. This is a
+/// process-lifetime high-water mark maintained by the kernel: it only ever
+/// rises, so per-phase measurements need per-process isolation (fork the
+/// phase, read the child's peak). Always available regardless of the
+/// instrumentation level — it reads the kernel, not the registry.
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
 /// Folds a sample into the named value aggregate ([`Level::Counters`]+).
 #[inline(always)]
 pub fn record_value(_name: &'static str, _value: f64) {

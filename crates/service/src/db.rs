@@ -66,6 +66,27 @@ impl PrivateDatabase {
         })
     }
 
+    /// Opens the database from an on-disk columnar archive
+    /// ([`r2t_engine::storage::write_archive`]) instead of row data.
+    ///
+    /// Cold start is mmap + checksum validation — no per-row work. The
+    /// opening snapshot serves queries zero-copy over the mapped columns;
+    /// referential integrity was checked when the archive was written (the
+    /// writer refuses unvalidated instances and the format records it), so
+    /// it is not re-derived here. The mapped snapshot is read-only:
+    /// [`Self::apply`] refuses delta batches against it with
+    /// [`Error::Unsupported`] — a [`r2t_engine::WriteBatch::replace`] (which
+    /// never reads the parent) installs fresh heap data and re-enables
+    /// writes from that version on.
+    pub fn open_archive(schema: Schema, path: impl AsRef<std::path::Path>) -> Result<Self, Error> {
+        let archive = r2t_engine::Archive::open(&schema, path.as_ref())?;
+        Ok(PrivateDatabase {
+            schema,
+            data: RwLock::new(Arc::new(Snapshot::from_archive(Arc::new(archive), 0))),
+            write_gate: Mutex::new(None),
+        })
+    }
+
     /// The schema (including the privacy designation).
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -121,6 +142,17 @@ impl PrivateDatabase {
             drop(data);
             r2t_obs::counter_add("service.reloads", 1);
             return Ok(version);
+        }
+        if parent.is_mapped() {
+            // A delta against mapped columns would have to fork them onto the
+            // heap, silently ending the out-of-core guarantee mid-write.
+            // Refuse instead: mapped snapshots are immutable by contract.
+            return Err(Error::Unsupported(
+                "delta writes against an archive-opened database are not supported: \
+                 the memory-mapped columns are immutable (stage the new data as \
+                 WriteBatch::replace, or open the database from rows to mutate it)"
+                    .to_string(),
+            ));
         }
         // Insert-only batches never consult existing rows while resolving,
         // so they keep a chain of unread snapshots unmaterialized.
@@ -217,7 +249,7 @@ impl PrivateDatabase {
             return Err(Error::Unsupported("use query_grouped for GROUP BY".to_string()));
         }
         let snap = self.snapshot();
-        let profile = exec::profile(&self.schema, snap.instance(), &lowered.query)?;
+        let profile = exec::profile_src(&self.schema, snap.source(), &lowered.query)?;
         // Even the one-shot path goes through an accountant: the charge is
         // committed before the mechanism touches the data, so no answering
         // path in the crate can release without a recorded charge.
@@ -242,9 +274,9 @@ impl PrivateDatabase {
             return Err(Error::Unsupported("query_grouped requires GROUP BY".to_string()));
         }
         let snap = self.snapshot();
-        let groups = exec::profile_grouped(
+        let groups = exec::profile_grouped_src(
             &self.schema,
-            snap.instance(),
+            snap.source(),
             &lowered.query,
             &lowered.group_by,
         )?;
@@ -259,7 +291,7 @@ impl PrivateDatabase {
     pub fn query_exact(&self, sql: &str) -> Result<f64, Error> {
         let lowered = parse_statement(sql, &self.schema)?;
         let snap = self.snapshot();
-        Ok(exec::profile(&self.schema, snap.instance(), &lowered.query)?.query_result())
+        Ok(exec::profile_src(&self.schema, snap.source(), &lowered.query)?.query_result())
     }
 
     /// The lineage shape of a query without answering it. The output is
@@ -267,11 +299,71 @@ impl PrivateDatabase {
     pub fn describe(&self, sql: &str) -> Result<ProfileSummary, Error> {
         let lowered = parse_statement(sql, &self.schema)?;
         let snap = self.snapshot();
-        Ok(exec::profile(&self.schema, snap.instance(), &lowered.query)?.summary())
+        Ok(exec::profile_src(&self.schema, snap.source(), &lowered.query)?.summary())
     }
 
     /// [`Self::describe`] rendered as one line.
     pub fn explain(&self, sql: &str) -> Result<String, Error> {
         Ok(self.describe(sql)?.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use r2t_engine::{storage, Value};
+
+    /// A tiny FK chain (customer ← orders) with customer primary private.
+    fn chain() -> (Schema, Instance) {
+        let mut schema = Schema::new();
+        schema.add_relation("customer", &["ck"], Some("ck"), &[]).unwrap();
+        schema.add_relation("orders", &["ok", "ck"], Some("ok"), &[("ck", "customer")]).unwrap();
+        schema.set_primary_private(&["customer"]).unwrap();
+        let mut inst = Instance::new();
+        for c in 0..7i64 {
+            inst.insert("customer", vec![Value::Int(c)]);
+        }
+        for o in 0..23i64 {
+            inst.insert("orders", vec![Value::Int(o), Value::Int(o % 7)]);
+        }
+        (schema, inst)
+    }
+
+    #[test]
+    fn archive_database_answers_like_rows_and_refuses_deltas() {
+        let (schema, inst) = chain();
+        let path =
+            std::env::temp_dir().join(format!("r2t_service_archive_{}.r2t", std::process::id()));
+        storage::write_archive(&schema, &inst, &path).unwrap();
+
+        let from_rows = PrivateDatabase::new(schema.clone(), inst.clone()).unwrap();
+        let mapped = PrivateDatabase::open_archive(schema, &path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+
+        // Queries over the mapped columns are bit-identical to the heap path.
+        let sql = "SELECT COUNT(*) FROM customer, orders WHERE customer.ck = orders.ck";
+        assert_eq!(
+            mapped.query_exact(sql).unwrap().to_bits(),
+            from_rows.query_exact(sql).unwrap().to_bits(),
+        );
+        assert_eq!(mapped.describe(sql).unwrap(), from_rows.describe(sql).unwrap());
+
+        // A delta batch is refused loudly — never applied, never forked.
+        let mut delta = WriteBatch::new();
+        delta.insert("customer", vec![Value::Int(100)]);
+        match mapped.apply(delta) {
+            Err(Error::Unsupported(msg)) => assert!(msg.contains("archive")),
+            other => panic!("expected Unsupported for delta on mapped db, got {other:?}"),
+        }
+        assert_eq!(mapped.snapshot().version(), 0, "refused write must not bump");
+
+        // A replace never reads the parent, so it is allowed — and the
+        // installed heap snapshot accepts deltas again.
+        let version = mapped.apply(WriteBatch::replace(inst)).unwrap();
+        assert_eq!(version, 1);
+        let mut delta = WriteBatch::new();
+        delta.insert("customer", vec![Value::Int(100)]);
+        assert_eq!(mapped.apply(delta).unwrap(), 2);
+        assert_eq!(mapped.query_exact("SELECT COUNT(*) FROM customer").unwrap(), 8.0);
     }
 }

@@ -49,7 +49,8 @@
 use crate::Error;
 use r2t_core::{BranchPatcher, BranchValues, R2TConfig};
 use r2t_engine::delta::{self, IncrementalView, ResolvedWrite};
-use r2t_engine::{exec, Instance, ProfileSummary, QueryProfile, Schema, Tuple};
+use r2t_engine::exec::Source;
+use r2t_engine::{exec, Archive, Instance, ProfileSummary, QueryProfile, Schema, Tuple};
 use r2t_sql::parse_statement;
 use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Mutex, OnceLock, RwLock};
@@ -165,6 +166,13 @@ pub struct Snapshot {
     /// from and the write separating them. Cleared once `state` is set so
     /// the ancestor chain can be reclaimed.
     pending: Mutex<Option<(Arc<Snapshot>, Arc<ResolvedWrite>)>>,
+    /// For an archive-opened snapshot: the memory-mapped columns backing the
+    /// query paths. Queries run zero-copy against the mapping
+    /// ([`Self::source`]); row-level readers fold it into `state` on first
+    /// demand ([`Self::instance`]). Mapped snapshots refuse delta writes
+    /// ([`crate::PrivateDatabase::apply`]), so the mapping never diverges
+    /// from heap state.
+    archive: Option<Arc<Archive>>,
     version: u64,
     prepared: RwLock<HashMap<(String, GridKey), Arc<Prepared>>>,
 }
@@ -176,8 +184,38 @@ impl Snapshot {
         Snapshot {
             state,
             pending: Mutex::new(None),
+            archive: None,
             version,
             prepared: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// A snapshot served directly from a validated on-disk archive: the
+    /// column data stays memory-mapped and queries execute over it
+    /// zero-copy. No row vectors exist until a row-level reader forces
+    /// [`Self::instance`].
+    pub(crate) fn from_archive(archive: Arc<Archive>, version: u64) -> Self {
+        Snapshot {
+            state: OnceLock::new(),
+            pending: Mutex::new(None),
+            archive: Some(archive),
+            version,
+            prepared: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Whether this snapshot serves straight from a memory-mapped archive.
+    pub fn is_mapped(&self) -> bool {
+        self.archive.is_some()
+    }
+
+    /// The executor-facing view of this snapshot's data: the memory-mapped
+    /// archive when one backs this snapshot (zero-copy, no materialization),
+    /// the (possibly lazily folded) row vectors otherwise.
+    pub(crate) fn source(&self) -> Source<'_> {
+        match &self.archive {
+            Some(a) => Source::Archive(a),
+            None => Source::Rows(self.instance()),
         }
     }
 
@@ -200,6 +238,13 @@ impl Snapshot {
     /// folds the writes forward. Iterative on purpose: a long run of
     /// unread applies must not recurse chain-deep.
     fn materialize(&self) -> Instance {
+        if let Some(archive) = &self.archive {
+            // Row-level reader on a mapped snapshot: fold the mapped columns
+            // back into row vectors once. The mapping itself stays live for
+            // the executor paths.
+            r2t_obs::counter_add("service.snapshot.materializations", 1);
+            return archive.materialize();
+        }
         let link = self.pending.lock().expect("pending write poisoned").clone();
         let Some((first_parent, first_write)) = link else {
             // Raced: another thread materialized and cleared the link after
@@ -268,7 +313,7 @@ impl Snapshot {
             return Ok(Arc::clone(p));
         }
         r2t_obs::counter_add("service.cache.misses", 1);
-        let built = Arc::new(prepare_with_grid(schema, self.instance(), text, &grid)?);
+        let built = Arc::new(prepare_with_grid(schema, self.source(), text, &grid)?);
         let mut cache = self.prepared.write().expect("prepared cache poisoned");
         let entry = Arc::clone(cache.entry((text.to_string(), grid)).or_insert(built));
         r2t_obs::gauge_max("service.cache.entries", cache.len() as u64);
@@ -448,7 +493,7 @@ impl Snapshot {
                 }
                 IncrState::None => {
                     let inst = child_inst.get_or_insert_with(|| write.apply_to(parent.instance()));
-                    match prepare_with_grid(schema, inst, &entry.text, grid) {
+                    match prepare_with_grid(schema, Source::Rows(inst), &entry.text, grid) {
                         Ok(p) => {
                             stats.rebuilt += 1;
                             cache.insert(key.clone(), Arc::new(p));
@@ -463,6 +508,7 @@ impl Snapshot {
         let snap = Snapshot {
             state: OnceLock::new(),
             pending: Mutex::new(Some((Arc::clone(parent), Arc::clone(write)))),
+            archive: None,
             version,
             prepared: RwLock::new(cache),
         };
@@ -488,24 +534,31 @@ fn arm_patcher(
     BranchPatcher::try_new(view.raw_lines(), values, grid.branches, grid.warm_sweep)
 }
 
-/// Prepares one statement against `instance` under a grid. The incremental
+/// Prepares one statement against `source` under a grid. The incremental
 /// view is built first and the profile is *replayed from it* — the view's
 /// initial build is the lineage join (bit-identical to `exec::profile`,
 /// asserted by the engine's differential suites), so maintenance state
 /// costs no second join. Statements the view cannot maintain (cyclic joins,
-/// zero variables) fall back to the executor with [`IncrState::None`].
+/// zero variables) fall back to the executor with [`IncrState::None`], as
+/// does *every* statement on an archive source: mapped snapshots never see
+/// a delta (applies refuse them), so maintenance state would be dead weight
+/// — and skipping the view keeps preparation zero-copy over the mapping.
 fn prepare_with_grid(
     schema: &Schema,
-    instance: &Instance,
+    source: Source<'_>,
     text: &str,
     grid: &GridKey,
 ) -> Result<Prepared, Error> {
     let lowered = parse_statement(text, schema)?;
     let relations = delta::query_relations(schema, &lowered.query)?;
     if lowered.group_by.is_empty() {
-        let (profile, view) = match IncrementalView::new(schema, instance, &lowered.query, None)? {
+        let view = match source {
+            Source::Rows(instance) => IncrementalView::new(schema, instance, &lowered.query, None)?,
+            Source::Archive(_) => None,
+        };
+        let (profile, view) = match view {
             Some(view) => (view.profile()?, Some(view)),
-            None => (exec::profile(schema, instance, &lowered.query)?, None),
+            None => (exec::profile_src(schema, source, &lowered.query)?, None),
         };
         let values = branch_values(&profile, grid);
         let incr = match view {
@@ -523,18 +576,19 @@ fn prepare_with_grid(
             incr: Mutex::new(incr),
         })
     } else {
-        let (groups, incr) = match IncrementalView::new(
-            schema,
-            instance,
-            &lowered.query,
-            Some(&lowered.group_by),
-        )? {
+        let view = match source {
+            Source::Rows(instance) => {
+                IncrementalView::new(schema, instance, &lowered.query, Some(&lowered.group_by))?
+            }
+            Source::Archive(_) => None,
+        };
+        let (groups, incr) = match view {
             Some(view) => {
                 let groups = view.profile_grouped()?;
                 (groups, IncrState::Grouped { view })
             }
             None => (
-                exec::profile_grouped(schema, instance, &lowered.query, &lowered.group_by)?,
+                exec::profile_grouped_src(schema, source, &lowered.query, &lowered.group_by)?,
                 IncrState::None,
             ),
         };

@@ -15,11 +15,18 @@
 //! Group-by clauses are removed, as in the paper. Scale factor 1 generates
 //! ≈75k tuples (the paper's SF1 is 7.5M; a deliberate 100× scale-down so
 //! the truncation LPs remain laptop-sized — see DESIGN.md §2).
+//!
+//! **Scale mapping.** [`gen::generate`]'s `scale` knob is in *scaled-down*
+//! units: `scale = s` yields `s × 75k` tuples. [`gen::generate_sf`] speaks
+//! true TPC-H scale factors instead — `generate_sf(sf, …) ≡
+//! generate(sf × 100, …)`, so `generate_sf(1.0, …)` is the paper's SF-1
+//! (≈7.5M tuples) and `generate_sf(0.01, …)` is byte-identical to the
+//! `generate(1.0, …)` instance every existing bench and test is pinned to.
 
 pub mod gen;
 pub mod queries;
 pub mod schema;
 
-pub use gen::generate;
+pub use gen::{generate, generate_sf};
 pub use queries::{all_queries, Category, TpchQuery};
 pub use schema::tpch_schema;

@@ -6,4 +6,5 @@ R2T_REPS=5 ./target/release/repro_table5 > results/table5.txt 2>&1
 R2T_REPS=5 ./target/release/repro_fig6 > results/fig6.txt 2>&1
 R2T_REPS=3 ./target/release/repro_fig7 > results/fig7.txt 2>&1
 R2T_REPS=3 ./target/release/repro_fig8 > results/fig8.txt 2>&1
+R2T_REPS=1 ./target/release/repro_scale > results/scale.txt 2>&1
 touch results/ALL_DONE
